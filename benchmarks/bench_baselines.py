@@ -1,0 +1,96 @@
+"""Experiment A3: PARK vs. the deductive baselines.
+
+The reproduced shape: on conflict-free programs PARK costs the same as
+the inflationary fixpoint it extends (the conflict machinery is pure
+bookkeeping there), while on conflict-heavy programs PARK pays for its
+restarts — the strawman is cheaper but *wrong* (its E2/E3 answers differ,
+which the paper-example benches already assert).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.baselines.inflationary import inflationary_fixpoint, stubborn_fixpoint
+from repro.baselines.naive_elimination import naive_elimination
+from repro.core.engine import park
+from repro.engine.datalog import naive_least_fixpoint, seminaive_least_fixpoint
+from repro.workloads import conflict_cascade, transitive_closure
+
+TC_NODES = 60
+CASCADE_DEPTH = 16
+
+
+@pytest.fixture(scope="module")
+def tc_workload():
+    return transitive_closure(TC_NODES, seed=4)
+
+
+@pytest.fixture(scope="module")
+def cascade_workload():
+    return conflict_cascade(CASCADE_DEPTH)
+
+
+class TestConflictFree:
+    def test_a3_park(self, benchmark, scaling, tc_workload):
+        def run():
+            result = tc_workload.run()
+            assert result.stats.restarts == 0
+            return result
+
+        run_and_record(benchmark, scaling, "A3 conflict-free park", TC_NODES, run)
+
+    def test_a3_inflationary(self, benchmark, scaling, tc_workload):
+        def run():
+            return inflationary_fixpoint(tc_workload.program, tc_workload.database)
+
+        run_and_record(benchmark, scaling, "A3 conflict-free inflationary", TC_NODES, run)
+
+    def test_a3_datalog_naive(self, benchmark, scaling, tc_workload):
+        def run():
+            return naive_least_fixpoint(tc_workload.program, tc_workload.database)
+
+        run_and_record(benchmark, scaling, "A3 conflict-free datalog-naive", TC_NODES, run)
+
+    def test_a3_datalog_seminaive(self, benchmark, scaling, tc_workload):
+        def run():
+            return seminaive_least_fixpoint(tc_workload.program, tc_workload.database)
+
+        run_and_record(
+            benchmark, scaling, "A3 conflict-free datalog-seminaive", TC_NODES, run
+        )
+
+    def test_a3_all_semantics_agree(self, tc_workload):
+        park_db = park(tc_workload.program, tc_workload.database).database
+        assert park_db == inflationary_fixpoint(
+            tc_workload.program, tc_workload.database
+        )
+        assert park_db == seminaive_least_fixpoint(
+            tc_workload.program, tc_workload.database
+        )
+
+
+class TestConflictHeavy:
+    def test_a3_park_cascade(self, benchmark, scaling, cascade_workload):
+        def run():
+            result = cascade_workload.run()
+            cascade_workload.check(result)
+            return result
+
+        run_and_record(benchmark, scaling, "A3 cascade park", CASCADE_DEPTH, run)
+
+    def test_a3_strawman_cascade(self, benchmark, scaling, cascade_workload):
+        def run():
+            return naive_elimination(
+                cascade_workload.program, cascade_workload.database
+            )
+
+        run_and_record(benchmark, scaling, "A3 cascade strawman", CASCADE_DEPTH, run)
+
+    def test_a3_stubborn_cascade(self, benchmark, scaling, cascade_workload):
+        def run():
+            return stubborn_fixpoint(
+                cascade_workload.program, cascade_workload.database
+            )
+
+        run_and_record(benchmark, scaling, "A3 cascade stubborn-Γ", CASCADE_DEPTH, run)

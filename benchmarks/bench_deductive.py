@@ -1,0 +1,87 @@
+"""Experiment A6: the deductive-semantics family on the win–move game.
+
+The paper's Section 3 positions PARK against the deductive semantics
+([6] inflationary, [4] well-founded); this bench puts the whole family
+side by side on the canonical datalog¬ separator.  Reproduced shape:
+
+* on *acyclic* games all deductive engines agree on won positions and
+  the well-founded model is total;
+* on *cyclic* games the well-founded semantics pays its alternating
+  fixpoint (several least-model computations) while the inflationary
+  semantics stays single-pass — the price of identifying drawn
+  positions;
+* the stratified evaluator correctly *refuses* the program (negation in
+  a cycle through `win`), which is the rejection path of the
+  stratification checker.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.baselines.inflationary import inflationary_fixpoint
+from repro.baselines.stratified import stratified_fixpoint
+from repro.baselines.wellfounded import well_founded
+from repro.errors import EngineError
+from repro.workloads.games import chain_game, random_game
+
+CHAIN_SIZES = [40, 80, 160]
+RANDOM_SIZES = [10, 20, 40]
+
+
+@pytest.mark.parametrize("size", CHAIN_SIZES)
+def test_a6_wellfounded_acyclic(benchmark, scaling, size):
+    workload = chain_game(size)
+
+    def run():
+        model = well_founded(workload.program, workload.database)
+        assert model.total  # acyclic: no draws
+        # positions alternate: the dead end loses, its predecessor wins...
+        wins = sum(1 for a in model.true if a.predicate == "win")
+        assert wins == (size + 1) // 2
+        return model
+
+    run_and_record(benchmark, scaling, "A6 wf acyclic-game", size, run)
+
+
+@pytest.mark.parametrize("size", RANDOM_SIZES)
+def test_a6_wellfounded_cyclic(benchmark, scaling, size):
+    workload = random_game(size, seed=6)
+
+    def run():
+        return well_founded(workload.program, workload.database)
+
+    run_and_record(benchmark, scaling, "A6 wf cyclic-game", size, run)
+
+
+@pytest.mark.parametrize("size", CHAIN_SIZES)
+def test_a6_inflationary_acyclic(benchmark, scaling, size):
+    workload = chain_game(size)
+
+    def run():
+        return inflationary_fixpoint(workload.program, workload.database)
+
+    run_and_record(benchmark, scaling, "A6 inflationary acyclic-game", size, run)
+
+
+def test_a6_stratified_rejects_the_game():
+    workload = chain_game(10)
+    with pytest.raises(EngineError, match="not stratifiable"):
+        stratified_fixpoint(workload.program, workload.database)
+
+
+def test_a6_semantics_disagree_as_documented():
+    """Inflationary over-approximates the well-founded wins.
+
+    In round one ``not win(Y)`` holds for every ``Y``, so the
+    inflationary semantics derives ``win(x)`` for *every* position with
+    an outgoing move — a strict superset of the definitely-won positions
+    whenever the game has losses or draws.
+    """
+    workload = random_game(12, seed=3)
+    inflationary = inflationary_fixpoint(workload.program, workload.database)
+    model = well_founded(workload.program, workload.database)
+    inflationary_wins = set(inflationary.atoms("win"))
+    wf_win_true = {a for a in model.true if a.predicate == "win"}
+    assert wf_win_true <= inflationary_wins
+    assert wf_win_true != inflationary_wins  # seed 3 has non-won movers

@@ -1,0 +1,46 @@
+"""Experiment A5: ECA transaction batch-size sweep on the HR workload.
+
+Section 4.3 turns a transaction's updates into rules of ``P_U``; the cost
+of a commit should grow roughly linearly in ``|U|`` for this trigger set
+(each deactivation touches a constant number of rows).  The series also
+exercises the event literals end to end at scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.active import ActiveDatabase
+from repro.workloads import deactivation_batch, hr_database, hr_program
+
+POPULATION = 400
+BATCHES = [5, 20, 80, 320]
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_a5_deactivation_batch(benchmark, scaling, batch):
+    workload = deactivation_batch(POPULATION, batch, seed=2)
+
+    def run():
+        result = workload.run()
+        assert result.database.count("severance") == batch
+        assert result.database.count("payroll") == POPULATION - batch
+        return result
+
+    run_and_record(benchmark, scaling, "A5 commit(|U| updates)", batch, run)
+
+
+@pytest.mark.parametrize("batch", [5, 40])
+def test_a5_facade_commit(benchmark, scaling, batch):
+    """The same sweep through the ActiveDatabase facade (includes apply)."""
+
+    def run():
+        db = ActiveDatabase(hr_database(POPULATION, seed=5))
+        db.add_rules(list(hr_program()))
+        with db.transaction() as tx:
+            for index in range(batch):
+                tx.delete("active", "e%d" % index)
+        assert db.database.count("severance") == batch
+        return tx.result
+
+    run_and_record(benchmark, scaling, "A5 facade-commit(|U|)", batch, run)

@@ -1,0 +1,82 @@
+"""Experiment A4: evaluation-strategy ablation — naive vs. semi-naive.
+
+Not a claim from the paper itself but an ablation of our substrate's main
+design choice (DESIGN.md S4): semi-naive evaluation should beat naive
+re-derivation on recursive workloads, with the gap growing in |D|.
+PARK's inner loop is naive-with-indexes by necessity (validity is
+non-monotone under negation/events), so this also bounds what a fancier
+Γ could save on the positive fragment.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.engine.datalog import naive_least_fixpoint, seminaive_least_fixpoint
+from repro.workloads import transitive_closure
+
+SIZES = [20, 40, 80]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a4_naive(benchmark, scaling, size):
+    workload = transitive_closure(size, seed=9)
+
+    def run():
+        return naive_least_fixpoint(workload.program, workload.database)
+
+    run_and_record(benchmark, scaling, "A4 naive tc", size, run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a4_seminaive(benchmark, scaling, size):
+    workload = transitive_closure(size, seed=9)
+
+    def run():
+        return seminaive_least_fixpoint(workload.program, workload.database)
+
+    run_and_record(benchmark, scaling, "A4 seminaive tc", size, run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a4_results_agree(size):
+    workload = transitive_closure(size, seed=9)
+    assert naive_least_fixpoint(
+        workload.program, workload.database
+    ) == seminaive_least_fixpoint(workload.program, workload.database)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a4_park_engine_naive(benchmark, scaling, size):
+    """The full PARK engine under naive Γ evaluation."""
+    from repro.core.engine import park
+
+    workload = transitive_closure(size, seed=9)
+
+    def run():
+        return park(workload.program, workload.database, evaluation="naive")
+
+    run_and_record(benchmark, scaling, "A4 park naive-Γ", size, run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a4_park_engine_seminaive(benchmark, scaling, size):
+    """The full PARK engine under semi-naive Γ evaluation."""
+    from repro.core.engine import park
+
+    workload = transitive_closure(size, seed=9)
+
+    def run():
+        return park(workload.program, workload.database, evaluation="seminaive")
+
+    run_and_record(benchmark, scaling, "A4 park seminaive-Γ", size, run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_a4_park_modes_agree(size):
+    from repro.core.engine import park
+
+    workload = transitive_closure(size, seed=9)
+    naive = park(workload.program, workload.database, evaluation="naive")
+    seminaive = park(workload.program, workload.database, evaluation="seminaive")
+    assert naive.atoms == seminaive.atoms

@@ -1,0 +1,215 @@
+"""Experiments E1-E9: every worked example in the paper, asserted + timed.
+
+Each benchmark recomputes one of the paper's examples, asserts the exact
+final database state (and, where relevant, the blocked rules and restart
+counts) before timing — a mismatch fails the bench, so the timing numbers
+below always describe *correct* runs.
+"""
+
+import pytest
+
+from repro.baselines.naive_elimination import naive_elimination
+from repro.core.engine import park
+from repro.lang import parse_atom, parse_database, parse_program
+from repro.lang.updates import insert
+from repro.policies.base import Decision, SelectPolicy
+from repro.policies.priority import PriorityPolicy
+from repro.storage.database import Database
+
+P1 = parse_program("""
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+""")
+
+P2 = parse_program("""
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+@name(r4) not a -> +r.
+@name(r5) a -> +s.
+""")
+
+P3 = parse_program("""
+@name(r1) p -> +q.
+@name(r2) p -> -q.
+@name(r3) q -> +a.
+@name(r4) q -> -a.
+@name(r5) p -> +a.
+""")
+
+GRAPH = parse_program("""
+@name(r1) p(X), p(Y) -> +q(X, Y).
+@name(r2) q(X, X) -> -q(X, X).
+@name(r3) q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+""")
+
+ECA1 = parse_program("""
+@name(r1) p(X) -> +q(X).
+@name(r2) q(X) -> +r(X).
+@name(r3) +r(X) -> -s(X).
+""")
+
+ECA2 = parse_program("""
+@name(r1) q(X, a) -> -p(X, a).
+@name(r2) q(a, X) -> +r(a, X).
+@name(r3) +r(X, a) -> +p(X, a).
+""")
+
+SEC5 = parse_program("""
+@name(r1) @priority(1) p -> +a.
+@name(r2) @priority(2) p -> +q.
+@name(r3) @priority(3) a -> +b.
+@name(r4) @priority(4) a -> -q.
+@name(r5) @priority(5) b -> +q.
+""")
+
+SEC5_COUNTER = parse_program("""
+@name(r1) a -> +b.
+@name(r2) a -> +d.
+@name(r3) b -> +c.
+@name(r4) b -> -d.
+@name(r5) c -> -b.
+""")
+
+
+class GraphSelect(SelectPolicy):
+    name = "sec42"
+
+    def select(self, context):
+        x, y = (str(t) for t in context.conflict.atom.terms)
+        if x == y or {x, y} == {"a", "c"}:
+            return Decision.DELETE
+        return Decision.INSERT
+
+
+def expect(text):
+    return frozenset(parse_database(text))
+
+
+def test_e1_p1_inertia(benchmark):
+    """E1 — paper: final database {p, q}."""
+    database = Database.from_text("p.")
+
+    def run():
+        result = park(P1, database)
+        assert result.atoms == expect("p. q.")
+        assert result.blocked_rules() == ["r3"]
+        return result
+
+    benchmark(run)
+
+
+def test_e2_p2_obsolete_consequences(benchmark):
+    """E2 — paper: PARK gives {p, q, r}; the strawman wrongly adds s."""
+    database = Database.from_text("p.")
+
+    def run():
+        result = park(P2, database)
+        assert result.atoms == expect("p. q. r.")
+        strawman = naive_elimination(P2, database)
+        assert strawman.atoms == expect("p. q. r. s.")
+        return result
+
+    benchmark(run)
+
+
+def test_e3_p3_false_conflict(benchmark):
+    """E3 — paper: {p, a}; the false ambiguity of a is avoided."""
+    database = Database.from_text("p.")
+
+    def run():
+        result = park(P3, database)
+        assert result.atoms == expect("p. a.")
+        strawman = naive_elimination(P3, database)
+        assert strawman.atoms == expect("p.")
+        return result
+
+    benchmark(run)
+
+
+def test_e4_irreflexive_graph(benchmark):
+    """E4 — paper Section 4.2: custom SELECT keeps 4 arcs, blocks 17."""
+    database = Database.from_text("p(a). p(b). p(c).")
+
+    def run():
+        result = park(GRAPH, database, policy=GraphSelect())
+        assert result.atoms == expect(
+            "p(a). p(b). p(c). q(a, b). q(b, a). q(b, c). q(c, b)."
+        )
+        assert len(result.blocked) == 17
+        assert result.stats.restarts == 1
+        return result
+
+    benchmark(run)
+
+
+def test_e5_eca_no_conflict(benchmark):
+    """E5 — paper Section 4.3 example 1: {p(a), q(a), q(b), r(a), r(b)}."""
+    database = Database.from_text("p(a). s(a). s(b).")
+    updates = (insert(parse_atom("q(b)")),)
+
+    def run():
+        result = park(ECA1, database, updates=updates)
+        assert result.atoms == expect("p(a). q(a). q(b). r(a). r(b).")
+        assert result.stats.restarts == 0
+        return result
+
+    benchmark(run)
+
+
+def test_e6_eca_inertia(benchmark):
+    """E6 — paper Section 4.3 example 2 (typo-corrected: q(a,a) stays)."""
+    database = Database.from_text("p(a, a). p(a, b). p(a, c).")
+    updates = (insert(parse_atom("q(a, a)")),)
+
+    def run():
+        result = park(ECA2, database, updates=updates)
+        assert result.atoms == expect(
+            "p(a, a). p(a, b). p(a, c). q(a, a). r(a, a)."
+        )
+        assert result.blocked_rules() == ["r1"]
+        assert result.stats.restarts == 1
+        return result
+
+    benchmark(run)
+
+
+def test_e7_sec5_inertia(benchmark):
+    """E7 — paper Section 5 under inertia: {p, a, b}, blocked {r2, r5}."""
+    database = Database.from_text("p.")
+
+    def run():
+        result = park(SEC5, database)
+        assert result.atoms == expect("p. a. b.")
+        assert result.blocked_rules() == ["r2", "r5"]
+        assert result.stats.restarts == 2
+        return result
+
+    benchmark(run)
+
+
+def test_e8_sec5_priority(benchmark):
+    """E8 — same program under rule priority: {p, a, b, q}, blocked {r2, r4}."""
+    database = Database.from_text("p.")
+
+    def run():
+        result = park(SEC5, database, policy=PriorityPolicy())
+        assert result.atoms == expect("p. a. b. q.")
+        assert result.blocked_rules() == ["r2", "r4"]
+        return result
+
+    benchmark(run)
+
+
+def test_e9_counterintuitive_inertia(benchmark):
+    """E9 — paper Section 5 second inertia example: result {a}."""
+    database = Database.from_text("a.")
+
+    def run():
+        result = park(SEC5_COUNTER, database)
+        assert result.atoms == expect("a.")
+        assert result.blocked_rules() == ["r1", "r2"]
+        return result
+
+    benchmark(run)

@@ -1,0 +1,71 @@
+"""Experiment A2: conflict-resolution policy overhead (Section 5).
+
+Paper: "the principles of inertia, rule priority, interactive and random
+conflict resolution are all easy to implement and can be viewed as
+constant time operations ... the voting scheme's computational properties
+are constant-time modulo the complexity of the critics."  We time the
+same conflict-ladder workload under every policy; the reproduced shape
+is that inertia / priority / random / scripted cluster together and
+voting grows with the size of its panel.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.inertia import InertiaPolicy
+from repro.policies.interactive import ScriptedPolicy
+from repro.policies.priority import PriorityPolicy
+from repro.policies.random_choice import RandomPolicy
+from repro.policies.specificity import SpecificityPolicy
+from repro.policies.voting import VotingPolicy
+from repro.workloads import conflict_ladder
+
+WIDTH = 16
+
+
+def _policy_factories():
+    return {
+        "inertia": lambda: InertiaPolicy(),
+        "priority": lambda: PriorityPolicy(),
+        "specificity": lambda: SpecificityPolicy(),
+        "random": lambda: RandomPolicy(seed=1, insert_bias=0.0),
+        "scripted": lambda: ScriptedPolicy(
+            ["delete"] * WIDTH, strict=False, fallback=InertiaPolicy()
+        ),
+        "voting-3": lambda: VotingPolicy([InertiaPolicy()] * 3),
+        "voting-15": lambda: VotingPolicy([InertiaPolicy()] * 15),
+        "constant": lambda: ConstantPolicy(Decision.DELETE),
+    }
+
+
+@pytest.mark.parametrize("policy_name", sorted(_policy_factories()))
+def test_a2_policy_overhead(benchmark, scaling, policy_name):
+    factory = _policy_factories()[policy_name]
+    workload = conflict_ladder(WIDTH)
+
+    def run():
+        result = workload.run(policy=factory())
+        # All these policies resolve the absent-atom ladder the same way.
+        workload.check(result)
+        assert result.stats.conflicts_resolved == WIDTH
+        return result
+
+    result = benchmark(run)
+    scaling.record("A2 policy=%s" % policy_name, WIDTH, benchmark.stats.stats.mean,
+                   result.stats)
+
+
+@pytest.mark.parametrize("critics", [1, 5, 25, 125])
+def test_a2_voting_scales_with_panel(benchmark, scaling, critics):
+    workload = conflict_ladder(WIDTH)
+
+    def run():
+        policy = VotingPolicy([InertiaPolicy()] * critics)
+        result = workload.run(policy=policy)
+        workload.check(result)
+        return result
+
+    run_and_record(benchmark, scaling, "A2 voting(#critics)", critics, run)

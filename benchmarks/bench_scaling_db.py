@@ -1,0 +1,53 @@
+"""Experiment C1: polynomial tractability in the database size.
+
+Paper, Section 3/4.2: "the result database state should be computable in
+time polynomial in the size of the input database instance".  We sweep
+``|D|`` for three workload families (recursive transitive closure,
+relational reachability, HR cleanup) and fit ``t ~ c * n^k``; the
+reproduced claim is ``k`` staying small (well under cubic) with a clean
+fit — see the scaling-series summary printed at the end of the run.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.workloads import payroll_cleanup, relational_reachability, transitive_closure
+
+TC_SIZES = [10, 20, 40, 80]
+REACH_SIZES = [50, 100, 200]
+HR_SIZES = [100, 200, 400, 800]
+
+
+@pytest.mark.parametrize("size", TC_SIZES)
+def test_c1_transitive_closure(benchmark, scaling, size):
+    workload = transitive_closure(size, seed=11)
+
+    def run():
+        result = workload.run()
+        assert result.stats.restarts == 0
+        return result
+
+    run_and_record(benchmark, scaling, "C1 tc(|D| nodes)", size, run)
+
+
+@pytest.mark.parametrize("size", REACH_SIZES)
+def test_c1_reachability(benchmark, scaling, size):
+    workload = relational_reachability(size, fanout=2)
+
+    def run():
+        result = workload.run()
+        workload.check(result)
+        return result
+
+    run_and_record(benchmark, scaling, "C1 reach(|D| nodes)", size, run)
+
+
+@pytest.mark.parametrize("size", HR_SIZES)
+def test_c1_hr_cleanup(benchmark, scaling, size):
+    workload = payroll_cleanup(size, inactive_fraction=0.2, seed=3)
+
+    def run():
+        return workload.run()
+
+    run_and_record(benchmark, scaling, "C1 hr-cleanup(|D| employees)", size, run)

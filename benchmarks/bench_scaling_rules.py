@@ -1,0 +1,63 @@
+"""Experiment C2: scaling in the program size; restarts <= size(P).
+
+Paper, Section 4.2: "the above iterative procedure is only executed at
+most size(P) times ... at each step of the iteration, after conflict
+resolution, at least one rule from P is eliminated."  The cascade
+workload makes restarts grow linearly with program depth; the benchmark
+asserts the bound and the scaling summary reports runtime vs. |P|.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_record
+
+from repro.workloads import conflict_cascade, conflict_ladder, propositional_chain
+
+DEPTHS = [4, 8, 16, 32]
+WIDTHS = [4, 8, 16, 32]
+CHAIN_LENGTHS = [25, 50, 100, 200]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_c2_cascade_restarts(benchmark, scaling, depth):
+    workload = conflict_cascade(depth)
+    rule_count = len(workload.program)
+
+    def run():
+        result = workload.run()
+        workload.check(result)
+        # the paper's bound: restarts never exceed size(P)
+        assert result.stats.restarts <= rule_count
+        # and for this family they grow with depth
+        assert result.stats.restarts == (depth + 1) // 2
+        return result
+
+    run_and_record(benchmark, scaling, "C2 cascade(|P| rules)", rule_count, run)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_c2_ladder_single_restart(benchmark, scaling, width):
+    workload = conflict_ladder(width)
+
+    def run():
+        result = workload.run()
+        workload.check(result)
+        assert result.stats.restarts == 1  # ALL mode folds them into one
+        assert result.stats.conflicts_resolved == width
+        return result
+
+    run_and_record(benchmark, scaling, "C2 ladder(|P|/2 conflicts)", width, run)
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_c2_conflict_free_chain(benchmark, scaling, length):
+    """Control series: rounds grow with |P| but no restarts ever happen."""
+    workload = propositional_chain(length)
+
+    def run():
+        result = workload.run()
+        workload.check(result)
+        assert result.stats.restarts == 0
+        return result
+
+    run_and_record(benchmark, scaling, "C2 chain(|P| rules)", length, run)

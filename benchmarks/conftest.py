@@ -1,0 +1,79 @@
+"""Shared benchmark infrastructure.
+
+Scaling benchmarks register ``(series, size, seconds, stats)`` points into
+a session-wide registry; at the end of the run a terminal summary prints
+each series with its fitted power law — the "same rows/series the paper
+reports" requirement (the paper's claims here are complexity claims, so
+the series + fitted exponent *are* the reproduced artifact).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import SweepPoint, fit_power_law
+
+
+class ScalingRegistry:
+    """Collects measured sweep points across benchmark modules."""
+
+    def __init__(self):
+        self.series = {}
+
+    def record(self, series_name, size, seconds, stats=None):
+        self.series.setdefault(series_name, []).append(
+            SweepPoint(size=size, seconds=seconds, stats=stats)
+        )
+
+    def report_lines(self):
+        lines = []
+        for name in sorted(self.series):
+            points = sorted(self.series[name], key=lambda p: p.size)
+            lines.append("")
+            lines.append("series: %s" % name)
+            lines.append(
+                "%10s  %12s  %8s  %8s  %8s"
+                % ("size", "seconds", "rounds", "restarts", "blocked")
+            )
+            for point in points:
+                stats = point.stats
+                lines.append(
+                    "%10d  %12.6f  %8s  %8s  %8s"
+                    % (
+                        point.size,
+                        point.seconds,
+                        getattr(stats, "rounds", ""),
+                        getattr(stats, "restarts", ""),
+                        getattr(stats, "blocked_instances", ""),
+                    )
+                )
+            sizes = [p.size for p in points]
+            if len(set(sizes)) >= 2 and all(p.seconds > 0 for p in points):
+                fit = fit_power_law(sizes, [p.seconds for p in points])
+                lines.append("fit: %s" % fit)
+        return lines
+
+
+_registry = ScalingRegistry()
+
+
+@pytest.fixture
+def scaling():
+    """Access the session-wide scaling registry."""
+    return _registry
+
+
+def pytest_terminal_summary(terminalreporter):
+    lines = _registry.report_lines()
+    if lines:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 32 + " scaling series " + "=" * 32)
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+def run_and_record(benchmark, scaling, series, size, fn):
+    """Benchmark *fn*, record its mean runtime under (series, size)."""
+    result = benchmark(fn)
+    scaling.record(series, size, benchmark.stats.stats.mean, getattr(result, "stats", None))
+    return result

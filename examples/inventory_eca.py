@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Inventory management with full ECA rules and rule priorities.
+
+A small order-processing database where triggers react to *events*
+(Section 4.3): placing an order decrements availability, unavailable
+items go on backlog, and two deliberately conflicting reorder policies —
+a cautious one and an aggressive one — are arbitrated by rule priority
+(Section 5's second strategy).
+
+    python examples/inventory_eca.py
+"""
+
+from repro import ActiveDatabase, PriorityPolicy
+from repro.active.triggers import on
+from repro.lang.builder import Pred
+
+order = Pred("order")
+available = Pred("available")
+backlog = Pred("backlog")
+reorder = Pred("reorder")
+discontinued = Pred("discontinued")
+notify = Pred("notify")
+
+
+def build():
+    db = ActiveDatabase.from_text(
+        """
+        available(widget).
+        available(gizmo).
+        discontinued(gizmo).
+        """,
+        policy=PriorityPolicy(),
+    )
+
+    # ECA: an incoming order for an available item consumes availability.
+    db.add_rule(
+        on(+order("Id", "Item"))
+        .if_(available("Item"))
+        .then("-", available("Item"), name="consume", priority=1)
+    )
+    # ECA: losing availability puts the item on backlog.
+    db.add_rule(
+        on(-available("Item")).then("+", backlog("Item"), name="to_backlog",
+                                     priority=1)
+    )
+    # Conflicting policies about backlogged items:
+    #   aggressive: anything on backlog is reordered      (+reorder, prio 5)
+    #   cautious:   discontinued items are never reordered (-reorder, prio 10)
+    db.add_rule(
+        "@name(aggressive) @priority(5) backlog(Item) -> +reorder(Item)."
+    )
+    db.add_rule(
+        "@name(cautious) @priority(10) backlog(Item), discontinued(Item)"
+        " -> -reorder(Item)."
+    )
+    # ECA: reordering notifies purchasing.
+    db.add_rule(
+        on(+reorder("Item")).then("+", notify("Item"), name="purchasing",
+                                  priority=1)
+    )
+    return db
+
+
+def main():
+    db = build()
+
+    print("stock before:", db.rows("available"))
+
+    # One transaction, two orders.  The gizmo is discontinued, so its
+    # +reorder (aggressive) conflicts with -reorder (cautious); the
+    # cautious rule has higher priority and wins.
+    with db.transaction() as tx:
+        tx.insert("order", 1, "widget")
+        tx.insert("order", 2, "gizmo")
+
+    print()
+    print("after the order transaction:")
+    print("  available:", db.rows("available"))
+    print("  backlog  :", db.rows("backlog"))
+    print("  reorder  :", db.rows("reorder"))
+    print("  notify   :", db.rows("notify"))
+
+    assert db.rows("available") == []
+    assert db.rows("backlog") == [("gizmo",), ("widget",)]
+    assert db.rows("reorder") == [("widget",)]       # gizmo suppressed
+    assert db.rows("notify") == [("widget",)]        # event fired only once
+
+    result = db.log.last()
+    print()
+    print("commit record:", result)
+    print("blocked rules:", list(result.blocked_rules))
+    assert list(result.blocked_rules) == ["aggressive"]
+
+    # Blocking is per-commit state: the next commit starts with an empty
+    # blocked set, so the aggressive rule still reorders ordinary items.
+    db.insert("available", "doohickey")  # restock first ...
+    with db.transaction() as tx:         # ... then order in a fresh commit
+        tx.insert("order", 3, "doohickey")
+    print()
+    print("after ordering a doohickey:")
+    print("  reorder  :", db.rows("reorder"))
+    assert ("doohickey",) in db.rows("reorder")
+
+
+if __name__ == "__main__":
+    main()

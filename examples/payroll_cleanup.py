@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: payroll cleanup in an active database.
+
+Section 2 of the paper introduces the rule "if a non-active employee has
+a record in the salary relation, then this record should be deleted".
+This example runs that rule — plus ECA bookkeeping triggers — through the
+DBMS-shaped facade: tables, transactions, savepoints, commit-time rule
+processing, and an audit of the commit log.
+
+    python examples/payroll_cleanup.py
+"""
+
+from repro import ActiveDatabase
+
+
+def build_database():
+    db = ActiveDatabase.from_text(
+        """
+        emp(joe).   active(joe).   payroll(joe, 4200).
+        emp(ann).   active(ann).   payroll(ann, 5100).
+        emp(raj).   active(raj).   payroll(raj, 4700).
+        """
+    )
+    # The paper's rule, verbatim (Section 2).
+    db.add_rule(
+        "@name(cleanup) emp(X), not active(X), payroll(X, Salary)"
+        " -> -payroll(X, Salary)."
+    )
+    # ECA bookkeeping: react to the *events* the cleanup rule generates.
+    db.add_rule("@name(audit) -payroll(X, Salary) -> +audit(X, Salary).")
+    db.add_rule(
+        "@name(severance) -active(X), payroll(X, Salary) -> +severance(X)."
+    )
+    return db
+
+
+def main():
+    db = build_database()
+    print("before:", sorted(db.rows("payroll")))
+
+    # --- a transaction that deactivates one employee ---------------------------
+    with db.transaction() as tx:
+        tx.delete("active", "joe")
+
+    print()
+    print("after deactivating joe:")
+    print("  payroll  :", db.rows("payroll"))
+    print("  audit    :", db.rows("audit"))
+    print("  severance:", db.rows("severance"))
+    assert db.rows("payroll") == [("ann", 5100), ("raj", 4700)]
+    assert db.rows("audit") == [("joe", 4200)]
+    assert db.rows("severance") == [("joe",)]
+
+    # --- savepoints: stage, reconsider, commit ---------------------------------
+    with db.transaction() as tx:
+        tx.delete("active", "ann")
+        tx.savepoint("keep_ann")
+        tx.delete("active", "raj")
+        # Second thoughts about raj:
+        tx.rollback_to("keep_ann")
+    assert db.contains("active", "raj")
+    assert not db.contains("active", "ann")
+    print()
+    print("after the savepoint transaction:")
+    print("  payroll  :", db.rows("payroll"))
+
+    # --- the commit log ----------------------------------------------------------
+    print()
+    print("commit log:")
+    for record in db.log:
+        print("  %s" % record)
+        print("    rules blocked: %s" % (list(record.blocked_rules) or "none"))
+
+    # Which commits touched ann's payroll row?
+    from repro import parse_atom
+
+    culprits = db.log.for_atom(parse_atom("payroll(ann, 5100)"))
+    print()
+    print(
+        "payroll(ann, 5100) was touched by transaction(s): %s"
+        % [r.transaction_id for r in culprits]
+    )
+
+
+if __name__ == "__main__":
+    main()

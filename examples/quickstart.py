@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: the PARK semantics in five minutes.
+
+Runs the paper's first example program (Section 4.1, P1) step by step:
+parse rules, evaluate them under the principle of inertia, inspect the
+conflict that arises, and print the full computation trace in the
+paper's notation.
+
+    python examples/quickstart.py
+"""
+
+from repro import ParkEngine, TraceRecorder, park, render_trace, why
+
+
+def main():
+    # Rules are written in a datalog-like syntax.  Heads are updates:
+    # '+' inserts, '-' deletes.  'not' is negation by failure.
+    rules = """
+    @name(r1) p -> +q.
+    @name(r2) p -> -a.
+    @name(r3) q -> +a.
+    """
+
+    # A database instance is just a set of ground facts.
+    facts = "p."
+
+    # --- one-shot evaluation -------------------------------------------------
+    result = park(rules, facts)
+
+    print("input database : {p}")
+    print("result database:", result.database)
+    print("net delta      :", result.delta)
+    print("run summary    :", result.summary())
+    print()
+
+    # r2 wants to delete 'a', r3 (eventually) wants to insert it.  Under
+    # the default policy — the paper's *principle of inertia* — the
+    # conflicting actions cancel and 'a' keeps its original status
+    # (absent).  The losing rule instance, r3, is blocked:
+    print("blocked rules  :", result.blocked_rules())
+    assert result.blocked_rules() == ["r3"]
+    assert str(result.database) == "{p, q}"
+
+    # --- why is q in the result? ----------------------------------------------
+    print()
+    print("derivation of +q:")
+    print(why(result, "+q"))
+
+    # --- watching the fixpoint computation ------------------------------------
+    print()
+    print("full trace (paper notation):")
+    recorder = TraceRecorder()
+    ParkEngine(listeners=[recorder]).run(rules, facts)
+    print(render_trace(recorder))
+
+
+if __name__ == "__main__":
+    main()

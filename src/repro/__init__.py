@@ -1,0 +1,136 @@
+"""repro — a reference implementation of the PARK semantics for active rules.
+
+Reproduces *The PARK Semantics for Active Rules* (Gottlob, Moerkotte,
+Subrahmanian; EDBT 1996): an inflationary-fixpoint semantics for
+event-condition-action rules, parameterized by a pluggable conflict
+resolution policy.
+
+Quickstart::
+
+    from repro import park
+
+    result = park(
+        '''
+        @name(r1) p -> +q.
+        @name(r2) p -> -a.
+        @name(r3) q -> +a.
+        ''',
+        "p.",
+    )
+    assert str(result.database) == "{p, q}"
+
+Layers (each usable on its own):
+
+* :mod:`repro.lang` — the rule language (AST, parser, pretty-printer, DSL);
+* :mod:`repro.storage` — indexed ground-atom storage, deltas, snapshots;
+* :mod:`repro.engine` — body matching, planning, datalog fixpoints;
+* :mod:`repro.core` — the PARK semantics itself;
+* :mod:`repro.policies` — the SELECT strategies of the paper's Section 5;
+* :mod:`repro.baselines` — comparator semantics (inflationary, strawman,
+  well-founded);
+* :mod:`repro.active` — a DBMS-shaped facade with triggers and transactions;
+* :mod:`repro.workloads`, :mod:`repro.analysis` — benchmarking and tracing.
+"""
+
+from .active import ActiveDatabase
+from .analysis import Explainer, TraceRecorder, render_trace, why
+from .core import (
+    BlockingMode,
+    Conflict,
+    IInterpretation,
+    ParkEngine,
+    ParkResult,
+    RuleGrounding,
+    park,
+)
+from .errors import (
+    ArityError,
+    EngineError,
+    LanguageError,
+    NonTerminationError,
+    ParkError,
+    ParseError,
+    PolicyError,
+    SafetyError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+)
+from .lang import (
+    Atom,
+    Program,
+    Rule,
+    Update,
+    UpdateOp,
+    atom,
+    delete,
+    insert,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_rule,
+)
+from .policies import (
+    Decision,
+    InertiaPolicy,
+    InteractivePolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    ScriptedPolicy,
+    SelectPolicy,
+    SpecificityPolicy,
+    VotingPolicy,
+)
+from .storage import Database, Delta
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveDatabase",
+    "ArityError",
+    "Atom",
+    "BlockingMode",
+    "Conflict",
+    "Database",
+    "Decision",
+    "Delta",
+    "EngineError",
+    "Explainer",
+    "IInterpretation",
+    "InertiaPolicy",
+    "InteractivePolicy",
+    "LanguageError",
+    "NonTerminationError",
+    "ParkEngine",
+    "ParkError",
+    "ParkResult",
+    "ParseError",
+    "PolicyError",
+    "PriorityPolicy",
+    "Program",
+    "RandomPolicy",
+    "Rule",
+    "RuleGrounding",
+    "SafetyError",
+    "SchemaError",
+    "ScriptedPolicy",
+    "SelectPolicy",
+    "SpecificityPolicy",
+    "StorageError",
+    "TraceRecorder",
+    "TransactionError",
+    "Update",
+    "UpdateOp",
+    "VotingPolicy",
+    "atom",
+    "delete",
+    "insert",
+    "park",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_rule",
+    "render_trace",
+    "why",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""The active-database facade: tables, triggers, transactions, event log.
+
+Everything here is sugar over the core semantics: a commit is exactly
+``PARK(D, P, U)`` followed by applying the resulting delta.
+"""
+
+from .activedb import ActiveDatabase
+from .events import CommitRecord, EventLog
+from .journal import Journal, JournalRecord
+from .transaction import Transaction, TxState
+from .triggers import TriggerBuilder, immediately, on
+
+__all__ = [
+    "ActiveDatabase",
+    "CommitRecord",
+    "EventLog",
+    "Journal",
+    "JournalRecord",
+    "Transaction",
+    "TriggerBuilder",
+    "TxState",
+    "immediately",
+    "on",
+]

@@ -1,0 +1,288 @@
+"""The active database facade: tables + triggers + transactional PARK commits.
+
+This is the paper's "implementability on top of a commercial DBMS"
+requirement made concrete: a small DBMS-shaped API where every commit runs
+the PARK semantics over the registered rules and the transaction's update
+set, then atomically applies the resulting delta.
+
+    >>> from repro.active import ActiveDatabase
+    >>> db = ActiveDatabase.from_text("emp(joe). active(joe). payroll(joe, 10).")
+    >>> _ = db.add_rule("emp(X), not active(X), payroll(X, S) -> -payroll(X, S).")
+    >>> with db.transaction() as tx:
+    ...     _ = tx.delete("active", "joe")
+    >>> db.rows("payroll")
+    []
+"""
+
+from __future__ import annotations
+
+from ..core.blocking import BlockingMode
+from ..core.engine import ParkEngine
+from ..errors import LanguageError, TransactionError
+from ..lang.atoms import Atom
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.terms import Constant
+from ..policies.base import as_policy
+from ..storage.database import Database
+from .events import CommitRecord, EventLog
+from .transaction import Transaction, TxState
+
+
+class ActiveDatabase:
+    """A database instance with registered active rules and a conflict policy."""
+
+    def __init__(
+        self,
+        database=None,
+        rules=(),
+        policy=None,
+        blocking_mode=BlockingMode.ALL,
+        listeners=(),
+        journal=None,
+    ):
+        if database is None:
+            database = Database()
+        elif not isinstance(database, Database):
+            database = Database(database)
+        self._database = database
+        if journal is not None and not hasattr(journal, "append"):
+            from .journal import Journal
+
+            journal = Journal(journal)
+        self.journal = journal
+        self._rules = []
+        for rule in rules:
+            self.add_rule(rule)
+        if policy is None:
+            from ..policies.inertia import InertiaPolicy
+
+            policy = InertiaPolicy()
+        self.policy = as_policy(policy)
+        self.blocking_mode = blocking_mode
+        self.listeners = tuple(listeners)
+        self.log = EventLog()
+        self._next_tx = 1
+        self._open_tx = None
+
+    # -- constructors ---------------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, facts_text, rules_text="", **options):
+        """Build from fact syntax and (optionally) rule syntax."""
+        db = cls(Database.from_text(facts_text), **options)
+        if rules_text:
+            db.add_rules(rules_text)
+        return db
+
+    # -- schema & data access ----------------------------------------------------------
+
+    @property
+    def database(self):
+        """The live underlying :class:`Database` (mutate at your own risk)."""
+        return self._database
+
+    def define_table(self, predicate, columns):
+        """Declare a table's schema up front (otherwise inferred on first use)."""
+        from ..storage.catalog import Schema
+
+        self._database.catalog.declare(
+            Schema(predicate, len(tuple(columns)), tuple(columns))
+        )
+
+    def rows(self, predicate):
+        """All rows of *predicate* as sorted value tuples."""
+        relation = self._database.relation(predicate)
+        if relation is None:
+            return []
+        return sorted(relation.rows(), key=str)
+
+    def contains(self, predicate_or_atom, *values):
+        """Membership test: ``db.contains("emp", "joe")`` or ``db.contains(atom)``."""
+        if isinstance(predicate_or_atom, Atom):
+            return predicate_or_atom in self._database
+        atom = Atom(predicate_or_atom, tuple(Constant(v) for v in values))
+        return atom in self._database
+
+    def select(self, predicate, *pattern):
+        """Rows matching a pattern; ``None`` is a wildcard.
+
+        ``db.select("payroll", "joe", None)`` returns the rows whose first
+        column is ``"joe"``.
+        """
+        relation = self._database.relation(predicate)
+        if relation is None:
+            return []
+        bound = {
+            position: value
+            for position, value in enumerate(pattern)
+            if value is not None
+        }
+        return sorted(relation.candidates(bound), key=str)
+
+    def __len__(self):
+        return len(self._database)
+
+    def query(self, body_text):
+        """Ad-hoc conjunctive query with negation, e.g.
+        ``db.query("payroll(X, S), not active(X)")``.
+
+        Returns a list of ``{variable name: value}`` dicts, sorted.
+        Event literals never hold against committed data (there are no
+        pending updates outside a running PARK computation).
+        """
+        from ..engine.query import query_rows
+
+        return query_rows(body_text, self._database)
+
+    def ask(self, body_text):
+        """Boolean query: ``db.ask("emp(joe), not active(joe)")``."""
+        from ..engine.query import holds
+
+        return holds(body_text, self._database)
+
+    # -- rules ---------------------------------------------------------------------------
+
+    def add_rule(self, rule):
+        """Register one active rule (a Rule, trigger-built Rule, or rule text)."""
+        if isinstance(rule, str):
+            from ..lang.parser import parse_program
+
+            parsed = parse_program(rule)
+            if len(parsed) != 1:
+                raise LanguageError(
+                    "add_rule expects exactly one rule; got %d (use add_rules)"
+                    % len(parsed)
+                )
+            rule = parsed[0]
+        if not isinstance(rule, Rule):
+            raise TypeError("not a rule: %r" % (rule,))
+        # Re-validate the whole set so duplicate names and arity clashes
+        # surface at registration, not at commit.
+        Program(tuple(self._rules) + (rule,))
+        self._rules.append(rule)
+        return rule
+
+    def add_rules(self, rules):
+        """Register many rules (iterable of rules, or rule source text)."""
+        if isinstance(rules, str):
+            from ..lang.parser import parse_program
+
+            rules = tuple(parse_program(rules))
+        return [self.add_rule(r) for r in rules]
+
+    def drop_rule(self, name):
+        """Unregister the rule with the given name."""
+        for index, rule in enumerate(self._rules):
+            if rule.name == name:
+                del self._rules[index]
+                return rule
+        raise KeyError(name)
+
+    @property
+    def program(self):
+        """The registered rules as an immutable :class:`Program`."""
+        return Program(tuple(self._rules))
+
+    # -- transactions --------------------------------------------------------------------
+
+    def transaction(self):
+        """Open a transaction (usable as a context manager).
+
+        One open transaction at a time: the PARK semantics is defined for a
+        single update set ``U`` against a single instance ``D``.
+        """
+        if self._open_tx is not None and self._open_tx.state is TxState.ACTIVE:
+            raise TransactionError(
+                "transaction tx%d is still active" % self._open_tx.transaction_id
+            )
+        tx = Transaction(self, self._next_tx)
+        self._next_tx += 1
+        self._open_tx = tx
+        return tx
+
+    def insert(self, predicate_or_atom, *values):
+        """Auto-commit convenience: one-update transaction, committed now."""
+        with self.transaction() as tx:
+            tx.insert(predicate_or_atom, *values)
+        return tx.result
+
+    def delete(self, predicate_or_atom, *values):
+        """Auto-commit convenience: one-update transaction, committed now."""
+        with self.transaction() as tx:
+            tx.delete(predicate_or_atom, *values)
+        return tx.result
+
+    def refresh(self):
+        """Run the rules with an empty update set (condition-action sweep).
+
+        Useful after bulk-loading data directly into :attr:`database`.
+        """
+        with self.transaction() as tx:
+            pass
+        return tx.result
+
+    # -- durability -----------------------------------------------------------------------
+
+    def checkpoint(self, snapshot_path):
+        """Persist the current contents and truncate the journal.
+
+        After a checkpoint, :meth:`recover` needs only the snapshot plus
+        commits journaled *since* — the classical WAL checkpoint.
+        """
+        from ..storage.textio import dump_database
+
+        dump_database(self._database, snapshot_path)
+        if self.journal is not None:
+            self.journal.truncate()
+
+    @classmethod
+    def recover(cls, snapshot_path, journal_path, rules=(), **options):
+        """Rebuild a database from a checkpoint snapshot plus a journal.
+
+        Replays the journaled *deltas* (not the rules), so the recovered
+        state is exactly what was committed even if the rule set changed.
+        The recovered instance keeps journaling to the same file.
+        """
+        from ..storage.textio import load_database
+        from .journal import Journal
+
+        database = load_database(snapshot_path)
+        journal = Journal(journal_path)
+        journal.replay(database, in_place=True)
+        db = cls(database, rules=rules, journal=journal, **options)
+        replayed = journal.records()
+        if replayed:
+            db._next_tx = max(r.transaction_id for r in replayed) + 1
+        return db
+
+    # -- the commit path --------------------------------------------------------------------
+
+    def _commit(self, tx):
+        engine = ParkEngine(
+            policy=self.policy,
+            blocking_mode=self.blocking_mode,
+            listeners=self.listeners,
+        )
+        result = engine.run(self.program, self._database, updates=tx.updates())
+        result.delta.apply(self._database, in_place=True)
+        if self.journal is not None:
+            self.journal.append(tx.transaction_id, tx.updates(), result.delta)
+        self.log.append(
+            CommitRecord(
+                transaction_id=tx.transaction_id,
+                requested=tx.updates(),
+                delta=result.delta,
+                stats=result.stats,
+                policy_name=result.policy_name,
+                blocked_rules=tuple(result.blocked_rules()),
+            )
+        )
+        return result
+
+    def __repr__(self):
+        return "ActiveDatabase(%d atoms, %d rules, policy=%s)" % (
+            len(self._database),
+            len(self._rules),
+            self.policy.name,
+        )

@@ -1,0 +1,71 @@
+"""The event log: a durable record of committed transactions.
+
+Every commit through the active-database facade appends one
+:class:`CommitRecord` capturing what the transaction *requested* (the
+update set ``U``), what the rules *made of it* (the applied delta — rules
+may amplify, extend or override the request, subject to the conflict
+policy), and the run statistics.  The log is what an administrator would
+audit to answer "why did this row disappear?" — pair it with
+:mod:`repro.analysis.explain` for rule-level answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed transaction."""
+
+    transaction_id: int
+    requested: Tuple
+    delta: object
+    stats: object
+    policy_name: str
+    blocked_rules: Tuple[str, ...] = ()
+
+    def __str__(self):
+        return "tx%d: requested %d updates, applied %s via %s" % (
+            self.transaction_id,
+            len(self.requested),
+            self.delta,
+            self.policy_name,
+        )
+
+
+class EventLog:
+    """Append-only log of commit records."""
+
+    def __init__(self):
+        self._records = []
+
+    def append(self, record):
+        if not isinstance(record, CommitRecord):
+            raise TypeError("expected a CommitRecord, got %r" % (record,))
+        self._records.append(record)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def last(self):
+        """The most recent commit record, or ``None``."""
+        return self._records[-1] if self._records else None
+
+    def for_atom(self, atom):
+        """All commits whose applied delta touched *atom*."""
+        return [
+            record
+            for record in self._records
+            if atom in record.delta.inserts or atom in record.delta.deletes
+        ]
+
+    def clear(self):
+        self._records.clear()

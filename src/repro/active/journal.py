@@ -1,0 +1,149 @@
+"""The commit journal: durable, replayable history of applied deltas.
+
+A :class:`Journal` appends one line per committed transaction — the
+transaction id, the requested update set ``U``, and the applied delta —
+in the rule language's own textual form.  Recovery is the classical
+recipe: restore the base snapshot, then :func:`replay` the journal's
+deltas in order.  Because PARK is deterministic, replaying *deltas*
+(rather than re-running rules) reproduces the exact state even if the
+rule set has changed since.
+
+Format, one record per line (``|``-separated, atoms in parser syntax)::
+
+    tx=3|requested=-active(joe)|applied=+audit(joe, 4200);-active(joe)
+
+Corrupt or truncated trailing lines (a crash mid-append) are tolerated:
+:func:`Journal.records` stops at the first unparsable line and reports
+it, mirroring how write-ahead logs recover.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import StorageError
+from ..lang.parser import parse_atom
+from ..lang.pretty import render_atom
+from ..lang.updates import Update, UpdateOp
+from ..storage.delta import Delta
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed transaction as stored in the journal."""
+
+    transaction_id: int
+    requested: Tuple[Update, ...]
+    delta: Delta
+
+
+def _render_update(update):
+    return "%s%s" % (update.op.sign, render_atom(update.atom))
+
+
+def _parse_update(text):
+    text = text.strip()
+    if not text or text[0] not in "+-":
+        raise StorageError("journal update %r is malformed" % text)
+    op = UpdateOp.INSERT if text[0] == "+" else UpdateOp.DELETE
+    return Update(op, parse_atom(text[1:]))
+
+
+def _render_record(record):
+    requested = ";".join(_render_update(u) for u in record.requested)
+    applied = ";".join(_render_update(u) for u in record.delta.updates())
+    return "tx=%d|requested=%s|applied=%s" % (
+        record.transaction_id,
+        requested,
+        applied,
+    )
+
+
+def _parse_record(line):
+    fields = {}
+    for part in line.rstrip("\n").split("|"):
+        key, _, value = part.partition("=")
+        if not _:
+            raise StorageError("journal line missing '=': %r" % line)
+        fields[key] = value
+    try:
+        transaction_id = int(fields["tx"])
+        requested = tuple(
+            _parse_update(u) for u in fields["requested"].split(";") if u
+        )
+        applied = Delta(
+            _parse_update(u) for u in fields["applied"].split(";") if u
+        )
+    except (KeyError, ValueError) as error:
+        raise StorageError("malformed journal line %r (%s)" % (line, error))
+    return JournalRecord(
+        transaction_id=transaction_id, requested=requested, delta=applied
+    )
+
+
+class Journal:
+    """An append-only commit journal backed by one file."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.corrupt_tail: Optional[str] = None
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, transaction_id, requested, delta):
+        """Durably append one commit record."""
+        record = JournalRecord(
+            transaction_id=transaction_id,
+            requested=tuple(requested),
+            delta=delta,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(_render_record(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    # -- reading ---------------------------------------------------------------------
+
+    def records(self) -> List[JournalRecord]:
+        """All readable records, in append order.
+
+        A corrupt/truncated *final* line is skipped and remembered in
+        :attr:`corrupt_tail`; corruption before intact records raises
+        (that indicates real damage, not a crash mid-append).
+        """
+        self.corrupt_tail = None
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        lines = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(_parse_record(line))
+            except StorageError:
+                if index == len(lines) - 1:
+                    self.corrupt_tail = line
+                    break
+                raise
+        return records
+
+    def replay(self, database, in_place=True):
+        """Apply every journaled delta to *database*, in order."""
+        target = database if in_place else database.copy()
+        for record in self.records():
+            record.delta.apply(target, in_place=True)
+        return target
+
+    def truncate(self):
+        """Discard the journal (after a successful base-snapshot checkpoint)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def __len__(self):
+        return len(self.records())

@@ -1,0 +1,92 @@
+"""Triggers: the user-facing face of ECA rules.
+
+A trigger is an active rule dressed the way database people expect:
+
+    ON   +order(Id, Item, Qty)          (event — optional)
+    IF   stock(Item, Level), Level...   (condition literals)
+    THEN -available(Item)               (action)
+
+:class:`TriggerBuilder` (via :func:`on` / :func:`immediately`) builds
+:class:`~repro.lang.rules.Rule` objects with names and priorities, ready
+to register on an :class:`~repro.active.activedb.ActiveDatabase`.  Rules
+written in text syntax or via :mod:`repro.lang.builder` are equally
+accepted everywhere; this module is sugar, not a second rule system.
+"""
+
+from __future__ import annotations
+
+from ..errors import LanguageError
+from ..lang.atoms import Atom
+from ..lang.builder import PredAtom, _coerce_literal, _coerce_update
+from ..lang.literals import Event
+from ..lang.rules import Rule
+from ..lang.updates import Update, UpdateOp
+
+
+class TriggerBuilder:
+    """Accumulates ON / IF parts, finished by :meth:`then`."""
+
+    def __init__(self, events=()):
+        self._literals = list(events)
+
+    def _add_event(self, op, target):
+        if isinstance(target, PredAtom):
+            target = target.atom
+        if isinstance(target, Event):
+            self._literals.append(target)
+            return self
+        if isinstance(target, Update):
+            self._literals.append(Event(target))
+            return self
+        if not isinstance(target, Atom):
+            raise LanguageError("trigger event must name an atom, got %r" % (target,))
+        self._literals.append(Event(Update(op, target)))
+        return self
+
+    def on_insert(self, target):
+        """Also fire on insertion of *target* (an event literal ``+target``)."""
+        return self._add_event(UpdateOp.INSERT, target)
+
+    def on_delete(self, target):
+        """Also fire on deletion of *target* (an event literal ``-target``)."""
+        return self._add_event(UpdateOp.DELETE, target)
+
+    def if_(self, *conditions):
+        """Add condition literals (positive atoms, ``~atom`` for negation)."""
+        self._literals.extend(_coerce_literal(c) for c in conditions)
+        return self
+
+    def then(self, op_or_update, target=None, name=None, priority=None):
+        """Finish the trigger with its action; returns the compiled Rule."""
+        head = _coerce_update(op_or_update, target)
+        return Rule(
+            head=head, body=tuple(self._literals), name=name, priority=priority
+        )
+
+
+def on(*events):
+    """Start a trigger from one or more event expressions.
+
+    Events are ``+p(X)`` / ``-p(X)`` expressions built with
+    :class:`~repro.lang.builder.Pred` (or explicit
+    :class:`~repro.lang.literals.Event` objects)::
+
+        on(+order("Id", "Item")).if_(stock("Item")).then(-backlog("Item"))
+    """
+    builder = TriggerBuilder()
+    for event in events:
+        if isinstance(event, Event):
+            builder._literals.append(event)
+        elif isinstance(event, Update):
+            builder._literals.append(Event(event))
+        else:
+            raise LanguageError(
+                "on(...) expects +p(...)/-p(...) event expressions, got %r; "
+                "use if_() for plain conditions" % (event,)
+            )
+    return builder
+
+
+def immediately(*conditions):
+    """Start a condition-action trigger (no event part)."""
+    return TriggerBuilder().if_(*conditions)

@@ -1,0 +1,55 @@
+"""Analysis: tracing, paper-style rendering, explanations, scaling stats."""
+
+from .compare import RunComparison, compare_runs
+from .explain import DerivationNode, DerivationStep, Explainer, Support, why
+from .report import report, save_report
+from .render import (
+    render_database,
+    render_decision,
+    render_frozen_interpretation,
+    render_interpretation,
+    render_trace,
+    trace_interpretation_strings,
+)
+from .stats import (
+    PowerLawFit,
+    SweepPoint,
+    fit_power_law,
+    geometric_sizes,
+    summarize_sweep,
+)
+from .trace import (
+    ConflictEvent,
+    FixpointEvent,
+    RestartEvent,
+    RoundEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "ConflictEvent",
+    "DerivationNode",
+    "DerivationStep",
+    "Explainer",
+    "FixpointEvent",
+    "PowerLawFit",
+    "RestartEvent",
+    "RunComparison",
+    "compare_runs",
+    "RoundEvent",
+    "Support",
+    "SweepPoint",
+    "TraceRecorder",
+    "fit_power_law",
+    "geometric_sizes",
+    "render_database",
+    "report",
+    "save_report",
+    "render_decision",
+    "render_frozen_interpretation",
+    "render_interpretation",
+    "render_trace",
+    "summarize_sweep",
+    "trace_interpretation_strings",
+    "why",
+]

@@ -1,0 +1,167 @@
+"""Explanations: why did an update end up in the result?
+
+Built on the provenance the engine records during its final epoch: every
+marked literal knows the rule instances that derived it, and each
+instance's ground body tells which facts and earlier updates supported it.
+Chasing those edges yields a derivation tree — the "valid reasons for the
+literal" the paper's Section 4.1 discussion is about.
+
+    >>> from repro.core import park
+    >>> result = park("p -> +q. q -> +r.", "p.")
+    >>> from repro.analysis.explain import Explainer
+    >>> print(Explainer(result).explain_text("+r"))  # doctest: +SKIP
+    +r
+      by (r2, []) since q
+        +q
+          by (r1, []) since p
+            p  [base fact]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import EngineError
+from ..lang.literals import Condition, Event
+from ..lang.updates import Update, UpdateOp
+
+
+@dataclass(frozen=True)
+class Support:
+    """One body literal's justification inside a derivation step."""
+
+    literal: object          # the ground body literal
+    child: Optional["DerivationNode"]  # derivation of a supporting update
+    note: str                # "base fact", "absent", "marked deleted", ...
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One rule instance that derived the node's update."""
+
+    grounding: object
+    supports: Tuple[Support, ...]
+
+
+@dataclass(frozen=True)
+class DerivationNode:
+    """Derivations of one marked literal (possibly several rule instances)."""
+
+    update: Update
+    steps: Tuple[DerivationStep, ...]
+    cyclic: bool = False
+
+
+class Explainer:
+    """Builds derivation trees from a :class:`ParkResult`'s provenance."""
+
+    def __init__(self, result):
+        if result.provenance is None:
+            raise EngineError(
+                "result carries no provenance; run through ParkEngine/park()"
+            )
+        self._result = result
+        self._provenance = result.provenance
+        self._interpretation = result.interpretation
+
+    # -- tree construction ------------------------------------------------------------
+
+    def explain(self, update, max_depth=32):
+        """The derivation tree of a marked literal (``Update`` or ``"+q(a)"``).
+
+        Raises :class:`EngineError` if the literal is not in the final
+        interpretation (nothing to explain).
+        """
+        update = self._coerce(update)
+        if not self._interpretation.has_update(update):
+            raise EngineError(
+                "%s is not in the final i-interpretation; nothing to explain"
+                % update
+            )
+        return self._node(update, frozenset(), max_depth)
+
+    def _coerce(self, update):
+        if isinstance(update, Update):
+            return update
+        if isinstance(update, str):
+            text = update.strip()
+            if not text or text[0] not in "+-":
+                raise EngineError(
+                    "explain targets are marked literals like '+q(a)'; got %r"
+                    % update
+                )
+            from ..lang.parser import parse_atom
+
+            op = UpdateOp.INSERT if text[0] == "+" else UpdateOp.DELETE
+            return Update(op, parse_atom(text[1:]))
+        raise TypeError("cannot explain %r" % (update,))
+
+    def _node(self, update, seen, depth):
+        if update in seen or depth <= 0:
+            return DerivationNode(update=update, steps=(), cyclic=True)
+        seen = seen | {update}
+        steps = []
+        from ..core.groundings import sort_groundings
+
+        for grounding in sort_groundings(self._provenance.derivers(update)):
+            supports = []
+            for literal in grounding.ground_body():
+                supports.append(self._support(literal, seen, depth - 1))
+            steps.append(DerivationStep(grounding=grounding, supports=tuple(supports)))
+        return DerivationNode(update=update, steps=tuple(steps))
+
+    def _support(self, literal, seen, depth):
+        interpretation = self._interpretation
+        if isinstance(literal, Event):
+            child = self._node(literal.update, seen, depth)
+            return Support(literal=literal, child=child, note="event")
+        if isinstance(literal, Condition) and literal.positive:
+            atom = literal.atom
+            if interpretation.has_unmarked(atom):
+                return Support(literal=literal, child=None, note="base fact")
+            plus = Update(UpdateOp.INSERT, atom)
+            if interpretation.has_plus(atom):
+                return Support(
+                    literal=literal, child=self._node(plus, seen, depth), note="derived"
+                )
+            return Support(literal=literal, child=None, note="unsupported")
+        # negated condition
+        atom = literal.atom
+        if interpretation.has_minus(atom):
+            minus = Update(UpdateOp.DELETE, atom)
+            return Support(
+                literal=literal,
+                child=self._node(minus, seen, depth),
+                note="marked deleted",
+            )
+        return Support(literal=literal, child=None, note="absent")
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def explain_text(self, update, max_depth=32):
+        """The derivation tree rendered as an indented text outline."""
+        node = self.explain(update, max_depth=max_depth)
+        lines = []
+        self._render_node(node, 0, lines)
+        return "\n".join(lines)
+
+    def _render_node(self, node, indent, lines):
+        pad = "  " * indent
+        suffix = "  [cycle]" if node.cyclic else ""
+        lines.append("%s%s%s" % (pad, node.update, suffix))
+        for step in node.steps:
+            lines.append("%s  by %s" % (pad, step.grounding))
+            for support in step.supports:
+                if support.child is None:
+                    lines.append(
+                        "%s    %s  [%s]" % (pad, support.literal, support.note)
+                    )
+                else:
+                    lines.append("%s    %s  [%s]" % (pad, support.literal, support.note))
+                    self._render_node(support.child, indent + 3, lines)
+
+
+def why(result, update):
+    """Shorthand: ``why(result, "+q(a)")`` -> indented explanation text."""
+    return Explainer(result).explain_text(update)

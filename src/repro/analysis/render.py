@@ -1,0 +1,98 @@
+"""Render interpretations and traces in the paper's notation.
+
+The paper writes i-interpretations as ``{p, +q, -a}`` — unmarked atoms
+bare, insertions prefixed ``+``, deletions prefixed ``-`` (the paper's
+``?a`` is its typesetting of ``-a``).  These helpers produce exactly that
+notation from frozen interpretation triples and recorded traces, so the
+golden tests in ``tests/integration`` can assert against strings lifted
+verbatim from the paper.
+"""
+
+from __future__ import annotations
+
+from ..lang.pretty import render_atom
+
+
+def render_frozen_interpretation(frozen):
+    """``(I∅, I+, I-)`` triple -> ``{p, +q, -a}`` with deterministic order.
+
+    Atoms are sorted by their unsigned text, so ``+q`` sorts where ``q``
+    would — matching how the paper lists interpretations.
+    """
+    unmarked, plus, minus = frozen
+    entries = [(render_atom(a), "") for a in unmarked]
+    entries += [(render_atom(a), "+") for a in plus]
+    entries += [(render_atom(a), "-") for a in minus]
+    entries.sort(key=lambda pair: (pair[0], pair[1]))
+    return "{%s}" % ", ".join("%s%s" % (sign, text) for text, sign in entries)
+
+
+def render_interpretation(interpretation):
+    """Render a live :class:`IInterpretation` in paper notation."""
+    return render_frozen_interpretation(interpretation.freeze())
+
+
+def render_database(database):
+    """Render a database instance as ``{p, q(a)}``."""
+    atoms = sorted(render_atom(a) for a in database.atoms())
+    return "{%s}" % ", ".join(atoms)
+
+
+def render_decision(conflict, decision):
+    """One line describing a policy decision on a conflict."""
+    ins_rules = sorted({g.rule.describe() for g in conflict.ins})
+    del_rules = sorted({g.rule.describe() for g in conflict.dels})
+    return "conflict on %s: ins={%s} del={%s} -> %s" % (
+        render_atom(conflict.atom),
+        ", ".join(ins_rules),
+        ", ".join(del_rules),
+        decision,
+    )
+
+
+def render_trace(trace, include_decisions=True):
+    """A multi-line, paper-style account of a recorded run.
+
+    Numbered lines are the interpretations after each applied round, as in
+    the paper's ``(1) {p, +a, +q}``; conflict steps show the inconsistent
+    set ``Γ`` would have produced, the decisions taken, and the restart.
+    """
+    lines = []
+    step = 0
+    for event in trace.events:
+        if event.kind == "round":
+            step += 1
+            lines.append(
+                "(%d) %s" % (step, render_frozen_interpretation(event.interpretation))
+            )
+        elif event.kind == "conflict":
+            step += 1
+            lines.append(
+                "(%d) %s   <- inconsistent"
+                % (step, render_frozen_interpretation(event.inconsistent_interpretation))
+            )
+            if include_decisions:
+                for conflict, decision in event.decisions:
+                    lines.append("    %s" % render_decision(conflict, decision))
+                blocked = sorted(str(g) for g in event.blocked_added)
+                lines.append("    blocked += {%s}" % ", ".join(blocked))
+        elif event.kind == "restart":
+            lines.append("    restart from I0 (epoch %d)" % event.epoch)
+        elif event.kind == "fixpoint":
+            lines.append(
+                "fixpoint: %s" % render_frozen_interpretation(event.interpretation)
+            )
+    return "\n".join(lines)
+
+
+def trace_interpretation_strings(trace):
+    """Just the numbered interpretation strings, for golden comparisons."""
+    result = []
+    for event in trace.events:
+        if event.kind == "round":
+            result.append(render_frozen_interpretation(event.interpretation))
+        elif event.kind == "conflict":
+            result.append(
+                render_frozen_interpretation(event.inconsistent_interpretation)
+            )
+    return result

@@ -1,0 +1,109 @@
+"""Run reports: a readable markdown account of one PARK computation.
+
+``report(result, trace)`` assembles everything a reviewer would ask for
+— inputs, final state, delta, conflict decisions, blocked set, counters,
+and (optionally) the full paper-notation trace — into one markdown
+document.  The CLI and the examples use it; tests assert its structure
+so the format is stable enough to diff.
+"""
+
+from __future__ import annotations
+
+from ..core.groundings import sort_groundings
+from ..lang.pretty import render_program
+from .render import (
+    render_database,
+    render_decision,
+    render_frozen_interpretation,
+    render_trace,
+)
+
+
+def _section(title):
+    return "## %s" % title
+
+
+def report(result, trace=None, title="PARK run report", include_trace=True):
+    """Build a markdown report for *result* (a :class:`ParkResult`).
+
+    *trace* may be the :class:`TraceRecorder` attached to the run; when
+    omitted, ``result.trace`` is used if present.
+    """
+    trace = trace if trace is not None else result.trace
+    lines = ["# %s" % title, ""]
+
+    lines.append(_section("Outcome"))
+    lines.append("")
+    lines.append("* policy: `%s`" % result.policy_name)
+    lines.append("* result database: `%s`" % render_database(result.database))
+    lines.append("* delta vs. input: `%s`" % result.delta)
+    lines.append(
+        "* final interpretation: `%s`"
+        % render_frozen_interpretation(result.interpretation.freeze())
+    )
+    lines.append("")
+
+    lines.append(_section("Counters"))
+    lines.append("")
+    stats = result.stats
+    lines.append("| rounds | restarts | conflicts | blocked instances | firings |")
+    lines.append("|---|---|---|---|---|")
+    lines.append(
+        "| %d | %d | %d | %d | %d |"
+        % (
+            stats.rounds,
+            stats.restarts,
+            stats.conflicts_resolved,
+            stats.blocked_instances,
+            stats.firings_total,
+        )
+    )
+    lines.append("")
+
+    if result.blocked:
+        lines.append(_section("Blocked rule instances"))
+        lines.append("")
+        for grounding in sort_groundings(result.blocked):
+            lines.append("* `%s`" % grounding)
+        lines.append("")
+
+    if trace is not None and trace.conflicts():
+        lines.append(_section("Conflict decisions"))
+        lines.append("")
+        for event in trace.conflicts():
+            lines.append(
+                "round %d (epoch %d):" % (event.round_number, event.epoch)
+            )
+            for conflict, decision in event.decisions:
+                lines.append("* %s" % render_decision(conflict, decision))
+            lines.append("")
+
+    if trace is not None and include_trace:
+        lines.append(_section("Trace"))
+        lines.append("")
+        lines.append("```")
+        lines.append(render_trace(trace))
+        lines.append("```")
+        lines.append("")
+
+    if trace is not None and trace.program is not None:
+        lines.append(_section("Inputs"))
+        lines.append("")
+        lines.append("```")
+        lines.append(render_program(trace.program))
+        lines.append("```")
+        lines.append("")
+        lines.append(
+            "initial database: `%s`" % render_database(trace.database)
+        )
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def save_report(result, path, **options):
+    """Write :func:`report` output to *path*."""
+    text = report(result, **options)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

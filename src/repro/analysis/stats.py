@@ -1,0 +1,108 @@
+"""Run-statistics aggregation and scaling analysis for benchmarks.
+
+The paper claims polynomial tractability (Section 3's requirement,
+discharged in Section 4.2: "computable in polynomial time in the size of
+D", with at most ``size(P)`` conflict-resolution restarts).  The scaling
+benchmarks verify the *shape* of those claims by sweeping input sizes,
+timing runs, and fitting a power law ``t ≈ c · n^k``; :func:`fit_power_law`
+does the fit by least squares in log-log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``t ≈ coefficient * n ** exponent`` with an r² goodness measure."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n):
+        return self.coefficient * (n ** self.exponent)
+
+    def __str__(self):
+        return "t ~ %.3g * n^%.2f (r^2=%.3f)" % (
+            self.coefficient,
+            self.exponent,
+            self.r_squared,
+        )
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log t = k log n + log c``.
+
+    Pure-python (no numpy dependency at the library level) and exact for
+    the two-parameter model.  Requires at least two distinct sizes and
+    strictly positive inputs.
+    """
+    if len(sizes) != len(times):
+        raise ValueError("sizes and times must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(s <= 0 for s in sizes) or any(t <= 0 for t in times):
+        raise ValueError("sizes and times must be strictly positive")
+
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(t) for t in times]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("need at least two distinct sizes")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=slope, coefficient=math.exp(intercept), r_squared=r_squared
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measurement in a parameter sweep."""
+
+    size: int
+    seconds: float
+    stats: object = None
+
+
+def summarize_sweep(points: Sequence[SweepPoint]):
+    """Fit and pretty-print a sweep; returns ``(fit, table_text)``.
+
+    The table mirrors how the benchmarks print series: one row per size
+    with time and (when available) engine counters.
+    """
+    fit = fit_power_law([p.size for p in points], [p.seconds for p in points])
+    lines = ["%10s  %12s  %8s  %8s" % ("size", "seconds", "rounds", "restarts")]
+    for point in points:
+        rounds = getattr(point.stats, "rounds", "")
+        restarts = getattr(point.stats, "restarts", "")
+        lines.append(
+            "%10d  %12.6f  %8s  %8s" % (point.size, point.seconds, rounds, restarts)
+        )
+    lines.append(str(fit))
+    return fit, "\n".join(lines)
+
+
+def geometric_sizes(start, stop, steps):
+    """Geometrically spaced integer sizes, deduplicated, inclusive of ends."""
+    if steps < 2 or start <= 0 or stop < start:
+        raise ValueError("need steps >= 2 and 0 < start <= stop")
+    ratio = (stop / start) ** (1.0 / (steps - 1))
+    sizes = []
+    for index in range(steps):
+        size = int(round(start * ratio ** index))
+        if not sizes or size > sizes[-1]:
+            sizes.append(size)
+    return sizes

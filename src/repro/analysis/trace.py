@@ -1,0 +1,164 @@
+"""Trace recording: capture a PARK run step by step.
+
+The paper's evaluation *is* its traces — sequences of intermediate
+interpretations like ``(1) {p, +a, +q}`` with conflict-resolution
+interludes.  :class:`TraceRecorder` is an engine listener that captures
+exactly that structure; :mod:`repro.analysis.render` prints it in the
+paper's notation, and the golden tests compare recorded traces against
+the sequences printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.engine import EngineListener
+
+
+@dataclass(frozen=True)
+class RoundEvent:
+    """One ``Γ`` application that was consistent and applied.
+
+    ``interpretation`` is the frozen ``(I∅, I+, I-)`` triple *after* the
+    round's updates were merged.
+    """
+
+    kind: str  # "round"
+    round_number: int
+    epoch: int
+    new_updates: Tuple
+    interpretation: tuple
+
+
+@dataclass(frozen=True)
+class ConflictEvent:
+    """A conflict-resolution step (``Θ``'s second branch)."""
+
+    kind: str  # "conflict"
+    round_number: int
+    epoch: int
+    conflicts: Tuple
+    decisions: Tuple
+    blocked_added: frozenset
+    inconsistent_interpretation: tuple
+
+
+@dataclass(frozen=True)
+class RestartEvent:
+    """A new epoch starting from ``I∅`` with the enlarged blocked set."""
+
+    kind: str  # "restart"
+    epoch: int
+    blocked: frozenset
+
+
+@dataclass(frozen=True)
+class FixpointEvent:
+    """The final fixpoint."""
+
+    kind: str  # "fixpoint"
+    round_number: int
+    epoch: int
+    interpretation: tuple
+    blocked: frozenset
+
+
+class TraceRecorder(EngineListener):
+    """Records every engine event; attach via ``ParkEngine(listeners=[...])``.
+
+    A recorder may be reused across runs; :attr:`events` always refers to
+    the most recent run (reset on ``on_start``).
+    """
+
+    def __init__(self):
+        self.events = []
+        self.program = None
+        self.database = None
+        self.policy_name = None
+        self.result = None
+        self._pending_gamma = None
+
+    # -- listener protocol ---------------------------------------------------------
+
+    def on_start(self, program, database, policy_name):
+        self.events = []
+        self.program = program
+        self.database = database.copy()
+        self.policy_name = policy_name
+        self.result = None
+
+    def on_round(self, round_number, epoch, gamma_result):
+        self._pending_gamma = (round_number, epoch, gamma_result)
+
+    def on_apply(self, round_number, epoch, interpretation):
+        _, _, gamma_result = self._pending_gamma
+        self.events.append(
+            RoundEvent(
+                kind="round",
+                round_number=round_number,
+                epoch=epoch,
+                new_updates=tuple(gamma_result.new_updates),
+                interpretation=interpretation.freeze(),
+            )
+        )
+
+    def on_conflicts(self, round_number, epoch, conflicts, decisions, blocked_added):
+        _, _, gamma_result = self._pending_gamma
+        # What Γ *would* have produced: the paper prints this inconsistent
+        # set before resolving (e.g. step (2) in the Section 5 walkthrough).
+        would_be = gamma_result.interpretation.copy()
+        would_be.add_updates(gamma_result.new_updates)
+        self.events.append(
+            ConflictEvent(
+                kind="conflict",
+                round_number=round_number,
+                epoch=epoch,
+                conflicts=tuple(conflicts),
+                decisions=tuple(decisions),
+                blocked_added=frozenset(blocked_added),
+                inconsistent_interpretation=would_be.freeze(),
+            )
+        )
+
+    def on_restart(self, epoch, blocked):
+        self.events.append(RestartEvent(kind="restart", epoch=epoch, blocked=blocked))
+
+    def on_fixpoint(self, round_number, epoch, interpretation, blocked):
+        self.events.append(
+            FixpointEvent(
+                kind="fixpoint",
+                round_number=round_number,
+                epoch=epoch,
+                interpretation=interpretation.freeze(),
+                blocked=blocked,
+            )
+        )
+
+    def on_finish(self, result):
+        self.result = result
+        result.trace = self
+
+    # -- queries ----------------------------------------------------------------------
+
+    def rounds(self):
+        """The consistent, applied rounds in order."""
+        return [e for e in self.events if e.kind == "round"]
+
+    def conflicts(self):
+        """The conflict-resolution events in order."""
+        return [e for e in self.events if e.kind == "conflict"]
+
+    def interpretations(self):
+        """Frozen interpretations after each applied round, in order."""
+        return [e.interpretation for e in self.rounds()]
+
+    def epochs(self):
+        """Number of restart epochs observed (>= 1 once run)."""
+        return 1 + sum(1 for e in self.events if e.kind == "restart")
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

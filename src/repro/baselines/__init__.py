@@ -1,0 +1,25 @@
+"""Comparator semantics from the paper's related-work discussion.
+
+* Kolaitis–Papadimitriou inflationary fixpoint [6] — what PARK reduces to
+  when no conflict ever arises;
+* the Section 4.1 "fixpoint, then eliminate conflicts" strawman — kept to
+  reproduce the paper's counterexamples;
+* the well-founded semantics [4] — the canonical three-valued deductive
+  semantics, for the insert-only fragment;
+* (the positive-datalog least fixpoint lives in :mod:`repro.engine.datalog`.)
+"""
+
+from .inflationary import inflationary_fixpoint, stubborn_fixpoint
+from .naive_elimination import NaiveResult, naive_elimination
+from .stratified import stratified_fixpoint
+from .wellfounded import WellFoundedModel, well_founded
+
+__all__ = [
+    "NaiveResult",
+    "WellFoundedModel",
+    "inflationary_fixpoint",
+    "naive_elimination",
+    "stratified_fixpoint",
+    "stubborn_fixpoint",
+    "well_founded",
+]

@@ -1,0 +1,94 @@
+"""The inflationary fixpoint semantics of Kolaitis & Papadimitriou [6].
+
+This is the deductive semantics PARK builds on: iterate the immediate
+consequence operator, always *adding* its output to the current
+interpretation, with negation-as-failure evaluated against the current
+(growing) interpretation.  It terminates in polynomially many rounds and
+yields a unique result — but it has no notion of conflict, which is why it
+cannot serve as an active-rule semantics by itself.
+
+Two entry points:
+
+* :func:`inflationary_fixpoint` — classical datalog¬ (insert-only rules),
+  returning a database.  On positive programs it coincides with the least
+  fixpoint; with negation it computes the (order-independent, inflationary)
+  Kolaitis–Papadimitriou semantics.
+* :func:`stubborn_fixpoint` — the paper's "stubbornly apply the immediate
+  consequence operator" computation of Section 4.1: full active rules,
+  marked literals accumulated with *no* conflict handling, so the final
+  i-interpretation may be inconsistent.  It is the first half of the flawed
+  fixpoint-then-eliminate semantics and the conflict-free core of PARK.
+"""
+
+from __future__ import annotations
+
+from ..core.consequence import gamma
+from ..core.eca import extend_with_updates
+from ..core.interpretation import IInterpretation
+from ..errors import EngineError, NonTerminationError
+from ..lang.program import Program
+from ..storage.database import Database
+
+
+def _coerce(program, database):
+    if isinstance(program, str):
+        from ..lang.parser import parse_program
+
+        program = parse_program(program)
+    elif not isinstance(program, Program):
+        program = Program(tuple(program))
+    if isinstance(database, str):
+        database = Database.from_text(database)
+    elif not isinstance(database, Database):
+        database = Database(database)
+    return program, database
+
+
+def stubborn_fixpoint(program, database, updates=None, max_rounds=None):
+    """Iterate ``Γ_{P,∅}`` to its fixpoint with no conflict resolution.
+
+    Returns the final :class:`~repro.core.interpretation.IInterpretation`,
+    which may be inconsistent (that possibility is the whole point of the
+    Section 4.1 discussion).
+    """
+    program, database = _coerce(program, database)
+    if updates:
+        program = extend_with_updates(program, updates)
+    interpretation = IInterpretation.from_database(database)
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise NonTerminationError(
+                "stubborn fixpoint exceeded %d rounds" % max_rounds
+            )
+        result = gamma(program, frozenset(), interpretation)
+        if result.reached_fixpoint:
+            return interpretation
+        interpretation = result.apply()
+
+
+def inflationary_fixpoint(program, database, max_rounds=None):
+    """Kolaitis–Papadimitriou inflationary semantics for datalog¬ programs.
+
+    Requires insert-only heads (a deductive program); the growing
+    interpretation is the database itself, and ``not a`` holds iff ``a`` is
+    not (yet) derived.  Returns a new :class:`Database`.
+    """
+    program, database = _coerce(program, database)
+    for rule in program:
+        if not rule.head.is_insert:
+            raise EngineError(
+                "inflationary semantics requires insert-only heads; rule %s "
+                "deletes" % rule.describe()
+            )
+        if rule.event_literals():
+            raise EngineError(
+                "inflationary semantics has no events; rule %s uses one"
+                % rule.describe()
+            )
+    interpretation = stubborn_fixpoint(program, database, max_rounds=max_rounds)
+    result = database.copy()
+    for atom in interpretation.plus.atoms():
+        result.add(atom)
+    return result

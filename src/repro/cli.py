@@ -1,0 +1,223 @@
+"""Command-line interface: run PARK computations from files or stdin.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro run --rules rules.park --db facts.park
+    python -m repro run --rules rules.park --db facts.park \
+        --update '+q(b)' --update '-active(joe)' \
+        --policy priority --trace
+    python -m repro check --rules rules.park          # parse + classify only
+    python -m repro query --db facts.park --query 'p(X), not q(X)' 
+    python -m repro explain --rules r.park --db d.park --target '+q'
+
+Policies: ``inertia`` (default), ``priority``, ``specificity``,
+``random[:seed]``, ``insert``, ``delete``.  Exit status is 0 on success,
+1 on usage/parse errors, 2 on engine errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.explain import Explainer
+from .analysis.render import render_database, render_trace
+from .analysis.trace import TraceRecorder
+from .core.blocking import BlockingMode
+from .core.engine import ParkEngine
+from .errors import ParkError
+from .lang.parser import parse_atom, parse_database, parse_program
+from .lang.updates import Update, UpdateOp
+from .storage.database import Database
+
+
+def _read(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_update(text):
+    text = text.strip()
+    if not text or text[0] not in "+-":
+        raise ParkError(
+            "update %r must start with '+' or '-' (e.g. '+q(b)')" % text
+        )
+    op = UpdateOp.INSERT if text[0] == "+" else UpdateOp.DELETE
+    return Update(op, parse_atom(text[1:]))
+
+
+def _make_policy(spec):
+    from .policies.composite import ConstantPolicy
+    from .policies.inertia import InertiaPolicy
+    from .policies.priority import PriorityPolicy
+    from .policies.random_choice import RandomPolicy
+    from .policies.specificity import SpecificityPolicy
+
+    name, _, argument = spec.partition(":")
+    name = name.strip().lower()
+    if name == "inertia":
+        return InertiaPolicy()
+    if name == "priority":
+        return PriorityPolicy()
+    if name == "specificity":
+        return SpecificityPolicy()
+    if name == "random":
+        return RandomPolicy(seed=int(argument) if argument else 0)
+    if name in ("insert", "delete"):
+        return ConstantPolicy(name)
+    raise ParkError(
+        "unknown policy %r (try inertia, priority, specificity, "
+        "random[:seed], insert, delete)" % spec
+    )
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARK semantics for active rules (Gottlob, Moerkotte, "
+        "Subrahmanian; EDBT 1996)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="evaluate PARK(D, P, U)")
+    run.add_argument("--rules", required=True, help="rule file ('-' = stdin)")
+    run.add_argument("--db", default=None, help="fact file ('-' = stdin)")
+    run.add_argument(
+        "--update", action="append", default=[], metavar="±atom",
+        help="transaction update, e.g. '+q(b)' (repeatable)",
+    )
+    run.add_argument("--policy", default="inertia")
+    run.add_argument(
+        "--blocking", choices=["all", "minimal"], default="all",
+        help="conflict blocking granularity",
+    )
+    run.add_argument("--trace", action="store_true", help="print the trace")
+    run.add_argument("--stats", action="store_true", help="print run counters")
+
+    check = commands.add_parser("check", help="parse and classify a program")
+    check.add_argument("--rules", required=True)
+
+    query = commands.add_parser("query", help="ad-hoc conjunctive query")
+    query.add_argument("--db", required=True, help="fact file ('-' = stdin)")
+    query.add_argument(
+        "--query", required=True,
+        help="body literals, e.g. 'payroll(X, S), not active(X)'",
+    )
+
+    explain = commands.add_parser("explain", help="derivation of one update")
+    explain.add_argument("--rules", required=True)
+    explain.add_argument("--db", default=None)
+    explain.add_argument("--update", action="append", default=[])
+    explain.add_argument("--policy", default="inertia")
+    explain.add_argument(
+        "--target", required=True, help="marked literal to explain, e.g. '+q'"
+    )
+    return parser
+
+
+def _load_inputs(args):
+    program = parse_program(_read(args.rules))
+    database = (
+        Database(parse_database(_read(args.db))) if args.db else Database()
+    )
+    updates = [_parse_update(u) for u in getattr(args, "update", [])]
+    return program, database, updates
+
+
+def _command_run(args, out):
+    program, database, updates = _load_inputs(args)
+    recorder = TraceRecorder() if args.trace else None
+    engine = ParkEngine(
+        policy=_make_policy(args.policy),
+        blocking_mode=BlockingMode.MINIMAL
+        if args.blocking == "minimal"
+        else BlockingMode.ALL,
+        listeners=(recorder,) if recorder is not None else (),
+    )
+    result = engine.run(program, database, updates=updates)
+    if recorder is not None:
+        out.write(render_trace(recorder) + "\n\n")
+    out.write("result: %s\n" % render_database(result.database))
+    out.write("delta : %s\n" % result.delta)
+    if result.blocked:
+        out.write("blocked rules: %s\n" % ", ".join(result.blocked_rules()))
+    if args.stats:
+        out.write("%s\n" % result.summary())
+    return 0
+
+
+def _command_check(args, out):
+    from .engine.dependency import DependencyGraph, classify_program
+
+    program = parse_program(_read(args.rules))
+    classification = classify_program(program)
+    graph = DependencyGraph(program)
+    out.write("rules      : %d\n" % len(program))
+    out.write("predicates : %s\n" % ", ".join(sorted(p for p, _ in program.predicates())))
+    out.write("positive   : %s\n" % classification.positive)
+    out.write("stratifiable: %s\n" % classification.stratifiable)
+    out.write("recursive  : %s\n" % classification.recursive)
+    out.write("uses events: %s\n" % classification.uses_events)
+    out.write("uses delete: %s\n" % classification.uses_deletion)
+    if classification.stratifiable and classification.deductive:
+        strata = graph.stratification()
+        for level, predicates in enumerate(strata):
+            out.write("stratum %d  : %s\n" % (level, ", ".join(sorted(predicates))))
+    return 0
+
+
+def _command_query(args, out):
+    from .engine.query import query_rows
+
+    database = Database(parse_database(_read(args.db)))
+    rows = query_rows(args.query, database)
+    if not rows:
+        out.write("no answers\n")
+        return 0
+    variables = sorted(rows[0])
+    if variables:
+        out.write("\t".join(variables) + "\n")
+        for row in rows:
+            out.write("\t".join(str(row[v]) for v in variables) + "\n")
+    else:
+        out.write("yes\n")
+    out.write("(%d answer%s)\n" % (len(rows), "" if len(rows) == 1 else "s"))
+    return 0
+
+
+def _command_explain(args, out):
+    program, database, updates = _load_inputs(args)
+    engine = ParkEngine(policy=_make_policy(args.policy))
+    result = engine.run(program, database, updates=updates)
+    out.write(Explainer(result).explain_text(args.target) + "\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_error:
+        return int(exit_error.code or 0)
+    handlers = {
+        "run": _command_run,
+        "check": _command_check,
+        "query": _command_query,
+        "explain": _command_explain,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ParkError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 2
+    except OSError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The PARK semantics: the paper's primary contribution.
+
+Exports the fixpoint machinery (interpretations, ``Γ``, conflicts,
+blocking, bi-structures, ``Θ``), the production engine, and the ECA
+transaction extension.
+"""
+
+from .bistructure import BiStructure, initial_bistructure
+from .blocking import BlockingMode, blocked_set, resolve_conflicts
+from .conflicts import Conflict, build_conflicts, find_conflicts
+from .consequence import GammaResult, compute_firings, gamma, gamma_fixpoint
+from .eca import extend_with_updates, is_transaction_rule, transaction_rules
+from .engine import EngineListener, ParkEngine, park
+from .evaluation import NaiveEvaluation, SemiNaiveEvaluation, make_evaluation
+from .groundings import RuleGrounding, grounding, sort_groundings
+from .incorporate import incorp, incorp_atoms
+from .interpretation import IInterpretation
+from .provenance import Provenance
+from .result import ParkResult, RunStats
+from .transition import ThetaStep, theta, theta_omega
+from .validity import InterpretationView, rule_instance_valid, valid
+
+__all__ = [
+    "BiStructure",
+    "BlockingMode",
+    "Conflict",
+    "EngineListener",
+    "GammaResult",
+    "IInterpretation",
+    "NaiveEvaluation",
+    "SemiNaiveEvaluation",
+    "InterpretationView",
+    "ParkEngine",
+    "ParkResult",
+    "Provenance",
+    "RuleGrounding",
+    "RunStats",
+    "ThetaStep",
+    "blocked_set",
+    "build_conflicts",
+    "compute_firings",
+    "extend_with_updates",
+    "find_conflicts",
+    "gamma",
+    "gamma_fixpoint",
+    "grounding",
+    "incorp",
+    "incorp_atoms",
+    "make_evaluation",
+    "initial_bistructure",
+    "is_transaction_rule",
+    "park",
+    "resolve_conflicts",
+    "rule_instance_valid",
+    "sort_groundings",
+    "theta",
+    "theta_omega",
+    "transaction_rules",
+    "valid",
+]

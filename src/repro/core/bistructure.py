@@ -1,0 +1,99 @@
+"""Bi-structures ``<B, I>`` and their ordering (paper, Section 4.2).
+
+A bi-structure pairs a set ``B`` of blocked rule instances with an
+i-interpretation ``I``.  The strict order is lexicographic::
+
+    <B, I> < <B', I'>   iff   B ⊂ B',  or  B = B' and I ⊂ I'
+
+Theorem 4.1's "``Θ`` is growing" is stated against this order: a
+consistent round grows ``I`` with ``B`` fixed; a conflict-resolution step
+strictly grows ``B`` (and may shrink ``I`` back to ``I∅`` — allowed,
+because the first disjunct does not look at ``I``).
+"""
+
+from __future__ import annotations
+
+from .interpretation import IInterpretation
+
+
+class BiStructure:
+    """An immutable snapshot ``<B, I>``.
+
+    The interpretation is captured by value (frozen triple), so
+    bi-structures are hashable and safe to keep in fixpoint-detection sets
+    even while the engine mutates its working interpretation.
+    """
+
+    __slots__ = ("_blocked", "_frozen", "_interpretation")
+
+    def __init__(self, blocked, interpretation):
+        self._blocked = frozenset(blocked)
+        if isinstance(interpretation, IInterpretation):
+            self._frozen = interpretation.freeze()
+            self._interpretation = interpretation.copy()
+        else:
+            raise TypeError(
+                "expected an IInterpretation, got %r" % (interpretation,)
+            )
+
+    @property
+    def blocked(self):
+        """The blocked set ``B``."""
+        return self._blocked
+
+    @property
+    def interpretation(self):
+        """A copy of the interpretation ``I`` (the paper's ``int(A)``)."""
+        return self._interpretation.copy()
+
+    @property
+    def frozen_interpretation(self):
+        """The canonical ``(I∅, I+, I-)`` frozenset triple."""
+        return self._frozen
+
+    # -- the paper's ordering ------------------------------------------------------
+
+    def _interp_subset(self, other):
+        return all(m <= t for m, t in zip(self._frozen, other._frozen))
+
+    def precedes(self, other):
+        """Strict ``<`` of Section 4.2."""
+        if not isinstance(other, BiStructure):
+            raise TypeError("cannot compare BiStructure with %r" % (other,))
+        if self._blocked < other._blocked:
+            return True
+        if self._blocked == other._blocked:
+            return self._interp_subset(other) and self._frozen != other._frozen
+        return False
+
+    def __lt__(self, other):
+        return self.precedes(other)
+
+    def __le__(self, other):
+        """``A ≤ B`` iff ``A = B`` or ``A < B`` (the paper's ``≼``)."""
+        return self == other or self.precedes(other)
+
+    def __eq__(self, other):
+        if not isinstance(other, BiStructure):
+            return NotImplemented
+        return self._blocked == other._blocked and self._frozen == other._frozen
+
+    def __hash__(self):
+        return hash((self._blocked, self._frozen))
+
+    def __str__(self):
+        from .groundings import sort_groundings
+
+        blocked_text = ", ".join(str(g) for g in sort_groundings(self._blocked))
+        return "<{%s}, %s>" % (blocked_text, self._interpretation)
+
+    def __repr__(self):
+        return "BiStructure(blocked=%d, interpretation=%r)" % (
+            len(self._blocked),
+            self._interpretation,
+        )
+
+
+def initial_bistructure(database):
+    """The starting point of every PARK run: ``<∅, D>``."""
+    return BiStructure(frozenset(), IInterpretation.from_database(database))

@@ -1,0 +1,105 @@
+"""Blocking: turning conflict decisions into blocked rule instances.
+
+Paper, Section 4.2: given the conflicts of the current state and a policy
+``SELECT``, the blocked set gains the *losing* side of each conflict — the
+``del`` instances where ``SELECT`` said ``insert``, the ``ins`` instances
+where it said ``delete``.
+
+The paper itself notes (end of Section 4.2) that blocking the losing side
+of *every* conflict can block instances "unnecessarily", and that the
+definition may be relaxed to "include only (a non-empty) part of conflicts
+into blocked".  :class:`BlockingMode` exposes both readings:
+
+* ``ALL`` — the formal definition: resolve every detected conflict in this
+  resolution step (fewest restarts; may block instances that could never
+  fire again anyway);
+* ``MINIMAL`` — resolve only the first conflict (canonical atom order) per
+  resolution step, re-detecting after the restart (most restarts; blocks
+  no instance that was not individually necessary at the moment it was
+  blocked).
+
+Both modes terminate — every resolution step strictly grows ``B`` — and
+an ablation benchmark (``benchmarks/bench_blocking_modes.py``) compares
+their cost.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import PolicyError
+from ..policies.base import ConflictContext, Decision, check_decision
+
+
+class BlockingMode(enum.Enum):
+    """How many of the detected conflicts one resolution step consumes."""
+
+    ALL = "all"
+    MINIMAL = "minimal"
+
+    def __str__(self):
+        return self.value
+
+
+def resolve_conflicts(
+    conflicts,
+    policy,
+    database,
+    program,
+    interpretation,
+    blocked,
+    restarts,
+    mode=BlockingMode.ALL,
+):
+    """Ask *policy* to resolve *conflicts*; return ``(additions, decisions)``.
+
+    ``additions`` is the set of rule groundings to add to ``B``;
+    ``decisions`` is the list of ``(conflict, Decision)`` pairs actually
+    made (one pair in ``MINIMAL`` mode, all conflicts in ``ALL`` mode).
+    Conflicts are processed in canonical atom order, so runs are
+    deterministic for deterministic policies.
+    """
+    if not conflicts:
+        raise PolicyError("resolve_conflicts called with no conflicts")
+    chosen = conflicts[:1] if mode is BlockingMode.MINIMAL else conflicts
+
+    additions = set()
+    decisions = []
+    for conflict in chosen:
+        context = ConflictContext(
+            database=database,
+            program=program,
+            interpretation=interpretation,
+            conflict=conflict,
+            blocked=frozenset(blocked),
+            restarts=restarts,
+        )
+        decision = check_decision(policy.select(context), policy, conflict)
+        decisions.append((conflict, decision))
+        additions |= conflict.losing_side(decision is Decision.INSERT)
+    return additions, decisions
+
+
+def blocked_set(database, program, interpretation, policy, mode=BlockingMode.ALL):
+    """The paper's ``blocked(D, P, I, SELECT)`` as a standalone function.
+
+    Computes ``conflicts(P, I)`` fresh and returns only the grounding set
+    (no decisions); the engine uses :func:`resolve_conflicts` instead so it
+    can trace decisions and share the matcher pass.
+    """
+    from .conflicts import find_conflicts
+
+    conflicts = find_conflicts(program, interpretation)
+    if not conflicts:
+        return frozenset()
+    additions, _ = resolve_conflicts(
+        conflicts,
+        policy,
+        database,
+        program,
+        interpretation,
+        blocked=frozenset(),
+        restarts=0,
+        mode=mode,
+    )
+    return frozenset(additions)

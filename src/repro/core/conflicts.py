@@ -1,0 +1,132 @@
+"""Conflicts: ``(a, ins, del)`` triples (paper, Section 4.2).
+
+``conflicts(P, I)`` is the set of maximal triples ``(a, ins, del)`` such
+that some rule instance with a valid body derives ``+a`` and some other
+derives ``-a``; ``ins`` and ``del`` collect *all* such instances.  The
+definition "looks one step into the future": the conflicting marked
+literals need not be in ``I`` yet.
+
+Two deliberate engine refinements, both documented in DESIGN.md:
+
+* instances already in the blocked set ``B`` are excluded from both sides
+  (a blocked instance cannot fire, so it cannot be the reason to block
+  anything else);
+* **provenance completion** — when ``Γ(I)`` is inconsistent on ``a``
+  because one marked literal entered ``I`` in an earlier round and its
+  deriving instance is *no longer valid* (its body used negation that has
+  since been defeated), the paper's two-sided definition yields no conflict
+  triple and a literal implementation would loop.  We complete the empty
+  side with the recorded historical derivers of the stale literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..errors import EngineError
+from ..lang.atoms import Atom
+from ..lang.updates import Update, UpdateOp
+from .consequence import compute_firings
+from .groundings import RuleGrounding, sort_groundings
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A conflict ``(a, ins, del)`` on ground atom ``a``.
+
+    ``ins`` holds the rule groundings whose head is ``+a``; ``dels`` those
+    whose head is ``-a`` (named ``dels`` because ``del`` is reserved in
+    Python).  Both sides are non-empty frozensets.
+    """
+
+    atom: Atom
+    ins: FrozenSet[RuleGrounding]
+    dels: FrozenSet[RuleGrounding]
+
+    def __post_init__(self):
+        if not isinstance(self.atom, Atom) or not self.atom.is_ground():
+            raise TypeError("conflict atom must be a ground Atom, got %r" % (self.atom,))
+        object.__setattr__(self, "ins", frozenset(self.ins))
+        object.__setattr__(self, "dels", frozenset(self.dels))
+        if not self.ins or not self.dels:
+            raise ValueError(
+                "conflict on %s must have non-empty ins and del sides" % self.atom
+            )
+
+    def side(self, decision_is_insert):
+        """The *winning* side for a decision: ins for insert, dels for delete."""
+        return self.ins if decision_is_insert else self.dels
+
+    def losing_side(self, decision_is_insert):
+        """The side whose instances get blocked: the opposite of the winner."""
+        return self.dels if decision_is_insert else self.ins
+
+    def rules(self):
+        """All distinct rules participating in this conflict."""
+        return {g.rule for g in self.ins} | {g.rule for g in self.dels}
+
+    def sort_key(self):
+        return str(self.atom)
+
+    def __str__(self):
+        ins_text = ", ".join(str(g) for g in sort_groundings(self.ins))
+        del_text = ", ".join(str(g) for g in sort_groundings(self.dels))
+        return "(%s, {%s}, {%s})" % (self.atom, ins_text, del_text)
+
+
+def find_conflicts(program, interpretation, blocked=frozenset(), firings=None):
+    """The paper's ``conflicts(P, I)`` (restricted to unblocked instances).
+
+    Returns a list of :class:`Conflict`, sorted by atom for determinism.
+    *firings* may be supplied to reuse a matching pass already done by
+    ``Γ``; otherwise one is computed.
+    """
+    if firings is None:
+        firings = compute_firings(program, interpretation, blocked)
+    ins_by_atom = {}
+    del_by_atom = {}
+    for update, instances in firings.items():
+        target = ins_by_atom if update.is_insert else del_by_atom
+        target.setdefault(update.atom, set()).update(instances)
+    result = []
+    for atom in set(ins_by_atom) & set(del_by_atom):
+        result.append(
+            Conflict(atom, frozenset(ins_by_atom[atom]), frozenset(del_by_atom[atom]))
+        )
+    result.sort(key=Conflict.sort_key)
+    return result
+
+
+def build_conflicts(gamma_result, blocked, provenance):
+    """Conflicts for every atom on which ``Γ(I)`` is inconsistent.
+
+    For each conflicting atom, each side is taken from the current firings
+    when possible and completed from *provenance* (historical derivers,
+    minus blocked instances) when the current side is empty — the stale
+    case described in the module docstring.
+
+    Raises :class:`EngineError` if a side cannot be completed at all, which
+    only happens for hand-built interpretations containing marked literals
+    the engine never derived.
+    """
+    firings = gamma_result.firings
+    conflicts = []
+    for atom in gamma_result.conflict_atoms:
+        plus_update = Update(UpdateOp.INSERT, atom)
+        minus_update = Update(UpdateOp.DELETE, atom)
+        ins = set(firings.get(plus_update, ()))
+        dels = set(firings.get(minus_update, ()))
+        if not ins:
+            ins = set(provenance.derivers(plus_update)) - set(blocked)
+        if not dels:
+            dels = set(provenance.derivers(minus_update)) - set(blocked)
+        if not ins or not dels:
+            side = "+%s" % atom if not ins else "-%s" % atom
+            raise EngineError(
+                "conflict on %s has no deriving instances for %s; the marked "
+                "literal was not derived by any rule this run" % (atom, side)
+            )
+        conflicts.append(Conflict(atom, frozenset(ins), frozenset(dels)))
+    conflicts.sort(key=Conflict.sort_key)
+    return conflicts

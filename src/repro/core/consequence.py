@@ -1,0 +1,132 @@
+"""The immediate consequence operator ``Γ_{P,B}`` (paper, Section 4.2).
+
+``Γ_{P,B}(I)`` is the smallest set containing ``I`` and, for every rule
+``r ∈ P`` and ground substitution ``θ`` with ``(r, θ) ∉ B`` whose body
+literals are all valid in ``I``, the ground head ``±l0θ``.
+
+One evaluation round has to answer three questions at once — what is
+``Γ(I)``, is it consistent, and which groundings derived which head — so
+this module computes a single :class:`GammaResult` carrying all three.
+The grounding→head map ("firings") is reused by conflict detection (which
+"looks one step into the future" from the same ``I``) and by provenance.
+"""
+
+from __future__ import annotations
+
+from ..engine.match import match_rule
+from .groundings import RuleGrounding
+from .validity import InterpretationView
+
+
+class GammaResult:
+    """The outcome of one application of ``Γ_{P,B}`` to an i-interpretation.
+
+    Attributes:
+        interpretation: the input ``I`` (not modified).
+        firings: ``{ground head Update -> frozenset of RuleGroundings}`` for
+            every valid, unblocked rule instance.
+        new_updates: heads not already marked in ``I`` (sorted).
+        conflict_atoms: atoms marked both ``+`` and ``-`` in ``Γ(I)``
+            (sorted); empty iff ``Γ(I)`` is consistent, given consistent ``I``.
+    """
+
+    __slots__ = ("interpretation", "firings", "new_updates", "conflict_atoms")
+
+    def __init__(self, interpretation, firings):
+        self.interpretation = interpretation
+        self.firings = firings
+        self.new_updates = sorted(
+            (u for u in firings if not interpretation.has_update(u)), key=str
+        )
+        self.conflict_atoms = self._find_conflict_atoms()
+
+    def _find_conflict_atoms(self):
+        interpretation = self.interpretation
+        plus_atoms = set()
+        minus_atoms = set()
+        for update in self.firings:
+            (plus_atoms if update.is_insert else minus_atoms).add(update.atom)
+        conflicts = set()
+        # new + against (existing or new) -
+        for atom in plus_atoms:
+            if atom in minus_atoms or interpretation.has_minus(atom):
+                conflicts.add(atom)
+        for atom in minus_atoms:
+            if interpretation.has_plus(atom):
+                conflicts.add(atom)
+        return sorted(conflicts, key=str)
+
+    @property
+    def is_consistent(self):
+        """Whether ``Γ(I)`` is a consistent i-interpretation."""
+        return not self.conflict_atoms
+
+    @property
+    def reached_fixpoint(self):
+        """Whether ``Γ(I) = I`` (no new marked literals)."""
+        return not self.new_updates
+
+    def groundings_for(self, update):
+        """The groundings that derive *update* this round (may be empty)."""
+        return self.firings.get(update, frozenset())
+
+    def apply(self):
+        """Materialize ``Γ(I)`` as a new interpretation (``I`` unchanged).
+
+        Only meaningful when consistent — the engine never applies an
+        inconsistent result, mirroring ``Θ``'s case split.
+        """
+        result = self.interpretation.copy()
+        result.add_updates(self.new_updates)
+        return result
+
+
+def compute_firings(program, interpretation, blocked=frozenset()):
+    """All valid, unblocked rule instances of *program* in *interpretation*.
+
+    Returns ``{ground head Update -> frozenset[RuleGrounding]}``.  This is
+    the joint workhorse of ``Γ`` and ``conflicts``: both quantify over
+    exactly these instances.
+    """
+    view = InterpretationView(interpretation)
+    firings = {}
+    for rule in program:
+        for substitution in match_rule(rule, view):
+            instance = RuleGrounding(rule, substitution)
+            if instance in blocked:
+                continue
+            head = instance.ground_head()
+            bucket = firings.get(head)
+            if bucket is None:
+                firings[head] = {instance}
+            else:
+                bucket.add(instance)
+    return {head: frozenset(instances) for head, instances in firings.items()}
+
+
+def gamma(program, blocked, interpretation):
+    """One application of ``Γ_{P,B}`` — returns a :class:`GammaResult`."""
+    firings = compute_firings(program, interpretation, blocked)
+    return GammaResult(interpretation, firings)
+
+
+def gamma_fixpoint(program, blocked, interpretation, max_rounds=None):
+    """Iterate ``Γ_{P,B}`` from *interpretation* to its least fixpoint above it.
+
+    Stops early and returns the offending :class:`GammaResult` if a round
+    turns inconsistent; otherwise returns the final (fixpoint) result.
+    Used directly by Theorem 4.1 tests; the engine drives rounds itself so
+    it can trace them.
+    """
+    from ..errors import NonTerminationError
+
+    current = interpretation
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise NonTerminationError("Γ exceeded %d rounds" % max_rounds)
+        result = gamma(program, blocked, current)
+        if not result.is_consistent or result.reached_fixpoint:
+            return result
+        current = result.apply()

@@ -1,0 +1,71 @@
+"""Full ECA support: transaction updates as bodyless rules (Section 4.3).
+
+A user transaction produces a set ``U`` of ground updates.  The paper
+models them as new rules ``-> ±a`` for each ``±a ∈ U``, forming the
+modified program ``P_U = P ∪ { -> a | ±a ∈ U }``.  This solves both
+problems the paper identifies:
+
+1. a conflict-resolution restart goes back to ``I∅`` — the transaction's
+   updates are re-derived by their rules rather than being lost;
+2. conflicts between a transaction update and a rule (or between two
+   transaction updates) are ordinary conflicts between rule instances and
+   flow through ``SELECT`` like any other.
+
+Transaction-update rules are named ``tx<i>`` (``tx1``, ``tx2``, ...) in a
+deterministic order so traces, priorities and blocked-set reports can refer
+to them.  They carry a ``priority`` of ``None`` by default; policies that
+want "transaction updates always win" can be composed accordingly (see
+``repro.policies``).
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineError
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.updates import Update
+
+
+def transaction_rules(updates, name_prefix="tx", priority=None):
+    """The bodyless rules ``-> ±a`` encoding transaction updates *updates*.
+
+    Updates are sorted textually so rule names are stable across runs.
+    Every update must be ground.
+    """
+    rules = []
+    for index, update in enumerate(sorted(updates, key=str), start=1):
+        if not isinstance(update, Update):
+            raise TypeError("transaction update %r is not an Update" % (update,))
+        if not update.is_ground():
+            raise EngineError("transaction update %s is not ground" % update)
+        rules.append(
+            Rule(
+                head=update,
+                body=(),
+                name="%s%d" % (name_prefix, index),
+                priority=priority,
+            )
+        )
+    return tuple(rules)
+
+
+def extend_with_updates(program, updates, name_prefix="tx", priority=None):
+    """The paper's ``P_U``: *program* extended with transaction-update rules.
+
+    The prefix is bumped (``tx``, ``txx``, ...) if the program already uses
+    a rule name that would collide.
+    """
+    if not updates:
+        return program
+    existing = {rule.name for rule in program if rule.name}
+    prefix = name_prefix
+    while any(name.startswith(prefix) and name[len(prefix):].isdigit()
+              for name in existing):
+        prefix += "x"
+    new_rules = transaction_rules(updates, name_prefix=prefix, priority=priority)
+    return Program(tuple(program) + new_rules)
+
+
+def is_transaction_rule(rule):
+    """Whether *rule* has the shape of a transaction-update rule (empty body)."""
+    return rule.is_fact_rule()

@@ -1,0 +1,243 @@
+"""The PARK engine: ``PARK(D, P, U) = incorp(int(Θ^ω_{P_U}((∅, D))))``.
+
+This is the production evaluation loop.  It implements exactly the ``Θ``
+case split of :mod:`repro.core.transition` but works on one mutable
+i-interpretation per epoch (instead of immutable bi-structures), records
+provenance and statistics, and emits structured events to listeners so
+the analysis layer can reproduce the paper's printed traces.
+
+Termination needs no arbitrary cap: a consistent round either adds a
+marked literal (``I`` strictly grows within the finite extended Herbrand
+base) or is the fixpoint, and a resolution step strictly grows ``B``
+within the finite set of rule groundings — the engine raises
+:class:`NonTerminationError` only if a (buggy) policy configuration breaks
+the latter invariant.  Optional ``max_rounds`` / ``max_restarts`` budgets
+are available for defensive callers.
+"""
+
+from __future__ import annotations
+
+from ..errors import NonTerminationError
+from ..lang.program import Program
+from ..policies.base import as_policy
+from ..storage.database import Database
+from ..storage.delta import Delta
+from .blocking import BlockingMode, resolve_conflicts
+from .conflicts import build_conflicts
+from .consequence import GammaResult
+from .eca import extend_with_updates
+from .evaluation import make_evaluation
+from .incorporate import incorp
+from .interpretation import IInterpretation
+from .provenance import Provenance
+from .result import ParkResult, RunStats
+
+
+class EngineListener:
+    """Receives structured events during a run.  All methods are no-ops here.
+
+    Implementations: :class:`repro.analysis.trace.TraceRecorder` (records
+    everything), or ad-hoc subclasses for progress reporting.
+    """
+
+    def on_start(self, program, database, policy_name):
+        """A run begins; *program* already includes transaction rules."""
+
+    def on_round(self, round_number, epoch, gamma_result):
+        """``Γ`` was applied once; the result may be inconsistent."""
+
+    def on_apply(self, round_number, epoch, interpretation):
+        """A consistent round's updates were merged into ``I``."""
+
+    def on_conflicts(self, round_number, epoch, conflicts, decisions, blocked_added):
+        """Conflicts were detected and resolved; a restart follows."""
+
+    def on_restart(self, epoch, blocked):
+        """A new epoch begins from ``I∅`` with the enlarged blocked set."""
+
+    def on_fixpoint(self, round_number, epoch, interpretation, blocked):
+        """The final fixpoint was reached."""
+
+    def on_finish(self, result):
+        """The run is complete; *result* is the :class:`ParkResult`."""
+
+
+def _coerce_program(program):
+    if isinstance(program, Program):
+        return program
+    if isinstance(program, str):
+        from ..lang.parser import parse_program
+
+        return parse_program(program)
+    return Program(tuple(program))
+
+
+def _coerce_database(database):
+    if isinstance(database, Database):
+        return database
+    if isinstance(database, str):
+        return Database.from_text(database)
+    return Database(database)
+
+
+class ParkEngine:
+    """A configured PARK evaluator: policy + blocking mode + listeners.
+
+    Engines are reusable and stateless across runs; every :meth:`run` is
+    independent.
+    """
+
+    def __init__(
+        self,
+        policy=None,
+        blocking_mode=BlockingMode.ALL,
+        max_rounds=None,
+        max_restarts=None,
+        listeners=(),
+        evaluation="naive",
+    ):
+        if policy is None:
+            from ..policies.inertia import InertiaPolicy
+
+            policy = InertiaPolicy()
+        self.policy = as_policy(policy)
+        if not isinstance(blocking_mode, BlockingMode):
+            raise TypeError("blocking_mode must be a BlockingMode")
+        self.blocking_mode = blocking_mode
+        self.max_rounds = max_rounds
+        self.max_restarts = max_restarts
+        self.listeners = tuple(listeners)
+        if evaluation not in ("naive", "seminaive"):
+            raise ValueError(
+                "evaluation must be 'naive' or 'seminaive', got %r" % (evaluation,)
+            )
+        self.evaluation = evaluation
+
+    # -- events ----------------------------------------------------------------
+
+    def _emit(self, method_name, *args):
+        for listener in self.listeners:
+            getattr(listener, method_name)(*args)
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, program, database, updates=None):
+        """Compute ``PARK(D, P, U)`` and return a :class:`ParkResult`.
+
+        *program* may be a :class:`Program`, an iterable of rules, or rule
+        source text; *database* a :class:`Database`, an iterable of ground
+        atoms, or fact source text; *updates* an iterable of ground
+        :class:`~repro.lang.updates.Update` (the transaction's updates
+        ``U``), empty or ``None`` for plain condition-action semantics.
+        """
+        base_program = _coerce_program(program)
+        original = _coerce_database(database)
+        if updates:
+            run_program = extend_with_updates(base_program, updates)
+        else:
+            run_program = base_program
+
+        self._emit("on_start", run_program, original, self.policy.name)
+
+        stats = RunStats()
+        blocked = set()
+        provenance = Provenance()
+        interpretation = IInterpretation.from_database(original)
+        epoch = 1
+        evaluator = make_evaluation(self.evaluation, run_program, blocked)
+        last_new_updates = None
+
+        while True:
+            stats.rounds += 1
+            if self.max_rounds is not None and stats.rounds > self.max_rounds:
+                raise NonTerminationError(
+                    "PARK exceeded max_rounds=%d" % self.max_rounds
+                )
+            firings = evaluator.compute(interpretation, last_new_updates)
+            result = GammaResult(interpretation, firings)
+            stats.firings_total += sum(len(g) for g in result.firings.values())
+            self._emit("on_round", stats.rounds, epoch, result)
+
+            if result.is_consistent:
+                provenance.record(result.firings, round_number=stats.rounds)
+                if result.reached_fixpoint:
+                    break
+                last_new_updates = result.new_updates
+                interpretation = result.apply()
+                self._emit("on_apply", stats.rounds, epoch, interpretation)
+                continue
+
+            # Conflict branch of Θ: resolve, block, restart from I∅.
+            conflicts = build_conflicts(result, blocked, provenance)
+            additions, decisions = resolve_conflicts(
+                conflicts,
+                self.policy,
+                original,
+                run_program,
+                interpretation,
+                blocked,
+                restarts=stats.restarts,
+                mode=self.blocking_mode,
+            )
+            new_instances = additions - blocked
+            if not new_instances:
+                raise NonTerminationError(
+                    "conflict resolution added no new blocked instances "
+                    "(policy %s cannot make progress)" % self.policy.name
+                )
+            self._emit(
+                "on_conflicts",
+                stats.rounds,
+                epoch,
+                tuple(conflicts),
+                tuple(decisions),
+                frozenset(new_instances),
+            )
+            blocked |= new_instances
+            stats.restarts += 1
+            stats.conflicts_resolved += len(decisions)
+            if (
+                self.max_restarts is not None
+                and stats.restarts > self.max_restarts
+            ):
+                raise NonTerminationError(
+                    "PARK exceeded max_restarts=%d" % self.max_restarts
+                )
+            epoch += 1
+            interpretation = interpretation.restarted()
+            provenance.clear()
+            evaluator = make_evaluation(self.evaluation, run_program, blocked)
+            last_new_updates = None
+            self._emit("on_restart", epoch, frozenset(blocked))
+
+        stats.blocked_instances = len(blocked)
+        self._emit(
+            "on_fixpoint", stats.rounds, epoch, interpretation, frozenset(blocked)
+        )
+
+        final_database = incorp(interpretation)
+        run_result = ParkResult(
+            database=final_database,
+            delta=Delta.diff(original, final_database),
+            interpretation=interpretation,
+            blocked=frozenset(blocked),
+            stats=stats,
+            policy_name=self.policy.name,
+            provenance=provenance,
+        )
+        self._emit("on_finish", run_result)
+        return run_result
+
+
+def park(program, database, updates=None, policy=None, **engine_options):
+    """One-shot convenience: ``park(P, D, U) -> ParkResult``.
+
+    Equivalent to ``ParkEngine(policy=..., **engine_options).run(...)``.
+    The default policy is the principle of inertia, matching the paper's
+    running examples.
+
+    >>> from repro.core.engine import park
+    >>> park("p -> +q.", "p.").database == {"..."}  # doctest: +SKIP
+    """
+    engine = ParkEngine(policy=policy, **engine_options)
+    return engine.run(program, database, updates=updates)

@@ -1,0 +1,210 @@
+"""Per-epoch evaluation strategies for the engine's ``Γ`` rounds.
+
+``Γ``'s definition quantifies over *all* valid unblocked instances every
+round; the naive strategy recomputes that set from scratch.  The
+semi-naive strategy exploits a monotonicity split:
+
+* **monotone rules** — bodies made only of positive condition literals
+  (including bodyless transaction rules).  Positive validity
+  (``a ∈ I∅ ∪ I+``) can only switch off→on as ``I`` grows, so within one
+  epoch the set of valid instances only accumulates: a full match in the
+  epoch's first round, then per-round *delta* matching (an instance newly
+  valid in round ``k`` must read at least one atom inserted in round
+  ``k−1``), with results accumulated.
+* **volatile rules** — anything with negation or event literals, whose
+  instance validity can flip both ways; re-evaluated in full each round.
+
+The union (accumulated monotone + current volatile) equals exactly the
+naive round's firings, so ``GammaResult`` — and therefore conflicts,
+blocking, traces and final states — are bit-identical between the two
+strategies.  That equivalence is property-tested
+(``tests/property/test_evaluation_modes.py``) and the speedup is measured
+by the A4 ablation benchmarks.
+
+Blocked sets only grow at restarts, so an evaluator is valid for exactly
+one epoch; the engine constructs a fresh one after every restart.
+"""
+
+from __future__ import annotations
+
+from ..engine.match import match_rule
+from ..engine.views import FactsView
+from ..lang.atoms import Atom
+from ..lang.literals import Condition
+from ..lang.rules import Rule
+from .groundings import RuleGrounding
+from .validity import InterpretationView
+
+_DELTA_PREFIX = "__delta__"
+
+
+def _is_monotone(rule):
+    return all(
+        isinstance(literal, Condition) and literal.positive
+        for literal in rule.body
+    )
+
+
+class NaiveEvaluation:
+    """The textbook strategy: full rematch of every rule, every round."""
+
+    name = "naive"
+
+    def __init__(self, program, blocked):
+        self.program = program
+        self.blocked = frozenset(blocked)
+
+    def compute(self, interpretation, delta_updates=None):
+        """All valid unblocked firings: ``{head Update: frozenset[RuleGrounding]}``."""
+        from .consequence import compute_firings
+
+        return compute_firings(self.program, interpretation, self.blocked)
+
+
+class _DeltaView(FactsView):
+    """Serves ``__delta__``-prefixed predicates from last round's inserts,
+    everything else from the underlying interpretation view."""
+
+    __slots__ = ("inner", "delta_db")
+
+    def __init__(self, inner, delta_db):
+        self.inner = inner
+        self.delta_db = delta_db
+
+    def _is_shadow(self, predicate):
+        return predicate.startswith(_DELTA_PREFIX)
+
+    def condition_candidates(self, predicate, arity, bound):
+        if self._is_shadow(predicate):
+            relation = self.delta_db.relation(predicate)
+            if relation is None or relation.arity != arity:
+                return ()
+            return relation.candidates(bound)
+        return self.inner.condition_candidates(predicate, arity, bound)
+
+    def condition_holds(self, atom):
+        if self._is_shadow(atom.predicate):
+            return atom in self.delta_db
+        return self.inner.condition_holds(atom)
+
+    def negation_holds(self, atom):
+        return self.inner.negation_holds(atom)
+
+    def event_candidates(self, op, predicate, arity, bound):
+        return self.inner.event_candidates(op, predicate, arity, bound)
+
+    def event_holds(self, op, atom):
+        return self.inner.event_holds(op, atom)
+
+    def estimate(self, predicate):
+        if self._is_shadow(predicate):
+            return self.delta_db.count(predicate)
+        return self.inner.estimate(predicate)
+
+
+class SemiNaiveEvaluation:
+    """Accumulating delta evaluation for the monotone fragment."""
+
+    name = "seminaive"
+
+    def __init__(self, program, blocked):
+        self.blocked = frozenset(blocked)
+        self.monotone_rules = []
+        self.volatile_rules = []
+        for rule in program:
+            (self.monotone_rules if _is_monotone(rule) else self.volatile_rules).append(
+                rule
+            )
+        # One delta variant per positive body literal of each monotone rule,
+        # with that literal's predicate renamed into the shadow namespace.
+        # The variant keeps the original rule for grounding identity.
+        self._variants = []  # (original_rule, variant_rule)
+        for rule in self.monotone_rules:
+            for index, literal in enumerate(rule.body):
+                shadow_atom = Atom(
+                    _DELTA_PREFIX + literal.atom.predicate, literal.atom.terms
+                )
+                body = (
+                    rule.body[:index]
+                    + (Condition(shadow_atom, positive=True),)
+                    + rule.body[index + 1 :]
+                )
+                self._variants.append(
+                    (rule, Rule.__new_unchecked__(rule.head, body, None, None))
+                )
+        self._accumulated = {}  # Update -> set[RuleGrounding]
+        self._first_round_done = False
+
+    # -- internals -------------------------------------------------------------
+
+    def _collect(self, rule, view, into):
+        for substitution in match_rule(rule, view):
+            instance = RuleGrounding(rule, substitution)
+            if instance in self.blocked:
+                continue
+            head = instance.ground_head()
+            into.setdefault(head, set()).add(instance)
+
+    def _collect_variant(self, original_rule, variant_rule, view, into):
+        for substitution in match_rule(variant_rule, view):
+            instance = RuleGrounding(original_rule, substitution)
+            if instance in self.blocked:
+                continue
+            head = instance.ground_head()
+            into.setdefault(head, set()).add(instance)
+
+    @staticmethod
+    def _delta_database(delta_updates):
+        from ..storage.database import Database
+
+        delta_db = Database()
+        for update in delta_updates:
+            if update.is_insert:
+                delta_db.add(
+                    Atom(_DELTA_PREFIX + update.atom.predicate, update.atom.terms)
+                )
+        return delta_db
+
+    # -- the strategy ---------------------------------------------------------------
+
+    def compute(self, interpretation, delta_updates=None):
+        view = InterpretationView(interpretation)
+
+        if not self._first_round_done:
+            # Epoch round 1: full match of the monotone fragment.
+            for rule in self.monotone_rules:
+                self._collect(rule, view, self._accumulated)
+            self._first_round_done = True
+        elif delta_updates:
+            delta_db = self._delta_database(delta_updates)
+            if delta_db:
+                delta_view = _DeltaView(view, delta_db)
+                for original_rule, variant_rule in self._variants:
+                    self._collect_variant(
+                        original_rule, variant_rule, delta_view, self._accumulated
+                    )
+
+        firings = {
+            head: set(instances) for head, instances in self._accumulated.items()
+        }
+        for rule in self.volatile_rules:
+            self._collect(rule, view, firings)
+        return {head: frozenset(instances) for head, instances in firings.items()}
+
+
+EVALUATION_STRATEGIES = {
+    "naive": NaiveEvaluation,
+    "seminaive": SemiNaiveEvaluation,
+}
+
+
+def make_evaluation(name, program, blocked):
+    """Instantiate the strategy *name* for one epoch."""
+    try:
+        factory = EVALUATION_STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown evaluation strategy %r (known: %s)"
+            % (name, ", ".join(sorted(EVALUATION_STRATEGIES)))
+        )
+    return factory(program, blocked)

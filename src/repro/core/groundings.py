@@ -1,0 +1,73 @@
+"""Rule groundings: the ``(rule, substitution)`` pairs of the paper.
+
+A rule grounding identifies one ground instance of one rule.  Groundings
+are the currency of conflict resolution: the ``ins``/``del`` sides of a
+conflict are sets of groundings, and the blocked set ``B`` is a set of
+groundings that :math:`Γ_{P,B}` must skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.rules import Rule
+from ..lang.substitution import Substitution
+
+
+@dataclass(frozen=True)
+class RuleGrounding:
+    """One ground instance of a rule: ``(r, θ)``.
+
+    The substitution covers exactly the rule's variables (enforced), so two
+    groundings are equal iff they denote the same ground instance.
+    """
+
+    rule: Rule
+    substitution: Substitution
+
+    def __post_init__(self):
+        if not isinstance(self.rule, Rule):
+            raise TypeError("expected a Rule, got %r" % (self.rule,))
+        if not isinstance(self.substitution, Substitution):
+            object.__setattr__(self, "substitution", Substitution(self.substitution))
+        rule_vars = self.rule.variables()
+        bound_vars = set(self.substitution)
+        if bound_vars != rule_vars:
+            extra = sorted(v.name for v in bound_vars - rule_vars)
+            missing = sorted(v.name for v in rule_vars - bound_vars)
+            problems = []
+            if missing:
+                problems.append("unbound: %s" % ", ".join(missing))
+            if extra:
+                problems.append("spurious: %s" % ", ".join(extra))
+            raise ValueError(
+                "substitution does not cover rule %s exactly (%s)"
+                % (self.rule.describe(), "; ".join(problems))
+            )
+
+    def ground_head(self):
+        """The ground head update of this instance."""
+        return self.rule.head.ground(self.substitution)
+
+    def ground_body(self):
+        """The ground body literals of this instance, in rule order."""
+        return tuple(l.ground(self.substitution) for l in self.rule.body)
+
+    def sort_key(self):
+        """Deterministic ordering key (rule text, then substitution text)."""
+        return (self.rule.describe(), str(self.substitution))
+
+    def __str__(self):
+        if self.substitution:
+            return "(%s, %s)" % (self.rule.describe(), self.substitution)
+        return "(%s)" % self.rule.describe()
+
+
+def grounding(rule, substitution=None):
+    """Convenience constructor; ``substitution`` may be a plain mapping."""
+    return RuleGrounding(rule, Substitution(substitution or {}))
+
+
+def sort_groundings(groundings):
+    """Sorted list of groundings in the canonical deterministic order."""
+    return sorted(groundings, key=RuleGrounding.sort_key)

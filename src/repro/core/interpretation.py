@@ -1,0 +1,185 @@
+"""Intermediate interpretations (i-interpretations) over the extended
+Herbrand base.
+
+Section 4.2 of the paper: an i-interpretation consists of a set of positive
+unmarked atoms plus sets of atoms marked ``+`` (to insert) and ``-`` (to
+delete).  ``I∅`` denotes the unmarked part, ``I+`` the insertions, ``I-``
+the deletions.  An i-interpretation is *consistent* iff no atom is marked
+both ``+`` and ``-``.
+
+We represent the three parts as indexed atom stores (one
+:class:`~repro.storage.database.Database` each) so the matcher can retrieve
+candidates through hash indexes; :meth:`freeze` produces the canonical
+immutable triple used for fixpoint detection, hashing and golden tests.
+
+Invariant maintained by the engine (and checked in tests): the unmarked
+part never changes during a run — ``Γ`` only adds marked literals, so
+``I∅ = D`` throughout, which is exactly why the paper can say "we resort to
+the initial database instance (D = I∅)" on restart.
+"""
+
+from __future__ import annotations
+
+from ..lang.updates import Update, UpdateOp
+from ..storage.database import Database
+
+
+class IInterpretation:
+    """A mutable i-interpretation: unmarked atoms plus ``+``/``-`` marked atoms."""
+
+    __slots__ = ("_unmarked", "_plus", "_minus")
+
+    def __init__(self, unmarked=(), plus=(), minus=()):
+        self._unmarked = unmarked if isinstance(unmarked, Database) else Database(unmarked)
+        self._plus = plus if isinstance(plus, Database) else Database(plus)
+        self._minus = minus if isinstance(minus, Database) else Database(minus)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, database):
+        """The starting i-interpretation of a PARK run: ``D`` unmarked, no marks."""
+        return cls(unmarked=database.copy())
+
+    # -- the three parts ------------------------------------------------------------
+
+    @property
+    def unmarked(self):
+        """``I∅`` — the unmarked atoms (the original database instance)."""
+        return self._unmarked
+
+    @property
+    def plus(self):
+        """``I+`` — atoms marked for insertion."""
+        return self._plus
+
+    @property
+    def minus(self):
+        """``I-`` — atoms marked for deletion."""
+        return self._minus
+
+    # -- membership -------------------------------------------------------------------
+
+    def has_unmarked(self, atom):
+        return atom in self._unmarked
+
+    def has_plus(self, atom):
+        return atom in self._plus
+
+    def has_minus(self, atom):
+        return atom in self._minus
+
+    def has_update(self, update):
+        """Whether the marked literal *update* (``+a``/``-a``) is in ``I``."""
+        if update.is_insert:
+            return update.atom in self._plus
+        return update.atom in self._minus
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def add_update(self, update):
+        """Add a marked literal; returns True if it was new.
+
+        Adding may make the interpretation inconsistent — consistency is a
+        property the engine checks, not an invariant of the container
+        (the paper's ``Γ`` produces inconsistent interpretations, which is
+        precisely what triggers conflict resolution).
+        """
+        if not isinstance(update, Update):
+            raise TypeError("expected an Update, got %r" % (update,))
+        if update.is_insert:
+            return self._plus.add(update.atom)
+        return self._minus.add(update.atom)
+
+    def add_updates(self, updates):
+        """Add many marked literals; returns the number that were new."""
+        added = 0
+        for update in updates:
+            if self.add_update(update):
+                added += 1
+        return added
+
+    # -- consistency ----------------------------------------------------------------------
+
+    def conflicting_atoms(self):
+        """Atoms marked both ``+`` and ``-``, as a sorted list."""
+        plus_atoms = set(self._plus.atoms())
+        result = [a for a in plus_atoms if a in self._minus]
+        result.sort(key=str)
+        return result
+
+    def is_consistent(self):
+        """True iff no atom is marked both ``+`` and ``-``."""
+        smaller, larger = self._plus, self._minus
+        if len(smaller) > len(larger):
+            smaller, larger = larger, smaller
+        return all(atom not in larger for atom in smaller.atoms())
+
+    def would_conflict(self, update):
+        """Whether adding *update* would create an inconsistency."""
+        if update.is_insert:
+            return update.atom in self._minus
+        return update.atom in self._plus
+
+    # -- views ----------------------------------------------------------------------------
+
+    def updates(self):
+        """All marked literals, sorted (``+`` before ``-`` per atom text)."""
+        result = [Update(UpdateOp.INSERT, a) for a in self._plus.atoms()]
+        result += [Update(UpdateOp.DELETE, a) for a in self._minus.atoms()]
+        result.sort(key=str)
+        return result
+
+    def marked_count(self):
+        return len(self._plus) + len(self._minus)
+
+    def __len__(self):
+        return len(self._unmarked) + self.marked_count()
+
+    def copy(self):
+        return IInterpretation(
+            self._unmarked.copy(), self._plus.copy(), self._minus.copy()
+        )
+
+    def freeze(self):
+        """Canonical immutable form: ``(frozenset I∅, frozenset I+, frozenset I-)``."""
+        return (
+            self._unmarked.freeze(),
+            self._plus.freeze(),
+            self._minus.freeze(),
+        )
+
+    def restarted(self):
+        """A fresh interpretation keeping only ``I∅`` (the paper's restart)."""
+        return IInterpretation(unmarked=self._unmarked.copy())
+
+    # -- comparisons ---------------------------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, IInterpretation):
+            return NotImplemented
+        return self.freeze() == other.freeze()
+
+    def __hash__(self):
+        raise TypeError("IInterpretation is mutable; hash freeze() instead")
+
+    def issubset(self, other):
+        """Pointwise ``⊆`` on the three parts (the ordering used on I)."""
+        mine = self.freeze()
+        theirs = other.freeze()
+        return all(m <= t for m, t in zip(mine, theirs))
+
+    def __str__(self):
+        from ..lang.pretty import render_atom
+
+        parts = [render_atom(a) for a in self._unmarked.atoms()]
+        parts += ["+%s" % render_atom(a) for a in self._plus.atoms()]
+        parts += ["-%s" % render_atom(a) for a in self._minus.atoms()]
+        return "{%s}" % ", ".join(sorted(parts, key=lambda s: s.lstrip("+-")))
+
+    def __repr__(self):
+        return "IInterpretation(unmarked=%d, plus=%d, minus=%d)" % (
+            len(self._unmarked),
+            len(self._plus),
+            len(self._minus),
+        )

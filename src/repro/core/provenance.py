@@ -1,0 +1,69 @@
+"""Provenance: which rule instances derived which marked literals.
+
+The engine records, per restart epoch, every ``(rule, θ)`` whose firing
+contributed a marked literal to the i-interpretation.  Provenance serves
+two purposes:
+
+* **stale-conflict completion** (see :mod:`repro.core.conflicts`): when the
+  deriver of an established marked literal is no longer valid, the conflict
+  side is reconstructed from history;
+* **explanation** (:mod:`repro.analysis.explain`): derivation trees showing
+  *why* an atom ended up inserted or deleted, built by chasing provenance
+  edges through body literals.
+
+Provenance is cleared on every conflict-resolution restart, because the
+computation genuinely starts over from ``I∅`` and old derivations are
+exactly the "obsolete facts" the paper's restart discards.
+"""
+
+from __future__ import annotations
+
+
+class Provenance:
+    """Per-epoch record of derivations: ``Update -> set[RuleGrounding]``."""
+
+    __slots__ = ("_derivers", "_first_round")
+
+    def __init__(self):
+        self._derivers = {}
+        self._first_round = {}
+
+    def record(self, firings, round_number=None):
+        """Merge one round's firings (``{Update: frozenset[RuleGrounding]}``)."""
+        for update, instances in firings.items():
+            bucket = self._derivers.get(update)
+            if bucket is None:
+                self._derivers[update] = set(instances)
+                if round_number is not None:
+                    self._first_round[update] = round_number
+            else:
+                bucket.update(instances)
+
+    def derivers(self, update):
+        """All recorded instances that derived *update* this epoch."""
+        return frozenset(self._derivers.get(update, ()))
+
+    def first_round(self, update):
+        """The round in which *update* was first derived, or ``None``."""
+        return self._first_round.get(update)
+
+    def updates(self):
+        """All updates with recorded derivations, sorted."""
+        return sorted(self._derivers, key=str)
+
+    def clear(self):
+        """Forget everything (called on restart)."""
+        self._derivers.clear()
+        self._first_round.clear()
+
+    def __len__(self):
+        return len(self._derivers)
+
+    def __contains__(self, update):
+        return update in self._derivers
+
+    def copy(self):
+        clone = Provenance()
+        clone._derivers = {u: set(g) for u, g in self._derivers.items()}
+        clone._first_round = dict(self._first_round)
+        return clone

@@ -1,0 +1,100 @@
+"""Run results: the output of a PARK computation plus its statistics.
+
+``PARK(D, P, U)`` is a database instance; a :class:`ParkResult` carries
+that instance together with everything a caller might want to inspect —
+the final bi-structure components, the net :class:`~repro.storage.delta.Delta`
+against ``D``, per-run statistics, and (when tracing was enabled) the
+recorded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class RunStats:
+    """Counters describing one PARK run.
+
+    Attributes:
+        rounds: total ``Γ`` applications across all epochs (the paper's
+            inner fixpoint steps).
+        restarts: conflict-resolution steps (each strictly grew ``B``).
+        conflicts_resolved: individual conflicts decided by the policy
+            (``>= restarts`` in ALL mode, ``== restarts`` in MINIMAL mode).
+        blocked_instances: size of the final blocked set ``B``.
+        firings_total: rule-instance firings observed across all rounds
+            (a proxy for matcher work).
+        epochs: restart epochs, i.e. ``restarts + 1``.
+    """
+
+    rounds: int = 0
+    restarts: int = 0
+    conflicts_resolved: int = 0
+    blocked_instances: int = 0
+    firings_total: int = 0
+
+    @property
+    def epochs(self):
+        return self.restarts + 1
+
+
+@dataclass
+class ParkResult:
+    """The full outcome of ``PARK(D, P, U)``.
+
+    Attributes:
+        database: the result database instance (a fresh object; the input
+            ``D`` is never modified).
+        delta: the net change from the input database to the result.
+        interpretation: the final (fixpoint) i-interpretation.
+        blocked: the final blocked set ``B``.
+        stats: run counters.
+        policy_name: the conflict-resolution policy that was used.
+        provenance: the final epoch's derivation record (which rule
+            instances derived which marked literals); feed it to
+            :class:`repro.analysis.explain.Explainer` for derivation trees.
+        trace: the recorded trace, when a recorder was attached.
+    """
+
+    database: object
+    delta: object
+    interpretation: object
+    blocked: frozenset
+    stats: RunStats
+    policy_name: str
+    provenance: Optional[object] = None
+    trace: Optional[object] = None
+
+    @property
+    def atoms(self):
+        """The result as a frozenset of ground atoms."""
+        return self.database.freeze()
+
+    def __contains__(self, atom):
+        return atom in self.database
+
+    def blocked_rules(self):
+        """Distinct rules with at least one blocked instance, by description."""
+        return sorted({g.rule.describe() for g in self.blocked})
+
+    def __str__(self):
+        return str(self.database)
+
+    def summary(self):
+        """A short human-readable account of the run."""
+        return (
+            "PARK result: %d atoms (%+d/-%d vs input); policy=%s; "
+            "%d rounds, %d restarts, %d conflicts resolved, %d blocked instances"
+            % (
+                len(self.database),
+                len(self.delta.inserts),
+                len(self.delta.deletes),
+                self.policy_name,
+                self.stats.rounds,
+                self.stats.restarts,
+                self.stats.conflicts_resolved,
+                self.stats.blocked_instances,
+            )
+        )

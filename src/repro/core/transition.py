@@ -1,0 +1,147 @@
+"""The transition operator ``Θ_P`` on bi-structures (paper, Section 4.2).
+
+::
+
+    Θ_P(<B, I>) = <B, Γ_{P,B}(I)>                      if Γ_{P,B}(I) is consistent
+                  <B ∪ blocked(D, P, I, SELECT), I∅>   otherwise
+
+The conflict branch restarts from the unmarked part ``I∅`` (the original
+database instance) — see DESIGN.md for why we read the paper's formula
+this way.  ``Θ`` is growing w.r.t. the bi-structure order and reaches a
+fixpoint ``Θ^ω`` in finitely many steps (Theorem 4.1); both facts are
+property-tested.
+
+This module exposes ``Θ`` as a *pure step function* for theory work and
+tests.  The production engine (:mod:`repro.core.engine`) follows the same
+case split but threads tracing, provenance and statistics through the
+loop instead of rebuilding immutable bi-structures each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import NonTerminationError
+from ..policies.base import as_policy
+from .bistructure import BiStructure, initial_bistructure
+from .blocking import BlockingMode, resolve_conflicts
+from .conflicts import build_conflicts
+from .consequence import gamma
+from .provenance import Provenance
+
+
+@dataclass
+class ThetaStep:
+    """What one application of ``Θ`` did.
+
+    ``kind`` is ``"grow"`` (consistent ``Γ`` round applied), ``"resolve"``
+    (conflicts blocked, interpretation reset to ``I∅``), or ``"fixpoint"``
+    (``Θ(A) = A``).
+    """
+
+    kind: str
+    before: BiStructure
+    after: BiStructure
+    gamma_result: object
+    conflicts: Tuple = ()
+    decisions: Tuple = ()
+    blocked_added: frozenset = frozenset()
+
+
+def theta(
+    program,
+    bistructure,
+    policy,
+    database,
+    mode=BlockingMode.ALL,
+    provenance=None,
+):
+    """One application of ``Θ_P`` — returns a :class:`ThetaStep`.
+
+    *database* is the original instance ``D`` passed through to ``SELECT``.
+    *provenance* (optional) enables stale-conflict completion across a
+    sequence of steps; pass the same object to successive calls and it is
+    maintained automatically.
+    """
+    policy = as_policy(policy)
+    interpretation = bistructure.interpretation
+    blocked = bistructure.blocked
+    result = gamma(program, blocked, interpretation)
+
+    if result.is_consistent:
+        if provenance is not None:
+            provenance.record(result.firings)
+        if result.reached_fixpoint:
+            return ThetaStep(
+                kind="fixpoint",
+                before=bistructure,
+                after=bistructure,
+                gamma_result=result,
+            )
+        after = BiStructure(blocked, result.apply())
+        return ThetaStep(
+            kind="grow", before=bistructure, after=after, gamma_result=result
+        )
+
+    conflicts = build_conflicts(result, blocked, provenance or Provenance())
+    additions, decisions = resolve_conflicts(
+        conflicts,
+        policy,
+        database,
+        program,
+        interpretation,
+        blocked,
+        restarts=0,
+        mode=mode,
+    )
+    new_blocked = blocked | additions
+    if new_blocked == blocked:
+        raise NonTerminationError(
+            "conflict resolution added no new blocked instances; the policy "
+            "cannot make progress on conflicts: %s"
+            % "; ".join(str(c) for c in conflicts)
+        )
+    if provenance is not None:
+        provenance.clear()
+    after = BiStructure(new_blocked, interpretation.restarted())
+    return ThetaStep(
+        kind="resolve",
+        before=bistructure,
+        after=after,
+        gamma_result=result,
+        conflicts=tuple(conflicts),
+        decisions=tuple(decisions),
+        blocked_added=frozenset(additions),
+    )
+
+
+def theta_omega(
+    program,
+    database,
+    policy,
+    mode=BlockingMode.ALL,
+    max_steps=None,
+    collect=False,
+):
+    """Iterate ``Θ`` from ``<∅, D>`` to its fixpoint ``Θ^ω((∅, D))``.
+
+    Returns ``(fixpoint_bistructure, steps)`` where *steps* is the list of
+    :class:`ThetaStep` records when ``collect=True`` (else empty).  This is
+    the literal construction of the paper; it is quadratic-ish in practice
+    because each step snapshots a bi-structure — the engine avoids that.
+    """
+    current = initial_bistructure(database)
+    provenance = Provenance()
+    steps = []
+    count = 0
+    while True:
+        count += 1
+        if max_steps is not None and count > max_steps:
+            raise NonTerminationError("Θ exceeded %d steps" % max_steps)
+        step = theta(program, current, policy, database, mode, provenance)
+        if collect:
+            steps.append(step)
+        if step.kind == "fixpoint":
+            return current, steps
+        current = step.after

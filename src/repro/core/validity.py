@@ -1,0 +1,125 @@
+"""Literal validity in an i-interpretation (paper, Sections 4.2 and 4.3).
+
+For a ground literal and an i-interpretation ``I``:
+
+* a positive condition ``a`` is valid iff ``a ∈ I`` or ``+a ∈ I``;
+* a negated condition ``not a`` is valid iff ``-a ∈ I``, **or** neither
+  ``a`` nor ``+a`` is in ``I`` (negation as failure);
+* an event literal ``+a`` is valid iff ``+a ∈ I``; ``-a`` iff ``-a ∈ I``
+  (the Section 4.3 extension).
+
+:func:`valid` is the direct transcription for ground literals.
+:class:`InterpretationView` exposes the same semantics through the
+matcher's :class:`~repro.engine.views.FactsView` interface so rule bodies
+with variables can be matched against ``I`` using indexes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import EngineError
+from ..lang.literals import Condition, Event
+from ..lang.updates import UpdateOp
+from ..engine.views import FactsView
+
+
+def valid(literal, interpretation):
+    """Validity of a *ground* literal in *interpretation* (paper definition)."""
+    if isinstance(literal, Condition):
+        atom = literal.atom
+        if not atom.is_ground():
+            raise EngineError("validity requires a ground literal, got %s" % literal)
+        if literal.positive:
+            return interpretation.has_unmarked(atom) or interpretation.has_plus(atom)
+        if interpretation.has_minus(atom):
+            return True
+        return not (
+            interpretation.has_unmarked(atom) or interpretation.has_plus(atom)
+        )
+    if isinstance(literal, Event):
+        atom = literal.atom
+        if not atom.is_ground():
+            raise EngineError("validity requires a ground literal, got %s" % literal)
+        if literal.op is UpdateOp.INSERT:
+            return interpretation.has_plus(atom)
+        return interpretation.has_minus(atom)
+    raise TypeError("not a literal: %r" % (literal,))
+
+
+class InterpretationView(FactsView):
+    """Matcher view implementing the paper's validity over an i-interpretation."""
+
+    __slots__ = ("interpretation",)
+
+    def __init__(self, interpretation):
+        self.interpretation = interpretation
+
+    # -- positive conditions: a ∈ I∅ or +a ∈ I+ ------------------------------------
+
+    def condition_candidates(self, predicate, arity, bound):
+        unmarked = self.interpretation.unmarked.relation(predicate)
+        plus = self.interpretation.plus.relation(predicate)
+        sources = []
+        if unmarked is not None and unmarked.arity == arity:
+            sources.append(unmarked.candidates(bound))
+        if plus is not None and plus.arity == arity:
+            sources.append(plus.candidates(bound))
+        if not sources:
+            return ()
+        if len(sources) == 1:
+            return sources[0]
+        return itertools.chain(*sources)
+
+    def condition_holds(self, atom):
+        return self.interpretation.has_unmarked(atom) or self.interpretation.has_plus(
+            atom
+        )
+
+    # -- negated conditions -----------------------------------------------------------
+
+    def negation_holds(self, atom):
+        if self.interpretation.has_minus(atom):
+            return True
+        return not (
+            self.interpretation.has_unmarked(atom)
+            or self.interpretation.has_plus(atom)
+        )
+
+    # -- event literals ------------------------------------------------------------------
+
+    def event_candidates(self, op, predicate, arity, bound):
+        store = (
+            self.interpretation.plus
+            if op is UpdateOp.INSERT
+            else self.interpretation.minus
+        )
+        relation = store.relation(predicate)
+        if relation is None or relation.arity != arity:
+            return ()
+        return relation.candidates(bound)
+
+    def event_holds(self, op, atom):
+        if op is UpdateOp.INSERT:
+            return self.interpretation.has_plus(atom)
+        return self.interpretation.has_minus(atom)
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def estimate(self, predicate):
+        return self.interpretation.unmarked.count(
+            predicate
+        ) + self.interpretation.plus.count(predicate)
+
+
+def rule_instance_valid(rule, substitution, interpretation):
+    """Whether every body literal of ``(rule, substitution)`` is valid in ``I``.
+
+    This is the paper's ``valid(liθ, I) for all body literals`` condition,
+    used by conflict bookkeeping and by tests; the matcher computes the same
+    thing during search without materializing the ground rule.
+    """
+    for literal in rule.body:
+        if not valid(literal.substitute(substitution), interpretation):
+            return False
+    return True

@@ -1,0 +1,63 @@
+"""The evaluation engine: fact views, join planning, matching, grounding.
+
+The matcher is semantics-agnostic: it enumerates valid groundings of a
+rule body against any :class:`FactsView`.  The PARK core plugs in the
+paper's i-interpretation validity; the deductive baselines plug in plain
+closed-world databases.
+"""
+
+from .datalog import naive_least_fixpoint, query, seminaive_least_fixpoint
+from .dependency import (
+    DependencyEdge,
+    DependencyGraph,
+    ProgramClass,
+    classify_program,
+)
+from .grounder import (
+    ground_instances,
+    ground_program,
+    ground_substitutions,
+    herbrand_base,
+    herbrand_universe,
+)
+from .match import (
+    CompiledRule,
+    clear_compile_cache,
+    compile_rule,
+    fireable_heads,
+    match_body_once,
+    match_rule,
+)
+from .planner import PlanStep, explain_plan, plan_body
+from .query import conjunctive_query, holds, query_rows
+from .views import AtomSetView, DatabaseView, FactsView
+
+__all__ = [
+    "AtomSetView",
+    "CompiledRule",
+    "DatabaseView",
+    "DependencyEdge",
+    "DependencyGraph",
+    "ProgramClass",
+    "classify_program",
+    "FactsView",
+    "PlanStep",
+    "clear_compile_cache",
+    "compile_rule",
+    "explain_plan",
+    "fireable_heads",
+    "ground_instances",
+    "ground_program",
+    "ground_substitutions",
+    "herbrand_base",
+    "herbrand_universe",
+    "match_body_once",
+    "match_rule",
+    "conjunctive_query",
+    "holds",
+    "query_rows",
+    "naive_least_fixpoint",
+    "plan_body",
+    "query",
+    "seminaive_least_fixpoint",
+]

@@ -1,0 +1,127 @@
+"""Positive-datalog least-fixpoint evaluation (naive and semi-naive).
+
+This is the classical deductive substrate the paper builds on: for a
+program whose rules are insert-only with positive bodies, the PARK
+semantics, the inflationary semantics, and the minimal-model (least
+fixpoint) semantics all agree.  We implement both the naive strategy
+(re-derive everything each round) and the semi-naive strategy (each round
+requires at least one body literal to match a newly derived fact), used as
+an evaluation ablation (`benchmarks/bench_matching.py`) and as the engine
+behind the stratified and well-founded baselines.
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineError
+from ..lang.literals import Condition
+from .match import fireable_heads, match_rule
+from .views import DatabaseView
+
+
+def _require_positive_insert_only(program):
+    for rule in program:
+        if not rule.head.is_insert:
+            raise EngineError(
+                "datalog evaluation requires insert-only heads; rule %s deletes"
+                % rule.describe()
+            )
+        for literal in rule.body:
+            if not isinstance(literal, Condition) or not literal.positive:
+                raise EngineError(
+                    "datalog evaluation requires positive bodies; rule %s has %s"
+                    % (rule.describe(), literal)
+                )
+
+
+def naive_least_fixpoint(program, database, max_rounds=None):
+    """Least fixpoint of a positive insert-only program by naive iteration.
+
+    Returns a new :class:`Database`; the input is not modified.
+    """
+    _require_positive_insert_only(program)
+    current = database.copy()
+    view = DatabaseView(current)
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EngineError("naive evaluation exceeded %d rounds" % max_rounds)
+        new_atoms = []
+        for rule in program:
+            for update in fireable_heads(rule, view):
+                if update.atom not in current:
+                    new_atoms.append(update.atom)
+        if not new_atoms:
+            return current
+        for atom in new_atoms:
+            current.add(atom)
+
+
+def seminaive_least_fixpoint(program, database, max_rounds=None):
+    """Least fixpoint by semi-naive iteration.
+
+    Each round only fires rule instances in which at least one body literal
+    matches a fact that is *new* as of the previous round.  We realize the
+    standard rewriting — for a rule with ``k`` positive literals, evaluate
+    ``k`` variants, the *i*-th serving literal ``i`` from the delta — by
+    rebuilding each variant rule with the delta literal's predicate renamed
+    into a shadow relation.
+    """
+    _require_positive_insert_only(program)
+    from ..lang.atoms import Atom
+    from ..lang.program import Program
+    from ..lang.rules import Rule
+
+    delta_prefix = "__delta__"
+    current = database.copy()
+    delta_atoms = set(current.atoms())
+    rounds = 0
+
+    # Precompute the rewritten variants of each rule.
+    variants = []  # (variant_rule, original_rule)
+    for rule in program:
+        body = rule.body
+        for index, literal in enumerate(body):
+            shadow_atom = Atom(delta_prefix + literal.atom.predicate, literal.atom.terms)
+            shadow_literal = Condition(shadow_atom, positive=True)
+            new_body = body[:index] + (shadow_literal,) + body[index + 1 :]
+            variants.append(Rule(head=rule.head, body=new_body, name=None))
+
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EngineError("semi-naive evaluation exceeded %d rounds" % max_rounds)
+
+        # Stage the delta into shadow relations alongside the full data.
+        staging = current.copy()
+        for atom in delta_atoms:
+            staging.add(Atom(delta_prefix + atom.predicate, atom.terms))
+        view = DatabaseView(staging)
+
+        new_atoms = set()
+        for variant in variants:
+            for update in fireable_heads(variant, view):
+                if update.atom not in current and update.atom not in new_atoms:
+                    new_atoms.add(update.atom)
+
+        if not new_atoms:
+            return current
+        for atom in new_atoms:
+            current.add(atom)
+        delta_atoms = new_atoms
+
+
+def query(program, database, goal_atom):
+    """All substitutions answering *goal_atom* in the least fixpoint.
+
+    Convenience helper: evaluates the program, then matches the goal.
+    """
+    from ..lang.rules import Rule
+    from ..lang.updates import Update, UpdateOp
+
+    fixpoint = seminaive_least_fixpoint(program, database)
+    probe = Rule(
+        head=Update(UpdateOp.INSERT, goal_atom),
+        body=(Condition(goal_atom, positive=True),),
+    )
+    return sorted(match_rule(probe, DatabaseView(fixpoint)), key=str)

@@ -1,0 +1,242 @@
+"""Predicate dependency graphs, SCCs, and stratification.
+
+Classical datalog machinery used by the stratified-evaluation baseline
+and by program analysis: the dependency graph has one node per predicate;
+rule ``... b ... -> +h`` adds an edge ``b -> h``, labelled *negative*
+when ``b`` occurs under ``not``.  A program is **stratifiable** iff no
+cycle contains a negative edge; the strata are the SCC condensation
+ordered topologically.
+
+For active rules we extend the classification: an edge is also flagged
+when the body literal is an *event* or the head is a *deletion* — those
+features take a program outside the deductive fragment entirely, which
+:func:`classify_program` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from ..errors import EngineError
+from ..lang.literals import Condition, Event
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """An edge ``source -> target`` induced by some rule."""
+
+    source: str
+    target: str
+    negative: bool = False
+    through_event: bool = False
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a program."""
+
+    def __init__(self, program):
+        self.program = program
+        self._edges: Set[DependencyEdge] = set()
+        self._nodes: Set[str] = set()
+        for rule in program:
+            head = rule.head.atom.predicate
+            self._nodes.add(head)
+            for literal in rule.body:
+                body_predicate = literal.atom.predicate
+                self._nodes.add(body_predicate)
+                negative = isinstance(literal, Condition) and not literal.positive
+                through_event = isinstance(literal, Event)
+                self._edges.add(
+                    DependencyEdge(
+                        source=body_predicate,
+                        target=head,
+                        negative=negative,
+                        through_event=through_event,
+                    )
+                )
+
+    @property
+    def nodes(self) -> FrozenSet[str]:
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self) -> FrozenSet[DependencyEdge]:
+        return frozenset(self._edges)
+
+    def successors(self, predicate):
+        """Predicates depending on *predicate* (edge targets), sorted."""
+        return sorted({e.target for e in self._edges if e.source == predicate})
+
+    def predecessors(self, predicate):
+        """Predicates *predicate* depends on (edge sources), sorted."""
+        return sorted({e.source for e in self._edges if e.target == predicate})
+
+    def negative_edges(self):
+        return frozenset(e for e in self._edges if e.negative)
+
+    # -- strongly connected components (Tarjan, iterative) ----------------------
+
+    def sccs(self) -> List[FrozenSet[str]]:
+        """SCCs in reverse topological order (callees before callers)."""
+        adjacency: Dict[str, List[str]] = {n: [] for n in sorted(self._nodes)}
+        for edge in self._edges:
+            adjacency[edge.source].append(edge.target)
+        for targets in adjacency.values():
+            targets.sort()
+
+        index_counter = [0]
+        indexes: Dict[str, int] = {}
+        lowlinks: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[FrozenSet[str]] = []
+
+        for root in sorted(self._nodes):
+            if root in indexes:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            indexes[root] = lowlinks[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in indexes:
+                        indexes[successor] = lowlinks[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, iter(adjacency[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indexes[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indexes[node]:
+                    component = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    result.append(frozenset(component))
+        return result
+
+    def recursive_predicates(self):
+        """Predicates on a cycle (including self-loops)."""
+        cyclic = set()
+        for component in self.sccs():
+            if len(component) > 1:
+                cyclic |= component
+        for edge in self._edges:
+            if edge.source == edge.target:
+                cyclic.add(edge.source)
+        return frozenset(cyclic)
+
+    # -- stratification ------------------------------------------------------------
+
+    def is_stratifiable(self):
+        """No cycle through a negative edge."""
+        try:
+            self.stratification()
+            return True
+        except EngineError:
+            return False
+
+    def stratification(self) -> List[FrozenSet[str]]:
+        """Strata (lowest first); raises :class:`EngineError` if impossible.
+
+        Stratum assignment: predicates in the same SCC share a stratum; a
+        negative edge must strictly increase the stratum; a positive edge
+        must not decrease it.
+        """
+        components = self.sccs()
+        component_of: Dict[str, int] = {}
+        for position, component in enumerate(components):
+            for predicate in component:
+                component_of[predicate] = position
+
+        for edge in self._edges:
+            if edge.negative and component_of[edge.source] == component_of[edge.target]:
+                raise EngineError(
+                    "program is not stratifiable: negation from %r to %r "
+                    "inside a recursive component" % (edge.source, edge.target)
+                )
+
+        # Longest-path stratum numbers over the (acyclic) condensation.
+        level = [0] * len(components)
+        # components are in reverse topological order: edges go from earlier
+        # components (sources) to later ones... Tarjan emits callees first,
+        # so edge.source's component index <= edge.target's — process in
+        # condensation topological order (reversed emission order handles
+        # the general case below by iterating until fixpoint).
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > 2 * len(components) + 2:
+                raise EngineError("stratification failed to converge")
+            for edge in self._edges:
+                source_component = component_of[edge.source]
+                target_component = component_of[edge.target]
+                if source_component == target_component:
+                    continue
+                needed = level[source_component] + (1 if edge.negative else 0)
+                if level[target_component] < needed:
+                    level[target_component] = needed
+                    changed = True
+
+        stratum_count = max(level) + 1 if components else 0
+        strata: List[Set[str]] = [set() for _ in range(stratum_count)]
+        for position, component in enumerate(components):
+            strata[level[position]] |= component
+        return [frozenset(s) for s in strata if s]
+
+
+@dataclass(frozen=True)
+class ProgramClass:
+    """What fragment a program belongs to."""
+
+    positive: bool          # no negation, no events, insert-only
+    semipositive: bool      # negation only on EDB predicates
+    stratifiable: bool      # negation stratifiable
+    uses_events: bool
+    uses_deletion: bool
+    recursive: bool
+
+    @property
+    def deductive(self):
+        """Insert-only and event-free: a datalog¬ program."""
+        return not self.uses_events and not self.uses_deletion
+
+
+def classify_program(program) -> ProgramClass:
+    """Syntactic classification of *program* (used by baselines and docs)."""
+    graph = DependencyGraph(program)
+    head_predicates = {rule.head.atom.predicate for rule in program}
+    uses_events = any(rule.event_literals() for rule in program)
+    uses_deletion = any(rule.head.is_delete for rule in program)
+    has_negation = any(rule.negative_conditions() for rule in program)
+    semipositive = all(
+        literal.atom.predicate not in head_predicates
+        for rule in program
+        for literal in rule.negative_conditions()
+    )
+    return ProgramClass(
+        positive=not has_negation and not uses_events and not uses_deletion,
+        semipositive=semipositive,
+        stratifiable=graph.is_stratifiable(),
+        uses_events=uses_events,
+        uses_deletion=uses_deletion,
+        recursive=bool(graph.recursive_predicates() & head_predicates),
+    )

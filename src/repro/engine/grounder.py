@@ -1,0 +1,93 @@
+"""Grounding utilities: Herbrand universe/base and brute-force grounding.
+
+The matcher (:mod:`repro.engine.match`) enumerates *valid* groundings
+directly from indexes; this module provides the textbook constructions —
+the Herbrand universe (all constants), the Herbrand base (all ground
+atoms), and exhaustive enumeration of *all* ground instances of a rule —
+used by the semantics' definitions, by property-based tests (which compare
+the matcher against brute force), and by small worked examples.
+
+Exhaustive grounding is exponential in the number of rule variables; it is
+a specification tool, not the evaluation path.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..lang.atoms import Atom
+from ..lang.substitution import Substitution
+from ..lang.terms import Constant
+
+
+def herbrand_universe(program, database):
+    """All constants occurring in *program* or *database*, sorted.
+
+    This is the universe over which rule variables range; it is finite
+    because the language has no function symbols.
+    """
+    constants = set(program.constants())
+    constants |= set(database.constants() if hasattr(database, "constants") else ())
+    if not hasattr(database, "constants"):
+        for atom in database:
+            constants |= atom.constants()
+    return sorted(constants, key=lambda c: (isinstance(c.value, int), str(c.value)))
+
+
+def herbrand_base(program, database):
+    """All ground atoms over the program's predicates and the universe.
+
+    The extended Herbrand base ``H*`` of the paper is this set together
+    with its ``+``/``-`` marked variants; see
+    :meth:`repro.core.interpretation.IInterpretation` for how marks are
+    represented.
+    """
+    universe = herbrand_universe(program, database)
+    signatures = set(program.predicates())
+    for atom in database.atoms() if hasattr(database, "atoms") else database:
+        signatures.add(atom.signature())
+    base = set()
+    for predicate, arity in sorted(signatures):
+        if arity == 0:
+            base.add(Atom(predicate))
+            continue
+        for values in itertools.product(universe, repeat=arity):
+            base.add(Atom(predicate, tuple(values)))
+    return base
+
+
+def ground_substitutions(rule, universe):
+    """Yield every ground substitution for *rule* over *universe*.
+
+    Substitutions cover exactly the rule's variables.  A rule with no
+    variables yields the single empty substitution.
+    """
+    variables = sorted(rule.variables(), key=lambda v: v.name)
+    if not variables:
+        yield Substitution()
+        return
+    constants = [
+        c if isinstance(c, Constant) else Constant(c) for c in universe
+    ]
+    for values in itertools.product(constants, repeat=len(variables)):
+        yield Substitution(dict(zip(variables, values)))
+
+
+def ground_instances(rule, universe):
+    """Yield ``(substitution, ground_rule)`` for every grounding of *rule*."""
+    for substitution in ground_substitutions(rule, universe):
+        yield substitution, rule.substitute(substitution)
+
+
+def ground_program(program, database):
+    """Fully ground *program* over the joint Herbrand universe.
+
+    Returns a list of ``(rule, substitution, ground_rule)`` triples.  Small
+    inputs only — this is the brute-force reference used by tests.
+    """
+    universe = herbrand_universe(program, database)
+    result = []
+    for rule in program:
+        for substitution, ground_rule in ground_instances(rule, universe):
+            result.append((rule, substitution, ground_rule))
+    return result

@@ -1,0 +1,185 @@
+"""The body-matching engine: find all valid groundings of a rule body.
+
+Given a rule and a :class:`~repro.engine.views.FactsView`, the matcher
+enumerates every ground substitution under which all body literals are
+valid.  This single engine powers the immediate consequence operator ``Γ``,
+conflict detection (both "look one step into the future"), and the baseline
+deductive semantics.
+
+Evaluation is backtracking search over the planner's literal order, with
+candidate rows served from hash indexes.  Rules are compiled once (plan +
+per-literal patterns) and cached, since the PARK fixpoint re-evaluates the
+same rules every round.
+"""
+
+from __future__ import annotations
+
+from ..lang.literals import Condition, Event
+from ..lang.substitution import Substitution
+from ..lang.terms import Constant, Variable
+from .planner import plan_body
+
+_compiled_cache = {}
+
+
+class _CompiledLiteral:
+    """A literal preprocessed for fast matching."""
+
+    __slots__ = ("literal", "kind", "predicate", "arity", "terms", "is_event", "op",
+                 "positive")
+
+    def __init__(self, literal, kind):
+        self.literal = literal
+        self.kind = kind
+        self.predicate = literal.atom.predicate
+        self.arity = literal.atom.arity
+        self.terms = literal.atom.terms
+        self.is_event = isinstance(literal, Event)
+        self.op = literal.op if self.is_event else None
+        self.positive = literal.positive if isinstance(literal, Condition) else True
+
+
+class CompiledRule:
+    """A rule plus its compiled body plan; built once, reused every round."""
+
+    __slots__ = ("rule", "steps", "head_vars")
+
+    def __init__(self, rule):
+        self.rule = rule
+        self.steps = tuple(
+            _CompiledLiteral(step.literal, step.kind) for step in plan_body(rule)
+        )
+        self.head_vars = tuple(sorted(rule.head.variables(), key=lambda v: v.name))
+
+
+def compile_rule(rule):
+    """Compile *rule* (cached)."""
+    compiled = _compiled_cache.get(rule)
+    if compiled is None:
+        compiled = CompiledRule(rule)
+        _compiled_cache[rule] = compiled
+    return compiled
+
+
+def clear_compile_cache():
+    """Drop all cached compiled rules (mainly for tests and benchmarks)."""
+    _compiled_cache.clear()
+
+
+def _ground_atom(compiled_literal, bindings):
+    """Instantiate the literal's atom under *bindings* (must be complete)."""
+    from ..lang.atoms import Atom
+
+    terms = tuple(
+        bindings[t] if isinstance(t, Variable) else t for t in compiled_literal.terms
+    )
+    return Atom(compiled_literal.predicate, terms)
+
+
+def _check_holds(view, compiled_literal, bindings):
+    atom = _ground_atom(compiled_literal, bindings)
+    if compiled_literal.is_event:
+        return view.event_holds(compiled_literal.op, atom)
+    if compiled_literal.positive:
+        return view.condition_holds(atom)
+    return view.negation_holds(atom)
+
+
+def _candidate_rows(view, compiled_literal, bindings):
+    bound = {}
+    for position, term in enumerate(compiled_literal.terms):
+        if isinstance(term, Constant):
+            bound[position] = term.value
+        else:
+            constant = bindings.get(term)
+            if constant is not None:
+                bound[position] = constant.value
+    if compiled_literal.is_event:
+        return view.event_candidates(
+            compiled_literal.op, compiled_literal.predicate, compiled_literal.arity, bound
+        )
+    return view.condition_candidates(
+        compiled_literal.predicate, compiled_literal.arity, bound
+    )
+
+
+def _unify_row(compiled_literal, row, bindings):
+    """Extend *bindings* to match *row*; returns the new dict or None.
+
+    Handles repeated variables (``q(X, X)``) and re-checks columns that the
+    view may have served unbound (views may return supersets).
+    """
+    extended = None
+    for position, term in enumerate(compiled_literal.terms):
+        value = row[position]
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+            continue
+        current = (extended or bindings).get(term)
+        if current is not None:
+            if current.value != value:
+                return None
+            continue
+        if extended is None:
+            extended = dict(bindings)
+        extended[term] = Constant(value)
+    return extended if extended is not None else bindings
+
+
+def _search(view, steps, index, bindings):
+    if index == len(steps):
+        yield bindings
+        return
+    step = steps[index]
+    if step.kind == "check":
+        if _check_holds(view, step, bindings):
+            yield from _search(view, steps, index + 1, bindings)
+        return
+    for row in _candidate_rows(view, step, bindings):
+        extended = _unify_row(step, row, bindings)
+        if extended is not None:
+            yield from _search(view, steps, index + 1, extended)
+
+
+def match_rule(rule, view, freeze=True):
+    """Yield every substitution making *rule*'s body valid in *view*.
+
+    With ``freeze=True`` (the default) yields hashable
+    :class:`~repro.lang.substitution.Substitution` objects covering all rule
+    variables; with ``freeze=False`` yields raw ``{Variable: Constant}``
+    dicts (cheaper; the dict must not be retained).
+
+    A bodyless rule yields exactly one empty substitution.
+    """
+    compiled = compile_rule(rule)
+    for bindings in _search(view, compiled.steps, 0, {}):
+        if freeze:
+            yield Substitution(bindings)
+        else:
+            yield bindings
+
+
+def match_body_once(rule, view):
+    """True iff the rule body has at least one valid grounding in *view*."""
+    for _ in match_rule(rule, view, freeze=False):
+        return True
+    return False
+
+
+def fireable_heads(rule, view):
+    """Yield the ground head updates of every valid grounding of *rule*.
+
+    Deduplicates: distinct substitutions that ground the head identically
+    yield one update.
+    """
+    seen = set()
+    for bindings in match_rule(rule, view, freeze=False):
+        head = rule.head
+        if head.atom.is_ground():
+            update = head
+        else:
+            update = head.substitute(bindings)
+        if update not in seen:
+            seen.add(update)
+            yield update

@@ -1,0 +1,99 @@
+"""Join planner: choose an evaluation order for a rule body.
+
+The matcher evaluates body literals left-to-right with backtracking, so the
+order matters:
+
+* **negated literals** are pure filters — they cannot bind variables and,
+  by safety condition 2, all their variables are bound by positive
+  literals.  The planner schedules each one at the earliest point where all
+  its variables are bound (cheap early pruning).
+* **binding literals** (positive conditions and events) are ordered
+  greedily: at each step pick the literal with the most already-bound
+  argument positions (most selective index lookup), breaking ties by
+  fewest free variables, then by original body position (determinism).
+
+The resulting plan is a static property of the rule, computed once and
+cached on the compiled rule; it does not consult data statistics, which
+keeps plans deterministic across runs and engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..lang.literals import Condition
+from ..lang.rules import Rule
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a body plan: a literal plus its role.
+
+    ``kind`` is ``"bind"`` for literals matched against candidate rows
+    (positive conditions and events) and ``"check"`` for ground tests
+    (negated conditions, and binding literals whose variables happen to be
+    fully bound already).
+    """
+
+    literal: object
+    kind: str
+
+
+def _is_negative(literal):
+    return isinstance(literal, Condition) and not literal.positive
+
+
+def plan_body(rule):
+    """Compute the evaluation order for *rule*'s body as a tuple of PlanSteps."""
+    if not isinstance(rule, Rule):
+        raise TypeError("expected a Rule, got %r" % (rule,))
+
+    pending = list(enumerate(rule.body))
+    bound_vars = set()
+    steps = []
+
+    def schedule_eligible_checks():
+        remaining = []
+        for position, literal in pending:
+            if _is_negative(literal) and literal.variables() <= bound_vars:
+                steps.append(PlanStep(literal, "check"))
+            else:
+                remaining.append((position, literal))
+        pending[:] = remaining
+
+    schedule_eligible_checks()
+    while pending:
+        best = None
+        best_key = None
+        for position, literal in pending:
+            if _is_negative(literal):
+                continue
+            literal_vars = literal.variables()
+            bound_count = len(literal_vars & bound_vars) + (
+                literal.atom.arity - len(literal_vars)
+            )
+            free_count = len(literal_vars - bound_vars)
+            key = (-bound_count, free_count, position)
+            if best_key is None or key < best_key:
+                best, best_key = (position, literal), key
+        if best is None:
+            # Only negative literals left but with unbound variables: the
+            # rule-safety check makes this unreachable.
+            raise AssertionError("unschedulable body: %s" % rule)
+        position, literal = best
+        pending.remove(best)
+        if literal.variables() <= bound_vars:
+            steps.append(PlanStep(literal, "check"))
+        else:
+            steps.append(PlanStep(literal, "bind"))
+            bound_vars |= literal.variables()
+        schedule_eligible_checks()
+
+    return tuple(steps)
+
+
+def explain_plan(rule):
+    """Human-readable plan description, one line per step (for debugging)."""
+    lines = []
+    for index, step in enumerate(plan_body(rule)):
+        lines.append("%2d. [%s] %s" % (index + 1, step.kind, step.literal))
+    return "\n".join(lines)

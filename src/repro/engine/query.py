@@ -1,0 +1,105 @@
+"""Ad-hoc conjunctive queries with negation.
+
+A query is a rule body without a head: ``payroll(X, S), not active(X)``.
+Evaluation builds a *probe rule* whose head collects the query's
+variables — which re-uses the rule-safety validation (negated literals
+must be range-restricted) and the full indexed matcher — and returns the
+answer substitutions.
+
+Queries run against any :class:`~repro.engine.views.FactsView`: a plain
+database (closed-world; event literals never hold), or an
+i-interpretation view (the paper's validity, where ``+p(X)`` / ``-p(X)``
+query the pending updates).
+"""
+
+from __future__ import annotations
+
+from ..errors import LanguageError
+from ..lang.atoms import Atom
+from ..lang.literals import Condition, Event
+from ..lang.rules import Rule
+from ..lang.updates import insert
+from .match import match_rule
+from .views import DatabaseView, FactsView
+
+_PROBE = "__query_probe__"
+
+
+def _coerce_literals(query):
+    if isinstance(query, str):
+        from ..lang.parser import parse_body
+
+        return parse_body(query)
+    literals = tuple(query)
+    for literal in literals:
+        if not isinstance(literal, (Condition, Event)):
+            raise LanguageError("query element %r is not a body literal" % (literal,))
+    if not literals:
+        raise LanguageError("empty query")
+    return literals
+
+
+def _probe_rule(literals):
+    variables = set()
+    for literal in literals:
+        variables |= literal.variables()
+    ordered = tuple(sorted(variables, key=lambda v: v.name))
+    # Rule construction enforces the safety conditions for the query.
+    return Rule(head=insert(Atom(_PROBE, ordered)), body=literals), ordered
+
+
+def _coerce_view(source):
+    if isinstance(source, FactsView):
+        return source
+    from ..core.interpretation import IInterpretation
+    from ..core.validity import InterpretationView
+    from ..storage.database import Database
+
+    if isinstance(source, Database):
+        return DatabaseView(source)
+    if isinstance(source, IInterpretation):
+        return InterpretationView(source)
+    raise TypeError(
+        "cannot query %r; expected a Database, IInterpretation or FactsView"
+        % (source,)
+    )
+
+
+def conjunctive_query(query, source):
+    """All answer substitutions of *query* against *source*, sorted.
+
+    *query* is body-literal text or an iterable of literals; *source* a
+    database, i-interpretation, or raw view.  Returns a list of
+    :class:`~repro.lang.substitution.Substitution` (one empty
+    substitution for a satisfied ground query, an empty list for an
+    unsatisfied one).
+    """
+    literals = _coerce_literals(query)
+    rule, _ = _probe_rule(literals)
+    view = _coerce_view(source)
+    return sorted(set(match_rule(rule, view)), key=str)
+
+
+def query_rows(query, source):
+    """Answers as plain ``{variable name: value}`` dicts, sorted.
+
+    >>> from repro.storage.database import Database
+    >>> db = Database.from_text("payroll(joe, 10). payroll(ann, 20). active(ann).")
+    >>> query_rows("payroll(X, S), not active(X)", db)
+    [{'S': 10, 'X': 'joe'}]
+    """
+    answers = conjunctive_query(query, source)
+    return [
+        {variable.name: term.value for variable, term in substitution.items()}
+        for substitution in answers
+    ]
+
+
+def holds(query, source):
+    """Whether the query has at least one answer."""
+    literals = _coerce_literals(query)
+    rule, _ = _probe_rule(literals)
+    view = _coerce_view(source)
+    for _ in match_rule(rule, view, freeze=False):
+        return True
+    return False

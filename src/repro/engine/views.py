@@ -1,0 +1,132 @@
+"""Fact views: the interface between the matcher and a fact source.
+
+The body-matching engine is shared between the PARK semantics (matching
+against an i-interpretation with the paper's validity rules) and the
+baseline deductive engines (matching against a plain database under the
+closed-world assumption).  A :class:`FactsView` abstracts the difference:
+
+* ``condition_candidates`` / ``condition_holds`` realize validity of
+  *positive* condition literals;
+* ``negation_holds`` realizes validity of *negated* condition literals;
+* ``event_candidates`` / ``event_holds`` realize validity of *event*
+  literals (``+a`` / ``-a`` in rule bodies; Section 4.3).
+
+Candidate methods return raw value tuples consistent with the bound columns
+(a superset is permitted — the matcher re-checks bindings), which lets
+implementations serve them straight from hash indexes.
+"""
+
+from __future__ import annotations
+
+
+
+class FactsView:
+    """Abstract fact source for the matcher.  Subclasses override all methods."""
+
+    def condition_candidates(self, predicate, arity, bound):
+        """Rows that could make a positive condition on *predicate* valid.
+
+        *bound* maps column index to a constant value; returned rows must
+        include every row matching those bindings (supersets allowed).
+        """
+        raise NotImplementedError
+
+    def condition_holds(self, atom):
+        """Whether the positive condition literal on ground *atom* is valid."""
+        raise NotImplementedError
+
+    def negation_holds(self, atom):
+        """Whether the negated condition literal ``not atom`` is valid."""
+        raise NotImplementedError
+
+    def event_candidates(self, op, predicate, arity, bound):
+        """Rows that could make the event literal ``±predicate(...)`` valid."""
+        raise NotImplementedError
+
+    def event_holds(self, op, atom):
+        """Whether the event literal ``±atom`` is valid for ground *atom*."""
+        raise NotImplementedError
+
+    def estimate(self, predicate):
+        """A size estimate for *predicate*, used by the join planner."""
+        return 0
+
+
+class DatabaseView(FactsView):
+    """Closed-world view over a plain :class:`~repro.storage.database.Database`.
+
+    Positive conditions are membership, negation is absence, and event
+    literals are never valid (a plain database has no pending updates).
+    Used by the deductive baselines.
+    """
+
+    __slots__ = ("database",)
+
+    def __init__(self, database):
+        self.database = database
+
+    def condition_candidates(self, predicate, arity, bound):
+        relation = self.database.relation(predicate)
+        if relation is None or relation.arity != arity:
+            return ()
+        return relation.candidates(bound)
+
+    def condition_holds(self, atom):
+        return atom in self.database
+
+    def negation_holds(self, atom):
+        return atom not in self.database
+
+    def event_candidates(self, op, predicate, arity, bound):
+        return ()
+
+    def event_holds(self, op, atom):
+        return False
+
+    def estimate(self, predicate):
+        return self.database.count(predicate)
+
+
+class AtomSetView(FactsView):
+    """Closed-world view over a plain set/frozenset of ground atoms.
+
+    Convenient for tests and for one-shot queries where building a full
+    :class:`Database` (with indexes) would cost more than the scan.
+    """
+
+    __slots__ = ("_atoms", "_by_predicate")
+
+    def __init__(self, atoms):
+        self._atoms = frozenset(atoms)
+        self._by_predicate = {}
+        for atom in self._atoms:
+            self._by_predicate.setdefault(atom.signature(), []).append(
+                atom.value_tuple()
+            )
+
+    def condition_candidates(self, predicate, arity, bound):
+        rows = self._by_predicate.get((predicate, arity), ())
+        if not bound:
+            return rows
+        return (
+            row for row in rows if all(row[c] == v for c, v in bound.items())
+        )
+
+    def condition_holds(self, atom):
+        return atom in self._atoms
+
+    def negation_holds(self, atom):
+        return atom not in self._atoms
+
+    def event_candidates(self, op, predicate, arity, bound):
+        return ()
+
+    def event_holds(self, op, atom):
+        return False
+
+    def estimate(self, predicate):
+        total = 0
+        for (name, _arity), rows in self._by_predicate.items():
+            if name == predicate:
+                total += len(rows)
+        return total

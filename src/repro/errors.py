@@ -1,0 +1,77 @@
+"""Exception hierarchy for the PARK reproduction library.
+
+Every error raised by the library derives from :class:`ParkError`, so callers
+can catch one type at the API boundary.  Subclasses are grouped by subsystem:
+language (parsing, safety), storage (schema violations), and engine
+(evaluation limits, policy failures).
+"""
+
+from __future__ import annotations
+
+
+class ParkError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LanguageError(ParkError):
+    """Base class for errors in the rule language layer."""
+
+
+class ParseError(LanguageError):
+    """Raised when rule or database text cannot be parsed.
+
+    Carries the source position so callers can point at the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d, column %d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class SafetyError(LanguageError):
+    """Raised when a rule violates the safety conditions of Section 2.
+
+    Condition 1: every head variable must occur in the rule body.
+    Condition 2: every variable in a negated body literal must occur in a
+    positive (binding) body literal.
+    """
+
+
+class ArityError(LanguageError):
+    """Raised when a predicate is used with inconsistent arities."""
+
+
+class StorageError(ParkError):
+    """Base class for errors in the storage layer."""
+
+
+class SchemaError(StorageError):
+    """Raised when a fact violates the declared schema of a relation."""
+
+
+class EngineError(ParkError):
+    """Base class for errors raised during rule evaluation."""
+
+
+class NonTerminationError(EngineError):
+    """Raised when a fixpoint computation exceeds its iteration budget.
+
+    The PARK semantics provably terminates; hitting this error indicates
+    either a bug or an adversarial custom policy that keeps resolving
+    conflicts without blocking anything.
+    """
+
+
+class PolicyError(EngineError):
+    """Raised when a conflict-resolution policy misbehaves.
+
+    Examples: returning something other than ``insert``/``delete``, or an
+    interactive policy whose script ran out of answers.
+    """
+
+
+class TransactionError(ParkError):
+    """Raised on invalid transaction usage in the active-database facade."""

@@ -1,0 +1,70 @@
+"""The rule language: terms, atoms, literals, rules, programs, parsing.
+
+This package implements the syntax of Section 2 of the paper (active rules
+with safety conditions) plus the event literals of Section 4.3, a concrete
+text syntax with a parser and pretty-printer, and a fluent Python builder.
+"""
+
+from .atoms import Atom, atom
+from .builder import Pred, RuleBuilder, rules, when
+from .literals import Condition, Event, Literal, neg, on_delete, on_insert, pos
+from .parser import parse_atom, parse_body, parse_database, parse_program, parse_rule
+from .pretty import (
+    render_atom,
+    render_database,
+    render_literal,
+    render_program,
+    render_rule,
+    render_term,
+    render_update,
+)
+from .program import Program, program
+from .rules import Rule, rule
+from .substitution import EMPTY_SUBSTITUTION, Substitution, substitution
+from .terms import Constant, Term, Variable, is_constant, is_variable, make_term
+from .updates import Update, UpdateOp, delete, insert
+
+__all__ = [
+    "Atom",
+    "Condition",
+    "Constant",
+    "EMPTY_SUBSTITUTION",
+    "Event",
+    "Literal",
+    "Pred",
+    "Program",
+    "Rule",
+    "RuleBuilder",
+    "Substitution",
+    "Term",
+    "Update",
+    "UpdateOp",
+    "Variable",
+    "atom",
+    "delete",
+    "insert",
+    "is_constant",
+    "is_variable",
+    "make_term",
+    "neg",
+    "on_delete",
+    "on_insert",
+    "parse_atom",
+    "parse_body",
+    "parse_database",
+    "parse_program",
+    "parse_rule",
+    "pos",
+    "program",
+    "render_atom",
+    "render_database",
+    "render_literal",
+    "render_program",
+    "render_rule",
+    "render_term",
+    "render_update",
+    "rule",
+    "rules",
+    "substitution",
+    "when",
+]

@@ -1,0 +1,116 @@
+"""Atoms: a predicate symbol applied to a tuple of terms.
+
+A *ground* atom (one without variables) is the unit of storage: a database
+instance ``D`` is a set of ground atoms, and the extended Herbrand base of
+the PARK semantics consists of ground atoms together with their ``+``/``-``
+marked variants (see :mod:`repro.core.interpretation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .terms import Constant, Term, Variable, make_term
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """An atom ``predicate(t1, ..., tn)``.
+
+    ``terms`` may mix variables and constants.  Atoms are immutable and
+    hashable; equality is structural.  A zero-ary atom (``n == 0``) is a
+    propositional symbol such as ``p`` in the paper's Section 5 examples.
+    """
+
+    predicate: str
+    terms: Tuple[Term, ...] = ()
+
+    def __post_init__(self):
+        if not self.predicate:
+            raise ValueError("predicate name must be non-empty")
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+        for term in self.terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise TypeError("atom argument %r is not a term" % (term,))
+
+    @property
+    def arity(self):
+        """Number of argument positions."""
+        return len(self.terms)
+
+    def is_ground(self):
+        """True iff the atom contains no variables."""
+        return not any(isinstance(t, Variable) for t in self.terms)
+
+    def variables(self):
+        """The set of variables occurring in this atom."""
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def constants(self):
+        """The set of constants occurring in this atom."""
+        return {t for t in self.terms if isinstance(t, Constant)}
+
+    def substitute(self, substitution):
+        """Apply *substitution* (a mapping ``Variable -> Term``) to this atom.
+
+        Unbound variables are left in place, so partial substitutions are
+        allowed; :meth:`ground` is the strict variant.
+        """
+        if not self.terms:
+            return self
+        new_terms = tuple(
+            substitution.get(t, t) if isinstance(t, Variable) else t for t in self.terms
+        )
+        if new_terms == self.terms:
+            return self
+        return Atom(self.predicate, new_terms)
+
+    def ground(self, substitution):
+        """Apply *substitution* and verify the result is ground.
+
+        Raises :class:`ValueError` if any variable remains unbound — the
+        safety conditions guarantee this never happens for valid rule bodies.
+        """
+        grounded = self.substitute(substitution)
+        if not grounded.is_ground():
+            unbound = sorted(v.name for v in grounded.variables())
+            raise ValueError(
+                "atom %s not ground after substitution; unbound: %s"
+                % (grounded, ", ".join(unbound))
+            )
+        return grounded
+
+    def signature(self):
+        """The ``(predicate, arity)`` pair identifying this atom's relation."""
+        return (self.predicate, len(self.terms))
+
+    def value_tuple(self):
+        """The tuple of raw constant values; requires the atom to be ground.
+
+        Used by the storage layer, which stores plain value tuples rather
+        than :class:`Constant` wrappers.
+        """
+        values = []
+        for term in self.terms:
+            if isinstance(term, Variable):
+                raise ValueError("value_tuple() requires a ground atom, got %s" % self)
+            values.append(term.value)
+        return tuple(values)
+
+    def __str__(self):
+        if not self.terms:
+            return self.predicate
+        return "%s(%s)" % (self.predicate, ", ".join(str(t) for t in self.terms))
+
+
+def atom(predicate, *args):
+    """Convenience constructor coercing raw Python values into terms.
+
+    >>> str(atom("edge", "X", "b"))
+    'edge(X, b)'
+    >>> atom("p").arity
+    0
+    """
+    return Atom(predicate, tuple(make_term(a) for a in args))

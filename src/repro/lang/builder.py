@@ -1,0 +1,193 @@
+"""Fluent Python DSL for constructing rules without writing source text.
+
+Two styles are offered.
+
+**Predicate style** — a :class:`Pred` object builds atoms by call, and the
+unary ``+``/``-``/``~`` operators build updates and negations::
+
+    from repro.lang.builder import Pred, when
+
+    emp, active, payroll = Pred("emp"), Pred("active"), Pred("payroll")
+    cleanup = (
+        when(emp.X, ~active.X, payroll("X", "Salary"))
+        .then("-", payroll("X", "Salary"))
+        .named("cleanup")
+    )
+
+**Builder style** — :func:`when` collects body literals, ``.on_insert`` /
+``.on_delete`` add event literals, and ``.then`` sets the head::
+
+    r3 = when().on_insert(r("X")).then("-", s("X")).named("r3")
+
+Both styles produce ordinary :class:`repro.lang.rules.Rule` objects that are
+indistinguishable from parsed rules.
+"""
+
+from __future__ import annotations
+
+from .atoms import Atom
+from .literals import Condition, Event
+from .rules import Rule
+from .terms import make_term
+from .updates import Update, UpdateOp
+
+_OPS = {"+": UpdateOp.INSERT, "-": UpdateOp.DELETE}
+
+
+class PredAtom:
+    """An atom under construction, supporting ``+``, ``-`` and ``~`` prefixes."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom):
+        self.atom = atom
+
+    def __pos__(self):
+        """``+p(X)`` — an insert event literal (or head, in ``then``)."""
+        return Event(Update(UpdateOp.INSERT, self.atom))
+
+    def __neg__(self):
+        """``-p(X)`` — a delete event literal (or head, in ``then``)."""
+        return Event(Update(UpdateOp.DELETE, self.atom))
+
+    def __invert__(self):
+        """``~p(X)`` — negation by failure."""
+        return Condition(self.atom, positive=False)
+
+    def __str__(self):
+        return str(self.atom)
+
+
+class Pred:
+    """A predicate-symbol factory: calling it (or attribute access) makes atoms.
+
+    ``Pred("edge")("X", "Y")`` and ``Pred("active").X`` both build atoms;
+    attribute access is sugar for single-argument atoms.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __call__(self, *args):
+        return PredAtom(Atom(self.name, tuple(make_term(a) for a in args)))
+
+    def __getattr__(self, arg):
+        if arg.startswith("__"):
+            raise AttributeError(arg)
+        return PredAtom(Atom(self.name, (make_term(arg),)))
+
+    def __str__(self):
+        return self.name
+
+
+def _coerce_literal(item):
+    """Accept PredAtom / Atom / Condition / Event and return a body literal."""
+    if isinstance(item, (Condition, Event)):
+        return item
+    if isinstance(item, PredAtom):
+        return Condition(item.atom, positive=True)
+    if isinstance(item, Atom):
+        return Condition(item, positive=True)
+    raise TypeError("cannot use %r as a body literal" % (item,))
+
+
+def _coerce_update(op_or_update, target=None):
+    """Accept ``("+"|"-", atom)`` or an Event/Update and return an Update."""
+    if target is None:
+        item = op_or_update
+        if isinstance(item, Update):
+            return item
+        if isinstance(item, Event):
+            return item.update
+        raise TypeError(
+            "then() needs either (op, atom) or a +p(X)/-p(X) expression; got %r"
+            % (item,)
+        )
+    op = _OPS.get(op_or_update)
+    if op is None:
+        raise ValueError("update op must be '+' or '-', got %r" % (op_or_update,))
+    if isinstance(target, PredAtom):
+        target = target.atom
+    if not isinstance(target, Atom):
+        raise TypeError("update target must be an atom, got %r" % (target,))
+    return Update(op, target)
+
+
+class RuleBuilder:
+    """Accumulates body literals, then a head, then optional metadata."""
+
+    def __init__(self, literals=()):
+        self._literals = list(literals)
+
+    def and_(self, *items):
+        """Append further body literals."""
+        self._literals.extend(_coerce_literal(i) for i in items)
+        return self
+
+    def on_insert(self, target):
+        """Append an insert-event literal ``+target``."""
+        if isinstance(target, PredAtom):
+            target = target.atom
+        self._literals.append(Event(Update(UpdateOp.INSERT, target)))
+        return self
+
+    def on_delete(self, target):
+        """Append a delete-event literal ``-target``."""
+        if isinstance(target, PredAtom):
+            target = target.atom
+        self._literals.append(Event(Update(UpdateOp.DELETE, target)))
+        return self
+
+    def then(self, op_or_update, target=None):
+        """Finish the rule with a head: ``.then("+", p("X"))`` or ``.then(+p.X)``."""
+        head = _coerce_update(op_or_update, target)
+        return FinishedRule(Rule(head=head, body=tuple(self._literals)))
+
+
+class FinishedRule:
+    """A built rule; ``.named`` / ``.with_priority`` return refined copies.
+
+    ``FinishedRule`` duck-types as a Rule via :attr:`rule` and unwraps
+    automatically in :func:`rules`.
+    """
+
+    def __init__(self, rule):
+        self.rule = rule
+
+    def named(self, name):
+        r = self.rule
+        return FinishedRule(
+            Rule(head=r.head, body=r.body, name=name, priority=r.priority)
+        )
+
+    def with_priority(self, priority):
+        r = self.rule
+        return FinishedRule(
+            Rule(head=r.head, body=r.body, name=r.name, priority=priority)
+        )
+
+    def build(self):
+        return self.rule
+
+    def __str__(self):
+        return str(self.rule)
+
+
+def when(*items):
+    """Start a rule from body literals (possibly none, for bodyless rules)."""
+    return RuleBuilder([_coerce_literal(i) for i in items])
+
+
+def rules(*items):
+    """Unwrap a mixture of Rule and FinishedRule objects into a rule tuple."""
+    result = []
+    for item in items:
+        if isinstance(item, FinishedRule):
+            result.append(item.rule)
+        elif isinstance(item, Rule):
+            result.append(item)
+        else:
+            raise TypeError("not a rule: %r" % (item,))
+    return tuple(result)

@@ -1,0 +1,183 @@
+"""Lexer for the textual rule language.
+
+Token kinds::
+
+    IDENT     lower-case identifier:  emp, payroll, q
+    VAR       variable:               X, Salary, _tmp
+    INT       integer literal:        42, -7 is MINUS INT
+    STRING    quoted constant:        "New York", 'a b'
+    LPAREN RPAREN COMMA PERIOD ARROW PLUS MINUS AT NOT
+    EOF
+
+Comments run from ``#`` or ``%`` to end of line.  Both comment leaders are
+accepted because datalog corpora conventionally use ``%`` while Python users
+expect ``#``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+IDENT = "IDENT"
+VAR = "VAR"
+INT = "INT"
+STRING = "STRING"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COMMA = "COMMA"
+PERIOD = "PERIOD"
+ARROW = "ARROW"
+PLUS = "PLUS"
+MINUS = "MINUS"
+AT = "AT"
+NOT = "NOT"
+EOF = "EOF"
+
+_SINGLE_CHAR_TOKENS = {
+    "(": LPAREN,
+    ")": RPAREN,
+    ",": COMMA,
+    ".": PERIOD,
+    "+": PLUS,
+    "@": AT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self):
+        return "%s(%r)" % (self.kind, self.text)
+
+
+class Lexer:
+    """Converts rule-language source text into a list of tokens."""
+
+    def __init__(self, text):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self):
+        """Tokenize the entire input, ending with an EOF token."""
+        result = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind == EOF:
+                return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _error(self, message):
+        raise ParseError(message, self._line, self._column)
+
+    def _peek(self, offset=0):
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self):
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char in "#%":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_trivia()
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if not char:
+            return Token(EOF, "", line, column)
+
+        if char == "-":
+            if self._peek(1) == ">":
+                self._advance(2)
+                return Token(ARROW, "->", line, column)
+            self._advance()
+            return Token(MINUS, "-", line, column)
+
+        if char in _SINGLE_CHAR_TOKENS:
+            self._advance()
+            return Token(_SINGLE_CHAR_TOKENS[char], char, line, column)
+
+        if char in "\"'":
+            return self._string(char, line, column)
+
+        if char.isdigit():
+            return self._integer(line, column)
+
+        if char.isalpha() or char == "_":
+            return self._word(line, column)
+
+        self._error("unexpected character %r" % char)
+
+    def _string(self, quote, line, column):
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            char = self._peek()
+            if not char or char == "\n":
+                raise ParseError("unterminated string literal", line, column)
+            if char == quote:
+                self._advance()
+                return Token(STRING, "".join(chars), line, column)
+            if char == "\\" and self._peek(1) in (quote, "\\"):
+                chars.append(self._peek(1))
+                self._advance(2)
+                continue
+            chars.append(char)
+            self._advance()
+
+    def _integer(self, line, column):
+        chars = []
+        while self._peek().isdigit():
+            chars.append(self._peek())
+            self._advance()
+        if self._peek().isalpha() or self._peek() == "_":
+            self._error("identifier cannot start with a digit")
+        return Token(INT, "".join(chars), line, column)
+
+    def _word(self, line, column):
+        chars = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._peek())
+            self._advance()
+        text = "".join(chars)
+        if text == "not":
+            return Token(NOT, text, line, column)
+        if text[0].isupper() or text[0] == "_":
+            return Token(VAR, text, line, column)
+        return Token(IDENT, text, line, column)
+
+
+def tokenize(text):
+    """Tokenize *text*, returning a list of :class:`Token` ending with EOF."""
+    return Lexer(text).tokens()

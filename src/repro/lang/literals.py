@@ -1,0 +1,136 @@
+"""Body literals of active rules.
+
+The paper's rules have three kinds of body literals:
+
+* a **positive condition** ``a`` — valid in an i-interpretation ``I`` iff
+  ``a ∈ I`` or ``+a ∈ I``;
+* a **negative condition** ``not a`` — negation by failure: valid iff
+  ``-a ∈ I`` or neither ``a`` nor ``+a`` is in ``I``;
+* an **event literal** ``+a`` / ``-a`` (Section 4.3, full ECA rules) —
+  valid iff the identical marked literal is in ``I``.
+
+Validity itself is implemented in :mod:`repro.core.validity`; this module
+only defines the syntactic objects.  The distinction that matters for rule
+safety and join planning is *binding power*: positive conditions and event
+literals bind their variables (they are matched against concrete sets),
+while negative conditions only check already-bound variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .atoms import Atom
+from .updates import Update, UpdateOp
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A positive or negated condition literal, e.g. ``q(X)`` or ``not q(X)``."""
+
+    atom: Atom
+    positive: bool = True
+
+    def __post_init__(self):
+        if not isinstance(self.atom, Atom):
+            raise TypeError("atom must be an Atom, got %r" % (self.atom,))
+
+    @property
+    def binds(self):
+        """Whether matching this literal can bind fresh variables."""
+        return self.positive
+
+    def variables(self):
+        return self.atom.variables()
+
+    def substitute(self, substitution):
+        new_atom = self.atom.substitute(substitution)
+        if new_atom is self.atom:
+            return self
+        return Condition(new_atom, self.positive)
+
+    def ground(self, substitution):
+        return Condition(self.atom.ground(substitution), self.positive)
+
+    def is_ground(self):
+        return self.atom.is_ground()
+
+    def negate(self):
+        """The complementary condition (positive <-> negated)."""
+        return Condition(self.atom, not self.positive)
+
+    def __str__(self):
+        if self.positive:
+            return str(self.atom)
+        return "not %s" % self.atom
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event literal ``+a`` or ``-a`` in an ECA rule body (Section 4.3).
+
+    An event literal is triggered by the *update itself* being present in
+    the current i-interpretation, not by the truth of the underlying atom.
+    """
+
+    update: Update
+
+    def __post_init__(self):
+        if not isinstance(self.update, Update):
+            raise TypeError("update must be an Update, got %r" % (self.update,))
+
+    @property
+    def atom(self):
+        return self.update.atom
+
+    @property
+    def op(self):
+        return self.update.op
+
+    @property
+    def binds(self):
+        """Event literals match against the marked sets, so they bind."""
+        return True
+
+    def variables(self):
+        return self.update.variables()
+
+    def substitute(self, substitution):
+        new_update = self.update.substitute(substitution)
+        if new_update is self.update:
+            return self
+        return Event(new_update)
+
+    def ground(self, substitution):
+        return Event(self.update.ground(substitution))
+
+    def is_ground(self):
+        return self.update.is_ground()
+
+    def __str__(self):
+        return str(self.update)
+
+
+#: A body literal is a condition or an event.
+Literal = Union[Condition, Event]
+
+
+def pos(atom):
+    """Positive condition literal on *atom*."""
+    return Condition(atom, True)
+
+
+def neg(atom):
+    """Negated condition literal on *atom* (negation by failure)."""
+    return Condition(atom, False)
+
+
+def on_insert(atom):
+    """Event literal ``+atom`` — fires when *atom* is being inserted."""
+    return Event(Update(UpdateOp.INSERT, atom))
+
+
+def on_delete(atom):
+    """Event literal ``-atom`` — fires when *atom* is being deleted."""
+    return Event(Update(UpdateOp.DELETE, atom))

@@ -1,0 +1,275 @@
+"""Recursive-descent parser for the textual rule language.
+
+Grammar (EBNF)::
+
+    program    := statement* EOF
+    statement  := annotation* rule
+    annotation := '@' 'name'     '(' IDENT ')'
+                | '@' 'priority' '(' ['-'] INT ')'
+    rule       := [ body ] '->' head '.'
+    body       := literal ( ',' literal )*
+    literal    := 'not' atom            (negated condition)
+                | '+' atom              (insert event)
+                | '-' atom              (delete event)
+                | atom                  (positive condition)
+    head       := ('+' | '-') atom
+    atom       := IDENT [ '(' term ( ',' term )* ')' ]
+    term       := IDENT | VAR | INT | '-' INT | STRING
+
+    database   := fact* EOF
+    fact       := atom '.'              (must be ground)
+
+Examples::
+
+    # delete stale payroll records (paper, Section 2)
+    @name(cleanup)
+    emp(X), not active(X), payroll(X, Salary) -> -payroll(X, Salary).
+
+    # a transaction update, as a bodyless rule (paper, Section 4.3)
+    -> +q(b).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import lexer as lex
+from .atoms import Atom
+from .literals import Condition, Event
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Variable
+from .updates import Update, UpdateOp
+
+
+class Parser:
+    """Parses tokens produced by :mod:`repro.lang.lexer`."""
+
+    def __init__(self, text):
+        self._tokens = lex.tokenize(text)
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self):
+        return self._tokens[self._index]
+
+    def _advance(self):
+        token = self._tokens[self._index]
+        if token.kind != lex.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, kind, what=None):
+        token = self._peek()
+        if token.kind != kind:
+            wanted = what or kind
+            raise ParseError(
+                "expected %s, found %s" % (wanted, token), token.line, token.column
+            )
+        return self._advance()
+
+    def _at(self, kind):
+        return self._peek().kind == kind
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_program(self):
+        """Parse a whole rule program."""
+        rules = []
+        while not self._at(lex.EOF):
+            rules.append(self._statement())
+        return Program(tuple(rules))
+
+    def parse_rule(self):
+        """Parse exactly one rule (annotations allowed); reject trailing input."""
+        parsed = self._statement()
+        token = self._peek()
+        if token.kind != lex.EOF:
+            raise ParseError(
+                "unexpected input after rule: %s" % token, token.line, token.column
+            )
+        return parsed
+
+    def parse_database(self):
+        """Parse a list of ground facts into a set of atoms."""
+        facts = set()
+        while not self._at(lex.EOF):
+            fact = self._atom()
+            token = self._expect(lex.PERIOD, "'.' after fact")
+            if not fact.is_ground():
+                raise ParseError(
+                    "database fact %s contains variables" % fact,
+                    token.line,
+                    token.column,
+                )
+            facts.add(fact)
+        return facts
+
+    # -- grammar productions -----------------------------------------------------
+
+    def _statement(self):
+        name = None
+        priority = None
+        while self._at(lex.AT):
+            key, value = self._annotation()
+            if key == "name":
+                name = value
+            else:
+                priority = value
+
+        body = ()
+        if not self._at(lex.ARROW):
+            body = self._body()
+        self._expect(lex.ARROW, "'->'")
+        head = self._head()
+        self._expect(lex.PERIOD, "'.' at end of rule")
+        return Rule(head=head, body=body, name=name, priority=priority)
+
+    def _annotation(self):
+        self._expect(lex.AT)
+        key_token = self._expect(lex.IDENT, "annotation name")
+        if key_token.text not in ("name", "priority"):
+            raise ParseError(
+                "unknown annotation @%s (expected @name or @priority)"
+                % key_token.text,
+                key_token.line,
+                key_token.column,
+            )
+        self._expect(lex.LPAREN)
+        if key_token.text == "name":
+            value_token = self._expect(lex.IDENT, "rule name")
+            value = value_token.text
+        else:
+            negative = False
+            if self._at(lex.MINUS):
+                self._advance()
+                negative = True
+            value_token = self._expect(lex.INT, "integer priority")
+            value = int(value_token.text)
+            if negative:
+                value = -value
+        self._expect(lex.RPAREN)
+        return key_token.text, value
+
+    def _body(self):
+        literals = [self._literal()]
+        while self._at(lex.COMMA):
+            self._advance()
+            literals.append(self._literal())
+        return tuple(literals)
+
+    def _literal(self):
+        if self._at(lex.NOT):
+            self._advance()
+            return Condition(self._atom(), positive=False)
+        if self._at(lex.PLUS):
+            self._advance()
+            return Event(Update(UpdateOp.INSERT, self._atom()))
+        if self._at(lex.MINUS):
+            token = self._peek()
+            self._advance()
+            if not self._at(lex.IDENT):
+                raise ParseError(
+                    "expected atom after '-' event marker", token.line, token.column
+                )
+            return Event(Update(UpdateOp.DELETE, self._atom()))
+        return Condition(self._atom(), positive=True)
+
+    def _head(self):
+        if self._at(lex.PLUS):
+            self._advance()
+            return Update(UpdateOp.INSERT, self._atom())
+        if self._at(lex.MINUS):
+            self._advance()
+            return Update(UpdateOp.DELETE, self._atom())
+        token = self._peek()
+        raise ParseError(
+            "rule head must start with '+' or '-'", token.line, token.column
+        )
+
+    def _atom(self):
+        predicate = self._expect(lex.IDENT, "predicate name").text
+        if not self._at(lex.LPAREN):
+            return Atom(predicate)
+        self._advance()
+        terms = [self._term()]
+        while self._at(lex.COMMA):
+            self._advance()
+            terms.append(self._term())
+        self._expect(lex.RPAREN, "')'")
+        return Atom(predicate, tuple(terms))
+
+    def _term(self):
+        token = self._peek()
+        if token.kind == lex.IDENT:
+            self._advance()
+            return Constant(token.text)
+        if token.kind == lex.VAR:
+            self._advance()
+            return Variable(token.text)
+        if token.kind == lex.STRING:
+            self._advance()
+            return Constant(token.text)
+        if token.kind == lex.INT:
+            self._advance()
+            return Constant(int(token.text))
+        if token.kind == lex.MINUS:
+            self._advance()
+            number = self._expect(lex.INT, "integer after '-'")
+            return Constant(-int(number.text))
+        raise ParseError("expected a term, found %s" % token, token.line, token.column)
+
+
+def parse_program(text):
+    """Parse rule-language source text into a :class:`Program`.
+
+    >>> p = parse_program("p(X) -> +q(X).")
+    >>> len(p)
+    1
+    """
+    return Parser(text).parse_program()
+
+
+def parse_rule(text):
+    """Parse a single rule from *text*."""
+    return Parser(text).parse_rule()
+
+
+def parse_database(text):
+    """Parse ground facts (``p(a). q(a, b).``) into a set of atoms."""
+    return Parser(text).parse_database()
+
+
+def parse_atom(text):
+    """Parse a single (possibly non-ground) atom from *text*."""
+    parser = Parser(text)
+    result = parser._atom()
+    token = parser._peek()
+    if token.kind != lex.EOF:
+        raise ParseError(
+            "unexpected input after atom: %s" % token, token.line, token.column
+        )
+    return result
+
+
+def parse_body(text):
+    """Parse a comma-separated list of body literals (no head, no period).
+
+    Used for ad-hoc queries: ``payroll(X, S), not active(X)``.  The same
+    safety discipline as rule bodies applies — negated literals may only
+    use variables bound by positive/event literals — enforced by wrapping
+    the body in a probe rule.
+    """
+    parser = Parser(text)
+    if parser._at(lex.EOF):
+        raise ParseError("empty query", 1, 1)
+    literals = parser._body()
+    token = parser._peek()
+    if token.kind == lex.PERIOD:
+        parser._advance()
+        token = parser._peek()
+    if token.kind != lex.EOF:
+        raise ParseError(
+            "unexpected input after query: %s" % token, token.line, token.column
+        )
+    return tuple(literals)

@@ -1,0 +1,137 @@
+"""Programs: ordered, validated collections of active rules.
+
+A :class:`Program` is what the paper calls ``P``.  It is immutable; the ECA
+extension (Section 4.3) builds the modified program ``P_U`` by *extending* a
+program with bodyless transaction-update rules, producing a new object.
+
+Program-level validation complements per-rule safety:
+
+* predicate arities must be used consistently across all rules (this is the
+  schema discipline a database system would enforce through its catalog);
+* explicit rule names must be unique, so traces and blocked-set reports are
+  unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ArityError, LanguageError
+from .rules import Rule
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable sequence of active rules."""
+
+    rules: Tuple[Rule, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+        for r in self.rules:
+            if not isinstance(r, Rule):
+                raise TypeError("program element %r is not a Rule" % (r,))
+        self._check_names()
+        self._check_arities()
+
+    def _check_names(self):
+        seen = set()
+        for r in self.rules:
+            if r.name is None:
+                continue
+            if r.name in seen:
+                raise LanguageError("duplicate rule name: %r" % r.name)
+            seen.add(r.name)
+
+    def _check_arities(self):
+        arities = {}
+        for r in self.rules:
+            for predicate, arity in r.predicates():
+                known = arities.get(predicate)
+                if known is None:
+                    arities[predicate] = arity
+                elif known != arity:
+                    raise ArityError(
+                        "predicate %r used with arities %d and %d"
+                        % (predicate, known, arity)
+                    )
+
+    # -- collection protocol ------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self):
+        return len(self.rules)
+
+    def __getitem__(self, index):
+        return self.rules[index]
+
+    def __contains__(self, r):
+        return r in self.rules
+
+    # -- accessors -----------------------------------------------------------
+
+    def by_name(self, name):
+        """The rule with the given explicit name.
+
+        Raises ``KeyError`` if no rule carries that name.
+        """
+        for r in self.rules:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def predicates(self):
+        """All predicate signatures mentioned anywhere in the program."""
+        sigs = set()
+        for r in self.rules:
+            sigs |= r.predicates()
+        return sigs
+
+    def arity_of(self, predicate):
+        """The arity of *predicate* as used by this program, or ``None``."""
+        for name, arity in self.predicates():
+            if name == predicate:
+                return arity
+        return None
+
+    def constants(self):
+        """All constants occurring in the program (heads and bodies)."""
+        result = set()
+        for r in self.rules:
+            result |= r.head.atom.constants()
+            for literal in r.body:
+                result |= literal.atom.constants()
+        return result
+
+    def is_condition_action(self):
+        """True iff no rule uses event literals (plain CA program)."""
+        return all(r.is_condition_action() for r in self.rules)
+
+    def is_insert_only(self):
+        """True iff every head is an insertion — such programs never conflict."""
+        return all(r.head.is_insert for r in self.rules)
+
+    def is_positive(self):
+        """True iff no body literal is negated and none is an event."""
+        return all(
+            not r.event_literals() and not r.negative_conditions()
+            for r in self.rules
+        )
+
+    # -- construction --------------------------------------------------------
+
+    def extend(self, new_rules):
+        """A new program with *new_rules* appended (used to build ``P_U``)."""
+        return Program(self.rules + tuple(new_rules))
+
+    def __str__(self):
+        return "\n".join(str(r) for r in self.rules)
+
+
+def program(*rules):
+    """Convenience constructor: ``program(r1, r2, r3)``."""
+    return Program(tuple(rules))

@@ -1,0 +1,157 @@
+"""Active rules ``l1, ..., ln -> ±l0`` and their safety conditions.
+
+Section 2 of the paper imposes two safety conditions, which this module
+enforces at construction time (they guarantee that every fireable rule
+instance is ground and that negation by failure is well-defined):
+
+1. every variable in the rule head also occurs in the rule body;
+2. every variable in a negated body literal also occurs in some positive
+   body literal.
+
+For full ECA rules we treat event literals as *positive* occurrences for
+condition 2: an event literal ``+a(X)`` is matched against the concrete set
+of pending insertions, so it binds ``X`` just like a positive condition.
+
+A rule may carry a ``name`` (used by traces, priorities and blocking
+reports) and an integer ``priority`` (used by the rule-priority conflict
+resolution strategy of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import SafetyError
+from .literals import Condition, Event, Literal
+from .updates import Update
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An active rule: body literals implying a head update.
+
+    An empty body is allowed: the paper models transaction updates ``U`` as
+    bodyless rules ``-> +a`` / ``-> -a`` (Section 4.3).  A bodyless rule must
+    have a ground head (safety condition 1 degenerates to this).
+    """
+
+    head: Update
+    body: Tuple[Literal, ...] = ()
+    name: Optional[str] = None
+    priority: Optional[int] = None
+
+    def __post_init__(self):
+        if not isinstance(self.head, Update):
+            raise TypeError("rule head must be an Update, got %r" % (self.head,))
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        for literal in self.body:
+            if not isinstance(literal, (Condition, Event)):
+                raise TypeError("body literal %r is not a Condition or Event" % (literal,))
+        if self.priority is not None and not isinstance(self.priority, int):
+            raise TypeError("priority must be an int, got %r" % (self.priority,))
+        self._check_safety()
+
+    # -- safety ------------------------------------------------------------
+
+    def _check_safety(self):
+        binding_vars = set()
+        for literal in self.body:
+            if literal.binds:
+                binding_vars |= literal.variables()
+
+        head_vars = self.head.variables()
+        unsafe_head = head_vars - binding_vars
+        if unsafe_head:
+            raise SafetyError(
+                "rule %s: head variable(s) %s do not occur in the body"
+                % (self.describe(), ", ".join(sorted(v.name for v in unsafe_head)))
+            )
+
+        for literal in self.body:
+            if isinstance(literal, Condition) and not literal.positive:
+                unsafe = literal.variables() - binding_vars
+                if unsafe:
+                    raise SafetyError(
+                        "rule %s: variable(s) %s occur only in negated literal %s"
+                        % (
+                            self.describe(),
+                            ", ".join(sorted(v.name for v in unsafe)),
+                            literal,
+                        )
+                    )
+
+    # -- structure ---------------------------------------------------------
+
+    def variables(self):
+        """All variables occurring anywhere in the rule."""
+        result = set(self.head.variables())
+        for literal in self.body:
+            result |= literal.variables()
+        return result
+
+    def predicates(self):
+        """All predicate signatures mentioned by the rule (body and head)."""
+        sigs = {self.head.atom.signature()}
+        for literal in self.body:
+            sigs.add(literal.atom.signature())
+        return sigs
+
+    def positive_conditions(self):
+        """The positive condition literals of the body, in order."""
+        return tuple(
+            l for l in self.body if isinstance(l, Condition) and l.positive
+        )
+
+    def negative_conditions(self):
+        """The negated condition literals of the body, in order."""
+        return tuple(
+            l for l in self.body if isinstance(l, Condition) and not l.positive
+        )
+
+    def event_literals(self):
+        """The event literals of the body, in order."""
+        return tuple(l for l in self.body if isinstance(l, Event))
+
+    def is_condition_action(self):
+        """True iff the rule has no event literals (plain CA rule, Sec. 4.2)."""
+        return not self.event_literals()
+
+    def is_fact_rule(self):
+        """True iff the rule has an empty body (transaction-update rule)."""
+        return not self.body
+
+    def substitute(self, substitution):
+        """Apply a substitution to head and body.
+
+        The result bypasses safety re-validation: a partially instantiated
+        rule may transiently violate condition 1 even though the original
+        rule and the fully ground instance are both fine.
+        """
+        new_head = self.head.substitute(substitution)
+        new_body = tuple(l.substitute(substitution) for l in self.body)
+        return Rule.__new_unchecked__(new_head, new_body, self.name, self.priority)
+
+    @classmethod
+    def __new_unchecked__(cls, head, body, name, priority):
+        rule = object.__new__(cls)
+        object.__setattr__(rule, "head", head)
+        object.__setattr__(rule, "body", tuple(body))
+        object.__setattr__(rule, "name", name)
+        object.__setattr__(rule, "priority", priority)
+        return rule
+
+    def describe(self):
+        """The rule's name if it has one, else its textual form."""
+        return self.name if self.name else str(self)
+
+    def __str__(self):
+        body_text = ", ".join(str(l) for l in self.body)
+        arrow = "%s -> " % body_text if self.body else "-> "
+        return arrow + str(self.head)
+
+
+def rule(head, *body, name=None, priority=None):
+    """Convenience constructor: ``rule(insert(a), pos(b), neg(c), name="r1")``."""
+    return Rule(head=head, body=tuple(body), name=name, priority=priority)

@@ -1,0 +1,155 @@
+"""Immutable substitutions (variable bindings).
+
+A *ground substitution* for a rule maps every variable of the rule to a
+constant; the pair ``(rule, substitution)`` is the paper's *rule grounding*.
+Substitutions must be hashable because sets of rule groundings (``ins``,
+``del``, the blocked set ``B``) are first-class objects in the semantics.
+
+Internally the matcher (:mod:`repro.engine.match`) works with plain dicts
+for speed and freezes them into :class:`Substitution` objects only when a
+grounding escapes into the semantics layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .terms import Constant, Term, Variable
+
+
+class Substitution(Mapping):
+    """An immutable, hashable mapping from variables to terms.
+
+    Supports the full :class:`Mapping` protocol plus :meth:`bind` (extend
+    with one binding), :meth:`merge` (union of compatible substitutions) and
+    :meth:`restrict` (projection onto a variable set).
+    """
+
+    __slots__ = ("_bindings", "_hash")
+
+    def __init__(self, bindings=None):
+        items: Dict[Variable, Term] = {}
+        if bindings:
+            for var, term in dict(bindings).items():
+                if not isinstance(var, Variable):
+                    raise TypeError("substitution key %r is not a Variable" % (var,))
+                if not isinstance(term, (Variable, Constant)):
+                    raise TypeError("substitution value %r is not a term" % (term,))
+                items[var] = term
+        self._bindings: Tuple[Tuple[Variable, Term], ...] = tuple(
+            sorted(items.items(), key=lambda kv: kv[0].name)
+        )
+        self._hash = hash(self._bindings)
+
+    # -- Mapping protocol --------------------------------------------------
+
+    def __getitem__(self, var):
+        for key, term in self._bindings:
+            if key == var:
+                return term
+        raise KeyError(var)
+
+    def __iter__(self):
+        return (key for key, _ in self._bindings)
+
+    def __len__(self):
+        return len(self._bindings)
+
+    def __contains__(self, var):
+        return any(key == var for key, _ in self._bindings)
+
+    # -- identity ----------------------------------------------------------
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        if isinstance(other, Substitution):
+            return self._bindings == other._bindings
+        if isinstance(other, Mapping):
+            return dict(self._bindings) == dict(other)
+        return NotImplemented
+
+    # -- operations --------------------------------------------------------
+
+    def bind(self, var, term):
+        """Return a new substitution with ``var -> term`` added.
+
+        Rebinding a variable to a *different* term raises ``ValueError``;
+        rebinding to the same term returns ``self``.
+        """
+        existing = self.get(var)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise ValueError(
+                "variable %s already bound to %s, cannot rebind to %s"
+                % (var, existing, term)
+            )
+        new = dict(self._bindings)
+        new[var] = term
+        return Substitution(new)
+
+    def merge(self, other):
+        """Union of two substitutions; ``None`` if they disagree on a variable."""
+        merged = dict(self._bindings)
+        for var, term in other.items():
+            existing = merged.get(var)
+            if existing is None:
+                merged[var] = term
+            elif existing != term:
+                return None
+        return Substitution(merged)
+
+    def restrict(self, variables):
+        """Projection of this substitution onto *variables*."""
+        wanted = set(variables)
+        return Substitution(
+            {var: term for var, term in self._bindings if var in wanted}
+        )
+
+    def is_ground(self):
+        """True iff every bound value is a constant."""
+        return all(isinstance(term, Constant) for _, term in self._bindings)
+
+    def covers(self, variables: Iterable[Variable]):
+        """True iff every variable in *variables* is bound."""
+        bound = {key for key, _ in self._bindings}
+        return all(var in bound for var in variables)
+
+    def __str__(self):
+        if not self._bindings:
+            return "[]"
+        return "[%s]" % ", ".join(
+            "%s <- %s" % (var, term) for var, term in self._bindings
+        )
+
+    def __repr__(self):
+        return "Substitution({%s})" % ", ".join(
+            "%r: %r" % (var, term) for var, term in self._bindings
+        )
+
+
+#: The empty substitution, shared.
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def substitution(**bindings):
+    """Keyword-style constructor: ``substitution(X="a", Y=3)``.
+
+    Keys are variable names; values are coerced with
+    :func:`repro.lang.terms.make_term` except that *strings always become
+    constants* here (a binding value is never implicitly a variable).
+    """
+    from .terms import make_term
+
+    result = {}
+    for name, value in bindings.items():
+        if isinstance(value, (Variable, Constant)):
+            term = value
+        elif isinstance(value, str):
+            term = Constant(value)
+        else:
+            term = make_term(value)
+        result[Variable(name)] = term
+    return Substitution(result)

@@ -1,0 +1,105 @@
+"""Terms of the rule language: variables and constants.
+
+The PARK paper works over standard datalog terms: a term is either a
+*variable* (written with a leading upper-case letter, e.g. ``X``) or a
+*constant* (a symbol such as ``a`` or an integer such as ``42``).  Function
+symbols are not part of the language — the Herbrand universe is the finite
+set of constants occurring in the program and database, which is what makes
+the semantics polynomially tractable.
+
+Terms are immutable and hashable so that atoms, literals, substitutions and
+rule groundings can live in plain Python sets, mirroring the paper's
+set-theoretic definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A logic variable, e.g. ``X`` in ``p(X) -> +q(X)``.
+
+    Variable names conventionally start with an upper-case letter or an
+    underscore; the parser enforces this, but programmatically constructed
+    variables may use any non-empty string.
+    """
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return "Variable(%r)" % self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A constant symbol or integer, e.g. ``a`` or ``42``.
+
+    The ``value`` is either a string (symbolic constant) or an integer.
+    Two constants are equal iff their values are equal; note that because
+    Python treats ``1 == True``, boolean values are rejected.
+    """
+
+    value: Union[str, int]
+
+    def __post_init__(self):
+        if isinstance(self.value, bool) or not isinstance(self.value, (str, int)):
+            raise TypeError(
+                "constant value must be a string or an integer, got %r" % (self.value,)
+            )
+
+    def __str__(self):
+        if isinstance(self.value, int):
+            return str(self.value)
+        return self.value
+
+    def __repr__(self):
+        return "Constant(%r)" % (self.value,)
+
+
+#: A term is a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def is_variable(term):
+    """Return True iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term):
+    """Return True iff *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value):
+    """Coerce a Python value into a :class:`Term`.
+
+    Strings with a leading upper-case letter or underscore become variables
+    (matching the parser's convention); all other strings and all integers
+    become constants.  Existing terms pass through unchanged.
+
+    >>> make_term("X")
+    Variable('X')
+    >>> make_term("alice")
+    Constant('alice')
+    >>> make_term(7)
+    Constant(7)
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        if value and (value[0].isupper() or value[0] == "_"):
+            return Variable(value)
+        return Constant(value)
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Constant(value)
+    raise TypeError("cannot interpret %r as a term" % (value,))

@@ -1,0 +1,96 @@
+"""Updates: signed ground-atom operations (``+a`` insert, ``-a`` delete).
+
+The same ``(op, atom)`` shape appears in four places in the paper, and we
+use one type for all of them:
+
+* rule heads (the *action* of a condition-action rule),
+* event literals in ECA rule bodies (Section 4.3),
+* transaction updates ``U`` (Section 4.3), and
+* the marked elements of an i-interpretation (``+a`` / ``-a``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .atoms import Atom
+
+
+class UpdateOp(enum.Enum):
+    """The two update operations of the paper: insertion and deletion."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+    @property
+    def sign(self):
+        """The paper's prefix character, ``'+'`` or ``'-'``."""
+        return self.value
+
+    def opposite(self):
+        """Insertion for deletion and vice versa."""
+        return UpdateOp.DELETE if self is UpdateOp.INSERT else UpdateOp.INSERT
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Update:
+    """A signed atom ``+a`` or ``-a``.
+
+    The atom may contain variables when the update is a rule head; it must
+    be ground when used as a transaction update or interpretation element.
+    """
+
+    op: UpdateOp
+    atom: Atom
+
+    def __post_init__(self):
+        if not isinstance(self.op, UpdateOp):
+            raise TypeError("op must be an UpdateOp, got %r" % (self.op,))
+        if not isinstance(self.atom, Atom):
+            raise TypeError("atom must be an Atom, got %r" % (self.atom,))
+
+    @property
+    def is_insert(self):
+        return self.op is UpdateOp.INSERT
+
+    @property
+    def is_delete(self):
+        return self.op is UpdateOp.DELETE
+
+    def is_ground(self):
+        return self.atom.is_ground()
+
+    def variables(self):
+        return self.atom.variables()
+
+    def substitute(self, substitution):
+        """Apply a substitution to the underlying atom."""
+        new_atom = self.atom.substitute(substitution)
+        if new_atom is self.atom:
+            return self
+        return Update(self.op, new_atom)
+
+    def ground(self, substitution):
+        """Apply a substitution and require the result to be ground."""
+        return Update(self.op, self.atom.ground(substitution))
+
+    def negated(self):
+        """The conflicting update: ``+a`` for ``-a`` and vice versa."""
+        return Update(self.op.opposite(), self.atom)
+
+    def __str__(self):
+        return "%s%s" % (self.op.sign, self.atom)
+
+
+def insert(atom):
+    """Shorthand for ``Update(UpdateOp.INSERT, atom)``."""
+    return Update(UpdateOp.INSERT, atom)
+
+
+def delete(atom):
+    """Shorthand for ``Update(UpdateOp.DELETE, atom)``."""
+    return Update(UpdateOp.DELETE, atom)

@@ -1,0 +1,52 @@
+"""Conflict-resolution policies: the ``SELECT`` parameter of PARK.
+
+All six strategies discussed in the paper (inertia, rule priority,
+specificity, voting, interactive, random) plus combinators for building
+application-specific policies out of them.
+"""
+
+from .base import (
+    CallablePolicy,
+    ConflictContext,
+    Decision,
+    SelectPolicy,
+    as_policy,
+    check_decision,
+)
+from .composite import (
+    ConstantPolicy,
+    FirstDecisivePolicy,
+    PerPredicatePolicy,
+    TransactionWinsPolicy,
+)
+from .critics import RecencyCritic, SourceReliabilityCritic
+from .inertia import InertiaPolicy
+from .interactive import InteractivePolicy, ScriptedPolicy, console_asker
+from .priority import PriorityPolicy
+from .random_choice import RandomPolicy
+from .specificity import SpecificityPolicy, more_specific
+from .voting import VotingPolicy
+
+__all__ = [
+    "CallablePolicy",
+    "ConflictContext",
+    "ConstantPolicy",
+    "Decision",
+    "FirstDecisivePolicy",
+    "InertiaPolicy",
+    "InteractivePolicy",
+    "PerPredicatePolicy",
+    "PriorityPolicy",
+    "RandomPolicy",
+    "RecencyCritic",
+    "ScriptedPolicy",
+    "SelectPolicy",
+    "SourceReliabilityCritic",
+    "SpecificityPolicy",
+    "TransactionWinsPolicy",
+    "VotingPolicy",
+    "as_policy",
+    "check_decision",
+    "console_asker",
+    "more_specific",
+]

@@ -1,0 +1,119 @@
+"""The conflict-resolution interface: ``SELECT(D, P, I, c)``.
+
+Section 3 of the paper requires the semantics to be *parameterized* by a
+conflict resolution policy: a function from the database instance ``D``,
+the program ``P``, the current state of the computation ``I`` and a
+conflict ``c = (a, ins, del)`` to one of ``insert`` / ``delete``.  The
+fixpoint engine treats the policy as a black box ("an oracle"), which is
+what makes the inference component and the resolution component
+independently replaceable.
+
+A policy is anything with a ``select(context) -> Decision`` method (or a
+bare callable).  :class:`ConflictContext` carries the paper's four
+arguments plus engine extras (current blocked set, restart count) that
+sophisticated policies may consult — the paper explicitly allows context
+information beyond the four core components.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from ..errors import PolicyError
+
+
+class Decision(enum.Enum):
+    """The two possible outcomes of ``SELECT``: keep the insert or the delete."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class ConflictContext:
+    """Everything ``SELECT`` may look at when resolving one conflict.
+
+    Attributes:
+        database: the *original* database instance ``D`` (not the current
+            intermediate state) — the paper's first argument.
+        program: the program ``P`` (with transaction-update rules included
+            when running full ECA semantics).
+        interpretation: the current i-interpretation ``I`` — the last
+            consistent state, from which the conflict was detected one step
+            ahead.
+        conflict: the conflict ``(a, ins, del)`` being resolved.
+        blocked: the current blocked set ``B`` (engine extra).
+        restarts: how many conflict-resolution restarts happened so far
+            (engine extra).
+    """
+
+    database: object
+    program: object
+    interpretation: object
+    conflict: object
+    blocked: frozenset = frozenset()
+    restarts: int = 0
+
+
+class SelectPolicy:
+    """Base class for conflict-resolution policies.
+
+    Subclasses implement :meth:`select`.  ``name`` identifies the policy in
+    traces and results.
+    """
+
+    name = "abstract"
+
+    def select(self, context):
+        """Return :data:`Decision.INSERT` or :data:`Decision.DELETE`."""
+        raise NotImplementedError
+
+    def __call__(self, context):
+        return self.select(context)
+
+    def __str__(self):
+        return self.name
+
+
+class CallablePolicy(SelectPolicy):
+    """Adapter wrapping a bare function ``context -> Decision``."""
+
+    def __init__(self, function, name=None):
+        self._function = function
+        self.name = name or getattr(function, "__name__", "callable")
+
+    def select(self, context):
+        return self._function(context)
+
+
+def as_policy(policy):
+    """Coerce *policy* into a :class:`SelectPolicy` (None is rejected)."""
+    if isinstance(policy, SelectPolicy):
+        return policy
+    if callable(policy):
+        return CallablePolicy(policy)
+    raise PolicyError("not a conflict-resolution policy: %r" % (policy,))
+
+
+def check_decision(decision, policy, conflict):
+    """Validate a policy's return value, normalizing strings.
+
+    Accepts the enum members or the strings ``"insert"`` / ``"delete"``
+    (case-insensitive) so hand-written callables stay terse.
+    """
+    if isinstance(decision, Decision):
+        return decision
+    if isinstance(decision, str):
+        lowered = decision.lower()
+        if lowered == "insert":
+            return Decision.INSERT
+        if lowered == "delete":
+            return Decision.DELETE
+    raise PolicyError(
+        "policy %s returned %r for conflict on %s; expected Decision.INSERT, "
+        "Decision.DELETE, 'insert' or 'delete'"
+        % (policy, decision, conflict.atom)
+    )

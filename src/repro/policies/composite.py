@@ -1,0 +1,112 @@
+"""Policy combinators: compose partial strategies into total ones.
+
+The paper observes that some strategies (specificity in particular) are
+incomplete and "may be combined with other conflict resolution
+strategies".  These combinators make composition explicit:
+
+* :class:`FirstDecisivePolicy` — try partial policies in order; a partial
+  policy signals "no opinion" by returning ``None`` (only allowed for
+  policies constructed for this purpose — the stock policies are total).
+* :class:`PerPredicatePolicy` — route conflicts to different policies by
+  the conflicting atom's predicate, fulfilling the paper's "flexible
+  conflict resolution ... vary from atom to atom" requirement directly.
+* :class:`ConstantPolicy` — always insert / always delete; useful as a
+  final fallback and in tests.
+* :class:`TransactionWinsPolicy` — prefer the side containing a
+  transaction-update rule (bodyless), encoding the "transaction updates
+  cannot be overwritten" semantics the paper shows can be coded into
+  SELECT (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from ..core.eca import is_transaction_rule
+from ..errors import PolicyError
+from .base import Decision, SelectPolicy, as_policy, check_decision
+from .inertia import InertiaPolicy
+
+
+class ConstantPolicy(SelectPolicy):
+    """Always return the same decision."""
+
+    def __init__(self, decision):
+        self.decision = check_decision(decision, "constant", _FakeConflict())
+        self.name = "always-%s" % self.decision
+
+    def select(self, context):
+        return self.decision
+
+
+class _FakeConflict:
+    """Placeholder so ConstantPolicy can reuse check_decision at init time."""
+
+    atom = "<init>"
+
+
+class FirstDecisivePolicy(SelectPolicy):
+    """Try each policy in order; first non-``None`` answer wins.
+
+    The last policy must be total (never return ``None``); a run out of
+    opinions raises :class:`PolicyError`.
+    """
+
+    name = "first-decisive"
+
+    def __init__(self, policies):
+        policies = [as_policy(p) for p in policies]
+        if not policies:
+            raise PolicyError("FirstDecisivePolicy needs at least one policy")
+        self.policies = tuple(policies)
+
+    def select(self, context):
+        for policy in self.policies:
+            answer = policy.select(context)
+            if answer is not None:
+                return check_decision(answer, policy, context.conflict)
+        raise PolicyError(
+            "no policy in the chain had an opinion on conflict %s"
+            % context.conflict.atom
+        )
+
+
+class PerPredicatePolicy(SelectPolicy):
+    """Dispatch on the conflicting atom's predicate name.
+
+    ``routes`` maps predicate names to policies; conflicts on unrouted
+    predicates go to ``default`` (inertia unless overridden).
+    """
+
+    name = "per-predicate"
+
+    def __init__(self, routes, default=None):
+        self.routes = {name: as_policy(p) for name, p in dict(routes).items()}
+        self.default = as_policy(default) if default is not None else InertiaPolicy()
+
+    def select(self, context):
+        policy = self.routes.get(context.conflict.atom.predicate, self.default)
+        return policy.select(context)
+
+
+class TransactionWinsPolicy(SelectPolicy):
+    """A transaction update beats derived rule actions.
+
+    If exactly one side of the conflict contains a transaction-update rule
+    (empty body), that side wins; otherwise defer to ``fallback``.  This
+    encodes into ``SELECT`` the alternative Section 4.3 semantics in which
+    a transaction's updates cannot be overwritten by rules.
+    """
+
+    name = "transaction-wins"
+
+    def __init__(self, fallback=None):
+        self.fallback = as_policy(fallback) if fallback is not None else InertiaPolicy()
+
+    def select(self, context):
+        conflict = context.conflict
+        ins_is_tx = any(is_transaction_rule(g.rule) for g in conflict.ins)
+        del_is_tx = any(is_transaction_rule(g.rule) for g in conflict.dels)
+        if ins_is_tx and not del_is_tx:
+            return Decision.INSERT
+        if del_is_tx and not ins_is_tx:
+            return Decision.DELETE
+        return self.fallback.select(context)

@@ -1,0 +1,93 @@
+"""Example critics for the voting scheme (paper, Section 5).
+
+The paper sketches two concrete critics for its voting strategy:
+
+* "one critic may use background information it possesses on when
+  various tuples were placed in the database (e.g. later information may
+  be preferred by this critic)" — :class:`RecencyCritic`;
+* "another critic may use [a] source-based approach (it may know that
+  the two rules that are involved in the conflict came from two
+  different sources, and that one of these sources is more reliable
+  than the other)" — :class:`SourceReliabilityCritic`.
+
+Both are ordinary policies, so they can also be used standalone or
+composed with :class:`~repro.policies.composite.FirstDecisivePolicy`.
+"""
+
+from __future__ import annotations
+
+from .base import Decision, SelectPolicy
+from .inertia import InertiaPolicy
+
+
+class RecencyCritic(SelectPolicy):
+    """Prefer the fate suggested by how recently the atom was asserted.
+
+    ``timestamps`` maps ground atoms to comparable timestamps (ints,
+    floats, datetimes).  The heuristic: an atom asserted *recently*
+    (timestamp >= ``horizon``) is presumed intentional and kept
+    (``insert``); an old atom is presumed stale and let go (``delete``);
+    an atom with no recorded timestamp falls through to ``fallback``.
+
+    This is deliberately simple — the paper's point is only that critics
+    may consult out-of-band information, and the timestamp table is
+    exactly such information.
+    """
+
+    name = "recency-critic"
+
+    def __init__(self, timestamps, horizon, fallback=None):
+        self.timestamps = dict(timestamps)
+        self.horizon = horizon
+        self.fallback = fallback if fallback is not None else InertiaPolicy()
+
+    def observe(self, atom, timestamp):
+        """Record (or refresh) an atom's assertion time."""
+        self.timestamps[atom] = timestamp
+
+    def select(self, context):
+        timestamp = self.timestamps.get(context.conflict.atom)
+        if timestamp is None:
+            return self.fallback.select(context)
+        if timestamp >= self.horizon:
+            return Decision.INSERT
+        return Decision.DELETE
+
+
+class SourceReliabilityCritic(SelectPolicy):
+    """Prefer the side whose rules come from the more reliable source.
+
+    ``source_of`` maps rule names to source identifiers; ``reliability``
+    maps source identifiers to numeric scores (higher = more reliable).
+    A side's score is the best reliability among its instances' sources;
+    unknown rules/sources score ``default_reliability``.  Ties fall
+    through to ``fallback``.
+    """
+
+    name = "source-critic"
+
+    def __init__(self, source_of, reliability, default_reliability=0.0,
+                 fallback=None):
+        self.source_of = dict(source_of)
+        self.reliability = dict(reliability)
+        self.default_reliability = default_reliability
+        self.fallback = fallback if fallback is not None else InertiaPolicy()
+
+    def _score(self, groundings):
+        best = None
+        for grounding in groundings:
+            source = self.source_of.get(grounding.rule.name)
+            score = self.reliability.get(source, self.default_reliability)
+            if best is None or score > best:
+                best = score
+        return best if best is not None else self.default_reliability
+
+    def select(self, context):
+        conflict = context.conflict
+        ins_score = self._score(conflict.ins)
+        del_score = self._score(conflict.dels)
+        if ins_score > del_score:
+            return Decision.INSERT
+        if del_score > ins_score:
+            return Decision.DELETE
+        return self.fallback.select(context)

@@ -1,0 +1,26 @@
+"""The principle of inertia (paper, Section 4.1).
+
+``SELECT(D, P, I, (a, ins, del)) = insert`` iff ``a`` was present in the
+*original* database instance ``D``, and ``delete`` otherwise.  Because
+inserting a present atom and deleting an absent one are no-ops, the net
+effect is that a conflicting atom keeps the status it had in ``D`` — the
+conflicting actions cancel out.
+
+This is the paper's default policy for all running examples, and it is
+constant-time per conflict (one membership test).
+"""
+
+from __future__ import annotations
+
+from .base import Decision, SelectPolicy
+
+
+class InertiaPolicy(SelectPolicy):
+    """Keep the conflicting atom's original status."""
+
+    name = "inertia"
+
+    def select(self, context):
+        if context.conflict.atom in context.database:
+            return Decision.INSERT
+        return Decision.DELETE

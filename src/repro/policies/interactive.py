@@ -1,0 +1,105 @@
+"""Interactive conflict resolution (paper, Section 5).
+
+"As soon as a conflict is found, the user is queried and may resolve the
+conflict by choosing one among the conflicting rules."  The paper
+recommends this for databases monitoring critical systems.
+
+The policy is callback-driven: ``ask(context) -> answer`` where the answer
+is a :class:`Decision` or the strings ``insert`` / ``delete`` (also
+accepted: ``i``/``d``, ``+``/``-``).  Three front-ends are provided:
+
+* :class:`InteractivePolicy` — arbitrary callback (a real UI would pass a
+  prompt function here);
+* :func:`console_asker` — a ready-made stdin prompt for REPL use;
+* :class:`ScriptedPolicy` — a pre-recorded sequence of answers, used by
+  tests and by deterministic replays of interactive sessions.
+"""
+
+from __future__ import annotations
+
+from ..errors import PolicyError
+from .base import Decision, SelectPolicy
+
+_ANSWERS = {
+    "insert": Decision.INSERT,
+    "i": Decision.INSERT,
+    "+": Decision.INSERT,
+    "delete": Decision.DELETE,
+    "d": Decision.DELETE,
+    "-": Decision.DELETE,
+}
+
+
+def _parse_answer(answer, source):
+    if isinstance(answer, Decision):
+        return answer
+    if isinstance(answer, str):
+        decision = _ANSWERS.get(answer.strip().lower())
+        if decision is not None:
+            return decision
+    raise PolicyError("%s gave unintelligible answer %r" % (source, answer))
+
+
+class InteractivePolicy(SelectPolicy):
+    """Delegate every conflict to a user-supplied callback."""
+
+    name = "interactive"
+
+    def __init__(self, ask):
+        if not callable(ask):
+            raise PolicyError("ask must be callable")
+        self._ask = ask
+
+    def select(self, context):
+        return _parse_answer(self._ask(context), "interactive callback")
+
+
+def console_asker(context):
+    """A stdin prompt suitable for ``InteractivePolicy(console_asker)``."""
+    conflict = context.conflict
+    print("Conflict on atom: %s" % conflict.atom)
+    print("  rules voting insert: %s" % ", ".join(
+        sorted({g.rule.describe() for g in conflict.ins})))
+    print("  rules voting delete: %s" % ", ".join(
+        sorted({g.rule.describe() for g in conflict.dels})))
+    while True:
+        answer = input("insert or delete? [i/d] ").strip().lower()
+        if answer in _ANSWERS:
+            return _ANSWERS[answer]
+        print("please answer 'i' (insert) or 'd' (delete)")
+
+
+class ScriptedPolicy(SelectPolicy):
+    """Replay a fixed sequence of answers; raises when the script runs dry.
+
+    Answers are consumed in conflict-resolution order.  ``strict=False``
+    falls back to a given policy after the script is exhausted instead of
+    raising.
+    """
+
+    name = "scripted"
+
+    def __init__(self, answers, strict=True, fallback=None):
+        self._answers = [
+            _parse_answer(a, "scripted policy") for a in answers
+        ]
+        self._cursor = 0
+        self._strict = strict
+        self._fallback = fallback
+
+    @property
+    def remaining(self):
+        """How many scripted answers are left."""
+        return len(self._answers) - self._cursor
+
+    def select(self, context):
+        if self._cursor < len(self._answers):
+            answer = self._answers[self._cursor]
+            self._cursor += 1
+            return answer
+        if self._strict or self._fallback is None:
+            raise PolicyError(
+                "scripted policy ran out of answers at conflict on %s"
+                % context.conflict.atom
+            )
+        return self._fallback.select(context)

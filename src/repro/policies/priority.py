@@ -1,0 +1,45 @@
+"""Rule-priority conflict resolution (paper, Section 5).
+
+"Within the sets ``ins`` and ``del`` of the conflict, the set containing
+the rule with the highest priority is chosen by SELECT."  Rule priorities
+of this kind appear in Ariel, Postgres and Starburst, which the paper
+cites as precedents.
+
+Priorities come from each rule's ``priority`` attribute (``@priority(n)``
+in the text syntax).  Rules without a priority get ``default_priority``
+(0 by default, configurable).  When both sides tie on their maximum
+priority the conflict falls through to ``tie_breaker`` — the paper does
+not define the tie case, so we make the fallback explicit and default it
+to the principle of inertia.
+"""
+
+from __future__ import annotations
+
+from .base import Decision, SelectPolicy
+from .inertia import InertiaPolicy
+
+
+class PriorityPolicy(SelectPolicy):
+    """Higher-priority rules win; ties fall through to a tie-breaker policy."""
+
+    name = "priority"
+
+    def __init__(self, default_priority=0, tie_breaker=None):
+        self.default_priority = default_priority
+        self.tie_breaker = tie_breaker if tie_breaker is not None else InertiaPolicy()
+
+    def _side_priority(self, groundings):
+        return max(
+            g.rule.priority if g.rule.priority is not None else self.default_priority
+            for g in groundings
+        )
+
+    def select(self, context):
+        conflict = context.conflict
+        ins_priority = self._side_priority(conflict.ins)
+        del_priority = self._side_priority(conflict.dels)
+        if ins_priority > del_priority:
+            return Decision.INSERT
+        if del_priority > ins_priority:
+            return Decision.DELETE
+        return self.tie_breaker.select(context)

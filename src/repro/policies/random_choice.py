@@ -1,0 +1,38 @@
+"""Random conflict resolution (paper, Section 5).
+
+"In some cases it may be convenient that the system just randomly chooses
+one from the conflicting rules."  To keep PARK a deterministic function of
+its inputs (a library invariant we property-test), the policy takes an
+explicit seed: the same seed and the same conflict sequence yield the same
+run.  Pass a ``random.Random`` instance instead of a seed to share state
+across engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Decision, SelectPolicy
+
+
+class RandomPolicy(SelectPolicy):
+    """Choose insert or delete by (seeded) coin flip.
+
+    ``insert_bias`` skews the coin: 0.5 is fair, 1.0 always inserts.
+    """
+
+    name = "random"
+
+    def __init__(self, seed=0, insert_bias=0.5):
+        if isinstance(seed, random.Random):
+            self._rng = seed
+        else:
+            self._rng = random.Random(seed)
+        if not 0.0 <= insert_bias <= 1.0:
+            raise ValueError("insert_bias must be within [0, 1]")
+        self.insert_bias = insert_bias
+
+    def select(self, context):
+        if self._rng.random() < self.insert_bias:
+            return Decision.INSERT
+        return Decision.DELETE

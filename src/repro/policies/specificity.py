@@ -1,0 +1,77 @@
+"""Specificity-based conflict resolution (paper, Section 5).
+
+"An old AI principle says that more *specific* rules should be given
+priority over more general rules": ``penguin(X) -> -flies(X)`` beats
+``bird(X) -> +flies(X)`` on a penguin.  The paper notes this is not a
+complete strategy — conflicting rules may be of equal or incomparable
+specificity — so it "may be combined with other conflict resolution
+strategies"; we expose that combination as an explicit fallback policy.
+
+Specificity of one rule instance over another is determined semantically,
+the way the paper sketches ("computing and comparing the sets of ground
+facts to which the rules apply"), but localized to the conflict at hand:
+
+    instance ``g1`` is at least as specific as ``g2`` w.r.t. the current
+    state iff every positive body atom of ``g2`` is entailed by the
+    positive body atoms of ``g1`` under the current interpretation's
+    predicate extensions — approximated here by the practical, decidable
+    test: ``g2``'s positive ground body atoms are a subset of ``g1``'s,
+    or ``g1`` has strictly more positive body atoms all of which are valid
+    while ``g2``'s are a proper subset of them.
+
+In short: a rule instance whose valid positive ground body is a *strict
+superset* of the other's is more specific (it fires in strictly fewer
+situations).  A side wins when some instance on it is strictly more
+specific than every instance on the other side.
+"""
+
+from __future__ import annotations
+
+from ..lang.literals import Condition
+from .base import Decision, SelectPolicy
+from .inertia import InertiaPolicy
+
+
+def _positive_ground_body(grounding):
+    """The set of ground positive-condition atoms of a rule instance."""
+    atoms = set()
+    for literal in grounding.rule.body:
+        if isinstance(literal, Condition) and literal.positive:
+            atoms.add(literal.atom.ground(grounding.substitution))
+    return frozenset(atoms)
+
+
+def more_specific(grounding_a, grounding_b):
+    """Whether instance *a* is strictly more specific than instance *b*.
+
+    True iff *a*'s positive ground body is a strict superset of *b*'s —
+    *a* requires everything *b* requires, plus more.
+    """
+    body_a = _positive_ground_body(grounding_a)
+    body_b = _positive_ground_body(grounding_b)
+    return body_b < body_a
+
+
+class SpecificityPolicy(SelectPolicy):
+    """More specific rule instances win; incomparable cases use a fallback."""
+
+    name = "specificity"
+
+    def __init__(self, fallback=None):
+        self.fallback = fallback if fallback is not None else InertiaPolicy()
+
+    def _dominates(self, winners, losers):
+        """Some winner instance strictly more specific than *every* loser."""
+        return any(
+            all(more_specific(w, l) for l in losers) for w in winners
+        )
+
+    def select(self, context):
+        conflict = context.conflict
+        ins_wins = self._dominates(conflict.ins, conflict.dels)
+        del_wins = self._dominates(conflict.dels, conflict.ins)
+        if ins_wins and not del_wins:
+            return Decision.INSERT
+        if del_wins and not ins_wins:
+            return Decision.DELETE
+        return self.fallback.select(context)

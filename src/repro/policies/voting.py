@@ -1,0 +1,60 @@
+"""The voting scheme: a panel of critics decides each conflict (paper, Sec. 5).
+
+"A critic is a program that takes as input a conflict and returns the
+value insert or delete.  When a conflict occurs, the PARK semantics
+invokes the set of critics and asks each of them for its vote.  The
+majority opinion of the critics is then adopted."
+
+A critic here is any policy or callable with the ``SELECT`` signature —
+including other policies, so a panel can mix, say, an inertia critic, a
+priority critic and a recency critic.  Ties (possible with an even panel)
+fall through to ``tie_breaker``.  The paper notes the interactive scheme
+is the special case of a single human critic; see
+:mod:`repro.policies.interactive`.
+"""
+
+from __future__ import annotations
+
+from ..errors import PolicyError
+from .base import Decision, SelectPolicy, as_policy, check_decision
+from .inertia import InertiaPolicy
+
+
+class VotingPolicy(SelectPolicy):
+    """Majority vote over a panel of critics."""
+
+    name = "voting"
+
+    def __init__(self, critics, tie_breaker=None):
+        critics = [as_policy(c) for c in critics]
+        if not critics:
+            raise PolicyError("a voting panel needs at least one critic")
+        self.critics = tuple(critics)
+        self.tie_breaker = tie_breaker if tie_breaker is not None else InertiaPolicy()
+
+    def select(self, context):
+        inserts = 0
+        deletes = 0
+        for critic in self.critics:
+            vote = check_decision(critic.select(context), critic, context.conflict)
+            if vote is Decision.INSERT:
+                inserts += 1
+            else:
+                deletes += 1
+        if inserts > deletes:
+            return Decision.INSERT
+        if deletes > inserts:
+            return Decision.DELETE
+        return self.tie_breaker.select(context)
+
+    def tally(self, context):
+        """The raw vote counts ``(inserts, deletes)`` without deciding."""
+        inserts = 0
+        deletes = 0
+        for critic in self.critics:
+            vote = check_decision(critic.select(context), critic, context.conflict)
+            if vote is Decision.INSERT:
+                inserts += 1
+            else:
+                deletes += 1
+        return inserts, deletes

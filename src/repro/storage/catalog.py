@@ -1,0 +1,105 @@
+"""The catalog: predicate schemas shared by a database instance.
+
+A schema here is minimal — predicate name and arity, optionally with column
+names for the active-database facade.  The catalog's job is the discipline a
+commercial DBMS would impose: a predicate has one arity everywhere, and the
+storage layer refuses rows that disagree.  The paper's "implementability on
+top of a commercial DBMS" requirement motivates keeping this layer explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """The schema of one predicate: name, arity, optional column names."""
+
+    predicate: str
+    arity: int
+    columns: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if self.arity < 0:
+            raise SchemaError("schema %r: negative arity" % self.predicate)
+        if self.columns is not None:
+            if not isinstance(self.columns, tuple):
+                object.__setattr__(self, "columns", tuple(self.columns))
+            if len(self.columns) != self.arity:
+                raise SchemaError(
+                    "schema %r: %d column names for arity %d"
+                    % (self.predicate, len(self.columns), self.arity)
+                )
+
+    def __str__(self):
+        if self.columns:
+            return "%s(%s)" % (self.predicate, ", ".join(self.columns))
+        return "%s/%d" % (self.predicate, self.arity)
+
+
+class Catalog:
+    """A mutable registry of predicate schemas.
+
+    Schemas may be declared up front (:meth:`declare`) or discovered on
+    first use (:meth:`ensure`); in both cases later uses must agree on the
+    arity.
+    """
+
+    def __init__(self, schemas=()):
+        self._schemas = {}
+        for schema in schemas:
+            self.declare(schema)
+
+    def declare(self, schema):
+        """Register *schema*; re-declaring with a different arity fails."""
+        if not isinstance(schema, Schema):
+            raise TypeError("expected a Schema, got %r" % (schema,))
+        existing = self._schemas.get(schema.predicate)
+        if existing is not None and existing.arity != schema.arity:
+            raise SchemaError(
+                "predicate %r already declared with arity %d, cannot redeclare "
+                "with arity %d" % (schema.predicate, existing.arity, schema.arity)
+            )
+        self._schemas[schema.predicate] = schema
+        return schema
+
+    def ensure(self, predicate, arity):
+        """Fetch the schema for *predicate*, auto-declaring it if unknown."""
+        existing = self._schemas.get(predicate)
+        if existing is None:
+            return self.declare(Schema(predicate, arity))
+        if existing.arity != arity:
+            raise SchemaError(
+                "predicate %r has arity %d, used with arity %d"
+                % (predicate, existing.arity, arity)
+            )
+        return existing
+
+    def get(self, predicate):
+        """The schema for *predicate*, or ``None`` if undeclared."""
+        return self._schemas.get(predicate)
+
+    def __contains__(self, predicate):
+        return predicate in self._schemas
+
+    def __iter__(self):
+        return iter(sorted(self._schemas))
+
+    def __len__(self):
+        return len(self._schemas)
+
+    def schemas(self):
+        """All schemas, sorted by predicate name."""
+        return [self._schemas[name] for name in sorted(self._schemas)]
+
+    def copy(self):
+        clone = Catalog()
+        clone._schemas = dict(self._schemas)
+        return clone
+
+    def __repr__(self):
+        return "Catalog(%s)" % ", ".join(str(s) for s in self.schemas())

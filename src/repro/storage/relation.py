@@ -1,0 +1,140 @@
+"""A single relation: a set of ground value tuples with hash indexes.
+
+The storage layer keeps *raw value tuples* (``("alice", 4200)``) rather than
+:class:`repro.lang.atoms.Atom` objects; atoms are reconstructed on demand.
+Each relation lazily maintains one hash index per column, built the first
+time a lookup binds that column and kept incrementally up to date afterwards.
+This gives the body-matching engine constant-time candidate retrieval, which
+is what makes the polynomial bounds of the paper practical.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+
+
+class Relation:
+    """A named relation holding ground tuples of a fixed arity."""
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name, arity, tuples=()):
+        if arity < 0:
+            raise SchemaError("relation %r: arity must be >= 0" % name)
+        self.name = name
+        self.arity = arity
+        self._tuples = set()
+        self._indexes = {}  # column -> {value -> set of tuples}
+        for row in tuples:
+            self.add(row)
+
+    # -- mutation --------------------------------------------------------------
+
+    def _check(self, row):
+        if not isinstance(row, tuple):
+            raise SchemaError(
+                "relation %r: row must be a tuple, got %r" % (self.name, row)
+            )
+        if len(row) != self.arity:
+            raise SchemaError(
+                "relation %r has arity %d, got row of length %d: %r"
+                % (self.name, self.arity, len(row), row)
+            )
+
+    def add(self, row):
+        """Insert *row*; returns True if it was new."""
+        self._check(row)
+        if row in self._tuples:
+            return False
+        self._tuples.add(row)
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(row)
+        return True
+
+    def discard(self, row):
+        """Delete *row*; returns True if it was present."""
+        self._check(row)
+        if row not in self._tuples:
+            return False
+        self._tuples.discard(row)
+        for column, index in self._indexes.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[row[column]]
+        return True
+
+    def clear(self):
+        """Remove all rows (indexes are dropped, not rebuilt)."""
+        self._tuples.clear()
+        self._indexes.clear()
+
+    # -- access ------------------------------------------------------------------
+
+    def __contains__(self, row):
+        return row in self._tuples
+
+    def __len__(self):
+        return len(self._tuples)
+
+    def __iter__(self):
+        return iter(self._tuples)
+
+    def rows(self):
+        """A snapshot list of all rows (safe to mutate the relation while using)."""
+        return list(self._tuples)
+
+    def _index_on(self, column):
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                index.setdefault(row[column], set()).add(row)
+            self._indexes[column] = index
+        return index
+
+    def candidates(self, bound):
+        """Rows consistent with *bound*, a ``{column: value}`` mapping.
+
+        Uses the index on the most selective bound column and filters the
+        rest.  With no bound columns this is a full scan.  Returns an
+        iterable of rows; the result must not be retained across mutations.
+        """
+        if not bound:
+            return self._tuples
+        best_column = None
+        best_bucket = None
+        for column, value in bound.items():
+            bucket = self._index_on(column).get(value, ())
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_column, best_bucket = column, bucket
+            if not bucket:
+                return ()
+        if len(bound) == 1:
+            return best_bucket
+        rest = [(c, v) for c, v in bound.items() if c != best_column]
+        return (
+            row for row in best_bucket if all(row[c] == v for c, v in rest)
+        )
+
+    def copy(self):
+        """An independent copy sharing no mutable state (indexes not copied)."""
+        clone = Relation(self.name, self.arity)
+        clone._tuples = set(self._tuples)
+        return clone
+
+    def __eq__(self, other):
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self):
+        raise TypeError("Relation is mutable and unhashable")
+
+    def __repr__(self):
+        return "Relation(%r, arity=%d, rows=%d)" % (self.name, self.arity, len(self))

@@ -1,0 +1,112 @@
+"""Snapshots and savepoints over databases.
+
+The PARK engine needs to restart from the original database instance ``D``
+after every conflict resolution; the active-database facade needs rollback
+to transaction boundaries and savepoints.  Both are served by
+:class:`Snapshot` (an immutable capture of a database's contents) and
+:class:`SavepointStack` (named, nested savepoints).
+"""
+
+from __future__ import annotations
+
+from ..errors import TransactionError
+from .database import Database
+from .delta import Delta
+
+
+class Snapshot:
+    """An immutable capture of a database's contents at a point in time."""
+
+    __slots__ = ("_atoms", "_catalog")
+
+    def __init__(self, database):
+        self._atoms = database.freeze()
+        self._catalog = database.catalog.copy()
+
+    @property
+    def atoms(self):
+        """The captured contents as a frozenset of ground atoms."""
+        return self._atoms
+
+    def restore(self):
+        """Materialize a fresh :class:`Database` with the captured contents."""
+        return Database(self._atoms, catalog=self._catalog.copy())
+
+    def delta_to(self, database):
+        """The delta from this snapshot to the current state of *database*."""
+        return Delta.diff(self._atoms, database.freeze())
+
+    def __len__(self):
+        return len(self._atoms)
+
+    def __contains__(self, atom):
+        return atom in self._atoms
+
+    def __eq__(self, other):
+        if isinstance(other, Snapshot):
+            return self._atoms == other._atoms
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self._atoms)
+
+    def __repr__(self):
+        return "Snapshot(%d atoms)" % len(self._atoms)
+
+
+class SavepointStack:
+    """Named, nested savepoints over one database (LIFO semantics).
+
+    Mirrors SQL savepoints: rolling back to a named savepoint discards the
+    savepoints created after it; releasing drops a savepoint without
+    touching data.
+    """
+
+    def __init__(self, database):
+        self._database = database
+        self._stack = []  # list of (name, Snapshot)
+
+    def savepoint(self, name=None):
+        """Create a savepoint and return its name (auto-generated if None)."""
+        if name is None:
+            name = "sp_%d" % (len(self._stack) + 1)
+        if any(existing == name for existing, _ in self._stack):
+            raise TransactionError("savepoint %r already exists" % name)
+        self._stack.append((name, Snapshot(self._database)))
+        return name
+
+    def rollback_to(self, name):
+        """Restore the database to the named savepoint's contents.
+
+        The savepoint itself survives (as in SQL); savepoints nested inside
+        it are discarded.
+        """
+        index = self._find(name)
+        _, snapshot = self._stack[index]
+        del self._stack[index + 1 :]
+        restored = snapshot.restore()
+        current = set(self._database.freeze())
+        wanted = set(snapshot.atoms)
+        for atom in current - wanted:
+            self._database.remove(atom)
+        for atom in wanted - current:
+            self._database.add(atom)
+        return restored
+
+    def release(self, name):
+        """Drop the named savepoint (and any nested inside it) without restoring."""
+        index = self._find(name)
+        del self._stack[index:]
+
+    def _find(self, name):
+        for index, (existing, _) in enumerate(self._stack):
+            if existing == name:
+                return index
+        raise TransactionError("no such savepoint: %r" % name)
+
+    def names(self):
+        """Current savepoint names, outermost first."""
+        return [name for name, _ in self._stack]
+
+    def __len__(self):
+        return len(self._stack)

@@ -1,0 +1,52 @@
+"""Text persistence: save and load databases and programs.
+
+The on-disk format is the rule language itself (facts as ``p(a).`` lines,
+rules in the parser's syntax with annotations), so saved files are
+human-readable, diffable, and round-trip exactly through the parser —
+property-tested via the pretty-printer round-trip guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..lang.parser import parse_database, parse_program
+from ..lang.pretty import render_database, render_program
+from ..lang.program import Program
+from .database import Database
+
+
+def dump_database(database, path):
+    """Write *database* to *path* as sorted fact lines.  Atomic replace."""
+    text = render_database(database.atoms() if isinstance(database, Database) else database)
+    _atomic_write(path, text + "\n" if text else "")
+
+
+def load_database(path):
+    """Read a fact file written by :func:`dump_database` (or by hand)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Database(parse_database(handle.read()))
+
+
+def dump_program(program, path):
+    """Write *program* to *path*, one rule per line with annotations."""
+    if not isinstance(program, Program):
+        program = Program(tuple(program))
+    text = render_program(program)
+    _atomic_write(path, text + "\n" if text else "")
+
+
+def load_program(path):
+    """Read a rule file written by :func:`dump_program` (or by hand)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def _atomic_write(path, text):
+    """Write-then-rename so readers never observe a torn file."""
+    temporary = "%s.tmp.%d" % (path, os.getpid())
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)

@@ -1,0 +1,58 @@
+"""Workload containers shared by the generators in this package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class Workload:
+    """A ready-to-run PARK scenario.
+
+    Attributes:
+        name: short identifier (appears in benchmark output).
+        program: the rule :class:`~repro.lang.program.Program`.
+        database: the initial :class:`~repro.storage.database.Database`.
+        updates: transaction updates ``U`` (empty for CA workloads).
+        policy: a policy instance when the workload needs a specific one
+            (``None`` means "caller's choice / default inertia").
+        expected: optionally, the expected result atoms (for self-checks).
+        description: one line about what the workload exercises.
+    """
+
+    name: str
+    program: object
+    database: object
+    updates: Tuple = ()
+    policy: Optional[object] = None
+    expected: Optional[frozenset] = None
+    description: str = ""
+
+    def run(self, **engine_options):
+        """Run this workload through :func:`repro.core.engine.park`."""
+        from ..core.engine import park
+
+        policy = engine_options.pop("policy", self.policy)
+        return park(
+            self.program,
+            self.database,
+            updates=self.updates,
+            policy=policy,
+            **engine_options,
+        )
+
+    def check(self, result):
+        """Verify *result* against :attr:`expected` (no-op when unset)."""
+        if self.expected is not None and result.atoms != self.expected:
+            raise AssertionError(
+                "workload %s: expected %d atoms, got %d; missing=%s spurious=%s"
+                % (
+                    self.name,
+                    len(self.expected),
+                    len(result.atoms),
+                    sorted(str(a) for a in self.expected - result.atoms)[:5],
+                    sorted(str(a) for a in result.atoms - self.expected)[:5],
+                )
+            )
+        return result

@@ -1,0 +1,88 @@
+"""Chain workloads: long derivation chains, no conflicts.
+
+These stress the inner ``Γ`` loop (many rounds, one new fact per round in
+the propositional variant) and the matcher (in the relational variant),
+while guaranteeing conflict-freedom — PARK must behave exactly like the
+inflationary fixpoint here, which tests and benchmarks exploit.
+"""
+
+from __future__ import annotations
+
+from ..lang.atoms import Atom
+from ..lang.literals import pos
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.terms import Constant, Variable
+from ..lang.updates import insert
+from ..storage.database import Database
+from .base import Workload
+
+
+def propositional_chain(length):
+    """``p0 -> +p1 -> ... -> +p<length>``; one Γ round per link.
+
+    Expected result: all ``length + 1`` propositions.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rules = []
+    for index in range(length):
+        rules.append(
+            Rule(
+                head=insert(Atom("p%d" % (index + 1))),
+                body=(pos(Atom("p%d" % index)),),
+                name="link%d" % index,
+            )
+        )
+    database = Database([Atom("p0")])
+    expected = frozenset(Atom("p%d" % i) for i in range(length + 1))
+    return Workload(
+        name="prop-chain-%d" % length,
+        program=Program(tuple(rules)),
+        database=database,
+        expected=expected,
+        description="propositional chain of %d links; %d Γ rounds" % (length, length),
+    )
+
+
+def relational_reachability(num_nodes, fanout=1):
+    """Reachability along a chain (or braided chain) of *num_nodes* nodes.
+
+    One recursive rule ``at(X), step(X, Y) -> +at(Y)`` over a ``step``
+    relation laid out as ``fanout`` parallel chains sharing nodes — the
+    relational analogue of :func:`propositional_chain`, exercising joins
+    and indexes instead of proposition lookups.
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be >= 2")
+    x, y = Variable("X"), Variable("Y")
+    rule = Rule(
+        head=insert(Atom("at", (y,))),
+        body=(pos(Atom("at", (x,))), pos(Atom("step", (x, y)))),
+        name="walk",
+    )
+    database = Database()
+    for index in range(num_nodes - 1):
+        for lane in range(max(1, fanout)):
+            offset = lane + 1
+            target = index + offset
+            if target < num_nodes:
+                database.add(
+                    Atom(
+                        "step",
+                        (Constant("n%d" % index), Constant("n%d" % target)),
+                    )
+                )
+    database.add(Atom("at", (Constant("n0"),)))
+    expected = frozenset(
+        {Atom("at", (Constant("n%d" % i),)) for i in range(num_nodes)}
+        | set(database.atoms("step"))
+    )
+    return Workload(
+        name="reach-%d" % num_nodes,
+        program=Program((rule,)),
+        database=database,
+        expected=expected,
+        description="reachability over a %d-node chain (fanout %d)"
+        % (num_nodes, fanout),
+    )

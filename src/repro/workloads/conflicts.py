@@ -1,0 +1,88 @@
+"""Conflict-heavy workloads: ladders and cascades.
+
+Experiment C2 needs programs whose *restart count* grows with the program
+size.  Two shapes:
+
+* :func:`conflict_ladder` — ``width`` independent conflicting pairs, all
+  detectable in the first round.  ``ALL`` blocking resolves them in one
+  restart; ``MINIMAL`` blocking needs one restart per pair — the A1
+  ablation in miniature.
+* :func:`conflict_cascade` — a generalization of the paper's Section 5
+  example: a growing chain ``c1 -> +c2 -> ...`` where every chain node
+  toggles a shared atom ``q`` with alternating sign.  Each restart lets
+  the chain grow one toggle further before the next conflict appears, so
+  even ``ALL`` blocking restarts ``Θ(depth)`` times — matching the
+  paper's "at most size(P) restarts" bound tightly.
+"""
+
+from __future__ import annotations
+
+from ..lang.atoms import Atom
+from ..lang.literals import pos
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.updates import delete, insert
+from ..storage.database import Database
+from .base import Workload
+
+
+def conflict_ladder(width):
+    """``width`` independent conflicts: ``p -> +a_i`` vs ``p -> -a_i``.
+
+    Under inertia every ``a_i`` is absent from ``D``, so delete wins each
+    conflict and the expected result is just ``{p}``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    rules = []
+    p = pos(Atom("p"))
+    for index in range(width):
+        atom = Atom("a%d" % index)
+        rules.append(Rule(head=insert(atom), body=(p,), name="ins%d" % index))
+        rules.append(Rule(head=delete(atom), body=(p,), name="del%d" % index))
+    database = Database([Atom("p")])
+    return Workload(
+        name="ladder-%d" % width,
+        program=Program(tuple(rules)),
+        database=database,
+        expected=frozenset({Atom("p")}),
+        description="%d independent +/- conflicts on one trigger" % width,
+    )
+
+
+def conflict_cascade(depth):
+    """A chain of ``depth`` toggles of one atom ``q`` (Section 5, scaled).
+
+    Rules: ``step_i: c_i -> +c_{i+1}`` and ``tog_i: c_i -> ±q`` with signs
+    alternating ``+ - + - ...``; ``D = {c1}``.  Each epoch advances the
+    chain until the newest toggle contradicts the surviving older one,
+    forcing another restart.  Under inertia (``q ∉ D``) all insert-side
+    toggles end up blocked, so the expected result is the chain itself —
+    plus ``q`` exactly when the number of toggles is odd... which it never
+    is in the surviving set: ``q`` stays out.
+    """
+    if depth < 2:
+        raise ValueError("depth must be >= 2 (need at least one conflict)")
+    rules = []
+    q = Atom("q")
+    for index in range(1, depth + 1):
+        ci = Atom("c%d" % index)
+        if index < depth:
+            rules.append(
+                Rule(
+                    head=insert(Atom("c%d" % (index + 1))),
+                    body=(pos(ci),),
+                    name="step%d" % index,
+                )
+            )
+        head = insert(q) if index % 2 == 1 else delete(q)
+        rules.append(Rule(head=head, body=(pos(ci),), name="tog%d" % index))
+    database = Database([Atom("c1")])
+    expected = frozenset(Atom("c%d" % i) for i in range(1, depth + 1))
+    return Workload(
+        name="cascade-%d" % depth,
+        program=Program(tuple(rules)),
+        database=database,
+        expected=expected,
+        description="alternating toggle cascade of depth %d" % depth,
+    )

@@ -1,0 +1,85 @@
+"""Win–move game workloads for the deductive-semantics comparisons.
+
+The classical datalog¬ benchmark: ``win(X) :- move(X, Y), not win(Y)``.
+Its well-founded model distinguishes won / lost / *drawn* positions,
+which makes it the canonical separator between the inflationary and the
+well-founded semantics (and unstratifiable whenever the move graph has
+cycles — so it also exercises the stratification checker's rejection
+path).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.atoms import Atom
+from ..lang.literals import neg, pos
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.terms import Constant, Variable
+from ..lang.updates import insert
+from ..storage.database import Database
+from .base import Workload
+
+
+def win_move_program():
+    """``move(X, Y), not win(Y) -> +win(X)`` as a one-rule program."""
+    x, y = Variable("X"), Variable("Y")
+    return Program(
+        (
+            Rule(
+                head=insert(Atom("win", (x,))),
+                body=(pos(Atom("move", (x, y))), neg(Atom("win", (y,)))),
+                name="win",
+            ),
+        )
+    )
+
+
+def chain_game(length):
+    """An acyclic chain ``n0 -> n1 -> ... -> n<length>``.
+
+    Positions alternate won/lost from the dead end backwards; stratified
+    only in the degenerate sense (the program is never stratifiable, but
+    the *model* is total on acyclic graphs).
+    """
+    database = Database()
+    for index in range(length):
+        database.add(
+            Atom(
+                "move",
+                (Constant("n%d" % index), Constant("n%d" % (index + 1))),
+            )
+        )
+    return Workload(
+        name="game-chain-%d" % length,
+        program=win_move_program(),
+        database=database,
+        description="win-move game on an acyclic %d-chain" % length,
+    )
+
+
+def random_game(num_positions, num_moves=None, seed=0):
+    """A random move graph; cycles produce genuinely drawn positions."""
+    if num_moves is None:
+        num_moves = 2 * num_positions
+    rng = random.Random(seed)
+    database = Database()
+    seen = set()
+    attempts = 0
+    while len(seen) < num_moves and attempts < 20 * num_moves:
+        attempts += 1
+        a = rng.randrange(num_positions)
+        b = rng.randrange(num_positions)
+        if a != b and (a, b) not in seen:
+            seen.add((a, b))
+            database.add(
+                Atom("move", (Constant("n%d" % a), Constant("n%d" % b)))
+            )
+    return Workload(
+        name="game-random-%d" % num_positions,
+        program=win_move_program(),
+        database=database,
+        description="win-move game on a random graph (%d positions, seed %d)"
+        % (num_positions, seed),
+    )

@@ -1,0 +1,138 @@
+"""Graph workloads: transitive closure and the Section 4.2 graph program.
+
+``transitive_closure`` is the classical recursive-datalog stress test
+(conflict-free; used for the polynomial-scaling experiment C1).
+``irreflexive_graph`` scales the paper's Section 4.2 worked example — the
+"irreflexive graph without transitively implied arcs" program — to ``n``
+nodes, producing a conflict volume that grows with ``n³`` rule instances,
+which is what the blocking-granularity ablation (A1) sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.atoms import Atom
+from ..lang.literals import pos
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.terms import Constant, Variable
+from ..lang.updates import delete, insert
+from ..policies.base import Decision, SelectPolicy
+from ..storage.database import Database
+from .base import Workload
+
+
+def random_edges(num_nodes, num_edges, seed=0):
+    """A reproducible random edge set over ``n0 ... n<num_nodes-1>``."""
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < num_edges * 20:
+        attempts += 1
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a != b:
+            edges.add(("n%d" % a, "n%d" % b))
+    return sorted(edges)
+
+
+def transitive_closure(num_nodes, num_edges=None, seed=0):
+    """Transitive closure of a random graph (conflict-free, recursive).
+
+    Defaults to ``2 * num_nodes`` edges — sparse enough to keep the closure
+    from saturating, dense enough to recurse several levels.
+    """
+    if num_edges is None:
+        num_edges = 2 * num_nodes
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    rules = (
+        Rule(
+            head=insert(Atom("tc", (x, y))),
+            body=(pos(Atom("edge", (x, y))),),
+            name="base",
+        ),
+        Rule(
+            head=insert(Atom("tc", (x, y))),
+            body=(pos(Atom("tc", (x, z))), pos(Atom("edge", (z, y)))),
+            name="step",
+        ),
+    )
+    database = Database()
+    for a, b in random_edges(num_nodes, num_edges, seed):
+        database.add(Atom("edge", (Constant(a), Constant(b))))
+    return Workload(
+        name="tc-%d" % num_nodes,
+        program=Program(rules),
+        database=database,
+        description="transitive closure, %d nodes / %d edges (seed %d)"
+        % (num_nodes, num_edges, seed),
+    )
+
+
+class IrreflexiveGraphPolicy(SelectPolicy):
+    """The Section 4.2 custom SELECT, generalized to ``n`` nodes.
+
+    Reflexive arcs always lose (delete wins); arcs connecting the
+    designated *cut pair* lose; every other conflict keeps the arc
+    (insert wins, blocking the transitivity-deleting instances).
+    """
+
+    name = "irreflexive-graph"
+
+    def __init__(self, cut_pair=("a", "c")):
+        self.cut_pair = frozenset(cut_pair)
+
+    def select(self, context):
+        terms = context.conflict.atom.terms
+        x, y = str(terms[0]), str(terms[1])
+        if x == y or {x, y} == self.cut_pair:
+            return Decision.DELETE
+        return Decision.INSERT
+
+
+def irreflexive_graph(node_names=("a", "b", "c"), cut_pair=("a", "c")):
+    """The paper's Section 4.2 program over arbitrary node sets.
+
+    With the default three nodes and cut pair this *is* experiment E4,
+    expected result ``q`` arcs: every ordered non-reflexive pair except
+    the cut pair.
+    """
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    rules = (
+        Rule(
+            head=insert(Atom("q", (x, y))),
+            body=(pos(Atom("p", (x,))), pos(Atom("p", (y,)))),
+            name="r1",
+        ),
+        Rule(
+            head=delete(Atom("q", (x, x))),
+            body=(pos(Atom("q", (x, x))),),
+            name="r2",
+        ),
+        Rule(
+            head=delete(Atom("q", (x, y))),
+            body=(
+                pos(Atom("q", (x, y))),
+                pos(Atom("q", (x, z))),
+                pos(Atom("q", (z, y))),
+            ),
+            name="r3",
+        ),
+    )
+    database = Database(Atom("p", (Constant(n),)) for n in node_names)
+    cut = frozenset(cut_pair)
+    expected = set(database.atoms())
+    for a in node_names:
+        for b in node_names:
+            if a != b and {a, b} != cut:
+                expected.add(Atom("q", (Constant(a), Constant(b))))
+    return Workload(
+        name="irreflexive-%d" % len(tuple(node_names)),
+        program=Program(rules),
+        database=database,
+        policy=IrreflexiveGraphPolicy(cut_pair),
+        expected=frozenset(expected),
+        description="Section 4.2 irreflexive graph over %d nodes"
+        % len(tuple(node_names)),
+    )

@@ -1,0 +1,106 @@
+"""The HR/payroll workload from the paper's introduction.
+
+Section 2's motivating rule — "if a non-active employee has a record in
+the salary relation, then this record should be deleted" — scaled to
+``n`` employees, plus ECA bookkeeping rules (audit on payroll deletion,
+severance scheduling) so the workload exercises events and transaction
+updates, not just condition-action cleanup.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.atoms import Atom
+from ..lang.literals import neg, on_delete, pos
+from ..lang.program import Program
+from ..lang.rules import Rule
+from ..lang.terms import Constant, Variable
+from ..lang.updates import delete, insert
+from ..storage.database import Database
+from .base import Workload
+
+
+def hr_program():
+    """The payroll rule set: cleanup (paper, Section 2) + ECA bookkeeping."""
+    x, s = Variable("X"), Variable("Salary")
+    return Program(
+        (
+            # The paper's rule, verbatim.
+            Rule(
+                head=delete(Atom("payroll", (x, s))),
+                body=(
+                    pos(Atom("emp", (x,))),
+                    neg(Atom("active", (x,))),
+                    pos(Atom("payroll", (x, s))),
+                ),
+                name="cleanup",
+            ),
+            # ECA: deleting a payroll record leaves an audit trail.
+            Rule(
+                head=insert(Atom("audit", (x, s))),
+                body=(on_delete(Atom("payroll", (x, s))),),
+                name="audit_trail",
+            ),
+            # ECA: deactivation schedules severance for employees on payroll.
+            Rule(
+                head=insert(Atom("severance", (x,))),
+                body=(
+                    on_delete(Atom("active", (x,))),
+                    pos(Atom("payroll", (x, s))),
+                ),
+                name="severance",
+            ),
+        )
+    )
+
+
+def hr_database(num_employees, inactive_fraction=0.0, seed=0):
+    """``n`` employees with payroll rows; a fraction pre-deactivated."""
+    rng = random.Random(seed)
+    database = Database()
+    for index in range(num_employees):
+        name = "e%d" % index
+        salary = 1000 + (index % 50) * 10
+        database.add(Atom("emp", (Constant(name),)))
+        database.add(Atom("payroll", (Constant(name), Constant(salary))))
+        if rng.random() >= inactive_fraction:
+            database.add(Atom("active", (Constant(name),)))
+    return database
+
+
+def payroll_cleanup(num_employees, inactive_fraction=0.2, seed=0):
+    """Condition-action sweep: stale payroll rows get deleted.
+
+    Empty update set; the cleanup rule fires purely on the state.
+    """
+    database = hr_database(num_employees, inactive_fraction, seed)
+    return Workload(
+        name="hr-cleanup-%d" % num_employees,
+        program=hr_program(),
+        database=database,
+        description="payroll cleanup sweep over %d employees (%d%% inactive)"
+        % (num_employees, round(inactive_fraction * 100)),
+    )
+
+
+def deactivation_batch(num_employees, batch_size, seed=0):
+    """ECA transaction: deactivate a batch of employees in one commit.
+
+    The transaction's ``-active(e)`` updates trigger the severance rule
+    (event literal), which interacts with the cleanup + audit rules.
+    """
+    database = hr_database(num_employees, inactive_fraction=0.0, seed=seed)
+    rng = random.Random(seed + 1)
+    chosen = rng.sample(range(num_employees), min(batch_size, num_employees))
+    updates = tuple(
+        delete(Atom("active", (Constant("e%d" % i),))) for i in sorted(chosen)
+    )
+    return Workload(
+        name="hr-deactivate-%d-of-%d" % (len(updates), num_employees),
+        program=hr_program(),
+        database=database,
+        updates=updates,
+        description="deactivate %d of %d employees via one ECA transaction"
+        % (len(updates), num_employees),
+    )

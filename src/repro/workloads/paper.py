@@ -1,0 +1,190 @@
+"""The paper's worked examples as ready-to-run workloads (E1–E9).
+
+One :class:`~repro.workloads.base.Workload` per example, with the
+expected final state attached, so tests, benchmarks, examples and user
+experiments all draw the paper's programs from a single registry:
+
+    from repro.workloads.paper import paper_example, PAPER_EXAMPLES
+
+    result = paper_example("E7").run()
+
+``expected`` encodes the typo-corrected results documented in
+EXPERIMENTS.md (this matters only for E6).
+"""
+
+from __future__ import annotations
+
+from ..lang.parser import parse_atom, parse_database, parse_program
+from ..lang.updates import insert
+from ..policies.base import Decision, SelectPolicy
+from ..policies.priority import PriorityPolicy
+from ..storage.database import Database
+from .base import Workload
+
+
+class Section42Policy(SelectPolicy):
+    """The custom SELECT of the Section 4.2 graph example."""
+
+    name = "sec42-custom"
+
+    def __init__(self, cut_pair=("a", "c")):
+        self.cut_pair = frozenset(cut_pair)
+
+    def select(self, context):
+        x, y = (str(t) for t in context.conflict.atom.terms)
+        if x == y or {x, y} == self.cut_pair:
+            return Decision.DELETE
+        return Decision.INSERT
+
+
+def _workload(name, rules, facts, expected, description,
+              updates=(), policy=None):
+    return Workload(
+        name=name,
+        program=parse_program(rules),
+        database=Database.from_text(facts),
+        updates=tuple(updates),
+        policy=policy,
+        expected=frozenset(parse_database(expected)),
+        description=description,
+    )
+
+
+def _build_examples():
+    examples = {}
+
+    examples["E1"] = _workload(
+        "E1-P1",
+        """
+        @name(r1) p -> +q.
+        @name(r2) p -> -a.
+        @name(r3) q -> +a.
+        """,
+        "p.",
+        "p. q.",
+        "Section 4.1 P1: cross-round conflict on a, inertia",
+    )
+
+    examples["E2"] = _workload(
+        "E2-P2",
+        """
+        @name(r1) p -> +q.
+        @name(r2) p -> -a.
+        @name(r3) q -> +a.
+        @name(r4) not a -> +r.
+        @name(r5) a -> +s.
+        """,
+        "p.",
+        "p. q. r.",
+        "Section 4.1 P2: obsolete consequences discarded on restart",
+    )
+
+    examples["E3"] = _workload(
+        "E3-P3",
+        """
+        @name(r1) p -> +q.
+        @name(r2) p -> -q.
+        @name(r3) q -> +a.
+        @name(r4) q -> -a.
+        @name(r5) p -> +a.
+        """,
+        "p.",
+        "p. a.",
+        "Section 4.1 P3: false conflict on a avoided",
+    )
+
+    examples["E4"] = _workload(
+        "E4-graph",
+        """
+        @name(r1) p(X), p(Y) -> +q(X, Y).
+        @name(r2) q(X, X) -> -q(X, X).
+        @name(r3) q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+        """,
+        "p(a). p(b). p(c).",
+        "p(a). p(b). p(c). q(a, b). q(b, a). q(b, c). q(c, b).",
+        "Section 4.2 irreflexive graph with the custom SELECT",
+        policy=Section42Policy(),
+    )
+
+    examples["E5"] = _workload(
+        "E5-eca1",
+        """
+        @name(r1) p(X) -> +q(X).
+        @name(r2) q(X) -> +r(X).
+        @name(r3) +r(X) -> -s(X).
+        """,
+        "p(a). s(a). s(b).",
+        "p(a). q(a). q(b). r(a). r(b).",
+        "Section 4.3 first ECA example (no conflict), U = {+q(b)}",
+        updates=(insert(parse_atom("q(b)")),),
+    )
+
+    examples["E6"] = _workload(
+        "E6-eca2",
+        """
+        @name(r1) q(X, a) -> -p(X, a).
+        @name(r2) q(a, X) -> +r(a, X).
+        @name(r3) +r(X, a) -> +p(X, a).
+        """,
+        "p(a, a). p(a, b). p(a, c).",
+        # typo-corrected: the transaction's q(a, a) survives incorp
+        "p(a, a). p(a, b). p(a, c). q(a, a). r(a, a).",
+        "Section 4.3 second ECA example (inertia), U = {+q(a, a)}",
+        updates=(insert(parse_atom("q(a, a)")),),
+    )
+
+    sec5_rules = """
+    @name(r1) @priority(1) p -> +a.
+    @name(r2) @priority(2) p -> +q.
+    @name(r3) @priority(3) a -> +b.
+    @name(r4) @priority(4) a -> -q.
+    @name(r5) @priority(5) b -> +q.
+    """
+    examples["E7"] = _workload(
+        "E7-sec5-inertia", sec5_rules, "p.", "p. a. b.",
+        "Section 5 walkthrough under inertia",
+    )
+    examples["E8"] = _workload(
+        "E8-sec5-priority", sec5_rules, "p.", "p. a. b. q.",
+        "Section 5 walkthrough under rule priority",
+        policy=PriorityPolicy(),
+    )
+
+    examples["E9"] = _workload(
+        "E9-counterintuitive",
+        """
+        @name(r1) a -> +b.
+        @name(r2) a -> +d.
+        @name(r3) b -> +c.
+        @name(r4) b -> -d.
+        @name(r5) c -> -b.
+        """,
+        "a.",
+        "a.",
+        "Section 5 counterintuitive-inertia example",
+    )
+
+    return examples
+
+
+PAPER_EXAMPLES = _build_examples()
+
+
+def paper_example(identifier):
+    """Fetch one of the paper's examples by id (``"E1"`` ... ``"E9"``)."""
+    try:
+        return PAPER_EXAMPLES[identifier.upper()]
+    except KeyError:
+        raise KeyError(
+            "unknown paper example %r (known: %s)"
+            % (identifier, ", ".join(sorted(PAPER_EXAMPLES)))
+        )
+
+
+def run_all(**engine_options):
+    """Run and check every paper example; returns ``{id: ParkResult}``."""
+    results = {}
+    for identifier in sorted(PAPER_EXAMPLES):
+        workload = PAPER_EXAMPLES[identifier]
+        results[identifier] = workload.check(workload.run(**engine_options))
+    return results

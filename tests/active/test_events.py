@@ -1,0 +1,65 @@
+"""Tests for the commit event log."""
+
+import pytest
+
+from repro.active import ActiveDatabase
+from repro.active.events import CommitRecord, EventLog
+from repro.lang.atoms import atom
+
+
+def committed_db():
+    db = ActiveDatabase.from_text("emp(joe). active(joe). payroll(joe, 10).")
+    db.add_rule(
+        "@name(cleanup) emp(X), not active(X), payroll(X, S) -> -payroll(X, S)."
+    )
+    db.delete("active", "joe")
+    db.insert("emp", "ann")
+    return db
+
+
+class TestLog:
+    def test_one_record_per_commit(self):
+        db = committed_db()
+        assert len(db.log) == 2
+
+    def test_records_carry_request_and_delta(self):
+        db = committed_db()
+        first = db.log[0]
+        assert [str(u) for u in first.requested] == ["-active(joe)"]
+        assert atom("payroll", "joe", 10) in first.delta.deletes
+
+    def test_last(self):
+        db = committed_db()
+        assert db.log.last().transaction_id == 2
+        assert EventLog().last() is None
+
+    def test_for_atom(self):
+        db = committed_db()
+        touching = db.log.for_atom(atom("payroll", "joe", 10))
+        assert [r.transaction_id for r in touching] == [1]
+        assert db.log.for_atom(atom("nothing")) == []
+
+    def test_stats_and_policy_recorded(self):
+        record = committed_db().log[0]
+        assert record.policy_name == "inertia"
+        assert record.stats.rounds >= 1
+
+    def test_rollback_not_logged(self):
+        db = committed_db()
+        tx = db.transaction()
+        tx.insert("emp", "zoe")
+        tx.rollback()
+        assert len(db.log) == 2
+
+    def test_append_type_checked(self):
+        with pytest.raises(TypeError):
+            EventLog().append("record")
+
+    def test_iteration_and_clear(self):
+        db = committed_db()
+        assert [r.transaction_id for r in db.log] == [1, 2]
+        db.log.clear()
+        assert len(db.log) == 0
+
+    def test_str(self):
+        assert "tx1" in str(committed_db().log[0])

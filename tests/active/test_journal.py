@@ -1,0 +1,130 @@
+"""Tests for the commit journal and recovery."""
+
+import pytest
+
+from repro.active import ActiveDatabase
+from repro.active.journal import Journal
+from repro.errors import StorageError
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+from repro.storage.delta import Delta
+
+RULES = "@name(cleanup) emp(X), not active(X), payroll(X, S) -> -payroll(X, S)."
+
+
+def make_db(tmp_path, journal=True):
+    db = ActiveDatabase.from_text(
+        "emp(joe). active(joe). payroll(joe, 10).",
+        journal=str(tmp_path / "commits.journal") if journal else None,
+    )
+    db.add_rule(RULES)
+    return db
+
+
+class TestJournalFile:
+    def test_append_and_read(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        journal.append(1, (insert(atom("p", "a")),), Delta([insert(atom("p", "a"))]))
+        journal.append(
+            2, (delete(atom("p", "a")),), Delta([delete(atom("p", "a"))])
+        )
+        records = journal.records()
+        assert [r.transaction_id for r in records] == [1, 2]
+        assert records[0].delta.inserts == frozenset({atom("p", "a")})
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal(str(tmp_path / "absent.log")).records() == []
+
+    def test_replay(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        journal.append(1, (), Delta([insert(atom("p"))]))
+        journal.append(2, (), Delta([insert(atom("q")), delete(atom("p"))]))
+        replayed = journal.replay(Database(), in_place=False)
+        assert replayed == Database.from_text("q.")
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(str(path))
+        journal.append(1, (), Delta([insert(atom("p"))]))
+        with open(path, "a") as handle:
+            handle.write("tx=2|requested=")  # crash mid-append
+        records = journal.records()
+        assert [r.transaction_id for r in records] == [1]
+        assert journal.corrupt_tail is not None
+
+    def test_corruption_in_middle_raises(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = Journal(str(path))
+        journal.append(1, (), Delta([insert(atom("p"))]))
+        with open(path, "a") as handle:
+            handle.write("garbage line\n")
+        journal.append(3, (), Delta([insert(atom("q"))]))
+        with pytest.raises(StorageError):
+            journal.records()
+
+    def test_quoted_constants_roundtrip(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        fancy = atom("note", "two words")
+        journal.append(1, (insert(fancy),), Delta([insert(fancy)]))
+        (record,) = journal.records()
+        assert fancy in record.delta.inserts
+
+    def test_truncate(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        journal.append(1, (), Delta([insert(atom("p"))]))
+        journal.truncate()
+        assert len(journal) == 0
+
+
+class TestActiveDatabaseIntegration:
+    def test_commits_are_journaled(self, tmp_path):
+        db = make_db(tmp_path)
+        db.delete("active", "joe")
+        (record,) = db.journal.records()
+        assert record.transaction_id == 1
+        assert atom("payroll", "joe", 10) in record.delta.deletes
+
+    def test_recover_reproduces_state(self, tmp_path):
+        snapshot = tmp_path / "base.park"
+        db = make_db(tmp_path)
+        db.checkpoint(str(snapshot))  # checkpoint the initial state
+        db.delete("active", "joe")
+        db.insert("emp", "ann")
+
+        recovered = ActiveDatabase.recover(
+            str(snapshot), str(tmp_path / "commits.journal"), rules=[]
+        )
+        assert recovered.database == db.database
+        # transaction numbering continues after the journaled history
+        assert recovered._next_tx == 3
+
+    def test_checkpoint_truncates_journal(self, tmp_path):
+        db = make_db(tmp_path)
+        db.delete("active", "joe")
+        snapshot = tmp_path / "base.park"
+        db.checkpoint(str(snapshot))
+        assert len(db.journal) == 0
+        recovered = ActiveDatabase.recover(
+            str(snapshot), str(tmp_path / "commits.journal")
+        )
+        assert recovered.database == db.database
+
+    def test_recovery_ignores_rule_changes(self, tmp_path):
+        # Replaying deltas (not rules) makes recovery independent of the
+        # current rule set.
+        snapshot = tmp_path / "base.park"
+        db = make_db(tmp_path)
+        db.checkpoint(str(snapshot))
+        db.delete("active", "joe")
+        recovered = ActiveDatabase.recover(
+            str(snapshot),
+            str(tmp_path / "commits.journal"),
+            rules=["p0 -> +q0."],  # different rules entirely
+        )
+        assert recovered.database == db.database
+
+    def test_no_journal_by_default(self, tmp_path):
+        db = make_db(tmp_path, journal=False)
+        db.delete("active", "joe")
+        assert db.journal is None

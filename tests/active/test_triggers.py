@@ -1,0 +1,67 @@
+"""Tests for the trigger builder."""
+
+import pytest
+
+from repro.active import ActiveDatabase
+from repro.active.triggers import immediately, on
+from repro.errors import LanguageError
+from repro.lang import parse_rule
+from repro.lang.builder import Pred
+
+order = Pred("order")
+stock = Pred("stock")
+backlog = Pred("backlog")
+audit = Pred("audit")
+
+
+class TestBuilding:
+    def test_on_insert_event_trigger(self):
+        rule = (
+            on(+order("Id", "Item"))
+            .if_(stock("Item"))
+            .then("+", audit("Id"), name="t1")
+        )
+        assert rule == parse_rule(
+            "@name(t1) +order(Id, Item), stock(Item) -> +audit(Id)."
+        )
+
+    def test_on_delete_via_method(self):
+        rule = on().on_delete(stock("Item").atom).then("+", backlog("Item"))
+        assert rule == parse_rule("-stock(Item) -> +backlog(Item).")
+
+    def test_immediately_condition_action(self):
+        rule = immediately(stock("Item"), ~backlog("Item")).then("-", stock("Item"))
+        assert rule == parse_rule(
+            "stock(Item), not backlog(Item) -> -stock(Item)."
+        )
+
+    def test_priority_and_name(self):
+        rule = on(+order("I", "X")).then("+", audit("I"), name="t", priority=7)
+        assert (rule.name, rule.priority) == ("t", 7)
+
+    def test_event_expressions_only_in_on(self):
+        with pytest.raises(LanguageError, match="event expressions"):
+            on(stock("Item"))
+
+    def test_signed_expression_in_then(self):
+        rule = on(-order("I", "X")).then(+backlog.X)
+        assert rule == parse_rule("-order(I, X) -> +backlog(X).")
+
+
+class TestIntegration:
+    def test_trigger_registered_and_fired(self):
+        db = ActiveDatabase.from_text("stock(widget).")
+        db.add_rule(
+            on(-stock("Item")).then("+", backlog("Item"), name="restock")
+        )
+        db.delete("stock", "widget")
+        assert db.rows("backlog") == [("widget",)]
+
+    def test_chained_triggers(self):
+        db = ActiveDatabase()
+        db.add_rule(on(+order("Id", "Item")).then("+", audit("Id"), name="t1"))
+        db.add_rule(
+            on(+audit("Id")).then("+", Pred("notified")("Id"), name="t2")
+        )
+        db.insert("order", 1, "widget")
+        assert db.rows("notified") == [(1,)]

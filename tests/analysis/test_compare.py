@@ -1,0 +1,62 @@
+"""Tests for run comparison."""
+
+import pytest
+
+from repro.analysis.compare import compare_runs
+from repro.core.engine import park
+from repro.lang.atoms import atom
+from repro.policies.priority import PriorityPolicy
+
+SEC5 = """
+@name(r1) @priority(1) p -> +a.
+@name(r2) @priority(2) p -> +q.
+@name(r3) @priority(3) a -> +b.
+@name(r4) @priority(4) a -> -q.
+@name(r5) @priority(5) b -> +q.
+"""
+
+
+@pytest.fixture
+def two_runs():
+    return {
+        "inertia": park(SEC5, "p."),
+        "priority": park(SEC5, "p.", policy=PriorityPolicy()),
+    }
+
+
+class TestCompareRuns:
+    def test_unique_atoms(self, two_runs):
+        comparison = compare_runs(two_runs)
+        assert comparison.unique_atoms["inertia"] == frozenset()
+        assert comparison.unique_atoms["priority"] == frozenset({atom("q")})
+
+    def test_common_atoms(self, two_runs):
+        comparison = compare_runs(two_runs)
+        assert comparison.common_atoms == frozenset(
+            {atom("p"), atom("a"), atom("b")}
+        )
+
+    def test_agreement_flag(self, two_runs):
+        assert not compare_runs(two_runs).agreement()
+        same = {"one": park(SEC5, "p."), "two": park(SEC5, "p.")}
+        assert compare_runs(same).agreement()
+
+    def test_blocked_rules_tracked(self, two_runs):
+        comparison = compare_runs(two_runs)
+        assert comparison.blocked_rules["inertia"] == ("r2", "r5")
+        assert comparison.blocked_rules["priority"] == ("r2", "r4")
+
+    def test_markdown_table(self, two_runs):
+        text = compare_runs(two_runs).to_markdown()
+        assert "| inertia |" in text
+        assert "| priority |" in text
+        assert "runs agree: False" in text
+        assert "q" in text
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            compare_runs({"only": park(SEC5, "p.")})
+
+    def test_order_preserved(self, two_runs):
+        comparison = compare_runs(two_runs)
+        assert comparison.names == ("inertia", "priority")

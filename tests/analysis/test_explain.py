@@ -1,0 +1,94 @@
+"""Tests for derivation explanations."""
+
+import pytest
+
+from repro.analysis.explain import Explainer, why
+from repro.core.engine import park
+from repro.core.result import ParkResult, RunStats
+from repro.errors import EngineError
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+
+
+class TestExplain:
+    def test_chain_derivation(self):
+        result = park("@name(r1) p -> +q. @name(r2) q -> +r.", "p.")
+        node = Explainer(result).explain("+r")
+        assert str(node.update) == "+r"
+        (step,) = node.steps
+        assert step.grounding.rule.name == "r2"
+        (support,) = step.supports
+        assert support.note == "derived"
+        inner_step = support.child.steps[0]
+        assert inner_step.grounding.rule.name == "r1"
+        assert inner_step.supports[0].note == "base fact"
+
+    def test_update_objects_accepted(self):
+        result = park("p -> +q.", "p.")
+        node = Explainer(result).explain(insert(atom("q")))
+        assert node.steps
+
+    def test_negation_support(self):
+        result = park("@name(r1) p, not z -> +q.", "p.")
+        node = Explainer(result).explain("+q")
+        notes = [s.note for s in node.steps[0].supports]
+        assert notes == ["base fact", "absent"]
+
+    def test_negation_via_deletion_mark(self):
+        result = park(
+            "@name(killer) p -> -z. @name(r1) not z -> +q.", "p. z."
+        )
+        node = Explainer(result).explain("+q")
+        (support,) = node.steps[0].supports
+        assert support.note == "marked deleted"
+        assert support.child.steps[0].grounding.rule.name == "killer"
+
+    def test_event_support(self):
+        result = park(
+            "@name(r1) p -> +q. @name(r2) +q -> +r.", "p."
+        )
+        node = Explainer(result).explain("+r")
+        (support,) = node.steps[0].supports
+        assert support.note == "event"
+        assert support.child.steps[0].grounding.rule.name == "r1"
+
+    def test_multiple_derivations(self):
+        result = park("@name(r1) p -> +q. @name(r2) s -> +q.", "p. s.")
+        node = Explainer(result).explain("+q")
+        assert {step.grounding.rule.name for step in node.steps} == {"r1", "r2"}
+
+    def test_cycle_guard(self):
+        result = park("@name(r1) p -> +q. @name(r2) q -> +q2. @name(r3) q2 -> +q.",
+                      "p.")
+        node = Explainer(result).explain("+q")
+        # walking q -> q2 -> q must terminate with a cyclic marker
+        text = Explainer(result).explain_text("+q")
+        assert "[cycle]" in text or node.steps  # cycle cut somewhere inside
+
+    def test_unknown_literal_rejected(self):
+        result = park("p -> +q.", "p.")
+        with pytest.raises(EngineError, match="not in the final"):
+            Explainer(result).explain("+zzz")
+
+    def test_bad_target_strings(self):
+        result = park("p -> +q.", "p.")
+        with pytest.raises(EngineError, match="marked literals"):
+            Explainer(result).explain("q")
+
+    def test_requires_provenance(self):
+        bare = ParkResult(
+            database=None, delta=None, interpretation=None,
+            blocked=frozenset(), stats=RunStats(), policy_name="x",
+        )
+        with pytest.raises(EngineError, match="no provenance"):
+            Explainer(bare)
+
+
+class TestWhy:
+    def test_text_outline(self):
+        result = park("@name(r1) p -> +q.", "p.")
+        text = why(result, "+q")
+        lines = text.splitlines()
+        assert lines[0] == "+q"
+        assert "by (r1)" in lines[1]
+        assert "base fact" in lines[2]

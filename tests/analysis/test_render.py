@@ -1,0 +1,86 @@
+"""Tests for paper-notation rendering."""
+
+from repro.analysis.render import (
+    render_database,
+    render_decision,
+    render_frozen_interpretation,
+    render_interpretation,
+    render_trace,
+    trace_interpretation_strings,
+)
+from repro.analysis.trace import TraceRecorder
+from repro.core.engine import ParkEngine
+from repro.core.interpretation import IInterpretation
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+
+
+class TestInterpretationNotation:
+    def test_marks_and_order(self):
+        i = IInterpretation.from_database(Database.from_text("p."))
+        i.add_update(insert(atom("q")))
+        i.add_update(delete(atom("a")))
+        assert render_interpretation(i) == "{-a, p, +q}"
+
+    def test_frozen_form(self):
+        frozen = (
+            frozenset({atom("p")}),
+            frozenset({atom("q")}),
+            frozenset({atom("a")}),
+        )
+        assert render_frozen_interpretation(frozen) == "{-a, p, +q}"
+
+    def test_empty(self):
+        assert render_frozen_interpretation((frozenset(), frozenset(), frozenset())) == "{}"
+
+    def test_database(self):
+        assert render_database(Database.from_text("q. p(a).")) == "{p(a), q}"
+
+
+class TestTraceRendering:
+    def run(self, program, facts):
+        recorder = TraceRecorder()
+        ParkEngine(listeners=[recorder]).run(program, facts)
+        return recorder
+
+    def test_paper_section5_trace(self):
+        """The numbered sets must equal the paper's (1)-(7) walkthrough."""
+        recorder = self.run(
+            """
+            @name(r1) p -> +a.
+            @name(r2) p -> +q.
+            @name(r3) a -> +b.
+            @name(r4) a -> -q.
+            @name(r5) b -> +q.
+            """,
+            "p.",
+        )
+        assert trace_interpretation_strings(recorder) == [
+            "{+a, p, +q}",                 # (1)
+            "{+a, +b, p, +q, -q}",         # (2) inconsistent
+            "{+a, p}",                     # (3)
+            "{+a, +b, p, -q}",             # (4)
+            "{+a, +b, p, +q, -q}",         # (5) inconsistent
+            "{+a, p}",                     # (6)
+            "{+a, +b, p, -q}",             # (7)
+        ]
+
+    def test_render_trace_structure(self):
+        text = render_trace(self.run("@name(r1) p -> +a. @name(r2) p -> -a.", "p."))
+        assert "(1)" in text
+        assert "inconsistent" in text
+        assert "restart from I0" in text
+        assert "fixpoint:" in text
+        assert "conflict on a" in text
+
+    def test_render_trace_without_decisions(self):
+        recorder = self.run("@name(r1) p -> +a. @name(r2) p -> -a.", "p.")
+        text = render_trace(recorder, include_decisions=False)
+        assert "conflict on" not in text
+
+    def test_decision_line(self):
+        recorder = self.run("@name(r1) p -> +a. @name(r2) p -> -a.", "p.")
+        ((conflict, decision),) = recorder.conflicts()[0].decisions
+        line = render_decision(conflict, decision)
+        assert line == "conflict on a: ins={r1} del={r2} -> delete"

@@ -1,0 +1,68 @@
+"""Tests for the markdown run-report generator."""
+
+import pytest
+
+from repro.analysis.report import report, save_report
+from repro.analysis.trace import TraceRecorder
+from repro.core.engine import ParkEngine, park
+
+P1 = """
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+"""
+
+
+def traced_run(program=P1, facts="p."):
+    recorder = TraceRecorder()
+    result = ParkEngine(listeners=[recorder]).run(program, facts)
+    return result, recorder
+
+
+class TestReport:
+    def test_sections_present(self):
+        result, recorder = traced_run()
+        text = report(result, recorder)
+        for heading in ("# PARK run report", "## Outcome", "## Counters",
+                        "## Blocked rule instances", "## Conflict decisions",
+                        "## Trace", "## Inputs"):
+            assert heading in text
+
+    def test_outcome_facts(self):
+        result, recorder = traced_run()
+        text = report(result, recorder)
+        assert "`{p, q}`" in text
+        assert "policy: `inertia`" in text
+        assert "(r3)" in text
+
+    def test_uses_attached_trace_by_default(self):
+        result, _ = traced_run()
+        assert "## Trace" in report(result)  # result.trace set by recorder
+
+    def test_without_trace_still_reports(self):
+        result = park(P1, "p.")
+        text = report(result)
+        assert "## Outcome" in text
+        assert "## Trace" not in text
+
+    def test_include_trace_false(self):
+        result, recorder = traced_run()
+        text = report(result, recorder, include_trace=False)
+        assert "## Trace" not in text
+        assert "## Conflict decisions" in text
+
+    def test_conflict_free_run_omits_conflict_sections(self):
+        result, recorder = traced_run("p -> +q.", "p.")
+        text = report(result, recorder)
+        assert "## Blocked rule instances" not in text
+        assert "## Conflict decisions" not in text
+
+    def test_custom_title(self):
+        result, recorder = traced_run()
+        assert report(result, recorder, title="E1").startswith("# E1")
+
+    def test_save_report(self, tmp_path):
+        result, recorder = traced_run()
+        path = tmp_path / "report.md"
+        text = save_report(result, str(path), trace=recorder)
+        assert path.read_text() == text

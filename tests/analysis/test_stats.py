@@ -1,0 +1,83 @@
+"""Tests for power-law fitting and sweep helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    PowerLawFit,
+    SweepPoint,
+    fit_power_law,
+    geometric_sizes,
+    summarize_sweep,
+)
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        sizes = [10, 20, 40, 80]
+        times = [0.1 * s for s in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(0.1)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_quadratic(self):
+        sizes = [8, 16, 32, 64]
+        times = [3e-6 * s * s for s in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(2.0)
+
+    def test_noise_tolerated(self):
+        sizes = [10, 20, 40, 80, 160]
+        times = [0.01 * s ** 1.5 * (1 + 0.05 * ((i % 2) * 2 - 1))
+                 for i, s in enumerate(sizes)]
+        fit = fit_power_law(sizes, times)
+        assert 1.3 < fit.exponent < 1.7
+        assert fit.r_squared > 0.95
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, coefficient=0.5, r_squared=1.0)
+        assert fit.predict(4) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5], [1.0, 2.0])
+
+    def test_str(self):
+        fit = fit_power_law([10, 100], [1.0, 100.0])
+        assert "n^2.00" in str(fit)
+
+
+class TestSweepHelpers:
+    def test_summarize_sweep(self):
+        points = [SweepPoint(size=s, seconds=0.001 * s) for s in (10, 20, 40)]
+        fit, table = summarize_sweep(points)
+        assert fit.exponent == pytest.approx(1.0)
+        assert "size" in table
+        assert "10" in table
+
+    def test_geometric_sizes(self):
+        sizes = geometric_sizes(10, 1000, 5)
+        assert sizes[0] == 10
+        assert sizes[-1] == 1000
+        assert sizes == sorted(sizes)
+        assert len(sizes) == 5
+
+    def test_geometric_sizes_dedup(self):
+        sizes = geometric_sizes(2, 4, 10)
+        assert len(sizes) == len(set(sizes))
+
+    def test_geometric_sizes_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 5, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(1, 10, 1)

@@ -1,0 +1,76 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.analysis.trace import TraceRecorder
+from repro.core.engine import ParkEngine
+from repro.lang.atoms import atom
+
+
+def run_with_trace(program_text, facts_text, **options):
+    recorder = TraceRecorder()
+    engine = ParkEngine(listeners=[recorder], **options)
+    result = engine.run(program_text, facts_text)
+    return recorder, result
+
+
+class TestRecording:
+    def test_conflict_free_run(self):
+        recorder, _ = run_with_trace("p -> +q. q -> +r.", "p.")
+        rounds = recorder.rounds()
+        assert len(rounds) == 2
+        assert recorder.conflicts() == []
+        assert recorder.events[-1].kind == "fixpoint"
+        assert recorder.epochs() == 1
+
+    def test_round_event_contents(self):
+        recorder, _ = run_with_trace("p -> +q.", "p.")
+        (round_event,) = recorder.rounds()
+        assert [str(u) for u in round_event.new_updates] == ["+q"]
+        unmarked, plus, minus = round_event.interpretation
+        assert plus == frozenset({atom("q")})
+
+    def test_conflict_event_contents(self):
+        recorder, _ = run_with_trace(
+            "@name(r1) p -> +a. @name(r2) p -> -a.", "p."
+        )
+        (conflict_event,) = recorder.conflicts()
+        assert len(conflict_event.conflicts) == 1
+        assert len(conflict_event.decisions) == 1
+        assert {g.rule.name for g in conflict_event.blocked_added} == {"r1"}
+        # the inconsistent Γ(I) the paper would print
+        _, plus, minus = conflict_event.inconsistent_interpretation
+        assert atom("a") in plus and atom("a") in minus
+
+    def test_restart_events(self):
+        recorder, _ = run_with_trace("@name(r1) p -> +a. @name(r2) p -> -a.", "p.")
+        restarts = [e for e in recorder.events if e.kind == "restart"]
+        assert len(restarts) == 1
+        assert restarts[0].epoch == 2
+        assert recorder.epochs() == 2
+
+    def test_trace_attached_to_result(self):
+        recorder, result = run_with_trace("p -> +q.", "p.")
+        assert result.trace is recorder
+        assert recorder.result is result
+
+    def test_recorder_reusable(self):
+        recorder = TraceRecorder()
+        engine = ParkEngine(listeners=[recorder])
+        engine.run("p -> +q.", "p.")
+        first_len = len(recorder)
+        engine.run("p -> +q. q -> +r.", "p.")
+        assert len(recorder) != first_len or recorder.events  # reset happened
+        assert len(recorder.rounds()) == 2
+
+    def test_interpretations_list(self):
+        recorder, _ = run_with_trace("p -> +q. q -> +r.", "p.")
+        interps = recorder.interpretations()
+        assert len(interps) == 2
+        assert interps[0][1] == frozenset({atom("q")})
+        assert interps[1][1] == frozenset({atom("q"), atom("r")})
+
+    def test_database_snapshot_captured(self):
+        recorder, _ = run_with_trace("p -> +q.", "p.")
+        assert recorder.database.freeze() == frozenset({atom("p")})
+        assert recorder.policy_name == "inertia"

@@ -1,0 +1,77 @@
+"""Tests for the inflationary fixpoint baseline."""
+
+import pytest
+
+from repro.baselines.inflationary import inflationary_fixpoint, stubborn_fixpoint
+from repro.core.engine import park
+from repro.engine.datalog import seminaive_least_fixpoint
+from repro.errors import EngineError, NonTerminationError
+from repro.lang import parse_database, parse_program
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+from repro.storage.database import Database
+
+
+class TestInflationary:
+    def test_positive_program_equals_least_fixpoint(self):
+        program = parse_program("""
+        edge(X, Y) -> +tc(X, Y).
+        tc(X, Z), edge(Z, Y) -> +tc(X, Y).
+        """)
+        db = Database.from_text("edge(a, b). edge(b, c).")
+        assert inflationary_fixpoint(program, db) == seminaive_least_fixpoint(
+            program, db
+        )
+
+    def test_negation_evaluated_inflationarily(self):
+        # Kolaitis-Papadimitriou: 'not q' true at round 1 fires p even if q
+        # becomes true later — inflationary, not well-founded.
+        program = parse_program("""
+        seed -> +q.
+        not q -> +p.
+        """)
+        result = inflationary_fixpoint(program, Database.from_text("seed."))
+        # Round 1: both rules fire on the initial state (q not yet derived).
+        assert atom("p") in result
+        assert atom("q") in result
+
+    def test_rejects_deletions(self):
+        with pytest.raises(EngineError, match="insert-only"):
+            inflationary_fixpoint(parse_program("p -> -q."), Database())
+
+    def test_rejects_events(self):
+        with pytest.raises(EngineError, match="events"):
+            inflationary_fixpoint(parse_program("+p -> +q."), Database())
+
+    def test_agrees_with_park_when_conflict_free(self):
+        program = parse_program("p -> +q. q -> +r. not z -> +w.")
+        db = Database.from_text("p.")
+        assert inflationary_fixpoint(program, db) == park(program, db).database
+
+
+class TestStubborn:
+    def test_accumulates_conflicting_marks(self, p3):
+        program, database = p3
+        fixpoint = stubborn_fixpoint(program, database)
+        assert not fixpoint.is_consistent()
+        assert set(fixpoint.conflicting_atoms()) == {atom("a"), atom("q")}
+
+    def test_paper_p2_trace_endpoint(self, p2):
+        program, database = p2
+        fixpoint = stubborn_fixpoint(program, database)
+        # Paper: final fixpoint {p, +q, -a, +r, +a, +s}
+        unmarked, plus, minus = fixpoint.freeze()
+        assert unmarked == frozenset({atom("p")})
+        assert plus == frozenset({atom("q"), atom("r"), atom("a"), atom("s")})
+        assert minus == frozenset({atom("a")})
+
+    def test_supports_updates(self):
+        fixpoint = stubborn_fixpoint(
+            parse_program("+q(X) -> +r(X)."), Database(), updates=[insert(atom("q", "b"))]
+        )
+        assert fixpoint.has_plus(atom("r", "b"))
+
+    def test_round_budget(self):
+        program = parse_program("p -> +a. a -> +b. b -> +c.")
+        with pytest.raises(NonTerminationError):
+            stubborn_fixpoint(program, Database.from_text("p."), max_rounds=1)

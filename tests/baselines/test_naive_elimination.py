@@ -1,0 +1,65 @@
+"""Tests for the Section 4.1 strawman semantics and its counterexamples."""
+
+import pytest
+
+from repro.baselines.naive_elimination import naive_elimination
+from repro.core.engine import park
+from repro.lang import parse_database
+from repro.lang.atoms import atom
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.priority import PriorityPolicy
+
+
+class TestPaperCounterexamples:
+    def test_p2_obsolete_consequence_kept(self, p2):
+        """The strawman wrongly keeps s (derived from the cancelled +a)."""
+        program, database = p2
+        result = naive_elimination(program, database)
+        assert result.atoms == frozenset(parse_database("p. q. r. s."))
+        assert result.ambiguous_atoms == frozenset({atom("a")})
+
+    def test_p2_park_gets_it_right(self, p2):
+        program, database = p2
+        assert park(program, database).atoms == frozenset(parse_database("p. q. r."))
+
+    def test_p3_false_conflict_cancels_a(self, p3):
+        """The strawman wrongly treats a as ambiguous and drops it."""
+        program, database = p3
+        result = naive_elimination(program, database)
+        assert result.atoms == frozenset(parse_database("p."))
+        assert result.ambiguous_atoms == frozenset({atom("a"), atom("q")})
+
+    def test_p3_park_keeps_a(self, p3):
+        program, database = p3
+        assert park(program, database).atoms == frozenset(parse_database("p. a."))
+
+    def test_p1_both_agree(self, p1):
+        """Without derivations *from* conflicting literals, both coincide."""
+        program, database = p1
+        assert naive_elimination(program, database).atoms == park(
+            program, database
+        ).atoms
+
+
+class TestMechanics:
+    def test_conflict_free_program_is_just_the_fixpoint(self):
+        result = naive_elimination("p -> +q. q -> +r.", "p.")
+        assert result.atoms == frozenset(parse_database("p. q. r."))
+        assert result.ambiguous_atoms == frozenset()
+
+    def test_fixpoint_exposed(self, p2):
+        program, database = p2
+        result = naive_elimination(program, database)
+        assert not result.fixpoint.is_consistent()
+
+    def test_constant_policy_keeps_winner(self):
+        result = naive_elimination(
+            "p -> +a. p -> -a.", "p.", policy=ConstantPolicy(Decision.INSERT)
+        )
+        assert atom("a") in result.atoms
+
+    def test_instance_needing_policy_raises(self, p2):
+        program, database = p2
+        with pytest.raises(AttributeError, match="no rule-instance"):
+            naive_elimination(program, database, policy=PriorityPolicy())

@@ -1,0 +1,84 @@
+"""Tests for the well-founded semantics baseline."""
+
+import pytest
+
+from repro.baselines.wellfounded import WellFoundedModel, well_founded
+from repro.engine.datalog import seminaive_least_fixpoint
+from repro.errors import EngineError
+from repro.lang import parse_program
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+
+
+class TestClassicalExamples:
+    def test_win_move_game(self):
+        model = well_founded(
+            "move(X, Y), not win(Y) -> +win(X).",
+            "move(a, b). move(b, a). move(b, c).",
+        )
+        # c is lost (no moves); b wins (move to c); a loses (only move is
+        # to the winning b).
+        assert model.is_true(atom("win", "b"))
+        assert model.is_false(atom("win", "a"))
+        assert model.is_false(atom("win", "c"))
+
+    def test_draw_positions_unknown(self):
+        model = well_founded(
+            "move(X, Y), not win(Y) -> +win(X).",
+            "move(a, b). move(b, a).",
+        )
+        assert model.is_unknown(atom("win", "a"))
+        assert model.is_unknown(atom("win", "b"))
+        assert not model.total
+
+    def test_two_clause_loop_unknown(self):
+        model = well_founded("not q -> +p. not p -> +q.", "seed.")
+        assert model.is_unknown(atom("p"))
+        assert model.is_unknown(atom("q"))
+
+    def test_base_facts_true(self):
+        model = well_founded("", "p. q(a).")
+        assert model.is_true(atom("p"))
+        assert model.total
+
+
+class TestAgreements:
+    def test_positive_program_matches_least_fixpoint(self):
+        program = parse_program("""
+        edge(X, Y) -> +tc(X, Y).
+        tc(X, Z), edge(Z, Y) -> +tc(X, Y).
+        """)
+        db = Database.from_text("edge(a, b). edge(b, c). edge(c, a).")
+        model = well_founded(program, db)
+        assert model.total
+        assert model.true == seminaive_least_fixpoint(program, db).freeze()
+
+    def test_stratified_negation_total(self):
+        program = parse_program("""
+        node(X), not reached(X) -> +isolated(X).
+        edge(Y, X) -> +reached(X).
+        """)
+        db = Database.from_text("node(a). node(b). edge(a, b).")
+        model = well_founded(program, db)
+        assert model.total
+        assert model.is_true(atom("isolated", "a"))
+        assert model.is_false(atom("isolated", "b"))
+
+
+class TestValidation:
+    def test_rejects_deletions(self):
+        with pytest.raises(EngineError, match="insert-only"):
+            well_founded("p -> -q.", "p.")
+
+    def test_rejects_events(self):
+        with pytest.raises(EngineError, match="events"):
+            well_founded("+p -> +q.", "p.")
+
+    def test_model_api(self):
+        model = WellFoundedModel(
+            true=frozenset({atom("t")}), unknown=frozenset({atom("u")})
+        )
+        assert model.is_true(atom("t"))
+        assert model.is_unknown(atom("u"))
+        assert model.is_false(atom("f"))
+        assert not model.total

@@ -1,0 +1,128 @@
+"""Shared fixtures: the paper's example programs and databases.
+
+Each fixture mirrors one worked example from the paper, so integration
+tests can assert against the exact sets the paper prints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import parse_atom, parse_database, parse_program
+from repro.lang.updates import insert
+from repro.storage import Database
+
+# -- Section 4.1 --------------------------------------------------------------
+
+P1_TEXT = """
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+"""
+
+P2_TEXT = """
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+@name(r4) not a -> +r.
+@name(r5) a -> +s.
+"""
+
+P3_TEXT = """
+@name(r1) p -> +q.
+@name(r2) p -> -q.
+@name(r3) q -> +a.
+@name(r4) q -> -a.
+@name(r5) p -> +a.
+"""
+
+# -- Section 4.2 (graph example) --------------------------------------------------
+
+GRAPH_TEXT = """
+@name(r1) p(X), p(Y) -> +q(X, Y).
+@name(r2) q(X, X) -> -q(X, X).
+@name(r3) q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+"""
+
+# -- Section 4.3 (ECA examples) -----------------------------------------------------
+
+ECA1_TEXT = """
+@name(r1) p(X) -> +q(X).
+@name(r2) q(X) -> +r(X).
+@name(r3) +r(X) -> -s(X).
+"""
+
+ECA2_TEXT = """
+@name(r1) q(X, a) -> -p(X, a).
+@name(r2) q(a, X) -> +r(a, X).
+@name(r3) +r(X, a) -> +p(X, a).
+"""
+
+# -- Section 5 ------------------------------------------------------------------------
+
+SEC5_TEXT = """
+@name(r1) @priority(1) p -> +a.
+@name(r2) @priority(2) p -> +q.
+@name(r3) @priority(3) a -> +b.
+@name(r4) @priority(4) a -> -q.
+@name(r5) @priority(5) b -> +q.
+"""
+
+SEC5_COUNTER_TEXT = """
+@name(r1) a -> +b.
+@name(r2) a -> +d.
+@name(r3) b -> +c.
+@name(r4) b -> -d.
+@name(r5) c -> -b.
+"""
+
+
+@pytest.fixture
+def p1():
+    return parse_program(P1_TEXT), Database.from_text("p.")
+
+
+@pytest.fixture
+def p2():
+    return parse_program(P2_TEXT), Database.from_text("p.")
+
+
+@pytest.fixture
+def p3():
+    return parse_program(P3_TEXT), Database.from_text("p.")
+
+
+@pytest.fixture
+def graph_example():
+    return parse_program(GRAPH_TEXT), Database.from_text("p(a). p(b). p(c).")
+
+
+@pytest.fixture
+def eca1():
+    program = parse_program(ECA1_TEXT)
+    database = Database.from_text("p(a). s(a). s(b).")
+    updates = (insert(parse_atom("q(b)")),)
+    return program, database, updates
+
+
+@pytest.fixture
+def eca2():
+    program = parse_program(ECA2_TEXT)
+    database = Database.from_text("p(a, a). p(a, b). p(a, c).")
+    updates = (insert(parse_atom("q(a, a)")),)
+    return program, database, updates
+
+
+@pytest.fixture
+def sec5():
+    return parse_program(SEC5_TEXT), Database.from_text("p.")
+
+
+@pytest.fixture
+def sec5_counter():
+    return parse_program(SEC5_COUNTER_TEXT), Database.from_text("a.")
+
+
+def atoms(text):
+    """Helper: parse fact text into a frozenset of atoms."""
+    return frozenset(parse_database(text))

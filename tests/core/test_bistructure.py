@@ -1,0 +1,94 @@
+"""Tests for bi-structures and their Section 4.2 ordering."""
+
+import pytest
+
+from repro.core.bistructure import BiStructure, initial_bistructure
+from repro.core.groundings import grounding
+from repro.core.interpretation import IInterpretation
+from repro.lang import parse_program
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+from repro.storage.database import Database
+
+PROGRAM = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+G1 = grounding(PROGRAM[0])
+G2 = grounding(PROGRAM[1])
+
+
+def interp(text="p.", plus=()):
+    i = IInterpretation.from_database(Database.from_text(text))
+    i.add_updates([insert(a) for a in plus])
+    return i
+
+
+class TestConstruction:
+    def test_initial(self):
+        bs = initial_bistructure(Database.from_text("p."))
+        assert bs.blocked == frozenset()
+        assert bs.interpretation.has_unmarked(atom("p"))
+
+    def test_captured_by_value(self):
+        i = interp()
+        bs = BiStructure(frozenset(), i)
+        i.add_update(insert(atom("z")))
+        assert not bs.interpretation.has_plus(atom("z"))
+
+    def test_interpretation_property_returns_copy(self):
+        bs = initial_bistructure(Database.from_text("p."))
+        bs.interpretation.add_update(insert(atom("z")))
+        assert not bs.interpretation.has_plus(atom("z"))
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            BiStructure(frozenset(), Database.from_text("p."))
+
+
+class TestOrdering:
+    def test_blocked_growth_dominates(self):
+        smaller = BiStructure(frozenset(), interp(plus=[atom("x")]))
+        larger = BiStructure(frozenset({G1}), interp())
+        # B grows, I shrinks: still strictly increasing (first disjunct).
+        assert smaller.precedes(larger)
+        assert not larger.precedes(smaller)
+
+    def test_equal_blocked_compares_interpretations(self):
+        smaller = BiStructure(frozenset({G1}), interp())
+        larger = BiStructure(frozenset({G1}), interp(plus=[atom("x")]))
+        assert smaller.precedes(larger)
+        assert not larger.precedes(smaller)
+
+    def test_incomparable(self):
+        left = BiStructure(frozenset({G1}), interp())
+        right = BiStructure(frozenset({G2}), interp())
+        assert not left.precedes(right)
+        assert not right.precedes(left)
+
+    def test_strictness(self):
+        bs = BiStructure(frozenset({G1}), interp())
+        assert not bs.precedes(bs)
+        assert bs <= bs
+
+    def test_le_means_eq_or_lt(self):
+        a = BiStructure(frozenset(), interp())
+        b = BiStructure(frozenset({G1}), interp())
+        assert a <= b
+        assert a <= a
+        assert not b <= a
+
+    def test_incomparable_interpretations(self):
+        left = BiStructure(frozenset(), interp(plus=[atom("x")]))
+        right = BiStructure(frozenset(), interp(plus=[atom("y")]))
+        assert not left.precedes(right)
+        assert not right.precedes(left)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = BiStructure(frozenset({G1}), interp())
+        b = BiStructure(frozenset({G1}), interp())
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_mentions_blocked(self):
+        assert "r1" in str(BiStructure(frozenset({G1}), interp()))

@@ -1,0 +1,115 @@
+"""Tests for blocking: decisions -> blocked rule instances."""
+
+import pytest
+
+from repro.core.blocking import BlockingMode, blocked_set, resolve_conflicts
+from repro.core.conflicts import find_conflicts
+from repro.core.groundings import grounding
+from repro.core.interpretation import IInterpretation
+from repro.errors import PolicyError
+from repro.lang import parse_program
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.inertia import InertiaPolicy
+from repro.storage.database import Database
+
+PROGRAM = parse_program("""
+@name(i1) p -> +a.
+@name(d1) p -> -a.
+@name(i2) p -> +b.
+@name(d2) p -> -b.
+""")
+
+
+def setup():
+    database = Database.from_text("p.")
+    interpretation = IInterpretation.from_database(database)
+    conflicts = find_conflicts(PROGRAM, interpretation)
+    return database, interpretation, conflicts
+
+
+class TestResolveConflicts:
+    def test_all_mode_resolves_everything(self):
+        database, interpretation, conflicts = setup()
+        additions, decisions = resolve_conflicts(
+            conflicts, InertiaPolicy(), database, PROGRAM, interpretation,
+            blocked=frozenset(), restarts=0, mode=BlockingMode.ALL,
+        )
+        assert len(decisions) == 2
+        # inertia: a,b absent from D -> delete wins -> insert sides blocked
+        assert {g.rule.name for g in additions} == {"i1", "i2"}
+
+    def test_minimal_mode_resolves_first_only(self):
+        database, interpretation, conflicts = setup()
+        additions, decisions = resolve_conflicts(
+            conflicts, InertiaPolicy(), database, PROGRAM, interpretation,
+            blocked=frozenset(), restarts=0, mode=BlockingMode.MINIMAL,
+        )
+        assert len(decisions) == 1
+        assert decisions[0][0].atom.predicate == "a"  # canonical order
+        assert {g.rule.name for g in additions} == {"i1"}
+
+    def test_insert_decision_blocks_delete_side(self):
+        database, interpretation, conflicts = setup()
+        additions, _ = resolve_conflicts(
+            conflicts, ConstantPolicy(Decision.INSERT), database, PROGRAM,
+            interpretation, blocked=frozenset(), restarts=0,
+        )
+        assert {g.rule.name for g in additions} == {"d1", "d2"}
+
+    def test_empty_conflicts_rejected(self):
+        database, interpretation, _ = setup()
+        with pytest.raises(PolicyError):
+            resolve_conflicts(
+                [], InertiaPolicy(), database, PROGRAM, interpretation,
+                blocked=frozenset(), restarts=0,
+            )
+
+    def test_bad_policy_answer_rejected(self):
+        database, interpretation, conflicts = setup()
+
+        class Confused(InertiaPolicy):
+            def select(self, context):
+                return "maybe"
+
+        with pytest.raises(PolicyError, match="expected Decision"):
+            resolve_conflicts(
+                conflicts, Confused(), database, PROGRAM, interpretation,
+                blocked=frozenset(), restarts=0,
+            )
+
+    def test_context_passed_to_policy(self):
+        database, interpretation, conflicts = setup()
+        seen = []
+
+        class Spy(InertiaPolicy):
+            def select(self, context):
+                seen.append(context)
+                return super().select(context)
+
+        resolve_conflicts(
+            conflicts, Spy(), database, PROGRAM, interpretation,
+            blocked=frozenset({"marker"}), restarts=3,
+        )
+        assert all(ctx.database is database for ctx in seen)
+        assert all(ctx.program is PROGRAM for ctx in seen)
+        assert all(ctx.restarts == 3 for ctx in seen)
+        assert all("marker" in ctx.blocked for ctx in seen)
+
+
+class TestBlockedSetFunction:
+    def test_paper_definition(self):
+        # blocked(D, P, I, SELECT) on the Section 4.2 mini example.
+        program = parse_program("@name(r1) p(X) -> +q(X). @name(r2) p(X) -> -q(X).")
+        database = Database.from_text("p(a).")
+        interpretation = IInterpretation.from_database(database)
+        blocked = blocked_set(
+            database, program, interpretation, ConstantPolicy(Decision.INSERT)
+        )
+        assert {g.rule.name for g in blocked} == {"r2"}
+
+    def test_no_conflicts_empty(self):
+        program = parse_program("p -> +a.")
+        database = Database.from_text("p.")
+        interpretation = IInterpretation.from_database(database)
+        assert blocked_set(database, program, interpretation, InertiaPolicy()) == frozenset()

@@ -1,0 +1,143 @@
+"""Tests for conflict detection — the paper's conflicts(P, I)."""
+
+import pytest
+
+from repro.core.conflicts import Conflict, build_conflicts, find_conflicts
+from repro.core.consequence import gamma
+from repro.core.groundings import grounding
+from repro.core.interpretation import IInterpretation
+from repro.core.provenance import Provenance
+from repro.lang import parse_program, substitution
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+
+
+def interp(text):
+    return IInterpretation.from_database(Database.from_text(text))
+
+
+class TestConflictType:
+    def test_requires_both_sides(self):
+        program = parse_program("@name(r1) p -> +a.")
+        g = grounding(program[0])
+        with pytest.raises(ValueError, match="non-empty"):
+            Conflict(atom("a"), frozenset({g}), frozenset())
+
+    def test_requires_ground_atom(self):
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        g1, g2 = grounding(program[0]), grounding(program[1])
+        with pytest.raises(TypeError):
+            Conflict(atom("a", "X"), frozenset({g1}), frozenset({g2}))
+
+    def test_sides_and_losing_side(self):
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        ins = frozenset({grounding(program[0])})
+        dels = frozenset({grounding(program[1])})
+        c = Conflict(atom("a"), ins, dels)
+        assert c.side(True) is c.ins
+        assert c.losing_side(True) is c.dels
+        assert c.losing_side(False) is c.ins
+
+    def test_rules(self):
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        c = Conflict(
+            atom("a"),
+            frozenset({grounding(program[0])}),
+            frozenset({grounding(program[1])}),
+        )
+        assert {r.name for r in c.rules()} == {"r1", "r2"}
+
+
+class TestFindConflicts:
+    def test_paper_example(self):
+        # The conflicts() example from Section 4.2.
+        program = parse_program("@name(r1) p(X) -> +q(X). @name(r2) p(X) -> -q(X).")
+        conflicts = find_conflicts(program, interp("p(a)."))
+        assert len(conflicts) == 1
+        c = conflicts[0]
+        assert c.atom == atom("q", "a")
+        assert c.ins == frozenset({grounding(program[0], substitution(X="a"))})
+        assert c.dels == frozenset({grounding(program[1], substitution(X="a"))})
+
+    def test_looks_one_step_into_future(self):
+        # Conflicting heads not yet in I still produce a conflict.
+        program = parse_program("p -> +a. p -> -a.")
+        i = interp("p.")
+        assert i.marked_count() == 0
+        assert len(find_conflicts(program, i)) == 1
+
+    def test_no_conflicts_without_opposition(self):
+        program = parse_program("p -> +a. p -> +b.")
+        assert find_conflicts(program, interp("p.")) == []
+
+    def test_maximality_collects_all_instances(self):
+        program = parse_program("""
+        @name(r1) p -> +a.
+        @name(r2) s -> +a.
+        @name(r3) p -> -a.
+        """)
+        (c,) = find_conflicts(program, interp("p. s."))
+        assert len(c.ins) == 2
+        assert len(c.dels) == 1
+
+    def test_blocked_instances_excluded(self):
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        blocked = {grounding(program[0])}
+        assert find_conflicts(program, interp("p."), blocked=blocked) == []
+
+    def test_sorted_by_atom(self):
+        program = parse_program("""
+        p -> +b. p -> -b. p -> +a. p -> -a.
+        """)
+        conflicts = find_conflicts(program, interp("p."))
+        assert [str(c.atom) for c in conflicts] == ["a", "b"]
+
+    def test_invalid_bodies_do_not_conflict(self):
+        program = parse_program("p -> +a. q -> -a.")
+        assert find_conflicts(program, interp("p.")) == []
+
+
+class TestBuildConflicts:
+    def test_from_gamma_result(self):
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        result = gamma(program, frozenset(), interp("p."))
+        conflicts = build_conflicts(result, frozenset(), Provenance())
+        assert len(conflicts) == 1
+
+    def test_stale_side_completed_from_provenance(self):
+        # -a entered I in an earlier round via r1 (whose body was 'not b');
+        # later +b defeats r1, then r3 derives +a: the current firings have
+        # no valid del side, so provenance must supply r1.
+        program = parse_program("""
+        @name(r0) seed -> +c.
+        @name(r1) not b -> -a.
+        @name(r2) c -> +b.
+        @name(r3) b -> +a.
+        """)
+        i = interp("seed.")
+        provenance = Provenance()
+        blocked = frozenset()
+        for _ in range(10):
+            result = gamma(program, blocked, i)
+            if not result.is_consistent:
+                break
+            provenance.record(result.firings)
+            i = result.apply()
+        assert not result.is_consistent
+        conflicts = build_conflicts(result, blocked, provenance)
+        assert len(conflicts) == 1
+        c = conflicts[0]
+        assert {g.rule.name for g in c.ins} == {"r3"}
+        assert {g.rule.name for g in c.dels} == {"r1"}
+
+    def test_unexplained_mark_raises(self):
+        # Hand-built interpretation: -a present but never derived.
+        from repro.errors import EngineError
+        from repro.lang.updates import delete
+
+        program = parse_program("p -> +a.")
+        i = interp("p.")
+        i.add_update(delete(atom("a")))
+        result = gamma(program, frozenset(), i)
+        with pytest.raises(EngineError, match="no deriving instances"):
+            build_conflicts(result, frozenset(), Provenance())

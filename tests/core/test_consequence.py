@@ -1,0 +1,114 @@
+"""Tests for the immediate consequence operator Γ."""
+
+import pytest
+
+from repro.core.consequence import compute_firings, gamma, gamma_fixpoint
+from repro.core.groundings import grounding
+from repro.core.interpretation import IInterpretation
+from repro.errors import NonTerminationError
+from repro.lang import parse_program, substitution
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+
+
+def interp(text):
+    return IInterpretation.from_database(Database.from_text(text))
+
+
+class TestFirings:
+    def test_firings_map_heads_to_instances(self):
+        program = parse_program("@name(r1) p(X) -> +q(X).")
+        firings = compute_firings(program, interp("p(a). p(b)."))
+        assert set(map(str, firings)) == {"+q(a)", "+q(b)"}
+        (instances,) = [v for k, v in firings.items() if str(k) == "+q(a)"]
+        assert instances == frozenset({grounding(program[0], substitution(X="a"))})
+
+    def test_blocked_instances_skipped(self):
+        program = parse_program("@name(r1) p(X) -> +q(X).")
+        blocked = {grounding(program[0], substitution(X="a"))}
+        firings = compute_firings(program, interp("p(a). p(b)."), blocked)
+        assert set(map(str, firings)) == {"+q(b)"}
+
+    def test_multiple_rules_same_head_merge(self):
+        program = parse_program("""
+        @name(r1) p -> +q.
+        @name(r2) s -> +q.
+        """)
+        firings = compute_firings(program, interp("p. s."))
+        (instances,) = firings.values()
+        assert len(instances) == 2
+
+
+class TestGammaStep:
+    def test_one_round_collects_heads(self):
+        program = parse_program("p -> +q. p -> -a.")
+        result = gamma(program, frozenset(), interp("p."))
+        assert [str(u) for u in result.new_updates] == ["+q", "-a"]
+        assert result.is_consistent
+        assert not result.reached_fixpoint
+
+    def test_gamma_is_one_step_not_closure(self):
+        # q is derived from p this round; r needs q and must wait a round.
+        program = parse_program("p -> +q. q -> +r.")
+        result = gamma(program, frozenset(), interp("p."))
+        assert [str(u) for u in result.new_updates] == ["+q"]
+
+    def test_apply_does_not_mutate_input(self):
+        program = parse_program("p -> +q.")
+        i = interp("p.")
+        result = gamma(program, frozenset(), i)
+        new = result.apply()
+        assert i.marked_count() == 0
+        assert new.has_plus(atom("q"))
+
+    def test_inconsistency_detected_same_round(self):
+        program = parse_program("p -> +a. p -> -a.")
+        result = gamma(program, frozenset(), interp("p."))
+        assert not result.is_consistent
+        assert result.conflict_atoms == [atom("a")]
+
+    def test_inconsistency_with_established_mark(self):
+        program = parse_program("p -> +a.")
+        i = interp("p.")
+        i.add_update(delete(atom("a")))
+        result = gamma(program, frozenset(), i)
+        assert result.conflict_atoms == [atom("a")]
+
+    def test_refiring_existing_update_not_new(self):
+        program = parse_program("p -> +q.")
+        i = interp("p.")
+        i.add_update(insert(atom("q")))
+        result = gamma(program, frozenset(), i)
+        assert result.reached_fixpoint
+
+    def test_groundings_for(self):
+        program = parse_program("@name(r1) p -> +q.")
+        result = gamma(program, frozenset(), interp("p."))
+        assert len(result.groundings_for(insert(atom("q")))) == 1
+        assert result.groundings_for(insert(atom("zzz"))) == frozenset()
+
+
+class TestGammaFixpoint:
+    def test_chain_reaches_fixpoint(self):
+        program = parse_program("p -> +q. q -> +r. r -> +s.")
+        result = gamma_fixpoint(program, frozenset(), interp("p."))
+        assert result.reached_fixpoint
+        assert result.interpretation.has_plus(atom("s"))
+
+    def test_stops_on_inconsistency(self):
+        program = parse_program("p -> +q. q -> -p2. q -> +p2.")
+        result = gamma_fixpoint(program, frozenset(), interp("p."))
+        assert not result.is_consistent
+
+    def test_round_budget(self):
+        program = parse_program("p -> +q. q -> +r. r -> +s.")
+        with pytest.raises(NonTerminationError):
+            gamma_fixpoint(program, frozenset(), interp("p."), max_rounds=2)
+
+    def test_monotone_growth(self):
+        # Γ is inflationary: I ⊆ Γ(I).
+        program = parse_program("p -> +q. q -> +r.")
+        i = interp("p.")
+        result = gamma(program, frozenset(), i)
+        assert i.issubset(result.apply())

@@ -1,0 +1,108 @@
+"""Tests for the ECA extension: transaction updates as rules (Section 4.3)."""
+
+import pytest
+
+from repro.core.eca import extend_with_updates, is_transaction_rule, transaction_rules
+from repro.core.engine import park
+from repro.errors import EngineError
+from repro.lang import parse_atom, parse_database, parse_program
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+
+
+class TestTransactionRules:
+    def test_bodyless_named_rules(self):
+        rules = transaction_rules([insert(atom("q", "b")), delete(atom("s", "a"))])
+        assert all(r.is_fact_rule() for r in rules)
+        assert [r.name for r in rules] == ["tx1", "tx2"]
+
+    def test_deterministic_order(self):
+        updates = [insert(atom("b")), insert(atom("a"))]
+        rules = transaction_rules(updates)
+        assert [str(r.head) for r in rules] == ["+a", "+b"]
+
+    def test_nonground_rejected(self):
+        with pytest.raises(EngineError, match="not ground"):
+            transaction_rules([insert(atom("q", "X"))])
+
+    def test_non_update_rejected(self):
+        with pytest.raises(TypeError):
+            transaction_rules([atom("q")])
+
+    def test_is_transaction_rule(self):
+        (rule,) = transaction_rules([insert(atom("q"))])
+        assert is_transaction_rule(rule)
+        assert not is_transaction_rule(parse_program("p -> +q.")[0])
+
+
+class TestExtendWithUpdates:
+    def test_pu_contains_both(self):
+        program = parse_program("@name(r1) p -> +q.")
+        pu = extend_with_updates(program, [insert(atom("z"))])
+        assert len(pu) == 2
+        assert pu.by_name("tx1").head == insert(atom("z"))
+
+    def test_empty_updates_returns_same_program(self):
+        program = parse_program("p -> +q.")
+        assert extend_with_updates(program, []) is program
+
+    def test_name_collision_avoided(self):
+        program = parse_program("@name(tx1) p -> +q.")
+        pu = extend_with_updates(program, [insert(atom("z"))])
+        names = [r.name for r in pu if r.name]
+        assert len(names) == len(set(names))
+
+
+class TestEcaSemantics:
+    def test_paper_example_1(self, eca1):
+        program, database, updates = eca1
+        result = park(program, database, updates=updates)
+        assert result.atoms == frozenset(
+            parse_database("p(a). q(a). q(b). r(a). r(b).")
+        )
+        assert result.stats.restarts == 0
+
+    def test_paper_example_2(self, eca2):
+        program, database, updates = eca2
+        result = park(program, database, updates=updates)
+        # The paper's final answer modulo its typo: q(a, a) is a transaction
+        # insert and survives incorp (see EXPERIMENTS.md, E6).
+        assert result.atoms == frozenset(
+            parse_database("p(a, a). p(a, b). p(a, c). q(a, a). r(a, a).")
+        )
+        assert result.blocked_rules() == ["r1"]
+        assert result.stats.restarts == 1
+
+    def test_update_survives_restart(self):
+        # The whole point of modelling U as rules: after a conflict restart
+        # the transaction update is re-derived, not lost.
+        program = parse_program("""
+        @name(r1) q(X) -> +a.
+        @name(r2) q(X) -> -a.
+        """)
+        result = park(program, "", updates=[insert(atom("q", "b"))])
+        assert atom("q", "b") in result
+        assert result.stats.restarts == 1
+
+    def test_conflicting_transaction_updates_resolved_by_policy(self):
+        # +a and -a staged in the same transaction: inertia keeps status quo.
+        result = park("", "p.", updates=[insert(atom("a")), delete(atom("a"))])
+        assert result.atoms == frozenset({atom("p")})
+
+        result2 = park("", "a. p.", updates=[insert(atom("a")), delete(atom("a"))])
+        assert result2.atoms == frozenset({atom("a"), atom("p")})
+
+    def test_rule_may_overwrite_transaction_update(self):
+        # Paper: "we allow a transaction's update to be overwritten".
+        # Inertia with q ∈ D keeps q against the transaction's delete.
+        program = parse_program("@name(keep) p -> +q.")
+        result = park(program, "p. q.", updates=[delete(atom("q"))])
+        assert atom("q") in result
+
+    def test_event_triggering_chain(self):
+        program = parse_program("""
+        +account(X) -> +welcome(X).
+        +welcome(X) -> +mail_queued(X).
+        """)
+        result = park(program, "", updates=[insert(atom("account", "u1"))])
+        assert atom("mail_queued", "u1") in result

@@ -1,0 +1,123 @@
+"""Edge cases across the core: exotic constants, arities, recursion depth,
+re-entrant rules, and interpretation-view corner cases."""
+
+import pytest
+
+from repro.core.engine import park
+from repro.core.interpretation import IInterpretation
+from repro.core.validity import InterpretationView
+from repro.lang import parse_database, parse_program
+from repro.lang.atoms import Atom, atom
+from repro.lang.terms import Constant, Variable
+from repro.lang.program import Program
+from repro.lang.rules import Rule
+from repro.lang.literals import pos
+from repro.lang.updates import insert
+from repro.storage.database import Database
+
+
+class TestExoticConstants:
+    def test_mixed_value_types_in_one_relation(self):
+        result = park(
+            "score(Who, N) -> +seen(Who).",
+            Database(
+                [atom("score", "alice", 10), atom("score", 7, "ten")]
+            ),
+        )
+        assert atom("seen", "alice") in result
+        assert atom("seen", 7) in result
+
+    def test_string_vs_int_constants_distinct(self):
+        result = park(
+            "p(1) -> +int_one. p(x1) -> +sym_one.",
+            Database([atom("p", 1)]),
+        )
+        assert atom("int_one") in result
+        assert atom("sym_one") not in result
+
+    def test_quoted_constants_flow_through_engine(self):
+        # "New York" starts upper-case, so it must be built as an explicit
+        # Constant (the atom() helper would read it as a variable).
+        ny = Atom("city", (Constant("New York"),))
+        result = park("city(X) -> +greeted(X).", Database([ny, atom("city", "ulm")]))
+        assert Atom("greeted", (Constant("New York"),)) in result
+
+    def test_negative_integers(self):
+        result = park("delta(-3) -> +negative_seen.", "delta(-3).")
+        assert atom("negative_seen") in result
+
+
+class TestShapes:
+    def test_wide_atoms(self):
+        arity = 10
+        variables = tuple(Variable("V%d" % i) for i in range(arity))
+        rule = Rule(
+            head=insert(Atom("copy", variables)),
+            body=(pos(Atom("wide", variables)),),
+        )
+        row = Atom("wide", tuple(Constant(i) for i in range(arity)))
+        result = park(Program((rule,)), Database([row]))
+        assert result.database.count("copy") == 1
+
+    def test_deep_recursion_long_chain(self):
+        # 300 Γ rounds; recursion depth must not track rounds.
+        from repro.workloads import propositional_chain
+
+        workload = propositional_chain(300)
+        workload.check(workload.run())
+
+    def test_rule_feeding_itself(self):
+        # p(X) -> +p(s-of-X) is impossible (no function symbols); but a
+        # binary relation can walk itself: closure terminates on cycles.
+        result = park(
+            "next(X, Y), on(X) -> +on(Y).",
+            "next(a, b). next(b, c). next(c, a). on(a).",
+        )
+        assert result.database.count("on") == 3
+
+    def test_same_rule_twice_anonymous(self):
+        rule = parse_program("p -> +q.")[0]
+        result = park(Program((rule, rule)), "p.")
+        assert atom("q") in result
+
+    def test_head_with_constants_only(self):
+        result = park("p(X) -> +total.", "p(a). p(b). p(c).")
+        assert result.atoms == frozenset(parse_database("p(a). p(b). p(c). total."))
+
+
+class TestInterpretationViewCorners:
+    def test_arity_mismatch_yields_no_candidates(self):
+        interpretation = IInterpretation.from_database(
+            Database([atom("p", "a")])
+        )
+        view = InterpretationView(interpretation)
+        assert list(view.condition_candidates("p", 2, {})) == []
+
+    def test_predicate_only_in_plus_store(self):
+        interpretation = IInterpretation.from_database(Database())
+        interpretation.add_update(insert(atom("fresh", "a")))
+        view = InterpretationView(interpretation)
+        assert set(view.condition_candidates("fresh", 1, {})) == {("a",)}
+
+    def test_same_atom_unmarked_and_plus_yields_duplicate_candidates(self):
+        # The matcher deduplicates via bindings; the view may overlap.
+        interpretation = IInterpretation.from_database(Database([atom("p", "a")]))
+        interpretation.add_update(insert(atom("p", "a")))
+        result = park("p(X) -> +seen(X).", Database([atom("p", "a")]))
+        assert result.database.count("seen") == 1
+
+
+class TestZeroAryEverything:
+    def test_propositional_eca(self):
+        result = park("+go -> +started.", "", updates=[insert(atom("go"))])
+        assert result.atoms == frozenset({atom("go"), atom("started")})
+
+    def test_zero_ary_conflict(self):
+        result = park("go -> +flag. go -> -flag.", "go. flag.")
+        assert atom("flag") in result  # inertia keeps it
+
+    def test_empty_everything(self):
+        result = park("", "")
+        assert result.atoms == frozenset()
+        assert result.stats.rounds == 1
+        assert result.stats.restarts == 0

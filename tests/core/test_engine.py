@@ -1,0 +1,168 @@
+"""Tests for the production PARK engine."""
+
+import pytest
+
+from repro.core.blocking import BlockingMode
+from repro.core.engine import EngineListener, ParkEngine, park
+from repro.errors import NonTerminationError
+from repro.lang import parse_database, parse_program
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+from repro.policies.inertia import InertiaPolicy
+from repro.storage.database import Database
+
+
+class TestRunBasics:
+    def test_accepts_text_inputs(self):
+        result = park("p -> +q.", "p.")
+        assert result.atoms == frozenset(parse_database("p. q."))
+
+    def test_accepts_objects(self):
+        program = parse_program("p -> +q.")
+        database = Database.from_text("p.")
+        result = park(program, database)
+        assert atom("q") in result
+
+    def test_accepts_rule_iterables_and_atom_sets(self):
+        program = parse_program("p -> +q.")
+        result = park(list(program), {atom("p")})
+        assert atom("q") in result
+
+    def test_input_database_not_modified(self):
+        database = Database.from_text("p.")
+        park("p -> +q.", database)
+        assert len(database) == 1
+
+    def test_empty_program(self):
+        result = park("", "p. q.")
+        assert result.atoms == frozenset(parse_database("p. q."))
+        assert result.stats.rounds == 1
+
+    def test_empty_database(self):
+        result = park("p -> +q.", "")
+        assert result.atoms == frozenset()
+
+    def test_delta_reported(self):
+        result = park("p -> +q. p -> -p2.", "p. p2.")
+        assert result.delta.inserts == frozenset({atom("q")})
+        assert result.delta.deletes == frozenset({atom("p2")})
+
+    def test_default_policy_is_inertia(self):
+        assert park("p -> +q.", "p.").policy_name == "inertia"
+
+
+class TestStats:
+    def test_conflict_free_run(self):
+        result = park("p -> +q. q -> +r.", "p.")
+        assert result.stats.restarts == 0
+        assert result.stats.conflicts_resolved == 0
+        assert result.stats.blocked_instances == 0
+        assert result.stats.epochs == 1
+        # 2 derivation rounds + 1 fixpoint confirmation
+        assert result.stats.rounds == 3
+
+    def test_conflicted_run(self, p1):
+        program, database = p1
+        result = park(program, database)
+        assert result.stats.restarts == 1
+        assert result.stats.conflicts_resolved == 1
+        assert result.stats.blocked_instances == 1
+        assert result.stats.epochs == 2
+
+    def test_firings_counted(self):
+        result = park("p -> +q.", "p.")
+        assert result.stats.firings_total >= 1
+
+
+class TestBudgets:
+    def test_max_rounds(self):
+        with pytest.raises(NonTerminationError, match="max_rounds"):
+            park("p -> +q. q -> +r. r -> +s.", "p.", max_rounds=2)
+
+    def test_max_restarts(self):
+        program = """
+        @name(i1) p -> +a. @name(d1) p -> -a.
+        @name(i2) a2 -> +b. @name(d2) a2 -> -b.
+        """
+        with pytest.raises(NonTerminationError, match="max_restarts"):
+            park(program, "p. a2.", max_restarts=0, blocking_mode=BlockingMode.MINIMAL)
+
+
+class TestListeners:
+    def test_event_sequence(self, p1):
+        program, database = p1
+
+        class Collector(EngineListener):
+            def __init__(self):
+                self.calls = []
+
+            def on_start(self, *args):
+                self.calls.append("start")
+
+            def on_round(self, *args):
+                self.calls.append("round")
+
+            def on_apply(self, *args):
+                self.calls.append("apply")
+
+            def on_conflicts(self, *args):
+                self.calls.append("conflicts")
+
+            def on_restart(self, *args):
+                self.calls.append("restart")
+
+            def on_fixpoint(self, *args):
+                self.calls.append("fixpoint")
+
+            def on_finish(self, *args):
+                self.calls.append("finish")
+
+        collector = Collector()
+        ParkEngine(listeners=[collector]).run(program, database)
+        assert collector.calls[0] == "start"
+        assert collector.calls[-2:] == ["fixpoint", "finish"]
+        assert "conflicts" in collector.calls
+        restart_index = collector.calls.index("restart")
+        assert collector.calls[restart_index - 1] == "conflicts"
+
+    def test_engine_reusable(self, p1):
+        program, database = p1
+        engine = ParkEngine()
+        first = engine.run(program, database)
+        second = engine.run(program, database)
+        assert first.atoms == second.atoms
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, p2):
+        program, database = p2
+        results = {park(program, database).atoms for _ in range(5)}
+        assert len(results) == 1
+
+    def test_result_consistent_interpretation(self, p3):
+        program, database = p3
+        result = park(program, database)
+        assert result.interpretation.is_consistent()
+
+    def test_unmarked_part_invariant(self, p2):
+        # I∅ never changes during a run: it equals the input D.
+        program, database = p2
+        result = park(program, database)
+        assert result.interpretation.unmarked == database
+
+
+class TestResultApi:
+    def test_contains(self):
+        result = park("p -> +q.", "p.")
+        assert atom("q") in result
+
+    def test_blocked_rules_names(self, p1):
+        program, database = p1
+        assert park(program, database).blocked_rules() == ["r3"]
+
+    def test_summary_mentions_policy(self):
+        assert "inertia" in park("p -> +q.", "p.").summary()
+
+    def test_updates_roundtrip_through_engine(self):
+        result = park("+q(X) -> +r(X).", "", updates=[insert(atom("q", "b"))])
+        assert result.atoms == frozenset({atom("q", "b"), atom("r", "b")})

@@ -1,0 +1,126 @@
+"""Tests for the naive vs. semi-naive Γ evaluation strategies."""
+
+import pytest
+
+from repro.core.engine import ParkEngine, park
+from repro.core.evaluation import (
+    NaiveEvaluation,
+    SemiNaiveEvaluation,
+    _is_monotone,
+    make_evaluation,
+)
+from repro.core.interpretation import IInterpretation
+from repro.lang import parse_program
+from repro.storage.database import Database
+from repro.workloads import (
+    conflict_cascade,
+    paper_example,
+    relational_reachability,
+    transitive_closure,
+)
+
+
+class TestClassification:
+    def test_positive_rule_is_monotone(self):
+        (rule,) = parse_program("p(X), q(X) -> +r(X).")
+        assert _is_monotone(rule)
+
+    def test_bodyless_rule_is_monotone(self):
+        (rule,) = parse_program("-> +q(b).")
+        assert _is_monotone(rule)
+
+    def test_negation_is_volatile(self):
+        (rule,) = parse_program("p(X), not q(X) -> +r(X).")
+        assert not _is_monotone(rule)
+
+    def test_event_is_volatile(self):
+        (rule,) = parse_program("+p(X) -> +r(X).")
+        assert not _is_monotone(rule)
+
+    def test_deleting_head_can_still_be_monotone(self):
+        # Monotonicity is about the *body*; a delete head is fine.
+        (rule,) = parse_program("p(X) -> -r(X).")
+        assert _is_monotone(rule)
+
+
+class TestStrategyFactory:
+    def test_known_names(self):
+        program = parse_program("p -> +q.")
+        assert isinstance(
+            make_evaluation("naive", program, frozenset()), NaiveEvaluation
+        )
+        assert isinstance(
+            make_evaluation("seminaive", program, frozenset()), SemiNaiveEvaluation
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown evaluation"):
+            make_evaluation("psychic", parse_program(""), frozenset())
+
+    def test_engine_validates_option(self):
+        with pytest.raises(ValueError):
+            ParkEngine(evaluation="psychic")
+
+
+class TestRoundEquivalence:
+    """Round by round, both strategies produce identical firings."""
+
+    PROGRAM = parse_program("""
+    edge(X, Y) -> +tc(X, Y).
+    tc(X, Z), edge(Z, Y) -> +tc(X, Y).
+    tc(X, Y), not edge(X, Y) -> +derived(X, Y).
+    """)
+
+    def test_firings_match_each_round(self):
+        from repro.core.consequence import GammaResult
+
+        database = Database.from_text("edge(a, b). edge(b, c). edge(c, d).")
+        interpretation = IInterpretation.from_database(database)
+        naive = make_evaluation("naive", self.PROGRAM, frozenset())
+        seminaive = make_evaluation("seminaive", self.PROGRAM, frozenset())
+
+        delta = None
+        for _ in range(10):
+            naive_firings = naive.compute(interpretation, delta)
+            semi_firings = seminaive.compute(interpretation, delta)
+            assert naive_firings == semi_firings
+            result = GammaResult(interpretation, naive_firings)
+            if result.reached_fixpoint:
+                break
+            delta = result.new_updates
+            interpretation = result.apply()
+        else:
+            pytest.fail("no fixpoint in 10 rounds")
+
+
+class TestEndToEndEquivalence:
+    WORKLOADS = [
+        transitive_closure(15, seed=8),
+        relational_reachability(20),
+        conflict_cascade(6),
+        paper_example("E2"),
+        paper_example("E4"),
+        paper_example("E6"),
+        paper_example("E7"),
+    ]
+
+    @pytest.mark.parametrize(
+        "workload", WORKLOADS, ids=lambda w: w.name
+    )
+    def test_same_results_and_blocked_sets(self, workload):
+        naive = workload.run(evaluation="naive")
+        seminaive = workload.run(evaluation="seminaive")
+        assert naive.atoms == seminaive.atoms
+        assert naive.blocked == seminaive.blocked
+        assert naive.stats.rounds == seminaive.stats.rounds
+        assert naive.stats.restarts == seminaive.stats.restarts
+
+    def test_eca_transactions_equivalent(self):
+        from repro.lang import parse_atom
+        from repro.lang.updates import insert
+
+        program = "+account(X) -> +welcome(X). welcome(X) -> +mailed(X)."
+        updates = [insert(parse_atom("account(u1)"))]
+        naive = park(program, "", updates=updates, evaluation="naive")
+        seminaive = park(program, "", updates=updates, evaluation="seminaive")
+        assert naive.atoms == seminaive.atoms

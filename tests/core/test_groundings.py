@@ -1,0 +1,73 @@
+"""Tests for rule groundings."""
+
+import pytest
+
+from repro.core.groundings import RuleGrounding, grounding, sort_groundings
+from repro.lang import parse_rule, substitution
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+
+RULE = parse_rule("@name(r1) p(X), s(X, Y) -> +q(X).")
+
+
+class TestConstruction:
+    def test_valid_grounding(self):
+        g = grounding(RULE, substitution(X="a", Y="b"))
+        assert g.rule is RULE
+
+    def test_substitution_must_cover_exactly(self):
+        with pytest.raises(ValueError, match="unbound: Y"):
+            grounding(RULE, substitution(X="a"))
+        with pytest.raises(ValueError, match="spurious: Z"):
+            grounding(RULE, substitution(X="a", Y="b", Z="c"))
+
+    def test_propositional_rule_empty_substitution(self):
+        rule = parse_rule("p -> +q.")
+        g = grounding(rule)
+        assert len(g.substitution) == 0
+
+    def test_mapping_coerced(self):
+        from repro.lang.terms import Constant, Variable
+
+        g = RuleGrounding(RULE, {Variable("X"): Constant("a"),
+                                 Variable("Y"): Constant("b")})
+        assert g.substitution == substitution(X="a", Y="b")
+
+
+class TestBehaviour:
+    def test_ground_head(self):
+        g = grounding(RULE, substitution(X="a", Y="b"))
+        assert g.ground_head() == insert(atom("q", "a"))
+
+    def test_ground_body(self):
+        g = grounding(RULE, substitution(X="a", Y="b"))
+        body = g.ground_body()
+        assert [str(l) for l in body] == ["p(a)", "s(a, b)"]
+
+    def test_equality_and_hash(self):
+        g1 = grounding(RULE, substitution(X="a", Y="b"))
+        g2 = grounding(RULE, substitution(X="a", Y="b"))
+        g3 = grounding(RULE, substitution(X="a", Y="c"))
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+        assert len({g1, g2, g3}) == 2
+
+    def test_str_uses_rule_name(self):
+        g = grounding(RULE, substitution(X="a", Y="b"))
+        assert str(g) == "(r1, [X <- a, Y <- b])"
+
+    def test_str_propositional(self):
+        g = grounding(parse_rule("@name(r2) p -> +q."))
+        assert str(g) == "(r2)"
+
+    def test_sort_deterministic(self):
+        gs = {
+            grounding(RULE, substitution(X="b", Y="a")),
+            grounding(RULE, substitution(X="a", Y="b")),
+        }
+        ordered = sort_groundings(gs)
+        assert [str(g.substitution) for g in ordered] == [
+            "[X <- a, Y <- b]",
+            "[X <- b, Y <- a]",
+        ]

@@ -1,0 +1,69 @@
+"""Tests for the incorp operator."""
+
+import pytest
+
+from repro.core.incorporate import incorp, incorp_atoms
+from repro.core.interpretation import IInterpretation
+from repro.errors import EngineError
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+
+
+def interp(unmarked="", plus=(), minus=()):
+    text = unmarked.strip()
+    if text and not text.endswith("."):
+        text += "."
+    i = IInterpretation.from_database(Database.from_text(text))
+    i.add_updates([insert(a) for a in plus])
+    i.add_updates([delete(a) for a in minus])
+    return i
+
+
+class TestIncorp:
+    def test_inserts_applied(self):
+        result = incorp(interp("p", plus=[atom("q")]))
+        assert result == Database.from_text("p. q.")
+
+    def test_deletes_applied(self):
+        result = incorp(interp("p. q.", minus=[atom("q")]))
+        assert result == Database.from_text("p.")
+
+    def test_insert_of_present_atom_noop(self):
+        result = incorp(interp("p", plus=[atom("p")]))
+        assert result == Database.from_text("p.")
+
+    def test_delete_of_absent_atom_noop(self):
+        result = incorp(interp("p", minus=[atom("z")]))
+        assert result == Database.from_text("p.")
+
+    def test_empty_interpretation(self):
+        assert incorp(interp("")) == Database()
+
+    def test_input_not_modified(self):
+        i = interp("p", minus=[atom("p")])
+        incorp(i)
+        assert i.has_unmarked(atom("p"))
+
+    def test_inconsistent_rejected_by_default(self):
+        i = interp("p", plus=[atom("a")], minus=[atom("a")])
+        with pytest.raises(EngineError, match="inconsistent"):
+            incorp(i)
+
+    def test_non_strict_applies_delete_last(self):
+        i = interp("p", plus=[atom("a")], minus=[atom("a")])
+        result = incorp(i, strict=False)
+        assert atom("a") not in result
+
+    def test_incorp_atoms(self):
+        assert incorp_atoms(interp("p", plus=[atom("q")])) == frozenset(
+            {atom("p"), atom("q")}
+        )
+
+    def test_paper_formula_equivalence(self):
+        # incorp(I) = (I∅ ∪ {a | +a}) - {a | -a}  =  (I∅ - {a | -a}) ∪ {a | +a}
+        i = interp("p. q. r.", plus=[atom("x"), atom("q")], minus=[atom("r")])
+        unmarked, plus, minus = i.freeze()
+        left = (set(unmarked) | set(plus)) - set(minus)
+        right = (set(unmarked) - set(minus)) | set(plus)
+        assert incorp_atoms(i) == frozenset(left) == frozenset(right)

@@ -1,0 +1,122 @@
+"""Tests for i-interpretations."""
+
+import pytest
+
+from repro.core.interpretation import IInterpretation
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+
+
+def interp(unmarked="", plus=(), minus=()):
+    text = unmarked.strip()
+    if text and not text.endswith("."):
+        text += "."
+    i = IInterpretation.from_database(Database.from_text(text))
+    for a in plus:
+        i.add_update(insert(a))
+    for a in minus:
+        i.add_update(delete(a))
+    return i
+
+
+class TestParts:
+    def test_from_database_unmarked_only(self):
+        i = IInterpretation.from_database(Database.from_text("p. q(a)."))
+        assert i.has_unmarked(atom("p"))
+        assert not i.has_plus(atom("p"))
+        assert i.marked_count() == 0
+        assert len(i) == 2
+
+    def test_add_update_routes_by_op(self):
+        i = interp("p")
+        assert i.add_update(insert(atom("q")))
+        assert i.has_plus(atom("q"))
+        assert i.add_update(delete(atom("r")))
+        assert i.has_minus(atom("r"))
+
+    def test_add_duplicate_returns_false(self):
+        i = interp("p", plus=[atom("q")])
+        assert not i.add_update(insert(atom("q")))
+
+    def test_has_update(self):
+        i = interp("p", plus=[atom("q")], minus=[atom("r")])
+        assert i.has_update(insert(atom("q")))
+        assert i.has_update(delete(atom("r")))
+        assert not i.has_update(delete(atom("q")))
+
+    def test_add_updates_counts_new(self):
+        i = interp("p")
+        added = i.add_updates([insert(atom("q")), insert(atom("q")), delete(atom("s"))])
+        assert added == 2
+
+    def test_source_database_not_aliased(self):
+        db = Database.from_text("p.")
+        i = IInterpretation.from_database(db)
+        db.add(atom("zzz"))
+        assert not i.has_unmarked(atom("zzz"))
+
+
+class TestConsistency:
+    def test_consistent_initially(self):
+        assert interp("p").is_consistent()
+
+    def test_marked_pair_inconsistent(self):
+        i = interp("p", plus=[atom("a")], minus=[atom("a")])
+        assert not i.is_consistent()
+        assert i.conflicting_atoms() == [atom("a")]
+
+    def test_unmarked_plus_minus_disjoint_atoms_consistent(self):
+        # +a with unmarked a (no -a) is fine.
+        i = interp("a", plus=[atom("a")])
+        assert i.is_consistent()
+
+    def test_would_conflict(self):
+        i = interp("p", minus=[atom("a")])
+        assert i.would_conflict(insert(atom("a")))
+        assert not i.would_conflict(insert(atom("b")))
+        assert not i.would_conflict(delete(atom("a")))
+
+
+class TestValueSemantics:
+    def test_copy_independent(self):
+        i = interp("p", plus=[atom("q")])
+        clone = i.copy()
+        clone.add_update(insert(atom("z")))
+        assert not i.has_plus(atom("z"))
+
+    def test_freeze_triple(self):
+        i = interp("p", plus=[atom("q")], minus=[atom("r")])
+        unmarked, plus, minus = i.freeze()
+        assert unmarked == frozenset({atom("p")})
+        assert plus == frozenset({atom("q")})
+        assert minus == frozenset({atom("r")})
+
+    def test_equality(self):
+        assert interp("p", plus=[atom("q")]) == interp("p", plus=[atom("q")])
+        assert interp("p") != interp("p", plus=[atom("q")])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(interp("p"))
+
+    def test_issubset(self):
+        small = interp("p")
+        large = interp("p", plus=[atom("q")])
+        assert small.issubset(large)
+        assert not large.issubset(small)
+
+    def test_restarted_keeps_only_unmarked(self):
+        i = interp("p", plus=[atom("q")], minus=[atom("r")])
+        fresh = i.restarted()
+        assert fresh == interp("p")
+        # original untouched
+        assert i.has_plus(atom("q"))
+
+    def test_updates_sorted(self):
+        i = interp("", plus=[atom("b")], minus=[atom("a")])
+        assert [str(u) for u in i.updates()] == ["+b", "-a"]
+
+    def test_str_paper_notation(self):
+        i = interp("p", plus=[atom("q")], minus=[atom("a")])
+        assert str(i) == "{-a, p, +q}"

@@ -1,0 +1,81 @@
+"""Tests for provenance recording."""
+
+from repro.core.consequence import gamma
+from repro.core.groundings import grounding
+from repro.core.interpretation import IInterpretation
+from repro.core.provenance import Provenance
+from repro.lang import parse_program
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+from repro.storage.database import Database
+
+
+def interp(text):
+    return IInterpretation.from_database(Database.from_text(text))
+
+
+class TestRecording:
+    def test_record_and_query(self):
+        program = parse_program("@name(r1) p -> +q.")
+        provenance = Provenance()
+        result = gamma(program, frozenset(), interp("p."))
+        provenance.record(result.firings, round_number=1)
+        derivers = provenance.derivers(insert(atom("q")))
+        assert derivers == frozenset({grounding(program[0])})
+        assert provenance.first_round(insert(atom("q"))) == 1
+
+    def test_merge_across_rounds(self):
+        program = parse_program("@name(r1) p -> +q. @name(r2) s -> +q.")
+        provenance = Provenance()
+        result1 = gamma(parse_program("@name(r1) p -> +q."), frozenset(), interp("p."))
+        provenance.record(result1.firings, round_number=1)
+        result2 = gamma(parse_program("@name(r2) s -> +q."), frozenset(), interp("s."))
+        provenance.record(result2.firings, round_number=2)
+        assert len(provenance.derivers(insert(atom("q")))) == 2
+        # first_round keeps the earliest sighting
+        assert provenance.first_round(insert(atom("q"))) == 1
+
+    def test_unknown_update_empty(self):
+        provenance = Provenance()
+        assert provenance.derivers(insert(atom("zzz"))) == frozenset()
+        assert provenance.first_round(insert(atom("zzz"))) is None
+
+    def test_clear(self):
+        program = parse_program("@name(r1) p -> +q.")
+        provenance = Provenance()
+        provenance.record(gamma(program, frozenset(), interp("p.")).firings)
+        provenance.clear()
+        assert len(provenance) == 0
+        assert insert(atom("q")) not in provenance
+
+    def test_copy_independent(self):
+        program = parse_program("@name(r1) p -> +q.")
+        provenance = Provenance()
+        provenance.record(gamma(program, frozenset(), interp("p.")).firings)
+        clone = provenance.copy()
+        provenance.clear()
+        assert len(clone) == 1
+
+    def test_updates_sorted(self):
+        program = parse_program("p -> +b. p -> +a.")
+        provenance = Provenance()
+        provenance.record(gamma(program, frozenset(), interp("p.")).firings)
+        assert [str(u) for u in provenance.updates()] == ["+a", "+b"]
+
+
+class TestEngineIntegration:
+    def test_result_carries_final_epoch_provenance(self):
+        from repro.core.engine import park
+
+        result = park("@name(r1) p -> +q.", "p.")
+        assert result.provenance is not None
+        assert len(result.provenance.derivers(insert(atom("q")))) == 1
+
+    def test_provenance_cleared_on_restart(self, p1):
+        from repro.core.engine import park
+
+        program, database = p1
+        result = park(program, database)
+        # r3 (+a) fired in epoch 1 but was blocked before epoch 2: the final
+        # provenance must not remember it.
+        assert result.provenance.derivers(insert(atom("a"))) == frozenset()

@@ -1,0 +1,71 @@
+"""The stale-conflict corner case the paper leaves open (DESIGN.md §1).
+
+Construction: a rule derives ``-a`` early using negation (``not b``);
+``+b`` arrives later, invalidating that rule's body; only then does ``+a``
+become derivable.  ``Γ(I)`` is inconsistent on ``a``, but conflicts(P, I)
+literally read has an *empty* del side — the deriving instance of ``-a``
+is no longer valid.  The engine must resolve via provenance completion
+rather than loop forever.
+"""
+
+import pytest
+
+from repro.core.engine import park
+from repro.lang import parse_database, parse_program
+from repro.lang.atoms import atom
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.inertia import InertiaPolicy
+
+STALE = parse_program("""
+@name(r0) seed -> +c.
+@name(r1) not b -> -a.
+@name(r2) c -> +b.
+@name(r3) b -> +a.
+""")
+
+
+class TestStaleConflictResolution:
+    def test_terminates(self):
+        result = park(STALE, "seed.", max_rounds=100)
+        assert result.interpretation.is_consistent()
+
+    def test_inertia_outcome_without_a_in_d(self):
+        # a ∉ D: delete wins, r3 blocked; -a's deriver r1 is invalid at the
+        # fixpoint anyway, so the final state has no action on a.
+        result = park(STALE, "seed.")
+        assert result.atoms == frozenset(parse_database("seed. c. b."))
+        assert result.blocked_rules() == ["r3"]
+
+    def test_inertia_outcome_with_a_in_d(self):
+        # a ∈ D: insert wins, the *historical* deriver r1 gets blocked, and
+        # on restart -a is never derived: a survives and +a is re-derived.
+        result = park(STALE, "seed. a.")
+        assert atom("a") in result
+        assert result.blocked_rules() == ["r1"]
+
+    def test_forced_insert_blocks_historical_deriver(self):
+        result = park(STALE, "seed.", policy=ConstantPolicy(Decision.INSERT))
+        assert result.blocked_rules() == ["r1"]
+        assert atom("a") in result
+
+    def test_forced_delete_blocks_current_deriver(self):
+        result = park(STALE, "seed.", policy=ConstantPolicy(Decision.DELETE))
+        assert result.blocked_rules() == ["r3"]
+        assert atom("a") not in result
+
+    def test_restart_count_bounded(self):
+        result = park(STALE, "seed.")
+        assert result.stats.restarts == 1
+
+    def test_policy_sees_completed_conflict(self):
+        seen = {}
+
+        class Spy(InertiaPolicy):
+            def select(self, context):
+                seen["ins"] = {g.rule.name for g in context.conflict.ins}
+                seen["dels"] = {g.rule.name for g in context.conflict.dels}
+                return super().select(context)
+
+        park(STALE, "seed.", policy=Spy())
+        assert seen == {"ins": {"r3"}, "dels": {"r1"}}

@@ -1,0 +1,131 @@
+"""Tests for the Θ operator (the pure step function)."""
+
+import pytest
+
+from repro.core.bistructure import BiStructure, initial_bistructure
+from repro.core.blocking import BlockingMode
+from repro.core.provenance import Provenance
+from repro.core.transition import theta, theta_omega
+from repro.errors import NonTerminationError
+from repro.lang import parse_program
+from repro.lang.atoms import atom
+from repro.policies.base import Decision, SelectPolicy
+from repro.policies.inertia import InertiaPolicy
+from repro.storage.database import Database
+
+P1 = parse_program("""
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+""")
+
+
+class TestThetaStep:
+    def test_consistent_round_grows_interpretation(self):
+        database = Database.from_text("p.")
+        step = theta(P1, initial_bistructure(database), InertiaPolicy(), database)
+        assert step.kind == "grow"
+        assert step.before.precedes(step.after)
+        assert step.after.blocked == frozenset()
+
+    def test_conflict_round_grows_blocked_and_resets(self):
+        database = Database.from_text("p.")
+        current = initial_bistructure(database)
+        policy = InertiaPolicy()
+        provenance = Provenance()
+        kinds = []
+        for _ in range(10):
+            step = theta(P1, current, policy, database, provenance=provenance)
+            kinds.append(step.kind)
+            if step.kind == "fixpoint":
+                break
+            current = step.after
+        assert "resolve" in kinds
+        assert kinds[-1] == "fixpoint"
+        resolve = kinds.index("resolve")
+        # after resolving, the interpretation restarted from I∅
+        assert current.blocked != frozenset()
+
+    def test_resolve_step_reports_conflicts_and_decisions(self):
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        database = Database.from_text("p.")
+        step = theta(program, initial_bistructure(database), InertiaPolicy(), database)
+        assert step.kind == "resolve"
+        assert len(step.conflicts) == 1
+        ((conflict, decision),) = step.decisions
+        assert decision is Decision.DELETE  # a not in D
+        assert {g.rule.name for g in step.blocked_added} == {"r1"}
+        # restart component: only I∅ survives
+        assert step.after.interpretation.marked_count() == 0
+
+    def test_fixpoint_step_idempotent(self):
+        program = parse_program("p -> +q.")
+        database = Database.from_text("p.")
+        first = theta(program, initial_bistructure(database), InertiaPolicy(), database)
+        second = theta(program, first.after, InertiaPolicy(), database)
+        assert second.kind == "fixpoint"
+        assert second.after == first.after
+
+    def test_stuck_policy_raises(self):
+        # A policy that cannot be called is irrelevant: progress check is on
+        # the blocked set.  Simulate no-progress by pre-blocking both sides.
+        program = parse_program("@name(r1) p -> +a. @name(r2) p -> -a.")
+        database = Database.from_text("p.")
+        from repro.core.groundings import grounding
+
+        blocked = frozenset({grounding(program[0]), grounding(program[1])})
+        start = BiStructure(blocked, initial_bistructure(database).interpretation)
+        step = theta(program, start, InertiaPolicy(), database)
+        # With both sides blocked there is no conflict at all: just fixpoint.
+        assert step.kind == "fixpoint"
+
+
+class TestThetaOmega:
+    def test_matches_engine_on_p1(self, p1):
+        program, database = p1
+        fixpoint, _ = theta_omega(program, database, InertiaPolicy())
+        from repro.core.incorporate import incorp
+
+        final = incorp(fixpoint.interpretation)
+        assert final == Database.from_text("p. q.")
+
+    def test_collect_steps(self):
+        database = Database.from_text("p.")
+        _, steps = theta_omega(P1, database, InertiaPolicy(), collect=True)
+        assert steps[-1].kind == "fixpoint"
+        assert any(s.kind == "resolve" for s in steps)
+
+    def test_step_budget(self):
+        database = Database.from_text("p.")
+        with pytest.raises(NonTerminationError):
+            theta_omega(P1, database, InertiaPolicy(), max_steps=1)
+
+    def test_minimal_mode_more_restarts(self):
+        program = parse_program("""
+        @name(i1) p -> +a. @name(d1) p -> -a.
+        @name(i2) p -> +b. @name(d2) p -> -b.
+        """)
+        database = Database.from_text("p.")
+        _, all_steps = theta_omega(
+            program, database, InertiaPolicy(), mode=BlockingMode.ALL, collect=True
+        )
+        _, minimal_steps = theta_omega(
+            program, database, InertiaPolicy(), mode=BlockingMode.MINIMAL, collect=True
+        )
+        count = lambda steps: sum(1 for s in steps if s.kind == "resolve")
+        assert count(all_steps) == 1
+        assert count(minimal_steps) == 2
+
+    def test_same_final_database_both_modes(self):
+        program = parse_program("""
+        @name(i1) p -> +a. @name(d1) p -> -a.
+        @name(i2) p -> +b. @name(d2) p -> -b.
+        """)
+        database = Database.from_text("p.")
+        from repro.core.incorporate import incorp
+
+        fp_all, _ = theta_omega(program, database, InertiaPolicy(), mode=BlockingMode.ALL)
+        fp_min, _ = theta_omega(
+            program, database, InertiaPolicy(), mode=BlockingMode.MINIMAL
+        )
+        assert incorp(fp_all.interpretation) == incorp(fp_min.interpretation)

@@ -1,0 +1,130 @@
+"""Tests for literal validity — the exact definitions of Sections 4.2/4.3."""
+
+import pytest
+
+from repro.core.interpretation import IInterpretation
+from repro.core.validity import InterpretationView, rule_instance_valid, valid
+from repro.errors import EngineError
+from repro.lang import parse_rule, substitution
+from repro.lang.atoms import atom
+from repro.lang.literals import neg, on_delete, on_insert, pos
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+
+
+def interp(unmarked="", plus=(), minus=()):
+    text = unmarked.strip()
+    if text and not text.endswith("."):
+        text += "."
+    i = IInterpretation.from_database(Database.from_text(text))
+    i.add_updates([insert(a) for a in plus])
+    i.add_updates([delete(a) for a in minus])
+    return i
+
+
+class TestPositiveConditions:
+    """a valid iff I ∩ {a, +a} != ∅."""
+
+    def test_unmarked_atom(self):
+        assert valid(pos(atom("p")), interp("p"))
+
+    def test_plus_marked_atom(self):
+        assert valid(pos(atom("p")), interp("", plus=[atom("p")]))
+
+    def test_absent_atom(self):
+        assert not valid(pos(atom("p")), interp("q"))
+
+    def test_minus_mark_does_not_invalidate(self):
+        # Per the paper, -a in I does NOT make positive a invalid if a ∈ I.
+        i = interp("p", minus=[atom("p")])
+        assert valid(pos(atom("p")), i)
+
+    def test_minus_alone_not_valid(self):
+        assert not valid(pos(atom("p")), interp("", minus=[atom("p")]))
+
+
+class TestNegatedConditions:
+    """not b valid iff -b ∈ I or {b, +b} ∩ I = ∅."""
+
+    def test_absent_atom(self):
+        assert valid(neg(atom("b")), interp("p"))
+
+    def test_unmarked_atom_blocks(self):
+        assert not valid(neg(atom("b")), interp("b"))
+
+    def test_plus_mark_blocks(self):
+        assert not valid(neg(atom("b")), interp("", plus=[atom("b")]))
+
+    def test_minus_mark_enables_even_when_present(self):
+        # -b ∈ I makes 'not b' valid regardless of b's presence.
+        assert valid(neg(atom("b")), interp("b", minus=[atom("b")]))
+
+    def test_minus_mark_beats_plus_mark(self):
+        # With both marks (inconsistent I), the first disjunct applies.
+        assert valid(neg(atom("b")), interp("", plus=[atom("b")], minus=[atom("b")]))
+
+
+class TestEventLiterals:
+    """±a valid iff exactly that mark is in I (Section 4.3)."""
+
+    def test_insert_event(self):
+        assert valid(on_insert(atom("a")), interp("", plus=[atom("a")]))
+        assert not valid(on_insert(atom("a")), interp("a"))
+
+    def test_delete_event(self):
+        assert valid(on_delete(atom("a")), interp("", minus=[atom("a")]))
+        assert not valid(on_delete(atom("a")), interp("", plus=[atom("a")]))
+
+    def test_unmarked_atom_triggers_no_event(self):
+        i = interp("a")
+        assert not valid(on_insert(atom("a")), i)
+        assert not valid(on_delete(atom("a")), i)
+
+
+class TestErrors:
+    def test_nonground_literal_rejected(self):
+        with pytest.raises(EngineError):
+            valid(pos(atom("p", "X")), interp(""))
+
+    def test_non_literal_rejected(self):
+        with pytest.raises(TypeError):
+            valid(atom("p"), interp(""))
+
+
+class TestInterpretationView:
+    def setup_method(self):
+        self.i = interp("p(a). p(b).", plus=[atom("p", "c"), atom("r", "a")],
+                        minus=[atom("s", "a")])
+        self.view = InterpretationView(self.i)
+
+    def test_condition_candidates_union_unmarked_and_plus(self):
+        rows = set(self.view.condition_candidates("p", 1, {}))
+        assert rows == {("a",), ("b",), ("c",)}
+
+    def test_condition_candidates_bound(self):
+        rows = set(self.view.condition_candidates("p", 1, {0: "c"}))
+        assert rows == {("c",)}
+
+    def test_event_candidates(self):
+        from repro.lang.updates import UpdateOp
+
+        assert set(self.view.event_candidates(UpdateOp.INSERT, "r", 1, {})) == {("a",)}
+        assert set(self.view.event_candidates(UpdateOp.DELETE, "s", 1, {})) == {("a",)}
+        assert set(self.view.event_candidates(UpdateOp.INSERT, "s", 1, {})) == set()
+
+    def test_view_agrees_with_valid(self):
+        assert self.view.condition_holds(atom("p", "c"))
+        assert self.view.negation_holds(atom("s", "a"))
+        assert not self.view.negation_holds(atom("p", "a"))
+
+    def test_estimate(self):
+        assert self.view.estimate("p") == 3
+
+
+class TestRuleInstanceValidity:
+    def test_full_instance(self):
+        rule = parse_rule("p(X), not q(X) -> +r(X).")
+        i = interp("p(a). q(b).")
+        assert rule_instance_valid(rule, substitution(X="a"), i)
+        i2 = interp("p(b). q(b).")
+        assert not rule_instance_valid(rule, substitution(X="b"), i2)

@@ -1,0 +1,92 @@
+"""Tests for naive and semi-naive positive-datalog evaluation."""
+
+import pytest
+
+from repro.engine.datalog import (
+    naive_least_fixpoint,
+    query,
+    seminaive_least_fixpoint,
+)
+from repro.errors import EngineError
+from repro.lang import parse_atom, parse_program
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+
+TC = parse_program("""
+edge(X, Y) -> +tc(X, Y).
+tc(X, Z), edge(Z, Y) -> +tc(X, Y).
+""")
+
+
+class TestNaive:
+    def test_transitive_closure(self):
+        db = Database.from_text("edge(a, b). edge(b, c). edge(c, d).")
+        result = naive_least_fixpoint(TC, db)
+        assert atom("tc", "a", "d") in result
+        assert result.count("tc") == 6
+
+    def test_input_not_modified(self):
+        db = Database.from_text("edge(a, b).")
+        naive_least_fixpoint(TC, db)
+        assert len(db) == 1
+
+    def test_cyclic_graph_terminates(self):
+        db = Database.from_text("edge(a, b). edge(b, a).")
+        result = naive_least_fixpoint(TC, db)
+        assert result.count("tc") == 4  # all pairs incl. self-loops via cycle
+
+    def test_rejects_deletion_heads(self):
+        bad = parse_program("p(X) -> -q(X).")
+        with pytest.raises(EngineError, match="insert-only"):
+            naive_least_fixpoint(bad, Database())
+
+    def test_rejects_negation(self):
+        bad = parse_program("p(X), not r(X) -> +q(X).")
+        with pytest.raises(EngineError, match="positive"):
+            naive_least_fixpoint(bad, Database())
+
+    def test_round_budget(self):
+        chain = parse_program("n(X, Y), at(X) -> +at(Y).")
+        db = Database.from_text("at(a). n(a, b). n(b, c). n(c, d).")
+        with pytest.raises(EngineError, match="rounds"):
+            naive_least_fixpoint(chain, db, max_rounds=2)
+
+
+class TestSemiNaive:
+    @pytest.mark.parametrize("facts", [
+        "edge(a, b).",
+        "edge(a, b). edge(b, c). edge(c, d). edge(d, e).",
+        "edge(a, b). edge(b, a). edge(b, c).",
+        "",
+    ])
+    def test_agrees_with_naive(self, facts):
+        db = Database.from_text(facts)
+        assert seminaive_least_fixpoint(TC, db) == naive_least_fixpoint(TC, db)
+
+    def test_multi_rule_program(self):
+        program = parse_program("""
+        parent(X, Y) -> +anc(X, Y).
+        anc(X, Z), parent(Z, Y) -> +anc(X, Y).
+        anc(X, Y) -> +related(X, Y).
+        """)
+        db = Database.from_text("parent(a, b). parent(b, c).")
+        result = seminaive_least_fixpoint(program, db)
+        assert atom("related", "a", "c") in result
+
+    def test_no_shadow_relations_leak(self):
+        db = Database.from_text("edge(a, b). edge(b, c).")
+        result = seminaive_least_fixpoint(TC, db)
+        assert all(not p.startswith("__delta__") for p in result.predicates())
+
+
+class TestQuery:
+    def test_query_binds_goal_variables(self):
+        db = Database.from_text("edge(a, b). edge(b, c).")
+        answers = query(TC, db, parse_atom("tc(a, X)"))
+        bound = {str(s[next(iter(v for v in s if v.name == "X"))]) for s in answers}
+        assert bound == {"b", "c"}
+
+    def test_query_ground_goal(self):
+        db = Database.from_text("edge(a, b).")
+        assert len(query(TC, db, parse_atom("tc(a, b)"))) == 1
+        assert len(query(TC, db, parse_atom("tc(b, a)"))) == 0

@@ -1,0 +1,120 @@
+"""Tests for the dependency graph, SCCs, stratification, classification."""
+
+import pytest
+
+from repro.engine.dependency import DependencyGraph, classify_program
+from repro.errors import EngineError
+from repro.lang import parse_program
+
+
+def graph(text):
+    return DependencyGraph(parse_program(text))
+
+
+class TestGraphStructure:
+    def test_edges_and_nodes(self):
+        g = graph("p(X), not r(X) -> +q(X).")
+        assert g.nodes == {"p", "q", "r"}
+        assert g.predecessors("q") == ["p", "r"]
+        assert g.successors("p") == ["q"]
+        negatives = g.negative_edges()
+        assert {(e.source, e.target) for e in negatives} == {("r", "q")}
+
+    def test_event_edges_flagged(self):
+        g = graph("+p(X) -> +q(X).")
+        (edge,) = g.edges
+        assert edge.through_event
+
+    def test_deletion_head_still_an_edge(self):
+        g = graph("p(X) -> -q(X).")
+        assert g.successors("p") == ["q"]
+
+
+class TestSccs:
+    def test_acyclic_singletons(self):
+        g = graph("p -> +q. q -> +r.")
+        components = g.sccs()
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    def test_cycle_detected(self):
+        g = graph("p -> +q. q -> +p.")
+        components = [c for c in g.sccs() if len(c) > 1]
+        assert components == [frozenset({"p", "q"})]
+
+    def test_reverse_topological_order(self):
+        g = graph("a0 -> +b0. b0 -> +c0.")
+        components = g.sccs()
+        # Tarjan emits a node's dependants (deeper in the DFS) before it:
+        # with edges a0 -> b0 -> c0, c0 is finished first.
+        assert components.index(frozenset({"c0"})) < components.index(
+            frozenset({"a0"})
+        )
+
+    def test_self_loop_recursive(self):
+        g = graph("tc(X, Z), e(Z, Y) -> +tc(X, Y).")
+        assert "tc" in g.recursive_predicates()
+        assert "e" not in g.recursive_predicates()
+
+
+class TestStratification:
+    def test_simple_strata(self):
+        g = graph("""
+        edge(Y, X) -> +reached(X).
+        node(X), not reached(X) -> +isolated(X).
+        """)
+        strata = g.stratification()
+        level = {p: i for i, s in enumerate(strata) for p in s}
+        assert level["reached"] < level["isolated"]
+
+    def test_positive_recursion_fine(self):
+        g = graph("e(X, Y) -> +tc(X, Y). tc(X, Z), e(Z, Y) -> +tc(X, Y).")
+        assert g.is_stratifiable()
+
+    def test_negation_in_cycle_rejected(self):
+        g = graph("not q0 -> +p0. not p0 -> +q0.")
+        assert not g.is_stratifiable()
+        with pytest.raises(EngineError, match="not stratifiable"):
+            g.stratification()
+
+    def test_self_negation_rejected(self):
+        g = graph("p(X), not q(X) -> +q(X).")
+        assert not g.is_stratifiable()
+
+    def test_long_negative_chain_levels(self):
+        g = graph("""
+        not a0 -> +b0.
+        not b0 -> +c0.
+        not c0 -> +d0.
+        """)
+        strata = g.stratification()
+        level = {p: i for i, s in enumerate(strata) for p in s}
+        assert level["a0"] < level["b0"] < level["c0"] < level["d0"]
+
+
+class TestClassification:
+    def test_positive_program(self):
+        c = classify_program(parse_program("e(X, Y) -> +tc(X, Y)."))
+        assert c.positive
+        assert c.deductive
+        assert not c.recursive
+
+    def test_recursive_flag(self):
+        c = classify_program(
+            parse_program("e(X, Y) -> +tc(X, Y). tc(X, Z), e(Z, Y) -> +tc(X, Y).")
+        )
+        assert c.recursive
+
+    def test_semipositive(self):
+        c = classify_program(parse_program("p(X), not edb(X) -> +q(X)."))
+        assert c.semipositive
+        negated_idb = classify_program(
+            parse_program("p(X) -> +q(X). p(X), not q(X) -> +r(X).")
+        )
+        assert not negated_idb.semipositive
+
+    def test_active_features(self):
+        c = classify_program(parse_program("+p(X) -> -q(X)."))
+        assert c.uses_events
+        assert c.uses_deletion
+        assert not c.deductive

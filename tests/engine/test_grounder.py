@@ -1,0 +1,69 @@
+"""Tests for the brute-force grounding utilities."""
+
+from repro.engine.grounder import (
+    ground_instances,
+    ground_program,
+    ground_substitutions,
+    herbrand_base,
+    herbrand_universe,
+)
+from repro.lang import parse_program, parse_rule
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+
+
+class TestHerbrand:
+    def test_universe_joins_program_and_database(self):
+        program = parse_program("p(a) -> +q(b).")
+        database = Database.from_text("p(c).")
+        universe = herbrand_universe(program, database)
+        assert {c.value for c in universe} == {"a", "b", "c"}
+
+    def test_universe_sorted_deterministic(self):
+        program = parse_program("p(z), p(y) -> +q(z).")
+        database = Database.from_text("p(a).")
+        values = [c.value for c in herbrand_universe(program, database)]
+        assert values == sorted(values, key=str)
+
+    def test_base_covers_all_signatures(self):
+        program = parse_program("p(X) -> +q(X).")
+        database = Database.from_text("p(a). p(b).")
+        base = herbrand_base(program, database)
+        # p/1 and q/1 over {a, b} -> 4 atoms
+        assert base == {
+            atom("p", "a"), atom("p", "b"), atom("q", "a"), atom("q", "b"),
+        }
+
+    def test_base_includes_zero_ary(self):
+        program = parse_program("p -> +q.")
+        base = herbrand_base(program, Database())
+        assert base == {atom("p"), atom("q")}
+
+
+class TestGrounding:
+    def test_ground_substitutions_count(self):
+        from repro.lang.terms import Constant
+
+        rule = parse_rule("p(X), s(Y) -> +q(X, Y).")
+        subs = list(ground_substitutions(rule, [Constant("a"), Constant("b")]))
+        assert len(subs) == 4  # 2 constants ^ 2 variables
+
+    def test_rule_without_variables(self):
+        rule = parse_rule("p -> +q.")
+        subs = list(ground_substitutions(rule, []))
+        assert len(subs) == 1
+        assert len(subs[0]) == 0
+
+    def test_ground_instances_are_ground(self):
+        rule = parse_rule("p(X) -> +q(X).")
+        program = parse_program("p(X) -> +q(X).")
+        database = Database.from_text("p(a). p(b).")
+        for _, _, ground_rule in ground_program(program, database):
+            assert ground_rule.head.is_ground()
+            assert all(l.is_ground() for l in ground_rule.body)
+
+    def test_ground_program_size(self):
+        program = parse_program("p(X), p(Y) -> +q(X, Y).")
+        database = Database.from_text("p(a). p(b). p(c).")
+        triples = ground_program(program, database)
+        assert len(triples) == 9

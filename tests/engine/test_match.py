@@ -1,0 +1,104 @@
+"""Tests for the body-matching engine."""
+
+import pytest
+
+from repro.engine.match import (
+    clear_compile_cache,
+    compile_rule,
+    fireable_heads,
+    match_body_once,
+    match_rule,
+)
+from repro.engine.views import DatabaseView
+from repro.lang import parse_rule, substitution
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+
+
+def matches(rule_text, facts_text):
+    rule = parse_rule(rule_text)
+    view = DatabaseView(Database.from_text(facts_text))
+    return sorted(match_rule(rule, view), key=str)
+
+
+class TestPositiveMatching:
+    def test_single_literal(self):
+        found = matches("p(X) -> +q(X).", "p(a). p(b).")
+        assert found == [substitution(X="a"), substitution(X="b")]
+
+    def test_join_two_literals(self):
+        found = matches("edge(X, Y), edge(Y, Z) -> +path(X, Z).",
+                        "edge(a, b). edge(b, c).")
+        assert found == [substitution(X="a", Y="b", Z="c")]
+
+    def test_constants_in_pattern(self):
+        found = matches("edge(a, Y) -> +q(Y).", "edge(a, b). edge(c, d).")
+        assert found == [substitution(Y="b")]
+
+    def test_repeated_variable(self):
+        found = matches("edge(X, X) -> +loop(X).", "edge(a, a). edge(a, b).")
+        assert found == [substitution(X="a")]
+
+    def test_propositional(self):
+        assert matches("p -> +q.", "p.") == [substitution()]
+        assert matches("p -> +q.", "r.") == []
+
+    def test_bodyless_rule_matches_once(self):
+        assert matches("-> +q(b).", "") == [substitution()]
+
+    def test_no_match(self):
+        assert matches("p(X), r(X) -> +q(X).", "p(a).") == []
+
+    def test_cross_product(self):
+        found = matches("p(X), s(Y) -> +q(X, Y).", "p(a). p(b). s(c).")
+        assert len(found) == 2
+
+
+class TestNegation:
+    def test_negation_filters(self):
+        found = matches("p(X), not blocked(X) -> +q(X).",
+                        "p(a). p(b). blocked(b).")
+        assert found == [substitution(X="a")]
+
+    def test_negation_over_missing_predicate(self):
+        found = matches("p(X), not blocked(X) -> +q(X).", "p(a).")
+        assert found == [substitution(X="a")]
+
+    def test_ground_negation(self):
+        assert matches("p(X), not stop -> +q(X).", "p(a). stop.") == []
+
+
+class TestHelpers:
+    def test_match_body_once(self):
+        rule = parse_rule("p(X) -> +q(X).")
+        assert match_body_once(rule, DatabaseView(Database.from_text("p(a).")))
+        assert not match_body_once(rule, DatabaseView(Database.from_text("r(a).")))
+
+    def test_fireable_heads_dedup(self):
+        # Two bindings of Y produce the same head q(a).
+        rule = parse_rule("p(X), s(X, Y) -> +q(X).")
+        view = DatabaseView(Database.from_text("p(a). s(a, u). s(a, v)."))
+        heads = list(fireable_heads(rule, view))
+        assert [str(h) for h in heads] == ["+q(a)"]
+
+    def test_unfrozen_matching(self):
+        rule = parse_rule("p(X) -> +q(X).")
+        view = DatabaseView(Database.from_text("p(a)."))
+        raw = list(match_rule(rule, view, freeze=False))
+        assert len(raw) == 1
+        assert isinstance(raw[0], dict)
+
+    def test_compile_cache(self):
+        clear_compile_cache()
+        rule = parse_rule("p(X) -> +q(X).")
+        compiled1 = compile_rule(rule)
+        compiled2 = compile_rule(rule)
+        assert compiled1 is compiled2
+        clear_compile_cache()
+        assert compile_rule(rule) is not compiled1
+
+    def test_substitutions_cover_all_rule_variables(self):
+        rule = parse_rule("p(X), s(X, Y) -> +q(X).")
+        view = DatabaseView(Database.from_text("p(a). s(a, b)."))
+        (sub,) = match_rule(rule, view)
+        assert set(v.name for v in sub) == {"X", "Y"}

@@ -1,0 +1,61 @@
+"""Tests for the join planner."""
+
+from repro.engine.planner import explain_plan, plan_body
+from repro.lang import parse_rule
+
+
+def kinds(rule_text):
+    return [(str(s.literal), s.kind) for s in plan_body(parse_rule(rule_text))]
+
+
+class TestOrdering:
+    def test_empty_body(self):
+        assert plan_body(parse_rule("-> +q(b).")) == ()
+
+    def test_single_literal(self):
+        assert kinds("p(X) -> +q(X).") == [("p(X)", "bind")]
+
+    def test_negation_scheduled_after_binding(self):
+        plan = kinds("p(X), not r(X) -> +q(X).")
+        assert plan == [("p(X)", "bind"), ("not r(X)", "check")]
+
+    def test_negation_first_in_source_still_delayed(self):
+        plan = kinds("not r(X), p(X) -> +q(X).")
+        assert plan == [("p(X)", "bind"), ("not r(X)", "check")]
+
+    def test_ground_negation_scheduled_first(self):
+        plan = kinds("p(X), not r(a) -> +q(X).")
+        assert plan[0] == ("not r(a)", "check")
+
+    def test_most_bound_literal_preferred(self):
+        # After binding X via p(X), s(X, Y) has one bound position while
+        # t(Z, W) has none, so s comes first.
+        plan = kinds("p(X), t(Z, W), s(X, Y) -> +q(X).")
+        assert plan[0] == ("p(X)", "bind")
+        assert plan[1] == ("s(X, Y)", "bind")
+
+    def test_constants_count_as_bound(self):
+        # t(a, Z) has a bound constant position; u(Z, W) has none.
+        plan = kinds("u(Z, W), t(a, Z) -> +q(Z).")
+        assert plan[0] == ("t(a, Z)", "bind")
+
+    def test_fully_bound_positive_literal_becomes_check(self):
+        plan = kinds("p(X), p2(X) -> +q(X).")
+        assert plan == [("p(X)", "bind"), ("p2(X)", "check")]
+
+    def test_events_are_binding(self):
+        plan = kinds("+r(X), not s(X) -> +q(X).")
+        assert plan == [("+r(X)", "bind"), ("not s(X)", "check")]
+
+    def test_deterministic_tie_break_by_position(self):
+        plan = kinds("m(X), n(Y) -> +q(X).")
+        assert plan[0][0] == "m(X)"
+
+
+class TestExplain:
+    def test_explain_plan_lines(self):
+        text = explain_plan(parse_rule("p(X), not r(X) -> +q(X)."))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "[bind]" in lines[0]
+        assert "[check]" in lines[1]

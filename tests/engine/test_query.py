@@ -1,0 +1,106 @@
+"""Tests for ad-hoc conjunctive queries."""
+
+import pytest
+
+from repro.engine.query import conjunctive_query, holds, query_rows
+from repro.errors import LanguageError, SafetyError
+from repro.lang import neg, parse_body, pos
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+
+DB = Database.from_text(
+    "payroll(joe, 10). payroll(ann, 20). payroll(raj, 20). "
+    "active(ann). active(raj). emp(joe). emp(ann). emp(raj)."
+)
+
+
+class TestQueryRows:
+    def test_join_with_negation(self):
+        rows = query_rows("payroll(X, S), not active(X)", DB)
+        assert rows == [{"S": 10, "X": "joe"}]
+
+    def test_plain_join(self):
+        rows = query_rows("emp(X), payroll(X, 20)", DB)
+        assert rows == [{"X": "ann"}, {"X": "raj"}]
+
+    def test_constants_filter(self):
+        assert query_rows("payroll(joe, S)", DB) == [{"S": 10}]
+
+    def test_ground_query_satisfied(self):
+        assert query_rows("emp(joe)", DB) == [{}]
+
+    def test_ground_query_unsatisfied(self):
+        assert query_rows("emp(zoe)", DB) == []
+
+    def test_literal_objects_accepted(self):
+        rows = query_rows([pos(atom("emp", "X")), neg(atom("active", "X"))], DB)
+        assert rows == [{"X": "joe"}]
+
+    def test_deduplicated_answers(self):
+        # Y ranges over two payroll rows but X answers collapse.
+        rows = query_rows("emp(X), payroll(Y, 20)", DB)
+        assert len(rows) == len({tuple(sorted(r.items())) for r in rows})
+
+
+class TestHoldsAndSubstitutions:
+    def test_holds(self):
+        assert holds("payroll(X, 20)", DB)
+        assert not holds("payroll(X, 999)", DB)
+
+    def test_conjunctive_query_returns_substitutions(self):
+        answers = conjunctive_query("payroll(joe, S)", DB)
+        assert len(answers) == 1
+        assert str(answers[0]) == "[S <- 10]"
+
+
+class TestQuerySafety:
+    def test_unbound_negation_rejected(self):
+        with pytest.raises(SafetyError):
+            query_rows("not active(X)", DB)
+
+    def test_empty_query_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises((LanguageError, ParseError)):
+            query_rows("", DB)
+
+    def test_junk_elements_rejected(self):
+        with pytest.raises(LanguageError):
+            query_rows([atom("emp", "X")], DB)  # raw atoms are not literals
+
+    def test_trailing_period_tolerated(self):
+        assert parse_body("emp(X).") == parse_body("emp(X)")
+
+
+class TestQuerySources:
+    def test_interpretation_source_with_events(self):
+        from repro.core import park
+
+        result = park("p -> +q(a). p -> -stale(b).", "p. stale(b).")
+        assert query_rows("+q(X)", result.interpretation) == [{"X": "a"}]
+        assert query_rows("-stale(X)", result.interpretation) == [{"X": "b"}]
+
+    def test_database_source_events_never_hold(self):
+        assert query_rows("+payroll(X, S)", DB) == []
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError):
+            query_rows("emp(X)", {"not": "a source"})
+
+
+class TestActiveDatabaseQuery:
+    def test_query_and_ask(self):
+        from repro.active import ActiveDatabase
+
+        db = ActiveDatabase(DB.copy())
+        assert db.query("payroll(X, S), not active(X)") == [{"S": 10, "X": "joe"}]
+        assert db.ask("emp(ann), active(ann)")
+        assert not db.ask("emp(ann), not active(ann)")
+
+    def test_query_sees_committed_state(self):
+        from repro.active import ActiveDatabase
+
+        db = ActiveDatabase(DB.copy())
+        db.add_rule("emp(X), not active(X), payroll(X, S) -> -payroll(X, S).")
+        db.delete("active", "ann")
+        assert db.query("payroll(ann, S)") == []

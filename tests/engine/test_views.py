@@ -1,0 +1,62 @@
+"""Tests for fact views (closed-world adapters)."""
+
+from repro.engine.views import AtomSetView, DatabaseView
+from repro.lang.atoms import atom
+from repro.lang.updates import UpdateOp
+from repro.storage.database import Database
+
+
+class TestDatabaseView:
+    def setup_method(self):
+        self.view = DatabaseView(Database.from_text("edge(a, b). edge(a, c). p."))
+
+    def test_condition_holds(self):
+        assert self.view.condition_holds(atom("edge", "a", "b"))
+        assert not self.view.condition_holds(atom("edge", "b", "a"))
+
+    def test_negation_is_absence(self):
+        assert self.view.negation_holds(atom("edge", "b", "a"))
+        assert not self.view.negation_holds(atom("edge", "a", "b"))
+
+    def test_candidates_filtered(self):
+        rows = set(self.view.condition_candidates("edge", 2, {0: "a"}))
+        assert rows == {("a", "b"), ("a", "c")}
+
+    def test_candidates_unknown_predicate(self):
+        assert list(self.view.condition_candidates("zzz", 1, {})) == []
+
+    def test_candidates_wrong_arity(self):
+        assert list(self.view.condition_candidates("edge", 3, {})) == []
+
+    def test_events_never_hold(self):
+        assert not self.view.event_holds(UpdateOp.INSERT, atom("edge", "a", "b"))
+        assert list(self.view.event_candidates(UpdateOp.DELETE, "edge", 2, {})) == []
+
+    def test_estimate(self):
+        assert self.view.estimate("edge") == 2
+        assert self.view.estimate("zzz") == 0
+
+
+class TestAtomSetView:
+    def setup_method(self):
+        self.view = AtomSetView({atom("edge", "a", "b"), atom("edge", "c", "b"), atom("p")})
+
+    def test_condition_holds(self):
+        assert self.view.condition_holds(atom("p"))
+        assert not self.view.condition_holds(atom("q"))
+
+    def test_negation(self):
+        assert self.view.negation_holds(atom("q"))
+
+    def test_candidates(self):
+        rows = set(self.view.condition_candidates("edge", 2, {1: "b"}))
+        assert rows == {("a", "b"), ("c", "b")}
+
+    def test_candidates_no_bound(self):
+        assert len(list(self.view.condition_candidates("edge", 2, {}))) == 2
+
+    def test_events_never_hold(self):
+        assert not self.view.event_holds(UpdateOp.INSERT, atom("p"))
+
+    def test_estimate(self):
+        assert self.view.estimate("edge") == 2

@@ -1,0 +1,28 @@
+"""Every example script must run to completion (they self-assert)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert SCRIPTS, "no example scripts found at %s" % EXAMPLES_DIR
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        "example %s failed:\n%s" % (script.name, completed.stderr[-2000:])
+    )
+    assert completed.stdout.strip(), "example %s printed nothing" % script.name

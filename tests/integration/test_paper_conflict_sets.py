@@ -1,0 +1,138 @@
+"""Golden tests for the paper's printed *conflict sets* (Section 4.2).
+
+Beyond final states and traces, the paper prints two intermediate
+artifacts we can check structurally:
+
+* the ``conflicts(P, I)`` listing for the graph example's first
+  inconsistent step — per conflicting arc, exactly which rule instances
+  sit on each side;
+* the ``blocked(D, P, I1, SELECT)`` set that the custom policy produces
+  (five r1 instances, twelve r3 instances).
+"""
+
+import pytest
+
+from tests.conftest import GRAPH_TEXT
+
+from repro.core.conflicts import find_conflicts
+from repro.core.consequence import gamma, gamma_fixpoint
+from repro.core.blocking import resolve_conflicts
+from repro.core.interpretation import IInterpretation
+from repro.lang import parse_atom, parse_program
+from repro.storage.database import Database
+from repro.workloads.paper import Section42Policy
+
+
+@pytest.fixture
+def after_first_round():
+    """``I1``: the graph example after one Γ application (all +q arcs)."""
+    program = parse_program(GRAPH_TEXT)
+    database = Database.from_text("p(a). p(b). p(c).")
+    interpretation = IInterpretation.from_database(database)
+    result = gamma(program, frozenset(), interpretation)
+    assert result.is_consistent
+    return program, database, result.apply()
+
+
+class TestConflictListing:
+    """The paper's ``conflicts(P, I1)`` for the Section 4.2 example."""
+
+    def test_nine_conflicts_one_per_arc(self, after_first_round):
+        program, _, interpretation = after_first_round
+        conflicts = find_conflicts(program, interpretation)
+        assert len(conflicts) == 9
+        arcs = {str(c.atom) for c in conflicts}
+        assert arcs == {
+            "q(%s, %s)" % (x, y) for x in "abc" for y in "abc"
+        }
+
+    def test_reflexive_arc_sides(self, after_first_round):
+        """Paper: (q(a,a), {(r1,[x<-a,y<-a])}, {(r2,[x<-a]), (r3,[..z<-a]),
+        (r3,[..z<-b]), (r3,[..z<-c])})."""
+        program, _, interpretation = after_first_round
+        conflicts = {str(c.atom): c for c in find_conflicts(program, interpretation)}
+        conflict = conflicts["q(a, a)"]
+        assert len(conflict.ins) == 1
+        (ins_instance,) = conflict.ins
+        assert ins_instance.rule.name == "r1"
+        del_rules = sorted(g.rule.name for g in conflict.dels)
+        assert del_rules == ["r2", "r3", "r3", "r3"]
+        # the three r3 instances range z over the whole node set
+        z_values = sorted(
+            str(g.substitution[v])
+            for g in conflict.dels
+            if g.rule.name == "r3"
+            for v in g.substitution
+            if v.name == "Z"
+        )
+        assert z_values == ["a", "b", "c"]
+
+    def test_nonreflexive_arc_sides(self, after_first_round):
+        """Paper: (q(a,b), {(r1,...)}, { three r3 instances })."""
+        program, _, interpretation = after_first_round
+        conflicts = {str(c.atom): c for c in find_conflicts(program, interpretation)}
+        conflict = conflicts["q(a, b)"]
+        assert len(conflict.ins) == 1
+        assert sorted(g.rule.name for g in conflict.dels) == ["r3", "r3", "r3"]
+
+    def test_conflicts_total_maximality(self, after_first_round):
+        """Every valid opposing instance appears — the triples are maximal."""
+        program, _, interpretation = after_first_round
+        conflicts = find_conflicts(program, interpretation)
+        # total del instances: reflexive arcs carry r2 + 3×r3 = 4 each (×3),
+        # non-reflexive carry 3×r3 each (×6): 12 + 18 = 30.
+        assert sum(len(c.dels) for c in conflicts) == 30
+        assert sum(len(c.ins) for c in conflicts) == 9
+
+
+class TestBlockedSet:
+    """The paper's ``blocked(D, P, I1, SELECT)`` under the custom policy."""
+
+    def test_blocked_shape(self, after_first_round):
+        program, database, interpretation = after_first_round
+        conflicts = find_conflicts(program, interpretation)
+        additions, decisions = resolve_conflicts(
+            conflicts,
+            Section42Policy(),
+            database,
+            program,
+            interpretation,
+            blocked=frozenset(),
+            restarts=0,
+        )
+        by_rule = {}
+        for grounding in additions:
+            by_rule.setdefault(grounding.rule.name, set()).add(grounding)
+        # five r1 instances: three reflexive + (a,c) + (c,a)
+        assert len(by_rule["r1"]) == 5
+        r1_arcs = {
+            "%s%s" % (g.substitution[parse_var("X")], g.substitution[parse_var("Y")])
+            for g in by_rule["r1"]
+        }
+        assert r1_arcs == {"aa", "bb", "cc", "ac", "ca"}
+        # twelve r3 instances: 3 per kept arc × 4 kept arcs
+        assert len(by_rule["r3"]) == 12
+        # r2 instances are never blocked (they only delete reflexive arcs,
+        # all of which SELECT resolves as delete)
+        assert "r2" not in by_rule
+        assert len(additions) == 17
+
+    def test_after_blocking_fixpoint_is_immediate(self, after_first_round):
+        """Paper: ``I2 := Γ_B(I∅)`` and ``(B, I2)`` is already the fixpoint."""
+        program, database, interpretation = after_first_round
+        conflicts = find_conflicts(program, interpretation)
+        additions, _ = resolve_conflicts(
+            conflicts, Section42Policy(), database, program, interpretation,
+            blocked=frozenset(), restarts=0,
+        )
+        fresh = IInterpretation.from_database(database)
+        result = gamma_fixpoint(program, frozenset(additions), fresh)
+        assert result.is_consistent
+        kept = {str(a) for a in result.interpretation.plus.atoms()}
+        assert kept == {"q(a, b)", "q(b, a)", "q(b, c)", "q(c, b)"}
+
+
+def parse_var(name):
+    from repro.lang.terms import Variable
+
+    return Variable(name)

@@ -1,0 +1,276 @@
+"""Golden tests: every worked example in the paper, end to end.
+
+Experiment ids (E1-E9) follow the index in DESIGN.md / EXPERIMENTS.md.
+Where the paper prints intermediate interpretations, the recorded trace is
+compared against those exact sets.
+"""
+
+import pytest
+
+from tests.conftest import atoms
+
+from repro.analysis.render import trace_interpretation_strings
+from repro.analysis.trace import TraceRecorder
+from repro.core.engine import ParkEngine, park
+from repro.policies.base import Decision, SelectPolicy
+from repro.policies.inertia import InertiaPolicy
+from repro.policies.priority import PriorityPolicy
+
+
+def run_traced(program, database, updates=None, policy=None):
+    recorder = TraceRecorder()
+    engine = ParkEngine(policy=policy, listeners=[recorder])
+    result = engine.run(program, database, updates=updates)
+    return result, recorder
+
+
+class TestE1_P1:
+    """Section 4.1, program P1 on D = {p}: result {p, q}."""
+
+    def test_final_state(self, p1):
+        program, database = p1
+        result = park(program, database)
+        assert result.atoms == atoms("p. q.")
+
+    def test_conflict_on_a_resolved_by_inertia(self, p1):
+        program, database = p1
+        result, recorder = run_traced(*p1)
+        (conflict_event,) = recorder.conflicts()
+        ((conflict, decision),) = conflict_event.decisions
+        assert str(conflict.atom) == "a"
+        assert decision is Decision.DELETE  # a absent from D
+        assert result.blocked_rules() == ["r3"]
+
+    def test_a_status_unchanged(self, p1):
+        program, database = p1
+        result = park(program, database)
+        assert atoms("a.") & result.atoms == frozenset()
+
+
+class TestE2_P2:
+    """Section 4.1, program P2: r stays (valid reasons), s goes (obsolete)."""
+
+    def test_final_state(self, p2):
+        result = park(*p2)
+        assert result.atoms == atoms("p. q. r.")
+
+    def test_s_not_derived_after_restart(self, p2):
+        result = park(*p2)
+        assert "s" not in {a.predicate for a in result.atoms}
+
+    def test_r_survives_because_not_a_is_really_true(self, p2):
+        result = park(*p2)
+        assert atoms("r.") <= result.atoms
+
+    def test_strawman_disagrees(self, p2):
+        from repro.baselines.naive_elimination import naive_elimination
+
+        program, database = p2
+        assert naive_elimination(program, database).atoms == atoms("p. q. r. s.")
+
+
+class TestE3_P3:
+    """Section 4.1, program P3: false conflict on a is avoided."""
+
+    def test_final_state(self, p3):
+        result = park(*p3)
+        assert result.atoms == atoms("p. a.")
+
+    def test_only_q_conflict_resolved(self, p3):
+        result, recorder = run_traced(*p3)
+        conflict_atoms = [
+            str(c.atom)
+            for event in recorder.conflicts()
+            for c, _ in event.decisions
+        ]
+        assert conflict_atoms == ["q"]  # a never becomes a real conflict
+
+    def test_r1_blocked(self, p3):
+        result = park(*p3)
+        assert result.blocked_rules() == ["r1"]
+
+
+class TestE4_GraphExample:
+    """Section 4.2 worked example with its custom SELECT."""
+
+    class PaperSelect(SelectPolicy):
+        name = "sec42"
+
+        def select(self, context):
+            x, y = (str(t) for t in context.conflict.atom.terms)
+            if x == y or {x, y} == {"a", "c"}:
+                return Decision.DELETE
+            return Decision.INSERT
+
+    def test_final_state(self, graph_example):
+        program, database = graph_example
+        result = park(program, database, policy=self.PaperSelect())
+        assert result.atoms == atoms(
+            "p(a). p(b). p(c). q(a, b). q(b, a). q(b, c). q(c, b)."
+        )
+
+    def test_blocked_set_shape(self, graph_example):
+        program, database = graph_example
+        result = park(program, database, policy=self.PaperSelect())
+        # 5 r1 instances (3 reflexive + a<->c) and 3 r3 instances per kept
+        # arc (4 arcs) = 17 blocked instances over rules r1 and r3.
+        assert len(result.blocked) == 17
+        assert result.blocked_rules() == ["r1", "r3"]
+
+    def test_i1_matches_paper(self, graph_example):
+        program, database = graph_example
+        _, recorder = run_traced(program, database, policy=self.PaperSelect())
+        first_round = recorder.rounds()[0]
+        _, plus, minus = first_round.interpretation
+        assert len(plus) == 9  # all q(x, y) pairs
+        assert not minus
+
+    def test_one_restart(self, graph_example):
+        program, database = graph_example
+        result = park(program, database, policy=self.PaperSelect())
+        assert result.stats.restarts == 1
+
+
+class TestE5_EcaExample1:
+    """Section 4.3, first ECA example: trace I1-I3, no conflicts."""
+
+    def test_final_state(self, eca1):
+        program, database, updates = eca1
+        result = park(program, database, updates=updates)
+        assert result.atoms == atoms("p(a). q(a). q(b). r(a). r(b).")
+
+    def test_trace_matches_paper(self, eca1):
+        program, database, updates = eca1
+        _, recorder = run_traced(program, database, updates=updates)
+        assert trace_interpretation_strings(recorder) == [
+            # I1 = {p(a), +q(a), +q(b), s(a), s(b)}
+            "{p(a), +q(a), +q(b), s(a), s(b)}",
+            # I2 adds +r(a), +r(b)
+            "{p(a), +q(a), +q(b), +r(a), +r(b), s(a), s(b)}",
+            # I3 adds -s(a), -s(b); the renderer groups each -s next to its s
+            "{p(a), +q(a), +q(b), +r(a), +r(b), s(a), -s(a), s(b), -s(b)}",
+        ]
+
+    def test_no_conflicts(self, eca1):
+        program, database, updates = eca1
+        result = park(program, database, updates=updates)
+        assert result.stats.restarts == 0
+
+
+class TestE6_EcaExample2:
+    """Section 4.3, second ECA example (inertia).
+
+    Note: the paper prints PARK(D, P, U) without q(a, a), but +q(a, a) is
+    the transaction's own insert and survives incorp; the paper's own
+    I4/I5 sets include it.  We assert the typo-corrected result (see
+    EXPERIMENTS.md).  The paper's blocked set is printed as {r1, r3}; the
+    formal definition blocks only the losing side, r1.
+    """
+
+    def test_final_state(self, eca2):
+        program, database, updates = eca2
+        result = park(program, database, updates=updates)
+        assert result.atoms == atoms(
+            "p(a, a). p(a, b). p(a, c). q(a, a). r(a, a)."
+        )
+
+    def test_conflict_on_p_a_a_insert_wins(self, eca2):
+        program, database, updates = eca2
+        result, recorder = run_traced(program, database, updates=updates)
+        (conflict_event,) = recorder.conflicts()
+        ((conflict, decision),) = conflict_event.decisions
+        assert str(conflict.atom) == "p(a, a)"
+        assert decision is Decision.INSERT  # p(a, a) ∈ D
+        assert result.blocked_rules() == ["r1"]
+
+    def test_restart_preserves_transaction_update(self, eca2):
+        program, database, updates = eca2
+        result = park(program, database, updates=updates)
+        assert result.stats.restarts == 1
+        assert atoms("q(a, a).") <= result.atoms
+
+
+class TestE7_Section5Inertia:
+    """Section 5 inertia walkthrough: trace (1)-(7), result {p, a, b}."""
+
+    def test_final_state(self, sec5):
+        result = park(*sec5)
+        assert result.atoms == atoms("p. a. b.")
+
+    def test_blocked_rules(self, sec5):
+        result = park(*sec5)
+        assert result.blocked_rules() == ["r2", "r5"]
+
+    def test_trace_matches_paper(self, sec5):
+        _, recorder = run_traced(*sec5)
+        assert trace_interpretation_strings(recorder) == [
+            "{+a, p, +q}",          # (1)
+            "{+a, +b, p, +q, -q}",  # (2) inconsistent -> block r2
+            "{+a, p}",              # (3)
+            "{+a, +b, p, -q}",      # (4)
+            "{+a, +b, p, +q, -q}",  # (5) inconsistent -> block r5
+            "{+a, p}",              # (6)
+            "{+a, +b, p, -q}",      # (7) final fixpoint interpretation
+        ]
+
+
+class TestE8_Section5Priority:
+    """Same program under rule priority: result {p, a, b, q}."""
+
+    def test_final_state(self, sec5):
+        program, database = sec5
+        result = park(program, database, policy=PriorityPolicy())
+        assert result.atoms == atoms("p. a. b. q.")
+
+    def test_blocked_rules(self, sec5):
+        program, database = sec5
+        result = park(program, database, policy=PriorityPolicy())
+        assert result.blocked_rules() == ["r2", "r4"]
+
+    def test_trace_matches_paper(self, sec5):
+        program, database = sec5
+        _, recorder = run_traced(program, database, policy=PriorityPolicy())
+        assert trace_interpretation_strings(recorder) == [
+            "{+a, p, +q}",          # (1)
+            "{+a, +b, p, +q, -q}",  # (2) -q wins (prio 4 > 2) -> block r2
+            "{+a, p}",              # (3)
+            "{+a, +b, p, -q}",      # (4)
+            "{+a, +b, p, +q, -q}",  # (5) +q wins (prio 5 > 4) -> block r4
+            "{+a, p}",              # (6)
+            "{+a, +b, p}",          # (7)
+            "{+a, +b, p, +q}",      # (8)
+        ]
+
+    def test_same_fixpoint_machinery_different_outcome(self, sec5):
+        """The paper's point: SELECT is orthogonal to the fixpoint."""
+        program, database = sec5
+        inertia = park(program, database, policy=InertiaPolicy())
+        priority = park(program, database, policy=PriorityPolicy())
+        assert inertia.atoms != priority.atoms
+
+
+class TestE9_CounterintuitiveInertia:
+    """Section 5's second inertia example: result {a}, not {a, d}."""
+
+    def test_final_state(self, sec5_counter):
+        result = park(*sec5_counter)
+        assert result.atoms == atoms("a.")
+
+    def test_blocked_rules_match_paper(self, sec5_counter):
+        # Paper: first a -> +d (r2) is blocked, then a -> +b (r1).
+        result, recorder = run_traced(*sec5_counter)
+        blocked_order = [
+            sorted(g.rule.name for g in event.blocked_added)
+            for event in recorder.conflicts()
+        ]
+        assert blocked_order == [["r2"], ["r1"]]
+
+    def test_first_conflict_is_d(self, sec5_counter):
+        _, recorder = run_traced(*sec5_counter)
+        first = recorder.conflicts()[0]
+        assert [str(c.atom) for c, _ in first.decisions] == ["d"]
+
+    def test_second_conflict_is_b(self, sec5_counter):
+        _, recorder = run_traced(*sec5_counter)
+        second = recorder.conflicts()[1]
+        assert [str(c.atom) for c, _ in second.decisions] == ["b"]

@@ -1,0 +1,117 @@
+"""Theorem 4.1, verified computationally on a battery of programs.
+
+1. ``A ≼ Θ_P(A)`` — Θ is growing;
+2. ``Θ_P^ω(A)`` is a fixpoint of ``Θ_P``;
+3. if ``Θ_P^ω(A) = (B', I')`` then ``I' = lfp(Γ_{P', B'})``.
+
+Plus the complexity remarks: polynomially many steps, at most one blocked
+instance set growth per restart, and the unique-result requirement.
+"""
+
+import pytest
+
+from repro.core.bistructure import initial_bistructure
+from repro.core.consequence import gamma_fixpoint
+from repro.core.eca import extend_with_updates
+from repro.core.interpretation import IInterpretation
+from repro.core.transition import theta, theta_omega
+from repro.core.provenance import Provenance
+from repro.lang import parse_program
+from repro.policies.inertia import InertiaPolicy
+from repro.storage.database import Database
+from repro.workloads import random_workload
+
+from tests.conftest import (
+    ECA1_TEXT,
+    ECA2_TEXT,
+    GRAPH_TEXT,
+    P1_TEXT,
+    P2_TEXT,
+    P3_TEXT,
+    SEC5_COUNTER_TEXT,
+    SEC5_TEXT,
+)
+
+BATTERY = [
+    (parse_program(P1_TEXT), Database.from_text("p.")),
+    (parse_program(P2_TEXT), Database.from_text("p.")),
+    (parse_program(P3_TEXT), Database.from_text("p.")),
+    (parse_program(SEC5_TEXT), Database.from_text("p.")),
+    (parse_program(SEC5_COUNTER_TEXT), Database.from_text("a.")),
+    (parse_program(GRAPH_TEXT), Database.from_text("p(a). p(b).")),
+]
+BATTERY += [
+    (wl.program, wl.database)
+    for wl in (random_workload(s, num_rules=6, num_facts=8) for s in range(6))
+]
+
+
+@pytest.mark.parametrize("program,database", BATTERY)
+class TestTheorem41:
+    def test_theta_is_growing(self, program, database):
+        """Part 1: A ≼ Θ(A) along the whole iteration."""
+        current = initial_bistructure(database)
+        policy = InertiaPolicy()
+        provenance = Provenance()
+        for _ in range(200):
+            step = theta(program, current, policy, database, provenance=provenance)
+            assert current <= step.after, "Θ not growing at some step"
+            if step.kind == "fixpoint":
+                return
+            current = step.after
+        pytest.fail("no fixpoint within 200 steps")
+
+    def test_omega_is_fixpoint(self, program, database):
+        """Part 2: Θ(Θ^ω(A)) = Θ^ω(A)."""
+        fixpoint, _ = theta_omega(program, database, InertiaPolicy())
+        step = theta(program, fixpoint, InertiaPolicy(), database)
+        assert step.kind == "fixpoint"
+        assert step.after == fixpoint
+
+    def test_omega_interpretation_is_lfp_of_gamma(self, program, database):
+        """Part 3: int(Θ^ω) = lfp(Γ_{P', B'}) (least fixpoint above D)."""
+        fixpoint, _ = theta_omega(program, database, InertiaPolicy())
+        blocked = fixpoint.blocked
+        fresh = IInterpretation.from_database(database)
+        gamma_result = gamma_fixpoint(program, blocked, fresh)
+        assert gamma_result.is_consistent
+        assert gamma_result.interpretation == fixpoint.interpretation
+
+    def test_deterministic_unique_result(self, program, database):
+        """Section 3's 'unambiguous semantics' requirement."""
+        first, _ = theta_omega(program, database, InertiaPolicy())
+        second, _ = theta_omega(program, database, InertiaPolicy())
+        assert first == second
+
+    def test_restart_bound(self, program, database):
+        """Each resolve step strictly grows B; B ⊆ all groundings (finite)."""
+        _, steps = theta_omega(program, database, InertiaPolicy(), collect=True)
+        resolves = [s for s in steps if s.kind == "resolve"]
+        sizes = [len(s.after.blocked) for s in resolves]
+        assert sizes == sorted(set(sizes))  # strictly increasing
+
+
+class TestEcaTheorem:
+    """The same properties hold for P_U (full ECA programs)."""
+
+    CASES = [
+        (ECA1_TEXT, "p(a). s(a). s(b).", "q(b)"),
+        (ECA2_TEXT, "p(a, a). p(a, b). p(a, c).", "q(a, a)"),
+    ]
+
+    @pytest.mark.parametrize("program_text,facts,update_atom", CASES)
+    def test_growing_and_fixpoint(self, program_text, facts, update_atom):
+        from repro.lang import parse_atom
+        from repro.lang.updates import insert
+
+        program = extend_with_updates(
+            parse_program(program_text), [insert(parse_atom(update_atom))]
+        )
+        database = Database.from_text(facts)
+        fixpoint, steps = theta_omega(
+            program, database, InertiaPolicy(), collect=True
+        )
+        for step in steps:
+            assert step.before <= step.after
+        confirm = theta(program, fixpoint, InertiaPolicy(), database)
+        assert confirm.kind == "fixpoint"

@@ -1,0 +1,88 @@
+"""Tests for atoms: construction, grounding, substitution."""
+
+import pytest
+
+from repro.lang.atoms import Atom, atom
+from repro.lang.terms import Constant, Variable
+
+
+class TestConstruction:
+    def test_zero_ary(self):
+        p = Atom("p")
+        assert p.arity == 0
+        assert p.is_ground()
+        assert str(p) == "p"
+
+    def test_terms_coerced_to_tuple(self):
+        a = Atom("q", [Constant("a")])
+        assert isinstance(a.terms, tuple)
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("")
+
+    def test_non_term_argument_rejected(self):
+        with pytest.raises(TypeError):
+            Atom("p", ("raw-string",))
+
+    def test_helper_coerces_values(self):
+        a = atom("edge", "X", "b", 3)
+        assert a.terms == (Variable("X"), Constant("b"), Constant(3))
+
+
+class TestStructure:
+    def test_variables_and_constants(self):
+        a = atom("q", "X", "a", "Y")
+        assert a.variables() == {Variable("X"), Variable("Y")}
+        assert a.constants() == {Constant("a")}
+
+    def test_is_ground(self):
+        assert atom("p", "a", 1).is_ground()
+        assert not atom("p", "X").is_ground()
+
+    def test_signature(self):
+        assert atom("q", "a", "b").signature() == ("q", 2)
+
+    def test_value_tuple(self):
+        assert atom("q", "a", 5).value_tuple() == ("a", 5)
+
+    def test_value_tuple_requires_ground(self):
+        with pytest.raises(ValueError):
+            atom("q", "X").value_tuple()
+
+
+class TestSubstitution:
+    def test_substitute_partial(self):
+        a = atom("q", "X", "Y")
+        result = a.substitute({Variable("X"): Constant("a")})
+        assert result == atom("q", "a", "Y")
+
+    def test_substitute_identity_returns_self(self):
+        a = atom("q", "a")
+        assert a.substitute({Variable("X"): Constant("b")}) is a
+
+    def test_ground_success(self):
+        a = atom("q", "X")
+        assert a.ground({Variable("X"): Constant("c")}) == atom("q", "c")
+
+    def test_ground_rejects_unbound(self):
+        with pytest.raises(ValueError, match="unbound: Y"):
+            atom("q", "X", "Y").ground({Variable("X"): Constant("a")})
+
+    def test_repeated_variable_substitution(self):
+        a = atom("q", "X", "X")
+        result = a.ground({Variable("X"): Constant("a")})
+        assert result == atom("q", "a", "a")
+
+
+class TestIdentity:
+    def test_equality_structural(self):
+        assert atom("q", "a") == atom("q", "a")
+        assert atom("q", "a") != atom("q", "b")
+        assert atom("q", "a") != atom("r", "a")
+
+    def test_hashable_in_sets(self):
+        assert len({atom("q", "a"), atom("q", "a"), atom("q", "b")}) == 2
+
+    def test_arity_distinguishes(self):
+        assert Atom("p") != atom("p", "a")

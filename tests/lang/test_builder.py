@@ -1,0 +1,88 @@
+"""Tests for the fluent Python rule builder."""
+
+import pytest
+
+from repro.lang import parse_rule
+from repro.lang.builder import Pred, rules, when
+from repro.lang.literals import Condition, Event
+from repro.lang.rules import Rule
+
+emp = Pred("emp")
+active = Pred("active")
+payroll = Pred("payroll")
+stale = Pred("stale")
+r_ = Pred("r")
+s_ = Pred("s")
+
+
+class TestPred:
+    def test_call_builds_atom(self):
+        assert str(emp("X").atom) == "emp(X)"
+
+    def test_attribute_sugar(self):
+        assert str(active.X.atom) == "active(X)"
+
+    def test_mixed_terms(self):
+        assert str(payroll("X", "alice", 3).atom) == "payroll(X, alice, 3)"
+
+    def test_prefix_operators(self):
+        assert isinstance(~active.X, Condition)
+        assert not (~active.X).positive
+        assert isinstance(+r_.X, Event)
+        assert isinstance(-r_.X, Event)
+
+
+class TestWhen:
+    def test_paper_cleanup_rule(self):
+        built = (
+            when(emp.X, ~active.X, payroll("X", "S"))
+            .then("-", payroll("X", "S"))
+            .named("cleanup")
+            .build()
+        )
+        parsed = parse_rule(
+            "@name(cleanup) emp(X), not active(X), payroll(X, S) -> -payroll(X, S)."
+        )
+        assert built == parsed
+
+    def test_eca_rule_via_on_insert(self):
+        built = when().on_insert(r_("X").atom).then("-", s_("X")).build()
+        assert built == parse_rule("+r(X) -> -s(X).")
+
+    def test_eca_rule_via_event_expression(self):
+        built = when(+r_.X).then("-", s_.X).build()
+        assert built == parse_rule("+r(X) -> -s(X).")
+
+    def test_then_accepts_signed_expression(self):
+        built = when(emp.X).then(+stale.X).build()
+        assert built == parse_rule("emp(X) -> +stale(X).")
+
+    def test_priority_and_name(self):
+        finished = when(emp.X).then(+stale.X).named("r9").with_priority(4)
+        assert finished.rule.name == "r9"
+        assert finished.rule.priority == 4
+
+    def test_and_extends_body(self):
+        built = when(emp.X).and_(~active.X).then(+stale.X).build()
+        assert len(built.body) == 2
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(TypeError):
+            when("emp")
+
+    def test_bad_head_op_rejected(self):
+        with pytest.raises(ValueError):
+            when(emp.X).then("*", stale.X)
+
+
+class TestRulesHelper:
+    def test_unwraps_mixture(self):
+        finished = when(emp.X).then(+stale.X)
+        plain = parse_rule("p -> +q.")
+        result = rules(finished, plain)
+        assert all(isinstance(r, Rule) for r in result)
+        assert len(result) == 2
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            rules("p -> +q.")

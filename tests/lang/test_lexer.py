@@ -1,0 +1,95 @@
+"""Tests for the lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import lexer as lex
+
+
+def kinds(text):
+    return [t.kind for t in lex.tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in lex.tokenize(text) if t.kind != lex.EOF]
+
+
+class TestTokens:
+    def test_simple_rule(self):
+        assert kinds("p(X) -> +q(X).") == [
+            lex.IDENT, lex.LPAREN, lex.VAR, lex.RPAREN,
+            lex.ARROW, lex.PLUS, lex.IDENT, lex.LPAREN, lex.VAR, lex.RPAREN,
+            lex.PERIOD, lex.EOF,
+        ]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("- ->") == [lex.MINUS, lex.ARROW, lex.EOF]
+
+    def test_not_keyword(self):
+        assert kinds("not nothing") == [lex.NOT, lex.IDENT, lex.EOF]
+
+    def test_variables_start_upper_or_underscore(self):
+        assert kinds("X _y abc") == [lex.VAR, lex.VAR, lex.IDENT, lex.EOF]
+
+    def test_integers(self):
+        assert kinds("42") == [lex.INT, lex.EOF]
+        assert texts("42 7") == ["42", "7"]
+
+    def test_identifier_cannot_start_with_digit(self):
+        with pytest.raises(ParseError):
+            lex.tokenize("1abc")
+
+    def test_annotations(self):
+        assert kinds("@name(r1)") == [
+            lex.AT, lex.IDENT, lex.LPAREN, lex.IDENT, lex.RPAREN, lex.EOF
+        ]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        tokens = lex.tokenize('"hello world"')
+        assert tokens[0].kind == lex.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_single_quoted(self):
+        assert lex.tokenize("'a b'")[0].text == "a b"
+
+    def test_escapes(self):
+        assert lex.tokenize(r'"say \"hi\""')[0].text == 'say "hi"'
+        assert lex.tokenize(r'"back\\slash"')[0].text == "back\\slash"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            lex.tokenize('"oops')
+
+    def test_newline_terminates_with_error(self):
+        with pytest.raises(ParseError):
+            lex.tokenize('"oops\n"')
+
+
+class TestTrivia:
+    def test_hash_comments(self):
+        assert kinds("p. # comment\nq.") == [
+            lex.IDENT, lex.PERIOD, lex.IDENT, lex.PERIOD, lex.EOF
+        ]
+
+    def test_percent_comments(self):
+        assert kinds("p. % datalog style\nq.") == [
+            lex.IDENT, lex.PERIOD, lex.IDENT, lex.PERIOD, lex.EOF
+        ]
+
+    def test_whitespace_insensitive(self):
+        assert kinds("p  (\tX )") == kinds("p(X)")
+
+    def test_positions_tracked(self):
+        tokens = lex.tokenize("p\n  q")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            lex.tokenize("p ? q")
+
+    def test_empty_input(self):
+        assert kinds("") == [lex.EOF]
+        assert kinds("   # only a comment") == [lex.EOF]

@@ -1,0 +1,67 @@
+"""Tests for body literals: conditions and events."""
+
+import pytest
+
+from repro.lang.atoms import atom
+from repro.lang.literals import Condition, Event, neg, on_delete, on_insert, pos
+from repro.lang.terms import Constant, Variable
+from repro.lang.updates import UpdateOp
+
+
+class TestCondition:
+    def test_pos_neg_helpers(self):
+        a = atom("q", "X")
+        assert pos(a) == Condition(a, True)
+        assert neg(a) == Condition(a, False)
+
+    def test_binding_power(self):
+        assert pos(atom("q")).binds
+        assert not neg(atom("q")).binds
+
+    def test_negate_flips(self):
+        literal = pos(atom("q"))
+        assert literal.negate() == neg(atom("q"))
+        assert literal.negate().negate() == literal
+
+    def test_str(self):
+        assert str(pos(atom("q", "X"))) == "q(X)"
+        assert str(neg(atom("q", "X"))) == "not q(X)"
+
+    def test_substitution(self):
+        literal = neg(atom("q", "X"))
+        grounded = literal.ground({Variable("X"): Constant("a")})
+        assert grounded == neg(atom("q", "a"))
+        assert not grounded.positive
+
+    def test_atom_type_checked(self):
+        with pytest.raises(TypeError):
+            Condition("q", True)
+
+
+class TestEvent:
+    def test_helpers(self):
+        a = atom("r", "X")
+        assert on_insert(a).op is UpdateOp.INSERT
+        assert on_delete(a).op is UpdateOp.DELETE
+        assert on_insert(a).atom == a
+
+    def test_events_bind(self):
+        assert on_insert(atom("r", "X")).binds
+        assert on_delete(atom("r", "X")).binds
+
+    def test_str_uses_sign(self):
+        assert str(on_insert(atom("r", "a"))) == "+r(a)"
+        assert str(on_delete(atom("r", "a"))) == "-r(a)"
+
+    def test_substitution_preserves_op(self):
+        literal = on_delete(atom("r", "X"))
+        grounded = literal.ground({Variable("X"): Constant("b")})
+        assert grounded.op is UpdateOp.DELETE
+        assert grounded.is_ground()
+
+    def test_event_and_condition_unequal(self):
+        assert on_insert(atom("r")) != pos(atom("r"))
+
+    def test_hashable(self):
+        a = atom("r")
+        assert len({on_insert(a), on_insert(a), on_delete(a)}) == 2

@@ -1,0 +1,140 @@
+"""Tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError, SafetyError
+from repro.lang import (
+    Condition,
+    Event,
+    UpdateOp,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_rule,
+)
+from repro.lang.atoms import atom
+from repro.lang.terms import Constant, Variable
+
+
+class TestRules:
+    def test_paper_section2_rule(self):
+        r = parse_rule(
+            "emp(X), not active(X), payroll(X, Salary) -> -payroll(X, Salary)."
+        )
+        assert r.head.is_delete
+        assert r.head.atom.predicate == "payroll"
+        assert [type(l) for l in r.body] == [Condition, Condition, Condition]
+        assert not r.body[1].positive
+
+    def test_event_literals(self):
+        r = parse_rule("+r(X), q(X) -> -s(X).")
+        assert isinstance(r.body[0], Event)
+        assert r.body[0].op is UpdateOp.INSERT
+
+    def test_delete_event_literal(self):
+        r = parse_rule("-active(X), payroll(X, S) -> +severance(X).")
+        assert isinstance(r.body[0], Event)
+        assert r.body[0].op is UpdateOp.DELETE
+
+    def test_bodyless_rule(self):
+        r = parse_rule("-> +q(b).")
+        assert r.is_fact_rule()
+        assert r.head.atom == atom("q", "b")
+
+    def test_annotations(self):
+        r = parse_rule("@name(r7) @priority(-2) p -> +q.")
+        assert r.name == "r7"
+        assert r.priority == -2
+
+    def test_annotation_order_free(self):
+        r = parse_rule("@priority(3) @name(x) p -> +q.")
+        assert (r.name, r.priority) == ("x", 3)
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(ParseError, match="unknown annotation"):
+            parse_rule("@speed(3) p -> +q.")
+
+    def test_zero_ary_atoms(self):
+        r = parse_rule("p -> +q.")
+        assert r.body[0].atom.arity == 0
+
+    def test_terms(self):
+        r = parse_rule('p(X, alice, 42, -7, "New York") -> +q.')
+        terms = r.body[0].atom.terms
+        assert terms == (
+            Variable("X"),
+            Constant("alice"),
+            Constant(42),
+            Constant(-7),
+            Constant("New York"),
+        )
+
+    def test_safety_enforced_at_parse(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) -> +q(Y).")
+
+
+class TestProgram:
+    def test_multiple_rules(self):
+        p = parse_program("p -> +q. q -> +r. r -> -p.")
+        assert len(p) == 3
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_comments_between_rules(self):
+        p = parse_program("# first\np -> +q.\n% second\nq -> +r.")
+        assert len(p) == 2
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(ParseError, match="'.'"):
+            parse_rule("p -> +q")
+
+    def test_missing_head_sign(self):
+        with pytest.raises(ParseError, match="head must start"):
+            parse_rule("p -> q.")
+
+    def test_trailing_input_in_parse_rule(self):
+        with pytest.raises(ParseError, match="unexpected input"):
+            parse_rule("p -> +q. r -> +s.")
+
+    def test_error_carries_position(self):
+        try:
+            parse_program("p -> +q.\np -> q.")
+        except ParseError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_dangling_minus_event(self):
+        with pytest.raises(ParseError):
+            parse_rule("- -> +q.")
+
+
+class TestDatabase:
+    def test_facts(self):
+        facts = parse_database("p(a). q(a, 42). r.")
+        assert atom("p", "a") in facts
+        assert atom("q", "a", 42) in facts
+        assert atom("r") in facts
+
+    def test_duplicates_collapse(self):
+        assert len(parse_database("p(a). p(a).")) == 1
+
+    def test_variables_rejected(self):
+        with pytest.raises(ParseError, match="contains variables"):
+            parse_database("p(X).")
+
+    def test_empty(self):
+        assert parse_database("") == set()
+
+
+class TestAtom:
+    def test_parse_atom(self):
+        assert parse_atom("q(X, a)") == atom("q", "X", "a")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("q(a) extra")

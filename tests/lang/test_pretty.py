@@ -1,0 +1,104 @@
+"""Tests for the pretty-printer and its round-trip guarantee."""
+
+import pytest
+
+from repro.lang import (
+    parse_database,
+    parse_program,
+    parse_rule,
+    render_atom,
+    render_database,
+    render_literal,
+    render_program,
+    render_rule,
+    render_term,
+    render_update,
+)
+from repro.lang.atoms import atom
+from repro.lang.literals import neg, on_delete, pos
+from repro.lang.rules import rule
+from repro.lang.terms import Constant, Variable
+from repro.lang.updates import delete, insert
+
+
+class TestTerms:
+    def test_variable(self):
+        assert render_term(Variable("X")) == "X"
+
+    def test_plain_constant(self):
+        assert render_term(Constant("alice")) == "alice"
+
+    def test_integer(self):
+        assert render_term(Constant(-3)) == "-3"
+
+    def test_quoting_needed_for_spaces(self):
+        assert render_term(Constant("new york")) == '"new york"'
+
+    def test_quoting_needed_for_uppercase(self):
+        # Would otherwise re-lex as a variable.
+        assert render_term(Constant("Alice")) == '"Alice"'
+
+    def test_quoting_keyword(self):
+        assert render_term(Constant("not")) == '"not"'
+
+    def test_quoting_empty(self):
+        assert render_term(Constant("")) == '""'
+
+    def test_escapes(self):
+        assert render_term(Constant('say "hi"')) == '"say \\"hi\\""'
+
+
+class TestStructures:
+    def test_atom(self):
+        assert render_atom(atom("q", "X", "a")) == "q(X, a)"
+        assert render_atom(atom("p")) == "p"
+
+    def test_literal(self):
+        assert render_literal(pos(atom("q"))) == "q"
+        assert render_literal(neg(atom("q"))) == "not q"
+        assert render_literal(on_delete(atom("q"))) == "-q"
+
+    def test_update(self):
+        assert render_update(insert(atom("q", "a"))) == "+q(a)"
+
+    def test_rule_with_annotations(self):
+        r = rule(delete(atom("s", "X")), pos(atom("p", "X")), name="r1", priority=2)
+        assert render_rule(r) == "@name(r1) @priority(2) p(X) -> -s(X)."
+        assert render_rule(r, include_annotations=False) == "p(X) -> -s(X)."
+
+    def test_bodyless_rule(self):
+        assert render_rule(rule(insert(atom("q", "b")))) == "-> +q(b)."
+
+    def test_database_sorted(self):
+        text = render_database({atom("b"), atom("a")})
+        assert text.splitlines() == ["a.", "b."]
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            render_atom("p")
+        with pytest.raises(TypeError):
+            render_rule("p -> +q.")
+
+
+class TestRoundTrip:
+    CASES = [
+        "p0 -> +q0.",
+        "-> +q1(b).",
+        "@name(r1) @priority(-5) p1(X), not q2(X), +r(X), -s(X) -> -t(X).",
+        'p2("hello world", 42, -1, X) -> +q3(X).',
+        "a(X, X), b(X) -> +c(X, X).",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_rule_roundtrip(self, text):
+        original = parse_rule(text)
+        assert parse_rule(render_rule(original)) == original
+
+    def test_program_roundtrip(self):
+        source = "\n".join(self.CASES)
+        original = parse_program(source)
+        assert parse_program(render_program(original)) == original
+
+    def test_database_roundtrip(self):
+        facts = parse_database('p(a). q("x y", 3). r.')
+        assert parse_database(render_database(facts)) == facts

@@ -1,0 +1,90 @@
+"""Tests for programs: validation, accessors, extension."""
+
+import pytest
+
+from repro.errors import ArityError, LanguageError
+from repro.lang.atoms import atom
+from repro.lang.literals import neg, on_insert, pos
+from repro.lang.program import Program, program
+from repro.lang.rules import rule
+from repro.lang.updates import delete, insert
+
+R1 = rule(insert(atom("q", "X")), pos(atom("p", "X")), name="r1")
+R2 = rule(delete(atom("q", "X")), pos(atom("p", "X")), name="r2")
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        clone = rule(insert(atom("z", "X")), pos(atom("p", "X")), name="r1")
+        with pytest.raises(LanguageError, match="duplicate rule name"):
+            program(R1, clone)
+
+    def test_anonymous_rules_may_repeat(self):
+        anon = rule(insert(atom("q", "X")), pos(atom("p", "X")))
+        Program((anon, anon))  # no error
+
+    def test_inconsistent_arity_rejected(self):
+        bad = rule(insert(atom("q", "X", "Y")), pos(atom("p2", "X", "Y")))
+        with pytest.raises(ArityError, match="arities"):
+            program(R1, bad)
+
+    def test_non_rule_rejected(self):
+        with pytest.raises(TypeError):
+            Program(("not a rule",))
+
+
+class TestAccessors:
+    def test_sequence_protocol(self):
+        p = program(R1, R2)
+        assert len(p) == 2
+        assert p[0] is R1
+        assert list(p) == [R1, R2]
+        assert R1 in p
+
+    def test_by_name(self):
+        p = program(R1, R2)
+        assert p.by_name("r2") is R2
+        with pytest.raises(KeyError):
+            p.by_name("missing")
+
+    def test_predicates_and_arity(self):
+        p = program(R1)
+        assert p.predicates() == {("q", 1), ("p", 1)}
+        assert p.arity_of("q") == 1
+        assert p.arity_of("nope") is None
+
+    def test_constants(self):
+        r = rule(insert(atom("q", "a")), pos(atom("p", "b")))
+        assert {c.value for c in program(r).constants()} == {"a", "b"}
+
+    def test_classification_flags(self):
+        insert_only = program(R1)
+        assert insert_only.is_insert_only()
+        assert insert_only.is_positive()
+        assert insert_only.is_condition_action()
+
+        with_delete = program(R1, R2)
+        assert not with_delete.is_insert_only()
+
+        with_neg = program(
+            rule(insert(atom("q", "X")), pos(atom("p", "X")), neg(atom("r", "X")))
+        )
+        assert not with_neg.is_positive()
+
+        with_event = program(rule(insert(atom("q", "X")), on_insert(atom("p", "X"))))
+        assert not with_event.is_condition_action()
+        assert not with_event.is_positive()
+
+    def test_extend_returns_new_program(self):
+        p = program(R1)
+        extended = p.extend([R2])
+        assert len(extended) == 2
+        assert len(p) == 1
+
+    def test_extend_validates(self):
+        clone = rule(insert(atom("z", "X")), pos(atom("p", "X")), name="r1")
+        with pytest.raises(LanguageError):
+            program(R1).extend([clone])
+
+    def test_str_one_rule_per_line(self):
+        assert str(program(R1, R2)).count("\n") == 1

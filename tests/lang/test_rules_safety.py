@@ -1,0 +1,121 @@
+"""Tests for rules: construction, accessors, and the Section 2 safety rules."""
+
+import pytest
+
+from repro.errors import SafetyError
+from repro.lang.atoms import atom
+from repro.lang.literals import neg, on_delete, on_insert, pos
+from repro.lang.rules import Rule, rule
+from repro.lang.substitution import substitution
+from repro.lang.updates import delete, insert
+
+
+class TestConstruction:
+    def test_simple_rule(self):
+        r = rule(insert(atom("q", "X")), pos(atom("p", "X")), name="r1")
+        assert r.name == "r1"
+        assert len(r.body) == 1
+
+    def test_bodyless_rule_with_ground_head(self):
+        r = rule(insert(atom("q", "b")))
+        assert r.is_fact_rule()
+
+    def test_str(self):
+        r = rule(delete(atom("s", "X")), pos(atom("p", "X")), neg(atom("r", "X")))
+        assert str(r) == "p(X), not r(X) -> -s(X)"
+
+    def test_bodyless_str(self):
+        assert str(rule(insert(atom("q", "b")))) == "-> +q(b)"
+
+    def test_priority_type_checked(self):
+        with pytest.raises(TypeError):
+            rule(insert(atom("q")), priority="high")
+
+
+class TestSafetyCondition1:
+    """Every head variable must occur in the body."""
+
+    def test_head_variable_from_positive_body(self):
+        rule(insert(atom("q", "X")), pos(atom("p", "X")))  # fine
+
+    def test_head_variable_from_event_body(self):
+        rule(delete(atom("s", "X")), on_insert(atom("r", "X")))  # fine
+
+    def test_unbound_head_variable_rejected(self):
+        with pytest.raises(SafetyError, match="head variable"):
+            rule(insert(atom("q", "Y")), pos(atom("p", "X")))
+
+    def test_bodyless_nonground_head_rejected(self):
+        with pytest.raises(SafetyError):
+            rule(insert(atom("q", "X")))
+
+    def test_negated_literal_does_not_bind_head(self):
+        with pytest.raises(SafetyError):
+            rule(insert(atom("q", "X")), neg(atom("p", "X")))
+
+
+class TestSafetyCondition2:
+    """Negated-literal variables must occur in a positive body literal."""
+
+    def test_negation_over_bound_variable(self):
+        rule(insert(atom("q", "X")), pos(atom("p", "X")), neg(atom("r", "X")))
+
+    def test_negation_with_fresh_variable_rejected(self):
+        with pytest.raises(SafetyError, match="negated literal"):
+            rule(insert(atom("q")), pos(atom("p")), neg(atom("r", "X")))
+
+    def test_event_literal_binds_for_negation(self):
+        rule(insert(atom("q", "X")), on_delete(atom("p", "X")), neg(atom("r", "X")))
+
+    def test_ground_negation_always_fine(self):
+        rule(insert(atom("q")), pos(atom("p")), neg(atom("r", "a")))
+
+
+class TestAccessors:
+    def setup_method(self):
+        self.r = rule(
+            insert(atom("q", "X")),
+            pos(atom("p", "X")),
+            neg(atom("s", "X")),
+            on_insert(atom("t", "X")),
+            name="mixed",
+            priority=3,
+        )
+
+    def test_partitions(self):
+        assert len(self.r.positive_conditions()) == 1
+        assert len(self.r.negative_conditions()) == 1
+        assert len(self.r.event_literals()) == 1
+
+    def test_is_condition_action(self):
+        assert not self.r.is_condition_action()
+        plain = rule(insert(atom("q", "X")), pos(atom("p", "X")))
+        assert plain.is_condition_action()
+
+    def test_predicates(self):
+        assert self.r.predicates() == {("q", 1), ("p", 1), ("s", 1), ("t", 1)}
+
+    def test_variables(self):
+        assert {v.name for v in self.r.variables()} == {"X"}
+
+    def test_describe_prefers_name(self):
+        assert self.r.describe() == "mixed"
+        anonymous = rule(insert(atom("q")), pos(atom("p")))
+        assert anonymous.describe() == "p -> +q"
+
+    def test_substitute_produces_ground_instance(self):
+        ground = self.r.substitute(substitution(X="a"))
+        assert ground.head == insert(atom("q", "a"))
+        assert all(l.is_ground() for l in ground.body)
+
+    def test_rules_hashable(self):
+        r2 = rule(
+            insert(atom("q", "X")),
+            pos(atom("p", "X")),
+            neg(atom("s", "X")),
+            on_insert(atom("t", "X")),
+            name="mixed",
+            priority=3,
+        )
+        assert hash(self.r) == hash(r2)
+        assert self.r == r2

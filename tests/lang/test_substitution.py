@@ -1,0 +1,97 @@
+"""Tests for immutable substitutions."""
+
+import pytest
+
+from repro.lang.substitution import EMPTY_SUBSTITUTION, Substitution, substitution
+from repro.lang.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestBasics:
+    def test_mapping_protocol(self):
+        s = Substitution({X: a, Y: b})
+        assert s[X] == a
+        assert len(s) == 2
+        assert X in s
+        assert Z not in s
+        assert set(s) == {X, Y}
+        assert s.get(Z) is None
+
+    def test_keyword_constructor_strings_are_constants(self):
+        s = substitution(X="a", Y=3)
+        assert s[X] == Constant("a")
+        assert s[Y] == Constant(3)
+
+    def test_keyword_constructor_uppercase_string_still_constant(self):
+        # Binding values are data, never variables.
+        s = substitution(X="Abc")
+        assert s[X] == Constant("Abc")
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            Substitution({"X": a})
+        with pytest.raises(TypeError):
+            Substitution({X: "a"})
+
+    def test_empty_shared(self):
+        assert len(EMPTY_SUBSTITUTION) == 0
+        assert Substitution() == EMPTY_SUBSTITUTION
+
+
+class TestIdentity:
+    def test_equality_order_independent(self):
+        assert Substitution({X: a, Y: b}) == Substitution({Y: b, X: a})
+
+    def test_hash_consistent(self):
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))
+
+    def test_equality_with_plain_mapping(self):
+        assert Substitution({X: a}) == {X: a}
+
+    def test_usable_in_sets(self):
+        s1 = Substitution({X: a})
+        s2 = Substitution({X: a})
+        s3 = Substitution({X: b})
+        assert len({s1, s2, s3}) == 2
+
+
+class TestOperations:
+    def test_bind_new(self):
+        s = Substitution({X: a}).bind(Y, b)
+        assert s[Y] == b
+        assert s[X] == a
+
+    def test_bind_same_value_returns_self(self):
+        s = Substitution({X: a})
+        assert s.bind(X, a) is s
+
+    def test_bind_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Substitution({X: a}).bind(X, b)
+
+    def test_merge_compatible(self):
+        merged = Substitution({X: a}).merge(Substitution({Y: b}))
+        assert merged == Substitution({X: a, Y: b})
+
+    def test_merge_conflict_returns_none(self):
+        assert Substitution({X: a}).merge(Substitution({X: b})) is None
+
+    def test_restrict(self):
+        s = Substitution({X: a, Y: b})
+        assert s.restrict({X}) == Substitution({X: a})
+        assert s.restrict(set()) == EMPTY_SUBSTITUTION
+
+    def test_covers(self):
+        s = Substitution({X: a, Y: b})
+        assert s.covers({X, Y})
+        assert not s.covers({X, Z})
+
+    def test_is_ground(self):
+        assert Substitution({X: a}).is_ground()
+        assert not Substitution({X: Y}).is_ground()
+
+    def test_str_sorted_by_variable(self):
+        s = Substitution({Y: b, X: a})
+        assert str(s) == "[X <- a, Y <- b]"

@@ -1,0 +1,81 @@
+"""Tests for terms: variables, constants, coercion."""
+
+import pytest
+
+from repro.lang.terms import Constant, Variable, is_constant, is_variable, make_term
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Salary")) == "Salary"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_repr_roundtrip(self):
+        v = Variable("X")
+        assert eval(repr(v)) == v
+
+
+class TestConstant:
+    def test_string_and_int_values(self):
+        assert Constant("a").value == "a"
+        assert Constant(42).value == 42
+
+    def test_distinct_types_unequal(self):
+        assert Constant("1") != Constant(1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(3.14)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(None)
+
+    def test_str(self):
+        assert str(Constant("alice")) == "alice"
+        assert str(Constant(7)) == "7"
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+
+class TestMakeTerm:
+    def test_uppercase_becomes_variable(self):
+        assert make_term("X") == Variable("X")
+        assert make_term("Salary") == Variable("Salary")
+
+    def test_underscore_becomes_variable(self):
+        assert make_term("_tmp") == Variable("_tmp")
+
+    def test_lowercase_becomes_constant(self):
+        assert make_term("alice") == Constant("alice")
+
+    def test_int_becomes_constant(self):
+        assert make_term(9) == Constant(9)
+
+    def test_terms_pass_through(self):
+        v = Variable("X")
+        c = Constant("a")
+        assert make_term(v) is v
+        assert make_term(c) is c
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_term(3.5)
+
+    def test_variable_and_constant_never_equal(self):
+        assert Variable("X") != Constant("X")

@@ -1,0 +1,62 @@
+"""Tests for updates (signed atoms) and the UpdateOp enum."""
+
+import pytest
+
+from repro.lang.atoms import atom
+from repro.lang.terms import Constant, Variable
+from repro.lang.updates import Update, UpdateOp, delete, insert
+
+
+class TestUpdateOp:
+    def test_signs(self):
+        assert UpdateOp.INSERT.sign == "+"
+        assert UpdateOp.DELETE.sign == "-"
+
+    def test_opposite_is_involution(self):
+        for op in UpdateOp:
+            assert op.opposite().opposite() is op
+
+    def test_opposite_swaps(self):
+        assert UpdateOp.INSERT.opposite() is UpdateOp.DELETE
+
+
+class TestUpdate:
+    def test_shorthands(self):
+        a = atom("p", "x1")
+        assert insert(a) == Update(UpdateOp.INSERT, a)
+        assert delete(a) == Update(UpdateOp.DELETE, a)
+
+    def test_flags(self):
+        assert insert(atom("p")).is_insert
+        assert not insert(atom("p")).is_delete
+        assert delete(atom("p")).is_delete
+
+    def test_negated(self):
+        u = insert(atom("p", "a"))
+        assert u.negated() == delete(atom("p", "a"))
+        assert u.negated().negated() == u
+
+    def test_str(self):
+        assert str(insert(atom("q", "a"))) == "+q(a)"
+        assert str(delete(atom("q"))) == "-q"
+
+    def test_ground_and_variables(self):
+        u = insert(atom("q", "X"))
+        assert not u.is_ground()
+        assert u.variables() == {Variable("X")}
+        grounded = u.ground({Variable("X"): Constant("a")})
+        assert grounded.is_ground()
+
+    def test_substitute_identity_returns_self(self):
+        u = insert(atom("q", "a"))
+        assert u.substitute({Variable("X"): Constant("b")}) is u
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            Update("insert", atom("p"))
+        with pytest.raises(TypeError):
+            Update(UpdateOp.INSERT, "p")
+
+    def test_hashable_and_distinct_by_op(self):
+        a = atom("p")
+        assert len({insert(a), delete(a), insert(a)}) == 2

@@ -1,0 +1,39 @@
+"""Policy-test helpers: build conflicts and contexts without an engine run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conflicts import find_conflicts
+from repro.core.interpretation import IInterpretation
+from repro.lang import parse_program
+from repro.policies.base import ConflictContext
+from repro.storage.database import Database
+
+
+def make_context(program_text, facts_text, conflict_index=0, **extras):
+    """Parse, detect conflicts one step ahead, wrap the chosen one."""
+    program = parse_program(program_text)
+    database = Database.from_text(facts_text)
+    interpretation = IInterpretation.from_database(database)
+    conflicts = find_conflicts(program, interpretation)
+    assert conflicts, "scenario produced no conflicts"
+    return ConflictContext(
+        database=database,
+        program=program,
+        interpretation=interpretation,
+        conflict=conflicts[conflict_index],
+        **extras,
+    )
+
+
+@pytest.fixture
+def simple_conflict():
+    """One +a / -a conflict, a ∉ D."""
+    return make_context("@name(r1) p -> +a. @name(r2) p -> -a.", "p.")
+
+
+@pytest.fixture
+def present_conflict():
+    """One +a / -a conflict, a ∈ D."""
+    return make_context("@name(r1) p -> +a. @name(r2) p -> -a.", "p. a.")

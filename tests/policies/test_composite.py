@@ -1,0 +1,119 @@
+"""Tests for policy combinators."""
+
+import pytest
+
+from tests.policies.conftest import make_context
+
+from repro.core.engine import park
+from repro.errors import PolicyError
+from repro.lang import parse_atom
+from repro.lang.updates import delete, insert
+from repro.policies.base import Decision, SelectPolicy
+from repro.policies.composite import (
+    ConstantPolicy,
+    FirstDecisivePolicy,
+    PerPredicatePolicy,
+    TransactionWinsPolicy,
+)
+
+
+class TestConstant:
+    def test_always_same(self, simple_conflict, present_conflict):
+        policy = ConstantPolicy(Decision.INSERT)
+        assert policy.select(simple_conflict) is Decision.INSERT
+        assert policy.select(present_conflict) is Decision.INSERT
+
+    def test_accepts_strings(self, simple_conflict):
+        assert ConstantPolicy("delete").select(simple_conflict) is Decision.DELETE
+
+    def test_name(self):
+        assert ConstantPolicy(Decision.INSERT).name == "always-insert"
+
+
+class TestFirstDecisive:
+    class NoOpinion(SelectPolicy):
+        name = "shrug"
+
+        def select(self, context):
+            return None
+
+    def test_falls_through_to_decisive(self, simple_conflict):
+        chain = FirstDecisivePolicy(
+            [self.NoOpinion(), ConstantPolicy(Decision.INSERT)]
+        )
+        assert chain.select(simple_conflict) is Decision.INSERT
+
+    def test_first_opinion_wins(self, simple_conflict):
+        chain = FirstDecisivePolicy(
+            [ConstantPolicy(Decision.DELETE), ConstantPolicy(Decision.INSERT)]
+        )
+        assert chain.select(simple_conflict) is Decision.DELETE
+
+    def test_all_shrug_raises(self, simple_conflict):
+        chain = FirstDecisivePolicy([self.NoOpinion()])
+        with pytest.raises(PolicyError, match="no policy"):
+            chain.select(simple_conflict)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PolicyError):
+            FirstDecisivePolicy([])
+
+
+class TestPerPredicate:
+    def test_routing(self):
+        ctx_a = make_context("@name(r1) p -> +a. @name(r2) p -> -a.", "p.")
+        ctx_b = make_context("@name(r1) p -> +b. @name(r2) p -> -b.", "p.")
+        policy = PerPredicatePolicy(
+            {"a": ConstantPolicy(Decision.INSERT)},
+            default=ConstantPolicy(Decision.DELETE),
+        )
+        assert policy.select(ctx_a) is Decision.INSERT
+        assert policy.select(ctx_b) is Decision.DELETE
+
+    def test_default_is_inertia(self, present_conflict):
+        policy = PerPredicatePolicy({})
+        assert policy.select(present_conflict) is Decision.INSERT
+
+    def test_flexible_resolution_requirement(self):
+        """The paper's Section 3 'vary from atom to atom' requirement."""
+        program = """
+        @name(i1) p -> +alarm. @name(d1) p -> -alarm.
+        @name(i2) p -> +hint.  @name(d2) p -> -hint.
+        """
+        policy = PerPredicatePolicy({"alarm": ConstantPolicy(Decision.INSERT)},
+                                    default=ConstantPolicy(Decision.DELETE))
+        result = park(program, "p.", policy=policy)
+        assert parse_atom("alarm") in result
+        assert parse_atom("hint") not in result
+
+
+class TestTransactionWins:
+    def test_transaction_update_beats_rule(self):
+        # Rule deletes q; the transaction inserts it.  With inertia q would
+        # vanish (q ∉ D); TransactionWins keeps the user's insert.
+        program = "@name(r1) p -> -q."
+        updates = [insert(parse_atom("q"))]
+        inertia_result = park(program, "p.", updates=updates)
+        assert parse_atom("q") not in inertia_result
+
+        tx_result = park(
+            program, "p.", updates=updates, policy=TransactionWinsPolicy()
+        )
+        assert parse_atom("q") in tx_result
+
+    def test_two_transaction_updates_fall_back(self):
+        # +q and -q both from the transaction: no side is "the" tx side.
+        result = park(
+            "", "q.", updates=[insert(parse_atom("q")), delete(parse_atom("q"))],
+            policy=TransactionWinsPolicy(),
+        )
+        # fallback inertia: q ∈ D -> stays.
+        assert parse_atom("q") in result
+
+    def test_delete_side_transaction(self):
+        program = "@name(r1) p -> +q."
+        result = park(
+            program, "p. q.", updates=[delete(parse_atom("q"))],
+            policy=TransactionWinsPolicy(),
+        )
+        assert parse_atom("q") not in result

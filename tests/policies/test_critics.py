@@ -1,0 +1,103 @@
+"""Tests for the Section 5 example critics (recency, source reliability)."""
+
+import pytest
+
+from tests.policies.conftest import make_context
+
+from repro.core.engine import park
+from repro.lang.atoms import atom
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.critics import RecencyCritic, SourceReliabilityCritic
+from repro.policies.voting import VotingPolicy
+
+CONFLICT = "@name(r1) p -> +a. @name(r2) p -> -a."
+
+
+class TestRecencyCritic:
+    def test_recent_atom_kept(self, simple_conflict):
+        critic = RecencyCritic({atom("a"): 100}, horizon=50)
+        assert critic.select(simple_conflict) is Decision.INSERT
+
+    def test_old_atom_dropped(self, simple_conflict):
+        critic = RecencyCritic({atom("a"): 10}, horizon=50)
+        assert critic.select(simple_conflict) is Decision.DELETE
+
+    def test_boundary_is_inclusive(self, simple_conflict):
+        critic = RecencyCritic({atom("a"): 50}, horizon=50)
+        assert critic.select(simple_conflict) is Decision.INSERT
+
+    def test_unknown_atom_falls_back(self, simple_conflict, present_conflict):
+        critic = RecencyCritic({}, horizon=0)
+        assert critic.select(simple_conflict) is Decision.DELETE   # inertia, a∉D
+        assert critic.select(present_conflict) is Decision.INSERT  # inertia, a∈D
+
+    def test_observe_updates_table(self, simple_conflict):
+        critic = RecencyCritic({}, horizon=5, fallback=ConstantPolicy("delete"))
+        critic.observe(atom("a"), 9)
+        assert critic.select(simple_conflict) is Decision.INSERT
+
+    def test_end_to_end(self):
+        result = park(CONFLICT, "p.", policy=RecencyCritic({atom("a"): 99}, horizon=1))
+        assert atom("a") in result
+
+
+class TestSourceReliabilityCritic:
+    def _critic(self, r1_source="vendor", r2_source="intern", **kwargs):
+        return SourceReliabilityCritic(
+            source_of={"r1": r1_source, "r2": r2_source},
+            reliability={"vendor": 0.9, "intern": 0.2},
+            **kwargs,
+        )
+
+    def test_reliable_source_wins_insert(self, simple_conflict):
+        assert self._critic().select(simple_conflict) is Decision.INSERT
+
+    def test_reliable_source_wins_delete(self, simple_conflict):
+        critic = self._critic(r1_source="intern", r2_source="vendor")
+        assert critic.select(simple_conflict) is Decision.DELETE
+
+    def test_unknown_rule_gets_default(self, simple_conflict):
+        critic = SourceReliabilityCritic(
+            source_of={"r2": "vendor"},
+            reliability={"vendor": 0.9},
+            default_reliability=0.1,
+        )
+        assert critic.select(simple_conflict) is Decision.DELETE
+
+    def test_tie_falls_back(self, simple_conflict):
+        critic = SourceReliabilityCritic(
+            source_of={"r1": "s", "r2": "s"}, reliability={"s": 0.5}
+        )
+        assert critic.select(simple_conflict) is Decision.DELETE  # inertia
+
+    def test_best_instance_scores_the_side(self):
+        ctx = make_context(
+            """
+            @name(weak) p -> +a.
+            @name(strong) s -> +a.
+            @name(mid) p -> -a.
+            """,
+            "p. s.",
+        )
+        critic = SourceReliabilityCritic(
+            source_of={"weak": "w", "strong": "st", "mid": "m"},
+            reliability={"w": 0.1, "st": 0.9, "m": 0.5},
+        )
+        assert critic.select(ctx) is Decision.INSERT
+
+
+class TestCriticsInVotingPanel:
+    def test_paper_composition(self, simple_conflict):
+        """The paper's scenario: a panel mixing differently-informed critics."""
+        panel = VotingPolicy(
+            [
+                RecencyCritic({atom("a"): 99}, horizon=1),  # votes insert
+                SourceReliabilityCritic(
+                    source_of={"r1": "good", "r2": "bad"},
+                    reliability={"good": 1.0, "bad": 0.0},
+                ),  # votes insert
+                ConstantPolicy("delete"),  # votes delete
+            ]
+        )
+        assert panel.select(simple_conflict) is Decision.INSERT

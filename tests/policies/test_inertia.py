@@ -1,0 +1,38 @@
+"""Tests for the principle of inertia."""
+
+from repro.core.engine import park
+from repro.lang import parse_database
+from repro.policies.base import Decision
+from repro.policies.inertia import InertiaPolicy
+
+
+class TestSelect:
+    def test_absent_atom_deletes(self, simple_conflict):
+        assert InertiaPolicy().select(simple_conflict) is Decision.DELETE
+
+    def test_present_atom_inserts(self, present_conflict):
+        assert InertiaPolicy().select(present_conflict) is Decision.INSERT
+
+    def test_name(self):
+        assert InertiaPolicy().name == "inertia"
+
+
+class TestNetEffect:
+    """Inertia's defining property: a conflicting atom keeps its D-status."""
+
+    PROGRAM = "@name(r1) p -> +a. @name(r2) p -> -a."
+
+    def test_absent_stays_absent(self):
+        result = park(self.PROGRAM, "p.")
+        assert result.atoms == frozenset(parse_database("p."))
+
+    def test_present_stays_present(self):
+        result = park(self.PROGRAM, "p. a.")
+        assert result.atoms == frozenset(parse_database("p. a."))
+
+    def test_enforced_across_rounds(self):
+        # +a and -a derived in *different* rounds (paper P1) still cancel.
+        result = park(
+            "@name(r1) p -> +q. @name(r2) p -> -a. @name(r3) q -> +a.", "p."
+        )
+        assert result.atoms == frozenset(parse_database("p. q."))

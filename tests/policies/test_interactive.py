@@ -1,0 +1,101 @@
+"""Tests for interactive and scripted conflict resolution."""
+
+import pytest
+
+from repro.core.engine import park
+from repro.errors import PolicyError
+from repro.lang import parse_database
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.interactive import InteractivePolicy, ScriptedPolicy
+
+
+class TestInteractive:
+    def test_callback_answers(self, simple_conflict):
+        policy = InteractivePolicy(lambda ctx: "insert")
+        assert policy.select(simple_conflict) is Decision.INSERT
+
+    def test_short_answers(self, simple_conflict):
+        assert InteractivePolicy(lambda c: "d").select(simple_conflict) is Decision.DELETE
+        assert InteractivePolicy(lambda c: "+").select(simple_conflict) is Decision.INSERT
+        assert InteractivePolicy(lambda c: " DELETE ").select(simple_conflict) is Decision.DELETE
+
+    def test_decision_objects_pass_through(self, simple_conflict):
+        policy = InteractivePolicy(lambda ctx: Decision.INSERT)
+        assert policy.select(simple_conflict) is Decision.INSERT
+
+    def test_garbage_answer_raises(self, simple_conflict):
+        policy = InteractivePolicy(lambda ctx: "whatever")
+        with pytest.raises(PolicyError, match="unintelligible"):
+            policy.select(simple_conflict)
+
+    def test_callback_required(self):
+        with pytest.raises(PolicyError):
+            InteractivePolicy("not callable")
+
+    def test_callback_sees_conflict(self, simple_conflict):
+        seen = []
+        InteractivePolicy(lambda ctx: seen.append(ctx.conflict.atom) or "i").select(
+            simple_conflict
+        )
+        assert [str(a) for a in seen] == ["a"]
+
+
+class TestScripted:
+    def test_replays_in_order(self):
+        # Section 5 program: two conflicts in sequence; answer insert, then
+        # delete -> r4 blocked first, then r5... actually the scripted
+        # answers drive which sides get blocked.
+        program = """
+        @name(r1) p -> +a.
+        @name(r2) p -> +q.
+        @name(r3) a -> +b.
+        @name(r4) a -> -q.
+        @name(r5) b -> +q.
+        """
+        result = park(program, "p.", policy=ScriptedPolicy(["insert"]))
+        # first (and only) conflict answered insert -> r4 blocked, q stays.
+        assert result.atoms == frozenset(parse_database("p. a. b. q."))
+        assert result.blocked_rules() == ["r4"]
+
+    def test_runs_dry_strict(self, simple_conflict):
+        policy = ScriptedPolicy([])
+        with pytest.raises(PolicyError, match="ran out"):
+            policy.select(simple_conflict)
+
+    def test_fallback_when_not_strict(self, simple_conflict):
+        policy = ScriptedPolicy(
+            [], strict=False, fallback=ConstantPolicy(Decision.INSERT)
+        )
+        assert policy.select(simple_conflict) is Decision.INSERT
+
+    def test_remaining(self, simple_conflict):
+        policy = ScriptedPolicy(["i", "d"])
+        assert policy.remaining == 2
+        policy.select(simple_conflict)
+        assert policy.remaining == 1
+
+    def test_bad_script_rejected_up_front(self):
+        with pytest.raises(PolicyError):
+            ScriptedPolicy(["sideways"])
+
+
+class TestConsoleAsker:
+    def test_prompts_and_parses(self, simple_conflict, monkeypatch, capsys):
+        from repro.policies.interactive import console_asker
+
+        answers = iter(["sideways", "i"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(answers))
+        decision = console_asker(simple_conflict)
+        assert decision is Decision.INSERT
+        printed = capsys.readouterr().out
+        assert "Conflict on atom: a" in printed
+        assert "insert: r1" in printed
+        assert "delete: r2" in printed
+        assert "please answer" in printed  # re-prompt after bad input
+
+    def test_delete_answer(self, simple_conflict, monkeypatch):
+        from repro.policies.interactive import console_asker
+
+        monkeypatch.setattr("builtins.input", lambda prompt="": "d")
+        assert console_asker(simple_conflict) is Decision.DELETE

@@ -1,0 +1,62 @@
+"""Tests for rule-priority conflict resolution."""
+
+from tests.policies.conftest import make_context
+
+from repro.core.engine import park
+from repro.lang import parse_database
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.priority import PriorityPolicy
+
+
+class TestSelect:
+    def test_higher_insert_priority_wins(self):
+        ctx = make_context(
+            "@name(r1) @priority(5) p -> +a. @name(r2) @priority(1) p -> -a.", "p."
+        )
+        assert PriorityPolicy().select(ctx) is Decision.INSERT
+
+    def test_higher_delete_priority_wins(self):
+        ctx = make_context(
+            "@name(r1) @priority(1) p -> +a. @name(r2) @priority(5) p -> -a.", "p."
+        )
+        assert PriorityPolicy().select(ctx) is Decision.DELETE
+
+    def test_side_max_decides(self):
+        # ins side has rules at priority 1 and 9 -> side priority is 9.
+        ctx = make_context(
+            """
+            @name(lo) @priority(1) p -> +a.
+            @name(hi) @priority(9) s -> +a.
+            @name(del) @priority(5) p -> -a.
+            """,
+            "p. s.",
+        )
+        assert PriorityPolicy().select(ctx) is Decision.INSERT
+
+    def test_missing_priority_uses_default(self):
+        ctx = make_context("@name(r1) p -> +a. @name(r2) @priority(1) p -> -a.", "p.")
+        assert PriorityPolicy(default_priority=0).select(ctx) is Decision.DELETE
+        assert PriorityPolicy(default_priority=10).select(ctx) is Decision.INSERT
+
+    def test_tie_falls_to_tie_breaker(self):
+        ctx = make_context(
+            "@name(r1) @priority(3) p -> +a. @name(r2) @priority(3) p -> -a.", "p."
+        )
+        assert PriorityPolicy().select(ctx) is Decision.DELETE  # inertia: a ∉ D
+        forced = PriorityPolicy(tie_breaker=ConstantPolicy(Decision.INSERT))
+        assert forced.select(ctx) is Decision.INSERT
+
+
+class TestPaperSection5:
+    def test_priority_run(self, sec5):
+        program, database = sec5
+        result = park(program, database, policy=PriorityPolicy())
+        assert result.atoms == frozenset(parse_database("p. a. b. q."))
+        assert result.blocked_rules() == ["r2", "r4"]
+
+    def test_differs_from_inertia_on_same_input(self, sec5):
+        program, database = sec5
+        inertia_result = park(program, database)
+        priority_result = park(program, database, policy=PriorityPolicy())
+        assert inertia_result.atoms != priority_result.atoms

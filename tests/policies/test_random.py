@@ -1,0 +1,57 @@
+"""Tests for seeded random conflict resolution."""
+
+import random
+
+import pytest
+
+from repro.core.engine import park
+from repro.policies.base import Decision
+from repro.policies.random_choice import RandomPolicy
+
+LADDER = """
+@name(i0) p -> +a0. @name(d0) p -> -a0.
+@name(i1) p -> +a1. @name(d1) p -> -a1.
+@name(i2) p -> +a2. @name(d2) p -> -a2.
+@name(i3) p -> +a3. @name(d3) p -> -a3.
+"""
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        first = park(LADDER, "p.", policy=RandomPolicy(seed=13))
+        second = park(LADDER, "p.", policy=RandomPolicy(seed=13))
+        assert first.atoms == second.atoms
+        assert first.blocked == second.blocked
+
+    def test_different_seeds_eventually_differ(self):
+        outcomes = {
+            park(LADDER, "p.", policy=RandomPolicy(seed=s)).atoms
+            for s in range(12)
+        }
+        assert len(outcomes) > 1
+
+    def test_shared_rng_instance(self, simple_conflict):
+        rng = random.Random(5)
+        policy = RandomPolicy(seed=rng)
+        expected = [
+            Decision.INSERT if random.Random(5).random() < 0.5 else Decision.DELETE
+        ][0]
+        assert policy.select(simple_conflict) is expected
+
+
+class TestBias:
+    def test_bias_one_always_inserts(self, simple_conflict):
+        policy = RandomPolicy(seed=0, insert_bias=1.0)
+        assert all(
+            policy.select(simple_conflict) is Decision.INSERT for _ in range(20)
+        )
+
+    def test_bias_zero_always_deletes(self, simple_conflict):
+        policy = RandomPolicy(seed=0, insert_bias=0.0)
+        assert all(
+            policy.select(simple_conflict) is Decision.DELETE for _ in range(20)
+        )
+
+    def test_bias_bounds_checked(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(insert_bias=1.5)

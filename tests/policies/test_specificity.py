@@ -1,0 +1,78 @@
+"""Tests for specificity-based conflict resolution."""
+
+from tests.policies.conftest import make_context
+
+from repro.core.engine import park
+from repro.lang import parse_database
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.specificity import SpecificityPolicy, more_specific
+
+
+class TestMoreSpecific:
+    def _groundings(self, program_text, facts_text):
+        ctx = make_context(program_text, facts_text)
+        (ins,) = ctx.conflict.ins
+        (dels,) = ctx.conflict.dels
+        return ins, dels
+
+    def test_superset_body_is_more_specific(self):
+        ins, dels = self._groundings(
+            """
+            @name(general) bird(X) -> +flies(X).
+            @name(specific) bird(X), penguin(X) -> -flies(X).
+            """,
+            "bird(tweety). penguin(tweety).",
+        )
+        assert more_specific(dels, ins)
+        assert not more_specific(ins, dels)
+
+    def test_equal_bodies_incomparable(self):
+        ins, dels = self._groundings(
+            "@name(r1) p(X) -> +a(X). @name(r2) p(X) -> -a(X).", "p(c)."
+        )
+        assert not more_specific(ins, dels)
+        assert not more_specific(dels, ins)
+
+
+class TestSelect:
+    PENGUIN = """
+    @name(general) bird(X) -> +flies(X).
+    @name(specific) bird(X), penguin(X) -> -flies(X).
+    """
+
+    def test_paper_penguin_example(self):
+        ctx = make_context(self.PENGUIN, "bird(tweety). penguin(tweety).")
+        assert SpecificityPolicy().select(ctx) is Decision.DELETE
+
+    def test_specific_insert_side(self):
+        ctx = make_context(
+            """
+            @name(general) bird(X) -> -flies(X).
+            @name(specific) bird(X), plane(X) -> +flies(X).
+            """,
+            "bird(jet). plane(jet).",
+        )
+        assert SpecificityPolicy().select(ctx) is Decision.INSERT
+
+    def test_incomparable_falls_back(self):
+        ctx = make_context(
+            "@name(r1) p(X) -> +a(X). @name(r2) p(X) -> -a(X).", "p(c)."
+        )
+        assert SpecificityPolicy().select(ctx) is Decision.DELETE  # inertia
+        forced = SpecificityPolicy(fallback=ConstantPolicy(Decision.INSERT))
+        assert forced.select(ctx) is Decision.INSERT
+
+
+class TestEndToEnd:
+    def test_penguin_does_not_fly(self):
+        result = park(
+            TestSelect.PENGUIN,
+            "bird(tweety). penguin(tweety). bird(woody).",
+            policy=SpecificityPolicy(),
+        )
+        assert result.atoms == frozenset(
+            parse_database(
+                "bird(tweety). penguin(tweety). bird(woody). flies(woody)."
+            )
+        )

@@ -1,0 +1,53 @@
+"""Tests for the voting scheme."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.base import Decision
+from repro.policies.composite import ConstantPolicy
+from repro.policies.inertia import InertiaPolicy
+from repro.policies.voting import VotingPolicy
+
+INSERT = ConstantPolicy(Decision.INSERT)
+DELETE = ConstantPolicy(Decision.DELETE)
+
+
+class TestMajority:
+    def test_unanimous(self, simple_conflict):
+        panel = VotingPolicy([INSERT, INSERT, INSERT])
+        assert panel.select(simple_conflict) is Decision.INSERT
+
+    def test_majority_wins(self, simple_conflict):
+        panel = VotingPolicy([INSERT, DELETE, DELETE])
+        assert panel.select(simple_conflict) is Decision.DELETE
+
+    def test_tally(self, simple_conflict):
+        panel = VotingPolicy([INSERT, DELETE, INSERT])
+        assert panel.tally(simple_conflict) == (2, 1)
+
+    def test_tie_uses_tie_breaker(self, simple_conflict):
+        panel = VotingPolicy([INSERT, DELETE])
+        # default tie breaker: inertia; a ∉ D -> delete
+        assert panel.select(simple_conflict) is Decision.DELETE
+        forced = VotingPolicy([INSERT, DELETE], tie_breaker=INSERT)
+        assert forced.select(simple_conflict) is Decision.INSERT
+
+    def test_policies_can_be_critics(self, present_conflict):
+        panel = VotingPolicy([InertiaPolicy(), DELETE, InertiaPolicy()])
+        # two inertia critics see a ∈ D -> insert twice, one delete.
+        assert panel.select(present_conflict) is Decision.INSERT
+
+    def test_callable_critics(self, simple_conflict):
+        panel = VotingPolicy([lambda ctx: "insert"])
+        assert panel.select(simple_conflict) is Decision.INSERT
+
+
+class TestValidation:
+    def test_empty_panel_rejected(self):
+        with pytest.raises(PolicyError):
+            VotingPolicy([])
+
+    def test_bad_vote_rejected(self, simple_conflict):
+        panel = VotingPolicy([lambda ctx: 42])
+        with pytest.raises(PolicyError):
+            panel.select(simple_conflict)

@@ -1,0 +1,163 @@
+"""Hypothesis strategies for language objects and safe programs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lang.atoms import Atom
+from repro.lang.literals import Condition, Event, neg, pos
+from repro.lang.program import Program
+from repro.lang.rules import Rule
+from repro.lang.terms import Constant, Variable
+from repro.lang.updates import Update, UpdateOp, delete, insert
+
+# -- terms ---------------------------------------------------------------------
+
+variable_names = st.from_regex(r"[A-Z][a-z0-9_]{0,4}", fullmatch=True)
+predicate_names = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True)
+symbol_values = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True)
+string_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0,
+    max_size=8,
+).filter(lambda s: "\n" not in s)
+
+variables = st.builds(Variable, variable_names)
+constants = st.one_of(
+    st.builds(Constant, symbol_values),
+    st.builds(Constant, st.integers(min_value=-999, max_value=999)),
+    st.builds(Constant, string_values),
+)
+terms = st.one_of(variables, constants)
+
+
+def atoms(term_strategy=terms, max_arity=3):
+    return st.builds(
+        Atom,
+        predicate_names,
+        st.lists(term_strategy, max_size=max_arity).map(tuple),
+    )
+
+
+ground_atoms = atoms(term_strategy=constants)
+
+# -- literals / updates -----------------------------------------------------------
+
+updates = st.builds(
+    Update, st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]), atoms()
+)
+ground_updates = st.builds(
+    Update, st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]), ground_atoms
+)
+literals = st.one_of(
+    st.builds(pos, atoms()),
+    st.builds(neg, atoms()),
+    st.builds(Event, updates),
+)
+
+# -- safe rules --------------------------------------------------------------------
+
+
+@st.composite
+def safe_rules(draw, max_body=3, allow_events=True, allow_deletes=True):
+    """Random rules guaranteed to satisfy the Section 2 safety conditions."""
+    body = []
+    binding_vars = []
+    body_size = draw(st.integers(min_value=0, max_value=max_body))
+
+    for index in range(body_size):
+        arity = draw(st.integers(min_value=0, max_value=2))
+        literal_terms = []
+        for _ in range(arity):
+            if binding_vars and draw(st.booleans()):
+                literal_terms.append(draw(st.sampled_from(binding_vars)))
+            elif draw(st.booleans()):
+                literal_terms.append(draw(constants))
+            else:
+                fresh = Variable("V%d" % len(binding_vars))
+                binding_vars.append(fresh)
+                literal_terms.append(fresh)
+        atom_obj = Atom(draw(predicate_names), tuple(literal_terms))
+
+        kinds = ["pos"]
+        if binding_vars and atom_obj.variables() <= set(binding_vars):
+            # negation only over already-bound variables; but a literal that
+            # minted fresh vars above would bind them, so restrict to
+            # reuse-only atoms for negation.
+            pass
+        if allow_events:
+            kinds.append("event")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "pos":
+            body.append(pos(atom_obj))
+        else:
+            op = draw(st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]))
+            body.append(Event(Update(op, atom_obj)))
+
+    # Optionally add one negated literal over bound variables only.
+    if binding_vars and draw(st.booleans()):
+        count = draw(st.integers(min_value=0, max_value=min(2, len(binding_vars))))
+        neg_terms = tuple(
+            draw(st.sampled_from(binding_vars)) for _ in range(count)
+        )
+        body.append(neg(Atom(draw(predicate_names), neg_terms)))
+
+    head_arity = draw(st.integers(min_value=0, max_value=2))
+    head_terms = []
+    for _ in range(head_arity):
+        if binding_vars and draw(st.booleans()):
+            head_terms.append(draw(st.sampled_from(binding_vars)))
+        else:
+            head_terms.append(draw(constants))
+    head_atom = Atom(draw(predicate_names), tuple(head_terms))
+    if allow_deletes and draw(st.booleans()):
+        head = delete(head_atom)
+    else:
+        head = insert(head_atom)
+    return Rule(head=head, body=tuple(body))
+
+
+@st.composite
+def arity_consistent_programs(draw, max_rules=5, **rule_options):
+    """Safe programs whose predicates also have consistent arities."""
+    rules = draw(
+        st.lists(safe_rules(**rule_options), min_size=1, max_size=max_rules)
+    )
+    arities = {}
+    kept = []
+    for rule in rules:
+        consistent = True
+        staged = {}
+        for predicate, arity in rule.predicates():
+            known = arities.get(predicate, staged.get(predicate))
+            if known is None:
+                staged[predicate] = arity
+            elif known != arity:
+                consistent = False
+                break
+        if consistent:
+            arities.update(staged)
+            kept.append(rule)
+    if not kept:
+        # Every candidate clashed (possibly within a single rule); fall back
+        # to a minimal trivial program so downstream strategies always get
+        # something valid.
+        fallback = Rule(head=insert(Atom("p0")), body=(pos(Atom("q0")),))
+        kept = [fallback]
+        arities = {"p0": 0, "q0": 0}
+    return Program(tuple(kept)), arities
+
+
+@st.composite
+def program_database_pairs(draw, max_facts=10, **program_options):
+    """A safe program plus a random database with matching arities."""
+    from repro.storage.database import Database
+
+    program, arities = draw(arity_consistent_programs(**program_options))
+    database = Database()
+    names = sorted(arities)
+    for _ in range(draw(st.integers(min_value=0, max_value=max_facts))):
+        predicate = draw(st.sampled_from(names))
+        row = tuple(draw(constants) for _ in range(arities[predicate]))
+        database.add(Atom(predicate, row))
+    return program, database

@@ -1,0 +1,51 @@
+"""The production engine must equal the literal Θ^ω construction.
+
+`repro.core.engine.ParkEngine` optimizes the paper's iteration (mutable
+interpretation, shared matcher pass, provenance) while
+`repro.core.transition.theta_omega` is the direct transcription.  On any
+safe program they must produce the same final interpretation, the same
+blocked set, and hence the same result database — this is the strongest
+internal consistency check the reproduction has.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from tests.property import strategies as strat
+
+from repro.core.engine import park
+from repro.core.incorporate import incorp
+from repro.core.transition import theta_omega
+from repro.policies.inertia import InertiaPolicy
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(pair=strat.program_database_pairs())
+@RELAXED
+def test_engine_equals_theta_omega(pair):
+    program, database = pair
+    engine_result = park(program, database)
+    fixpoint, _ = theta_omega(program, database, InertiaPolicy())
+
+    assert engine_result.blocked == fixpoint.blocked
+    assert engine_result.interpretation.freeze() == fixpoint.frozen_interpretation
+    assert engine_result.database == incorp(fixpoint.interpretation)
+
+
+@given(pair=strat.program_database_pairs())
+@RELAXED
+def test_step_count_matches(pair):
+    """Engine rounds == Θ grow-steps + resolve-steps + the final fixpoint check."""
+    program, database = pair
+    engine_result = park(program, database)
+    _, steps = theta_omega(program, database, InertiaPolicy(), collect=True)
+    grows = sum(1 for s in steps if s.kind == "grow")
+    resolves = sum(1 for s in steps if s.kind == "resolve")
+    assert engine_result.stats.restarts == resolves
+    # each grow is one consistent applied round; +1 for the fixpoint-
+    # confirming round; each resolve also consumed one engine round.
+    assert engine_result.stats.rounds == grows + resolves + 1

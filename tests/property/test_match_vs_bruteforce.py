@@ -1,0 +1,96 @@
+"""The indexed matcher agrees with brute-force grounding + validity.
+
+This is the correctness anchor for the whole evaluation engine: for every
+(rule, interpretation) pair, the set of substitutions the backtracking
+matcher produces must equal the set obtained by enumerating *all* ground
+substitutions over the Herbrand universe and checking validity literal by
+literal with the paper's definition.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.property import strategies as strat
+
+from repro.core.interpretation import IInterpretation
+from repro.core.validity import InterpretationView, rule_instance_valid
+from repro.engine.grounder import ground_substitutions, herbrand_universe
+from repro.engine.match import match_rule
+from repro.lang.program import Program
+from repro.storage.database import Database
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def matching_scenarios(draw):
+    """A safe rule + an i-interpretation over a tiny constant universe."""
+    program, database = draw(
+        strat.program_database_pairs(max_rules=1, max_facts=6)
+    )
+    (rule,) = program
+    interpretation = IInterpretation.from_database(database)
+    arities = {}
+    for predicate, arity in rule.predicates():
+        arities[predicate] = arity
+    for atom in database.atoms():
+        arities[atom.predicate] = atom.arity
+    # Mark a few atoms +/- over the same predicates.
+    from repro.lang.atoms import Atom
+    from repro.lang.terms import Constant
+    from repro.lang.updates import UpdateOp, Update
+
+    names = sorted(arities)
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        predicate = draw(st.sampled_from(names))
+        row = tuple(
+            Constant(draw(st.sampled_from(["a", "b", "c"])))
+            for _ in range(arities[predicate])
+        )
+        op = draw(st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]))
+        interpretation.add_update(Update(op, Atom(predicate, row)))
+    return rule, interpretation
+
+
+@given(matching_scenarios())
+@RELAXED
+def test_matcher_equals_bruteforce(scenario):
+    rule, interpretation = scenario
+    view = InterpretationView(interpretation)
+    matched = set(match_rule(rule, view))
+
+    # Brute force over the joint universe of rule, unmarked, plus, minus.
+    program = Program((rule,))
+    joint = Database()
+    for store in (
+        interpretation.unmarked,
+        interpretation.plus,
+        interpretation.minus,
+    ):
+        for atom in store.atoms():
+            joint.add(atom)
+    universe = herbrand_universe(program, joint)
+    if not universe:
+        from repro.lang.terms import Constant
+
+        universe = [Constant("a")]
+
+    expected = {
+        substitution
+        for substitution in ground_substitutions(rule, universe)
+        if rule_instance_valid(rule, substitution, interpretation)
+    }
+    assert matched == expected
+
+
+@given(matching_scenarios())
+@RELAXED
+def test_matcher_yields_unique_substitutions(scenario):
+    rule, interpretation = scenario
+    view = InterpretationView(interpretation)
+    found = list(match_rule(rule, view))
+    assert len(found) == len(set(found))

@@ -1,0 +1,121 @@
+"""Property-based tests of the PARK semantics itself.
+
+These encode the Section 3 requirements as executable properties over
+randomly generated safe programs:
+
+* unambiguous semantics — PARK is a deterministic function of its input;
+* termination — every run reaches a fixpoint (no budget needed);
+* consistency — the final i-interpretation is consistent, so ``incorp``
+  is defined;
+* unchanged base — ``I∅`` equals the input database at the fixpoint;
+* conflict-freedom degeneration — insert-only programs never restart and
+  agree with the inflationary semantics.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from tests.property import strategies as strat
+
+from repro.baselines.inflationary import inflationary_fixpoint
+from repro.core.blocking import BlockingMode
+from repro.core.engine import park
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestRequirements:
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_terminates_and_is_consistent(self, pair):
+        program, database = pair
+        result = park(program, database)
+        assert result.interpretation.is_consistent()
+
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_deterministic(self, pair):
+        program, database = pair
+        assert park(program, database).atoms == park(program, database).atoms
+
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_unmarked_part_is_input_database(self, pair):
+        program, database = pair
+        result = park(program, database)
+        assert result.interpretation.unmarked == database
+
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_input_database_never_mutated(self, pair):
+        program, database = pair
+        before = database.freeze()
+        park(program, database)
+        assert database.freeze() == before
+
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_delta_matches_database_change(self, pair):
+        program, database = pair
+        result = park(program, database)
+        assert result.delta.apply(database) == result.database
+
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_restart_bound_by_groundings(self, pair):
+        # Coarse form of the paper's complexity remark: restarts never
+        # exceed the number of blocked instances (each blocks >= 1 new).
+        program, database = pair
+        result = park(program, database)
+        assert result.stats.restarts <= max(1, result.stats.blocked_instances)
+
+
+class TestConflictFreeFragment:
+    @given(strat.program_database_pairs(allow_deletes=False, allow_events=False))
+    @RELAXED
+    def test_insert_only_never_restarts(self, pair):
+        program, database = pair
+        result = park(program, database)
+        assert result.stats.restarts == 0
+        assert result.blocked == frozenset()
+
+    @given(strat.program_database_pairs(allow_deletes=False, allow_events=False))
+    @RELAXED
+    def test_insert_only_matches_inflationary(self, pair):
+        program, database = pair
+        assert park(program, database).database == inflationary_fixpoint(
+            program, database
+        )
+
+
+class TestBlockingModes:
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_minimal_mode_terminates_too(self, pair):
+        program, database = pair
+        result = park(program, database, blocking_mode=BlockingMode.MINIMAL)
+        assert result.interpretation.is_consistent()
+
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_minimal_blocks_no_more_than_all(self, pair):
+        program, database = pair
+        all_mode = park(program, database, blocking_mode=BlockingMode.ALL)
+        minimal = park(program, database, blocking_mode=BlockingMode.MINIMAL)
+        assert minimal.stats.blocked_instances <= all_mode.stats.blocked_instances
+
+
+class TestEvaluationStrategies:
+    @given(strat.program_database_pairs())
+    @RELAXED
+    def test_seminaive_equals_naive(self, pair):
+        """The semi-naive Γ evaluation is observationally identical."""
+        program, database = pair
+        naive = park(program, database, evaluation="naive")
+        seminaive = park(program, database, evaluation="seminaive")
+        assert naive.atoms == seminaive.atoms
+        assert naive.blocked == seminaive.blocked
+        assert naive.stats.rounds == seminaive.stats.rounds

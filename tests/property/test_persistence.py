@@ -1,0 +1,105 @@
+"""Property tests for persistence: text I/O and journal recovery."""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.property import strategies as strat
+from tests.property.test_structures import ground_atom_lists
+
+from repro.active import ActiveDatabase
+from repro.lang.program import Program
+from repro.storage.database import Database
+from repro.storage.textio import (
+    dump_database,
+    dump_program,
+    load_database,
+    load_program,
+)
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+class TestTextRoundTrip:
+    @given(atoms_list=ground_atom_lists)
+    @RELAXED
+    def test_database_files_roundtrip(self, atoms_list, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("dbio") / "db.park")
+        database = Database(atoms_list)
+        dump_database(database, path)
+        assert load_database(path) == database
+
+    @given(pair=strat.arity_consistent_programs())
+    @RELAXED
+    def test_program_files_roundtrip(self, pair, tmp_path_factory):
+        program, _ = pair
+        path = str(tmp_path_factory.mktemp("progio") / "rules.park")
+        dump_program(program, path)
+        assert load_program(path) == program
+
+
+@st.composite
+def commit_scripts(draw):
+    """A sequence of insert/delete operations over a tiny atom space."""
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.sampled_from(["p", "q", "r"]),
+                st.sampled_from(["a", "b"]),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return operations
+
+
+class TestJournalRecovery:
+    @given(script=commit_scripts())
+    @RELAXED
+    def test_recovered_state_equals_live_state(self, script, tmp_path_factory):
+        base = tmp_path_factory.mktemp("journal")
+        snapshot = str(base / "base.park")
+        journal_path = str(base / "commits.journal")
+
+        db = ActiveDatabase.from_text("seed(x).", journal=journal_path)
+        db.add_rule("@name(echo) +p(V) -> +echoed(V).")
+        db.checkpoint(snapshot)
+
+        for operation, predicate, value in script:
+            with db.transaction() as tx:
+                getattr(tx, operation)(predicate, value)
+
+        recovered = ActiveDatabase.recover(snapshot, journal_path)
+        assert recovered.database == db.database
+
+    @given(script=commit_scripts())
+    @RELAXED
+    def test_checkpoint_mid_history(self, script, tmp_path_factory):
+        base = tmp_path_factory.mktemp("journal2")
+        snapshot = str(base / "base.park")
+        journal_path = str(base / "commits.journal")
+
+        db = ActiveDatabase.from_text("seed(x).", journal=journal_path)
+        db.checkpoint(snapshot)
+        half = len(script) // 2
+        for operation, predicate, value in script[:half]:
+            with db.transaction() as tx:
+                getattr(tx, operation)(predicate, value)
+        db.checkpoint(snapshot)  # re-checkpoint and truncate
+        for operation, predicate, value in script[half:]:
+            with db.transaction() as tx:
+                getattr(tx, operation)(predicate, value)
+
+        recovered = ActiveDatabase.recover(snapshot, journal_path)
+        assert recovered.database == db.database

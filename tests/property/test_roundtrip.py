@@ -1,0 +1,58 @@
+"""Property-based round-trip tests for the parser / pretty-printer."""
+
+from hypothesis import given, settings
+
+from tests.property import strategies as strat
+
+from repro.lang.parser import parse_atom, parse_program, parse_rule
+from repro.lang.pretty import (
+    render_atom,
+    render_program,
+    render_rule,
+    render_term,
+)
+from repro.lang.program import Program
+
+
+class TestTermRoundTrip:
+    @given(strat.terms)
+    def test_terms_survive_atom_roundtrip(self, term):
+        from repro.lang.atoms import Atom
+
+        original = Atom("wrap", (term,))
+        assert parse_atom(render_atom(original)) == original
+
+
+class TestAtomRoundTrip:
+    @given(strat.atoms())
+    def test_atoms(self, atom_obj):
+        assert parse_atom(render_atom(atom_obj)) == atom_obj
+
+    @given(strat.ground_atoms)
+    def test_ground_atoms(self, atom_obj):
+        parsed = parse_atom(render_atom(atom_obj))
+        assert parsed == atom_obj
+        assert parsed.is_ground()
+
+
+class TestRuleRoundTrip:
+    @given(strat.safe_rules())
+    @settings(max_examples=200)
+    def test_rules(self, rule):
+        assert parse_rule(render_rule(rule)) == rule
+
+    @given(strat.safe_rules(allow_events=False, allow_deletes=False))
+    def test_deductive_rules(self, rule):
+        assert parse_rule(render_rule(rule)) == rule
+
+
+class TestProgramRoundTrip:
+    @given(strat.arity_consistent_programs())
+    def test_programs(self, pair):
+        program, _ = pair
+        assert parse_program(render_program(program)) == program
+
+    @given(strat.arity_consistent_programs())
+    def test_render_is_deterministic(self, pair):
+        program, _ = pair
+        assert render_program(program) == render_program(program)

@@ -1,0 +1,123 @@
+"""Property tests on the core data structures' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.property import strategies as strat
+
+from repro.core.interpretation import IInterpretation
+from repro.errors import StorageError
+from repro.lang.substitution import Substitution
+from repro.lang.updates import UpdateOp
+from repro.storage.database import Database
+from repro.storage.delta import Delta
+
+
+def _arity_consistent(atoms_list):
+    arities = {}
+    kept = []
+    for atom in atoms_list:
+        known = arities.get(atom.predicate)
+        if known is None:
+            arities[atom.predicate] = atom.arity
+            kept.append(atom)
+        elif known == atom.arity:
+            kept.append(atom)
+    return kept
+
+
+ground_atom_lists = st.lists(strat.ground_atoms, max_size=12).map(_arity_consistent)
+
+
+class TestDatabaseProperties:
+    @given(ground_atom_lists)
+    def test_add_is_idempotent(self, atoms_list):
+        db = Database(atoms_list)
+        size = len(db)
+        db.update(atoms_list)
+        assert len(db) == size
+
+    @given(ground_atom_lists)
+    def test_freeze_equals_contents(self, atoms_list):
+        db = Database(atoms_list)
+        assert db.freeze() == frozenset(atoms_list)
+
+    @given(ground_atom_lists)
+    def test_copy_equal_but_independent(self, atoms_list):
+        db = Database(atoms_list)
+        clone = db.copy()
+        assert clone == db
+        for atom in list(clone.atoms()):
+            clone.remove(atom)
+        assert db.freeze() == frozenset(atoms_list)
+
+    @given(ground_atom_lists, ground_atom_lists)
+    def test_diff_apply_identity(self, before_atoms, after_atoms):
+        before = Database(_arity_consistent(before_atoms + after_atoms)[: len(before_atoms)])
+        # Build an arity-consistent 'after' over the same catalog universe.
+        after = Database(_arity_consistent(before_atoms + after_atoms))
+        delta = Delta.diff(before, after)
+        assert delta.apply(before) == after
+
+
+class TestDeltaProperties:
+    @given(ground_atom_lists, st.integers(min_value=0, max_value=12))
+    def test_composition_associative_on_application(self, atoms_list, split):
+        from repro.lang.updates import insert
+
+        xs = atoms_list[: split % (len(atoms_list) + 1)]
+        ys = atoms_list[split % (len(atoms_list) + 1):]
+        d1 = Delta([insert(a) for a in xs])
+        d2 = Delta([insert(a) for a in ys])
+        db = Database()
+        assert d1.then(d2).apply(db) == d2.apply(d1.apply(db))
+
+    @given(ground_atom_lists)
+    def test_invert_twice_identity(self, atoms_list):
+        from repro.lang.updates import insert
+
+        delta = Delta([insert(a) for a in atoms_list])
+        assert delta.invert().invert() == delta
+
+
+class TestInterpretationProperties:
+    @given(ground_atom_lists, st.lists(strat.ground_updates, max_size=10))
+    def test_consistency_detection_matches_definition(self, atoms_list, updates):
+        interpretation = IInterpretation.from_database(Database(atoms_list))
+        for update in updates:
+            try:
+                interpretation.add_update(update)
+            except Exception:
+                pass  # arity clash with base data; irrelevant here
+        _, plus, minus = interpretation.freeze()
+        assert interpretation.is_consistent() == (not (plus & minus))
+        assert set(interpretation.conflicting_atoms()) == plus & minus
+
+    @given(ground_atom_lists)
+    def test_restart_drops_all_marks(self, atoms_list):
+        from repro.lang.updates import insert
+
+        interpretation = IInterpretation.from_database(Database())
+        for atom in atoms_list:
+            interpretation.add_update(insert(atom))
+        fresh = interpretation.restarted()
+        assert fresh.marked_count() == 0
+
+
+class TestSubstitutionProperties:
+    @given(st.dictionaries(strat.variables, strat.constants, max_size=5))
+    def test_hash_equality_contract(self, bindings):
+        s1 = Substitution(bindings)
+        s2 = Substitution(dict(bindings))
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    @given(
+        st.dictionaries(strat.variables, strat.constants, max_size=4),
+        st.dictionaries(strat.variables, strat.constants, max_size=4),
+    )
+    def test_merge_commutative_when_defined(self, a, b):
+        s1, s2 = Substitution(a), Substitution(b)
+        left = s1.merge(s2)
+        right = s2.merge(s1)
+        assert left == right

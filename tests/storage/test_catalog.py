@@ -1,0 +1,70 @@
+"""Tests for the schema catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.catalog import Catalog, Schema
+
+
+class TestSchema:
+    def test_basic(self):
+        s = Schema("payroll", 2, ("name", "salary"))
+        assert str(s) == "payroll(name, salary)"
+
+    def test_without_columns(self):
+        assert str(Schema("edge", 2)) == "edge/2"
+
+    def test_column_count_must_match_arity(self):
+        with pytest.raises(SchemaError):
+            Schema("payroll", 2, ("name",))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("bad", -1)
+
+
+class TestCatalog:
+    def test_declare_and_get(self):
+        c = Catalog()
+        s = c.declare(Schema("emp", 1))
+        assert c.get("emp") is s
+        assert "emp" in c
+
+    def test_redeclare_same_arity_ok(self):
+        c = Catalog()
+        c.declare(Schema("emp", 1))
+        c.declare(Schema("emp", 1, ("name",)))  # refine with column names
+        assert c.get("emp").columns == ("name",)
+
+    def test_redeclare_different_arity_rejected(self):
+        c = Catalog()
+        c.declare(Schema("emp", 1))
+        with pytest.raises(SchemaError):
+            c.declare(Schema("emp", 2))
+
+    def test_ensure_autodeclares(self):
+        c = Catalog()
+        c.ensure("edge", 2)
+        assert c.get("edge").arity == 2
+
+    def test_ensure_checks_arity(self):
+        c = Catalog()
+        c.ensure("edge", 2)
+        with pytest.raises(SchemaError):
+            c.ensure("edge", 3)
+
+    def test_iteration_sorted(self):
+        c = Catalog([Schema("zebra", 1), Schema("ant", 2)])
+        assert list(c) == ["ant", "zebra"]
+        assert [s.predicate for s in c.schemas()] == ["ant", "zebra"]
+
+    def test_copy_independent(self):
+        c = Catalog([Schema("a", 1)])
+        clone = c.copy()
+        clone.declare(Schema("b", 2))
+        assert "b" not in c
+        assert len(clone) == 2
+
+    def test_declare_type_checked(self):
+        with pytest.raises(TypeError):
+            Catalog().declare(("emp", 1))

@@ -1,0 +1,117 @@
+"""Tests for Database: the indexed set of ground atoms."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.lang.atoms import Atom, atom
+from repro.lang.terms import Constant
+from repro.storage.database import Database
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        db = Database()
+        assert db.add(atom("p", "a"))
+        assert atom("p", "a") in db
+        assert atom("p", "b") not in db
+
+    def test_add_duplicate_false(self):
+        db = Database([atom("p", "a")])
+        assert not db.add(atom("p", "a"))
+        assert len(db) == 1
+
+    def test_remove(self):
+        db = Database([atom("p", "a")])
+        assert db.remove(atom("p", "a"))
+        assert not db.remove(atom("p", "a"))
+        assert not db.remove(atom("unknown"))
+
+    def test_nonground_rejected(self):
+        with pytest.raises(SchemaError):
+            Database().add(atom("p", "X"))
+
+    def test_arity_conflict_rejected(self):
+        db = Database([atom("p", "a")])
+        with pytest.raises(SchemaError):
+            db.add(atom("p", "a", "b"))
+
+    def test_update_bulk(self):
+        db = Database()
+        db.update([atom("p", "a"), atom("q")])
+        assert len(db) == 2
+
+
+class TestConstruction:
+    def test_from_text(self):
+        db = Database.from_text("p(a). q(a, 2).")
+        assert atom("q", "a", 2) in db
+
+    def test_from_tuples(self):
+        db = Database.from_tuples({"edge": [("a", "b"), ("b", "c")], "flag": [()]})
+        assert atom("edge", "a", "b") in db
+        assert Atom("flag") in db
+
+
+class TestAccess:
+    def setup_method(self):
+        self.db = Database.from_text("p(a). p(b). q(a, b). r.")
+
+    def test_len_and_bool(self):
+        assert len(self.db) == 4
+        assert self.db
+        assert not Database()
+
+    def test_atoms_sorted_by_predicate(self):
+        predicates = [a.predicate for a in self.db.atoms()]
+        assert predicates == sorted(predicates)
+
+    def test_atoms_single_predicate(self):
+        assert {str(a) for a in self.db.atoms("p")} == {"p(a)", "p(b)"}
+        assert list(self.db.atoms("missing")) == []
+
+    def test_predicates(self):
+        assert self.db.predicates() == ["p", "q", "r"]
+
+    def test_count(self):
+        assert self.db.count("p") == 2
+        assert self.db.count("missing") == 0
+
+    def test_constants(self):
+        assert {c.value for c in self.db.constants()} == {"a", "b"}
+
+    def test_relation_access(self):
+        assert self.db.relation("q").arity == 2
+        assert self.db.relation("missing") is None
+
+
+class TestValueSemantics:
+    def test_copy_independent(self):
+        db = Database.from_text("p(a).")
+        clone = db.copy()
+        clone.add(atom("p", "b"))
+        assert len(db) == 1
+        assert len(clone) == 2
+
+    def test_copy_preserves_catalog(self):
+        db = Database.from_text("p(a).")
+        clone = db.copy()
+        with pytest.raises(SchemaError):
+            clone.add(atom("p", "a", "b"))
+
+    def test_equality_by_contents(self):
+        assert Database.from_text("p(a). q.") == Database.from_text("q. p(a).")
+        assert Database.from_text("p(a).") != Database.from_text("p(b).")
+
+    def test_equality_with_sets(self):
+        assert Database.from_text("p(a).") == {atom("p", "a")}
+
+    def test_freeze(self):
+        frozen = Database.from_text("p(a).").freeze()
+        assert frozen == frozenset({atom("p", "a")})
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Database())
+
+    def test_str_sorted(self):
+        assert str(Database.from_text("q. p(a).")) == "{p(a), q}"

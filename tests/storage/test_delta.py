@@ -1,0 +1,125 @@
+"""Tests for Delta: the consistent update-set algebra."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.lang.atoms import atom
+from repro.lang.updates import delete, insert
+from repro.storage.database import Database
+from repro.storage.delta import Delta, EMPTY_DELTA
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = Delta([insert(atom("p", "a")), delete(atom("q"))])
+        assert atom("p", "a") in d.inserts
+        assert atom("q") in d.deletes
+        assert len(d) == 2
+
+    def test_conflicting_pair_rejected(self):
+        with pytest.raises(StorageError, match="inconsistent"):
+            Delta([insert(atom("p")), delete(atom("p"))])
+
+    def test_nonground_rejected(self):
+        with pytest.raises(StorageError):
+            Delta([insert(atom("p", "X"))])
+
+    def test_duplicates_collapse(self):
+        d = Delta([insert(atom("p")), insert(atom("p"))])
+        assert len(d) == 1
+
+    def test_empty(self):
+        assert not EMPTY_DELTA
+        assert len(EMPTY_DELTA) == 0
+
+
+class TestDiff:
+    def test_diff_databases(self):
+        before = Database.from_text("p. q.")
+        after = Database.from_text("q. r.")
+        d = Delta.diff(before, after)
+        assert d.inserts == frozenset({atom("r")})
+        assert d.deletes == frozenset({atom("p")})
+
+    def test_diff_identity_empty(self):
+        db = Database.from_text("p.")
+        assert not Delta.diff(db, db)
+
+    def test_diff_accepts_plain_sets(self):
+        d = Delta.diff({atom("p")}, {atom("q")})
+        assert len(d) == 2
+
+
+class TestApply:
+    def test_apply_copy(self):
+        db = Database.from_text("p. q.")
+        d = Delta([delete(atom("p")), insert(atom("r"))])
+        result = d.apply(db)
+        assert result == Database.from_text("q. r.")
+        assert db == Database.from_text("p. q.")  # original untouched
+
+    def test_apply_in_place(self):
+        db = Database.from_text("p.")
+        Delta([insert(atom("q"))]).apply(db, in_place=True)
+        assert atom("q") in db
+
+    def test_noop_semantics(self):
+        # Deleting an absent atom / inserting a present one: no-ops.
+        db = Database.from_text("p.")
+        d = Delta([insert(atom("p")), delete(atom("zzz"))])
+        assert d.apply(db) == db
+
+    def test_diff_then_apply_is_identity(self):
+        before = Database.from_text("p(a). q(b).")
+        after = Database.from_text("q(b). r(c). p(d).")
+        assert Delta.diff(before, after).apply(before) == after
+
+
+class TestAlgebra:
+    def test_invert(self):
+        d = Delta([insert(atom("p")), delete(atom("q"))])
+        inverse = d.invert()
+        assert atom("p") in inverse.deletes
+        assert atom("q") in inverse.inserts
+
+    def test_apply_then_invert_restores(self):
+        db = Database.from_text("p. q.")
+        d = Delta.diff(db, Database.from_text("q. r."))
+        assert d.invert().apply(d.apply(db)) == db
+
+    def test_then_later_wins(self):
+        first = Delta([insert(atom("p"))])
+        second = Delta([delete(atom("p")), insert(atom("q"))])
+        composed = first.then(second)
+        assert atom("p") in composed.deletes
+        assert atom("q") in composed.inserts
+
+    def test_then_matches_sequential_application(self):
+        db = Database.from_text("x.")
+        d1 = Delta([insert(atom("p")), delete(atom("x"))])
+        d2 = Delta([delete(atom("p")), insert(atom("y"))])
+        sequential = d2.apply(d1.apply(db))
+        composed = d1.then(d2).apply(db)
+        assert sequential == composed
+
+    def test_restricted_to(self):
+        d = Delta([insert(atom("p", "a")), delete(atom("q", "b"))])
+        only_p = d.restricted_to({"p"})
+        assert len(only_p) == 1
+        assert atom("p", "a") in only_p.inserts
+
+    def test_membership(self):
+        d = Delta([insert(atom("p"))])
+        assert insert(atom("p")) in d
+        assert delete(atom("p")) not in d
+        assert "p" not in d
+
+    def test_updates_sorted(self):
+        d = Delta([insert(atom("b")), delete(atom("a"))])
+        assert [str(u) for u in d.updates()] == ["+b", "-a"]
+
+    def test_hash_and_eq(self):
+        d1 = Delta([insert(atom("p"))])
+        d2 = Delta([insert(atom("p"))])
+        assert d1 == d2
+        assert hash(d1) == hash(d2)

@@ -1,0 +1,108 @@
+"""Tests for Relation: tuple storage and hash indexes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.relation import Relation
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        r = Relation("edge", 2)
+        assert r.add(("a", "b"))
+        assert ("a", "b") in r
+        assert len(r) == 1
+
+    def test_add_duplicate_returns_false(self):
+        r = Relation("edge", 2, [("a", "b")])
+        assert not r.add(("a", "b"))
+        assert len(r) == 1
+
+    def test_discard(self):
+        r = Relation("edge", 2, [("a", "b")])
+        assert r.discard(("a", "b"))
+        assert not r.discard(("a", "b"))
+        assert len(r) == 0
+
+    def test_arity_enforced(self):
+        r = Relation("edge", 2)
+        with pytest.raises(SchemaError):
+            r.add(("a",))
+        with pytest.raises(SchemaError):
+            r.discard(("a", "b", "c"))
+
+    def test_rows_must_be_tuples(self):
+        with pytest.raises(SchemaError):
+            Relation("edge", 2).add(["a", "b"])
+
+    def test_zero_arity(self):
+        r = Relation("flag", 0)
+        assert r.add(())
+        assert () in r
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("bad", -1)
+
+    def test_clear(self):
+        r = Relation("edge", 2, [("a", "b"), ("b", "c")])
+        r.clear()
+        assert len(r) == 0
+
+
+class TestCandidates:
+    def setup_method(self):
+        self.r = Relation(
+            "edge", 2, [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")]
+        )
+
+    def test_unbound_scans_all(self):
+        assert set(self.r.candidates({})) == set(self.r)
+
+    def test_single_column(self):
+        assert set(self.r.candidates({0: "a"})) == {("a", "b"), ("a", "c")}
+        assert set(self.r.candidates({1: "c"})) == {("a", "c"), ("b", "c")}
+
+    def test_both_columns(self):
+        assert set(self.r.candidates({0: "a", 1: "c"})) == {("a", "c")}
+
+    def test_missing_value_empty(self):
+        assert set(self.r.candidates({0: "zzz"})) == set()
+
+    def test_index_maintained_after_mutation(self):
+        list(self.r.candidates({0: "a"}))  # build the index
+        self.r.add(("a", "z"))
+        assert set(self.r.candidates({0: "a"})) == {("a", "b"), ("a", "c"), ("a", "z")}
+        self.r.discard(("a", "b"))
+        assert set(self.r.candidates({0: "a"})) == {("a", "c"), ("a", "z")}
+
+    def test_index_bucket_removed_when_empty(self):
+        list(self.r.candidates({0: "c"}))
+        self.r.discard(("c", "a"))
+        assert set(self.r.candidates({0: "c"})) == set()
+
+
+class TestValueSemantics:
+    def test_copy_independent(self):
+        r = Relation("edge", 2, [("a", "b")])
+        clone = r.copy()
+        clone.add(("x", "y"))
+        assert len(r) == 1
+        assert len(clone) == 2
+
+    def test_equality_by_contents(self):
+        r1 = Relation("edge", 2, [("a", "b")])
+        r2 = Relation("edge", 2, [("a", "b")])
+        assert r1 == r2
+        r2.add(("b", "c"))
+        assert r1 != r2
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation("edge", 2))
+
+    def test_rows_snapshot_safe(self):
+        r = Relation("edge", 2, [("a", "b"), ("b", "c")])
+        for row in r.rows():
+            r.discard(row)  # no RuntimeError from mutation during iteration
+        assert len(r) == 0

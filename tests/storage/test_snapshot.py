@@ -1,0 +1,94 @@
+"""Tests for snapshots and the savepoint stack."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+from repro.storage.snapshot import SavepointStack, Snapshot
+
+
+class TestSnapshot:
+    def test_capture_and_restore(self):
+        db = Database.from_text("p. q.")
+        snap = Snapshot(db)
+        db.remove(atom("p"))
+        restored = snap.restore()
+        assert restored == Database.from_text("p. q.")
+
+    def test_snapshot_is_immutable_view(self):
+        db = Database.from_text("p.")
+        snap = Snapshot(db)
+        db.add(atom("q"))
+        assert atom("q") not in snap
+        assert len(snap) == 1
+
+    def test_delta_to(self):
+        db = Database.from_text("p.")
+        snap = Snapshot(db)
+        db.add(atom("q"))
+        db.remove(atom("p"))
+        delta = snap.delta_to(db)
+        assert atom("q") in delta.inserts
+        assert atom("p") in delta.deletes
+
+    def test_equality_and_hash(self):
+        db = Database.from_text("p.")
+        assert Snapshot(db) == Snapshot(db)
+        assert hash(Snapshot(db)) == hash(Snapshot(db))
+
+
+class TestSavepointStack:
+    def setup_method(self):
+        self.db = Database.from_text("p.")
+        self.stack = SavepointStack(self.db)
+
+    def test_rollback_to(self):
+        self.stack.savepoint("s1")
+        self.db.add(atom("q"))
+        self.stack.rollback_to("s1")
+        assert self.db == Database.from_text("p.")
+
+    def test_savepoint_survives_rollback(self):
+        self.stack.savepoint("s1")
+        self.db.add(atom("q"))
+        self.stack.rollback_to("s1")
+        self.db.add(atom("r"))
+        self.stack.rollback_to("s1")  # can roll back again
+        assert self.db == Database.from_text("p.")
+
+    def test_nested_savepoints_discarded_on_rollback(self):
+        self.stack.savepoint("outer")
+        self.db.add(atom("q"))
+        self.stack.savepoint("inner")
+        self.stack.rollback_to("outer")
+        with pytest.raises(TransactionError):
+            self.stack.rollback_to("inner")
+
+    def test_rollback_restores_deletions(self):
+        self.stack.savepoint("s1")
+        self.db.remove(atom("p"))
+        self.stack.rollback_to("s1")
+        assert atom("p") in self.db
+
+    def test_release(self):
+        self.stack.savepoint("s1")
+        self.db.add(atom("q"))
+        self.stack.release("s1")
+        assert atom("q") in self.db  # release doesn't restore
+        with pytest.raises(TransactionError):
+            self.stack.rollback_to("s1")
+
+    def test_auto_names(self):
+        name = self.stack.savepoint()
+        assert name == "sp_1"
+        assert self.stack.names() == ["sp_1"]
+
+    def test_duplicate_name_rejected(self):
+        self.stack.savepoint("s1")
+        with pytest.raises(TransactionError):
+            self.stack.savepoint("s1")
+
+    def test_unknown_savepoint(self):
+        with pytest.raises(TransactionError):
+            self.stack.rollback_to("nope")

@@ -1,0 +1,64 @@
+"""Tests for text persistence of databases and programs."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.atoms import atom
+from repro.storage.database import Database
+from repro.storage.textio import (
+    dump_database,
+    dump_program,
+    load_database,
+    load_program,
+)
+
+
+class TestDatabaseIO:
+    def test_roundtrip(self, tmp_path):
+        db = Database.from_text('p(a). q(a, 42). r("two words").')
+        path = tmp_path / "db.park"
+        dump_database(db, str(path))
+        assert load_database(str(path)) == db
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.park"
+        dump_database(Database(), str(path))
+        assert load_database(str(path)) == Database()
+
+    def test_file_is_sorted_and_readable(self, tmp_path):
+        db = Database.from_text("zebra. ant.")
+        path = tmp_path / "db.park"
+        dump_database(db, str(path))
+        assert path.read_text() == "ant.\nzebra.\n"
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "db.park"
+        dump_database(Database.from_text("p."), str(path))
+        dump_database(Database.from_text("q."), str(path))
+        assert load_database(str(path)) == Database.from_text("q.")
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+
+class TestProgramIO:
+    def test_roundtrip_with_annotations(self, tmp_path):
+        program = parse_program(
+            """
+            @name(r1) @priority(3) p(X), not q(X) -> -r(X).
+            +s(X) -> +t(X).
+            -> +q(b).
+            """
+        )
+        path = tmp_path / "rules.park"
+        dump_program(program, str(path))
+        assert load_program(str(path)) == program
+
+    def test_accepts_rule_iterables(self, tmp_path):
+        program = parse_program("p -> +q.")
+        path = tmp_path / "rules.park"
+        dump_program(list(program), str(path))
+        assert load_program(str(path)) == program
+
+    def test_empty_program(self, tmp_path):
+        path = tmp_path / "rules.park"
+        dump_program(parse_program(""), str(path))
+        assert len(load_program(str(path))) == 0

@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+RULES = """
+@name(r1) p -> +q.
+@name(r2) p -> -a.
+@name(r3) q -> +a.
+"""
+
+ECA_RULES = "+account(X) -> +welcome(X)."
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.park"
+    path.write_text(RULES)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.park"
+    path.write_text("p.")
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_basic_run(self, rules_file, facts_file):
+        code, output = run_cli("run", "--rules", rules_file, "--db", facts_file)
+        assert code == 0
+        assert "result: {p, q}" in output
+        assert "blocked rules: r3" in output
+
+    def test_trace_flag(self, rules_file, facts_file):
+        code, output = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file, "--trace"
+        )
+        assert code == 0
+        assert "(1)" in output
+        assert "inconsistent" in output
+        assert "fixpoint:" in output
+
+    def test_stats_flag(self, rules_file, facts_file):
+        code, output = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file, "--stats"
+        )
+        assert code == 0
+        assert "restarts" in output
+
+    def test_updates(self, tmp_path):
+        rules = tmp_path / "eca.park"
+        rules.write_text(ECA_RULES)
+        code, output = run_cli(
+            "run", "--rules", str(rules), "--update", "+account(u1)"
+        )
+        assert code == 0
+        assert "welcome(u1)" in output
+
+    def test_no_db_means_empty(self, rules_file):
+        code, output = run_cli("run", "--rules", rules_file)
+        assert code == 0
+        assert "result: {}" in output
+
+    def test_policy_selection(self, tmp_path):
+        rules = tmp_path / "prio.park"
+        rules.write_text(
+            "@name(lo) @priority(1) p -> +x. @name(hi) @priority(2) p -> -x."
+        )
+        facts = tmp_path / "facts.park"
+        facts.write_text("p. x.")
+        _, inertia_out = run_cli("run", "--rules", str(rules), "--db", str(facts))
+        assert "result: {p, x}" in inertia_out  # inertia keeps x (x ∈ D)
+        _, priority_out = run_cli(
+            "run", "--rules", str(rules), "--db", str(facts), "--policy", "priority"
+        )
+        assert "result: {p}" in priority_out  # hi (delete) wins
+
+    def test_minimal_blocking(self, rules_file, facts_file):
+        code, output = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file,
+            "--blocking", "minimal",
+        )
+        assert code == 0
+        assert "result: {p, q}" in output
+
+    def test_random_policy_with_seed(self, rules_file, facts_file):
+        code1, out1 = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file, "--policy", "random:9"
+        )
+        code2, out2 = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file, "--policy", "random:9"
+        )
+        assert code1 == code2 == 0
+        assert out1 == out2
+
+
+class TestErrors:
+    def test_unknown_policy(self, rules_file, facts_file):
+        code, _ = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file, "--policy", "bogus"
+        )
+        assert code == 2
+
+    def test_bad_update_syntax(self, rules_file):
+        code, _ = run_cli("run", "--rules", rules_file, "--update", "q(b)")
+        assert code == 2
+
+    def test_missing_file(self):
+        code, _ = run_cli("run", "--rules", "/nonexistent/rules.park")
+        assert code == 1
+
+    def test_parse_error_in_rules(self, tmp_path):
+        bad = tmp_path / "bad.park"
+        bad.write_text("p -> q.")
+        code, _ = run_cli("run", "--rules", str(bad))
+        assert code == 2
+
+    def test_usage_error(self):
+        code, _ = run_cli("run")  # missing --rules
+        assert code != 0
+
+
+class TestCheck:
+    def test_classification_output(self, rules_file):
+        code, output = run_cli("check", "--rules", rules_file)
+        assert code == 0
+        assert "rules      : 3" in output
+        assert "uses delete: True" in output
+
+    def test_strata_printed_for_deductive_programs(self, tmp_path):
+        rules = tmp_path / "strat.park"
+        rules.write_text(
+            "edge(Y, X) -> +reached(X). node(X), not reached(X) -> +isolated(X)."
+        )
+        code, output = run_cli("check", "--rules", str(rules))
+        assert code == 0
+        assert "stratum 0" in output
+        assert "stratum 1" in output
+
+
+class TestExplain:
+    def test_explains_derivation(self, rules_file, facts_file):
+        code, output = run_cli(
+            "explain", "--rules", rules_file, "--db", facts_file, "--target", "+q"
+        )
+        assert code == 0
+        assert output.startswith("+q")
+        assert "base fact" in output
+
+    def test_unknown_target(self, rules_file, facts_file):
+        code, _ = run_cli(
+            "explain", "--rules", rules_file, "--db", facts_file, "--target", "+zzz"
+        )
+        assert code == 2
+
+
+class TestQueryCommand:
+    def test_rows_output(self, tmp_path):
+        facts = tmp_path / "facts.park"
+        facts.write_text("payroll(joe, 10). payroll(ann, 20). active(ann).")
+        code, output = run_cli(
+            "query", "--db", str(facts),
+            "--query", "payroll(X, S), not active(X)",
+        )
+        assert code == 0
+        assert "S\tX" in output
+        assert "10\tjoe" in output
+        assert "(1 answer)" in output
+
+    def test_ground_query_yes(self, tmp_path):
+        facts = tmp_path / "facts.park"
+        facts.write_text("p(a).")
+        code, output = run_cli("query", "--db", str(facts), "--query", "p(a)")
+        assert code == 0
+        assert "yes" in output
+
+    def test_no_answers(self, tmp_path):
+        facts = tmp_path / "facts.park"
+        facts.write_text("p(a).")
+        code, output = run_cli("query", "--db", str(facts), "--query", "p(zzz)")
+        assert code == 0
+        assert "no answers" in output
+
+    def test_unsafe_query_errors(self, tmp_path):
+        facts = tmp_path / "facts.park"
+        facts.write_text("p(a).")
+        code, _ = run_cli("query", "--db", str(facts), "--query", "not p(X)")
+        assert code == 2

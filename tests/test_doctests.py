@@ -1,0 +1,28 @@
+"""All embedded doctests in the library must pass."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module_info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, "%d doctest failure(s) in %s" % (
+        result.failed,
+        module_name,
+    )

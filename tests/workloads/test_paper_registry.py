@@ -1,0 +1,33 @@
+"""Tests for the registry of the paper's worked examples."""
+
+import pytest
+
+from repro.workloads.paper import PAPER_EXAMPLES, paper_example, run_all
+
+
+class TestRegistry:
+    def test_all_nine_present(self):
+        assert sorted(PAPER_EXAMPLES) == ["E%d" % i for i in range(1, 10)]
+
+    def test_lookup_case_insensitive(self):
+        assert paper_example("e4") is PAPER_EXAMPLES["E4"]
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown paper example"):
+            paper_example("E99")
+
+    def test_every_example_has_expectation_and_description(self):
+        for workload in PAPER_EXAMPLES.values():
+            assert workload.expected is not None
+            assert workload.description
+
+    @pytest.mark.parametrize("identifier", sorted(PAPER_EXAMPLES))
+    def test_each_example_checks(self, identifier):
+        workload = paper_example(identifier)
+        workload.check(workload.run())
+
+    def test_run_all(self):
+        results = run_all()
+        assert sorted(results) == sorted(PAPER_EXAMPLES)
+        # E7 and E8 differ only in policy; the registry must keep them apart
+        assert results["E7"].atoms != results["E8"].atoms

@@ -1,0 +1,194 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.blocking import BlockingMode
+from repro.lang.atoms import atom
+from repro.workloads import (
+    ProgramGenerator,
+    Workload,
+    conflict_cascade,
+    conflict_ladder,
+    deactivation_batch,
+    irreflexive_graph,
+    payroll_cleanup,
+    propositional_chain,
+    random_edges,
+    random_workload,
+    relational_reachability,
+    transitive_closure,
+)
+
+
+class TestChains:
+    def test_propositional_chain_runs_to_expected(self):
+        wl = propositional_chain(10)
+        result = wl.run()
+        wl.check(result)
+        assert result.stats.rounds == 11  # 10 derivations + fixpoint check
+        assert result.stats.restarts == 0
+
+    def test_relational_reachability(self):
+        wl = relational_reachability(20)
+        wl.check(wl.run())
+
+    def test_reachability_fanout(self):
+        wl = relational_reachability(10, fanout=2)
+        wl.check(wl.run())
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            propositional_chain(0)
+        with pytest.raises(ValueError):
+            relational_reachability(1)
+
+
+class TestGraphs:
+    def test_random_edges_deterministic(self):
+        assert random_edges(10, 15, seed=3) == random_edges(10, 15, seed=3)
+        assert random_edges(10, 15, seed=3) != random_edges(10, 15, seed=4)
+
+    def test_random_edges_no_self_loops(self):
+        assert all(a != b for a, b in random_edges(8, 20, seed=1))
+
+    def test_transitive_closure_conflict_free(self):
+        result = transitive_closure(12, seed=5).run()
+        assert result.stats.restarts == 0
+        assert result.interpretation.is_consistent()
+
+    def test_irreflexive_graph_paper_instance(self):
+        wl = irreflexive_graph()
+        result = wl.run()
+        wl.check(result)
+        assert result.stats.restarts == 1
+
+    def test_irreflexive_graph_scales(self):
+        wl = irreflexive_graph(("a", "b", "c", "d", "e"), cut_pair=("a", "e"))
+        result = wl.run()
+        wl.check(result)
+        # q has all non-reflexive pairs except the cut pair (both directions)
+        assert result.database.count("q") == 5 * 4 - 2
+
+
+class TestConflicts:
+    def test_ladder_expected_state(self):
+        wl = conflict_ladder(6)
+        result = wl.run()
+        wl.check(result)
+        assert result.stats.conflicts_resolved == 6
+
+    def test_ladder_single_restart_in_all_mode(self):
+        result = conflict_ladder(6).run(blocking_mode=BlockingMode.ALL)
+        assert result.stats.restarts == 1
+
+    def test_ladder_many_restarts_in_minimal_mode(self):
+        result = conflict_ladder(6).run(blocking_mode=BlockingMode.MINIMAL)
+        assert result.stats.restarts == 6
+
+    def test_cascade_restarts_scale_with_depth(self):
+        shallow = conflict_cascade(4).run()
+        deep = conflict_cascade(12).run()
+        assert deep.stats.restarts > shallow.stats.restarts
+        conflict_cascade(4).check(shallow)
+        conflict_cascade(12).check(deep)
+
+    def test_cascade_restart_bound(self):
+        # Paper: at most size(P) restarts.
+        wl = conflict_cascade(9)
+        result = wl.run()
+        assert result.stats.restarts <= len(wl.program)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            conflict_ladder(0)
+        with pytest.raises(ValueError):
+            conflict_cascade(1)
+
+
+class TestHr:
+    def test_cleanup_deletes_only_inactive(self):
+        wl = payroll_cleanup(40, inactive_fraction=0.25, seed=7)
+        inactive = wl.database.count("emp") - wl.database.count("active")
+        result = wl.run()
+        assert len(result.delta.deletes) == inactive
+        assert result.database.count("audit") == inactive
+
+    def test_deactivation_batch_triggers_severance(self):
+        wl = deactivation_batch(20, 4, seed=1)
+        result = wl.run()
+        assert result.database.count("severance") == 4
+        assert result.database.count("payroll") == 16
+        assert result.database.count("audit") == 4
+
+    def test_batch_capped_at_population(self):
+        wl = deactivation_batch(3, 10)
+        assert len(wl.updates) == 3
+
+
+class TestRandomPrograms:
+    def test_deterministic_by_seed(self):
+        w1 = random_workload(5)
+        w2 = random_workload(5)
+        assert tuple(w1.program) == tuple(w2.program)
+        assert w1.database == w2.database
+
+    def test_different_seeds_differ(self):
+        assert tuple(random_workload(1).program) != tuple(random_workload(2).program)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_programs_are_safe_and_terminate(self, seed):
+        wl = random_workload(seed, num_rules=10, num_facts=15)
+        result = wl.run(max_rounds=500)
+        assert result.interpretation.is_consistent()
+
+    def test_event_programs_generate(self):
+        generator = ProgramGenerator(seed=3, event_probability=0.5)
+        program = generator.program(10)
+        assert any(r.event_literals() for r in program)
+
+
+class TestWorkloadContainer:
+    def test_check_raises_on_mismatch(self):
+        wl = Workload(
+            name="w", program=propositional_chain(2).program,
+            database=propositional_chain(2).database,
+            expected=frozenset({atom("nope")}),
+        )
+        with pytest.raises(AssertionError, match="expected"):
+            wl.check(wl.run())
+
+    def test_run_policy_override(self):
+        from repro.policies.composite import ConstantPolicy
+
+        wl = conflict_ladder(2)
+        result = wl.run(policy=ConstantPolicy("insert"))
+        assert result.database.count("a0") == 1
+
+
+class TestGames:
+    def test_chain_game_alternates(self):
+        from repro.baselines.wellfounded import well_founded
+        from repro.workloads.games import chain_game
+
+        wl = chain_game(6)
+        model = well_founded(wl.program, wl.database)
+        assert model.total
+        # dead end n6 loses; n5 wins; ... n0 (even distance) wins iff odd chain
+        wins = {str(a) for a in model.true if a.predicate == "win"}
+        assert "win(n5)" in wins
+        assert "win(n6)" not in wins
+
+    def test_random_game_deterministic(self):
+        from repro.workloads.games import random_game
+
+        a = random_game(10, seed=4)
+        b = random_game(10, seed=4)
+        assert a.database == b.database
+
+    def test_random_game_no_self_moves(self):
+        from repro.workloads.games import random_game
+
+        wl = random_game(8, seed=1)
+        assert all(
+            row[0] != row[1] for row in wl.database.relation("move").rows()
+        )
