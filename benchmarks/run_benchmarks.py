@@ -1,0 +1,137 @@
+"""Strategy-comparison benchmark runner: naive vs seminaive vs incremental.
+
+Runs the scaling workload families used by the pytest benchmark suites
+(``bench_scaling_db``, ``bench_scaling_rules``, ``bench_eca``) under all
+three Γ evaluation strategies and writes ``BENCH_park.json`` with wall
+time, round counts, and firings/sec per workload, plus the speedup of
+each delta strategy over naive.  While timing it also asserts the
+strategies stay bit-identical (atoms, blocked set, rounds, restarts,
+firings), so a regression shows up as a hard failure rather than a
+silently wrong speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--repeats N] [--out PATH]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.workloads import (
+    conflict_cascade,
+    deactivation_batch,
+    payroll_cleanup,
+    propositional_chain,
+    relational_reachability,
+    transitive_closure,
+)
+
+STRATEGIES = ("naive", "seminaive", "incremental")
+
+
+def _workloads():
+    """(name, workload) pairs — the upper ends of each suite's sweep."""
+    return [
+        ("tc-40", transitive_closure(40, seed=11)),
+        ("tc-80", transitive_closure(80, seed=11)),
+        ("reach-100", relational_reachability(100, fanout=2)),
+        ("reach-200", relational_reachability(200, fanout=2)),
+        ("hr-800", payroll_cleanup(800, inactive_fraction=0.2, seed=3)),
+        ("cascade-16", conflict_cascade(16)),
+        ("chain-200", propositional_chain(200)),
+        ("batch-80", deactivation_batch(400, 80, seed=2)),
+        ("batch-320", deactivation_batch(400, 320, seed=2)),
+    ]
+
+
+def _fingerprint(result):
+    return (
+        result.atoms,
+        result.blocked,
+        result.stats.rounds,
+        result.stats.restarts,
+        result.stats.firings_total,
+    )
+
+
+def _time_workload(workload, strategy, repeats):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = workload.run(evaluation=strategy)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def run(repeats=3, out="BENCH_park.json", verbose=True):
+    report = {"repeats": repeats, "strategies": list(STRATEGIES), "workloads": {}}
+    for name, workload in _workloads():
+        entry = {}
+        fingerprints = {}
+        for strategy in STRATEGIES:
+            seconds, result = _time_workload(workload, strategy, repeats)
+            fingerprints[strategy] = _fingerprint(result)
+            entry[strategy] = {
+                "wall_time_s": round(seconds, 6),
+                "rounds": result.stats.rounds,
+                "restarts": result.stats.restarts,
+                "firings_total": result.stats.firings_total,
+                "firings_per_s": round(result.stats.firings_total / seconds, 1)
+                if seconds > 0
+                else None,
+            }
+        for strategy in STRATEGIES[1:]:
+            if fingerprints[strategy] != fingerprints["naive"]:
+                raise AssertionError(
+                    "%s diverged from naive on workload %s" % (strategy, name)
+                )
+            entry[strategy]["speedup_vs_naive"] = round(
+                entry["naive"]["wall_time_s"] / entry[strategy]["wall_time_s"], 2
+            )
+        report["workloads"][name] = entry
+        if verbose:
+            print(
+                "%-12s naive %8.4fs   seminaive %8.4fs (%.2fx)   incremental %8.4fs (%.2fx)"
+                % (
+                    name,
+                    entry["naive"]["wall_time_s"],
+                    entry["seminaive"]["wall_time_s"],
+                    entry["seminaive"]["speedup_vs_naive"],
+                    entry["incremental"]["wall_time_s"],
+                    entry["incremental"]["speedup_vs_naive"],
+                )
+            )
+    doubled = [
+        name
+        for name, entry in report["workloads"].items()
+        if entry["incremental"]["speedup_vs_naive"] >= 2.0
+    ]
+    report["incremental_2x_workloads"] = doubled
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if verbose:
+        print(
+            "incremental >= 2x on %d/%d workloads: %s"
+            % (len(doubled), len(report["workloads"]), ", ".join(doubled))
+        )
+        print("wrote %s" % out)
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_park.json")
+    args = parser.parse_args(argv)
+    run(repeats=args.repeats, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

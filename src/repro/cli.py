@@ -93,6 +93,12 @@ def _build_parser():
         "--blocking", choices=["all", "minimal"], default="all",
         help="conflict blocking granularity",
     )
+    run.add_argument(
+        "--evaluation", choices=["naive", "seminaive", "incremental"],
+        default="naive",
+        help="Γ evaluation strategy (bit-identical results; "
+        "'incremental' delta-matches events and skips clean rules)",
+    )
     run.add_argument("--trace", action="store_true", help="print the trace")
     run.add_argument("--stats", action="store_true", help="print run counters")
 
@@ -135,6 +141,7 @@ def _command_run(args, out):
         if args.blocking == "minimal"
         else BlockingMode.ALL,
         listeners=(recorder,) if recorder is not None else (),
+        evaluation=getattr(args, "evaluation", "naive"),
     )
     result = engine.run(program, database, updates=updates)
     if recorder is not None:

@@ -30,7 +30,13 @@ class GammaResult:
             (sorted); empty iff ``Γ(I)`` is consistent, given consistent ``I``.
     """
 
-    __slots__ = ("interpretation", "firings", "new_updates", "conflict_atoms")
+    __slots__ = (
+        "interpretation",
+        "firings",
+        "new_updates",
+        "conflict_atoms",
+        "_firing_count",
+    )
 
     def __init__(self, interpretation, firings):
         self.interpretation = interpretation
@@ -39,6 +45,14 @@ class GammaResult:
             (u for u in firings if not interpretation.has_update(u)), key=str
         )
         self.conflict_atoms = self._find_conflict_atoms()
+        self._firing_count = None
+
+    @property
+    def firing_count(self):
+        """Total rule-instance firings this round (computed once, cached)."""
+        if self._firing_count is None:
+            self._firing_count = sum(len(g) for g in self.firings.values())
+        return self._firing_count
 
     def _find_conflict_atoms(self):
         interpretation = self.interpretation

@@ -26,7 +26,7 @@ from .blocking import BlockingMode, resolve_conflicts
 from .conflicts import build_conflicts
 from .consequence import GammaResult
 from .eca import extend_with_updates
-from .evaluation import make_evaluation
+from .evaluation import EVALUATION_STRATEGIES, make_evaluation
 from .incorporate import incorp
 from .interpretation import IInterpretation
 from .provenance import Provenance
@@ -107,9 +107,10 @@ class ParkEngine:
         self.max_rounds = max_rounds
         self.max_restarts = max_restarts
         self.listeners = tuple(listeners)
-        if evaluation not in ("naive", "seminaive"):
+        if evaluation not in EVALUATION_STRATEGIES:
             raise ValueError(
-                "evaluation must be 'naive' or 'seminaive', got %r" % (evaluation,)
+                "evaluation must be one of %s, got %r"
+                % (", ".join(sorted(EVALUATION_STRATEGIES)), evaluation)
             )
         self.evaluation = evaluation
 
@@ -137,6 +138,7 @@ class ParkEngine:
         else:
             run_program = base_program
 
+        have_listeners = bool(self.listeners)
         self._emit("on_start", run_program, original, self.policy.name)
 
         stats = RunStats()
@@ -155,8 +157,13 @@ class ParkEngine:
                 )
             firings = evaluator.compute(interpretation, last_new_updates)
             result = GammaResult(interpretation, firings)
-            stats.firings_total += sum(len(g) for g in result.firings.values())
-            self._emit("on_round", stats.rounds, epoch, result)
+            if have_listeners:
+                stats.firings_total += result.firing_count
+                self._emit("on_round", stats.rounds, epoch, result)
+            else:
+                # Strategies count firings as they collect them; skip the
+                # per-round re-summation over the firings map.
+                stats.firings_total += evaluator.last_firing_count
 
             if result.is_consistent:
                 provenance.record(result.firings, round_number=stats.rounds)
@@ -185,14 +192,15 @@ class ParkEngine:
                     "conflict resolution added no new blocked instances "
                     "(policy %s cannot make progress)" % self.policy.name
                 )
-            self._emit(
-                "on_conflicts",
-                stats.rounds,
-                epoch,
-                tuple(conflicts),
-                tuple(decisions),
-                frozenset(new_instances),
-            )
+            if have_listeners:
+                self._emit(
+                    "on_conflicts",
+                    stats.rounds,
+                    epoch,
+                    tuple(conflicts),
+                    tuple(decisions),
+                    frozenset(new_instances),
+                )
             blocked |= new_instances
             stats.restarts += 1
             stats.conflicts_resolved += len(decisions)
@@ -208,12 +216,14 @@ class ParkEngine:
             provenance.clear()
             evaluator = make_evaluation(self.evaluation, run_program, blocked)
             last_new_updates = None
-            self._emit("on_restart", epoch, frozenset(blocked))
+            if have_listeners:
+                self._emit("on_restart", epoch, frozenset(blocked))
 
         stats.blocked_instances = len(blocked)
-        self._emit(
-            "on_fixpoint", stats.rounds, epoch, interpretation, frozenset(blocked)
-        )
+        if have_listeners:
+            self._emit(
+                "on_fixpoint", stats.rounds, epoch, interpretation, frozenset(blocked)
+            )
 
         final_database = incorp(interpretation)
         run_result = ParkResult(

@@ -1,37 +1,63 @@
 """Per-epoch evaluation strategies for the engine's ``Γ`` rounds.
 
 ``Γ``'s definition quantifies over *all* valid unblocked instances every
-round; the naive strategy recomputes that set from scratch.  The
-semi-naive strategy exploits a monotonicity split:
+round; the naive strategy recomputes that set from scratch.  The other
+strategies exploit how validity evolves *within one epoch*: ``I∅`` is
+invariant and ``I+``/``I-`` only grow, so
 
-* **monotone rules** — bodies made only of positive condition literals
-  (including bodyless transaction rules).  Positive validity
-  (``a ∈ I∅ ∪ I+``) can only switch off→on as ``I`` grows, so within one
-  epoch the set of valid instances only accumulates: a full match in the
-  epoch's first round, then per-round *delta* matching (an instance newly
-  valid in round ``k`` must read at least one atom inserted in round
-  ``k−1``), with results accumulated.
-* **volatile rules** — anything with negation or event literals, whose
-  instance validity can flip both ways; re-evaluated in full each round.
+* **positive condition literals** (``a`` valid iff ``a ∈ I∅ ∪ I+``) can
+  only switch off→on;
+* **event literals** (``+a`` valid iff ``+a ∈ I+``; ``-a`` iff
+  ``-a ∈ I-``) can likewise only switch off→on — the Section 4.3 validity
+  clauses read the marked sets directly, which grow inflationarily;
+* **negated condition literals** can flip both ways (``not a`` loses
+  validity when ``+a`` arrives, gains it when ``-a`` does).
 
-The union (accumulated monotone + current volatile) equals exactly the
-naive round's firings, so ``GammaResult`` — and therefore conflicts,
-blocking, traces and final states — are bit-identical between the two
-strategies.  That equivalence is property-tested
-(``tests/property/test_evaluation_modes.py``) and the speedup is measured
-by the A4 ablation benchmarks.
+The strategies:
+
+* ``naive`` — textbook full rematch of every rule, every round.
+* ``seminaive`` — rules whose bodies are purely positive conditions are
+  *monotone*: full match in the epoch's first round, then per-round
+  *delta* matching (a newly valid instance must read at least one atom
+  inserted in round ``k-1``), with results accumulated.  Everything with
+  negation or events is *volatile* and re-evaluated in full each round.
+* ``incremental`` — widens the monotone fragment to include event
+  literals (delta variants are generated for event literals just like
+  condition literals, reading the round's new ``+``/``-`` marks), and
+  adds **dirty-predicate scheduling** for the remaining negation-bearing
+  rules: a volatile rule is only rematched when last round's new marks
+  intersect the ``(predicate, op)`` marks its body reads; otherwise its
+  previous firings are reused.  This is sound because every validity
+  case for a literal over predicate ``p`` depends only on the atoms and
+  marks over ``p`` — and each case reads specific polarities (see
+  :func:`repro.engine.dependency.body_mark_index`) — while the blocked
+  set is constant within an epoch.
+
+Each strategy returns exactly the naive round's firings, so
+``GammaResult`` — and therefore conflicts, blocking, traces and final
+states — are bit-identical between the three.  That equivalence is
+property-tested (``tests/property/test_evaluation_modes.py``) and the
+speedup is measured by the A4 ablation benchmarks and
+``benchmarks/run_benchmarks.py``.
 
 Blocked sets only grow at restarts, so an evaluator is valid for exactly
 one epoch; the engine constructs a fresh one after every restart.
+
+Every strategy also maintains ``last_firing_count`` — the total number
+of instances in the dict returned by the latest :meth:`compute` — so the
+engine can track ``stats.firings_total`` without re-summing the firings
+map each round when no listeners are attached.
 """
 
 from __future__ import annotations
 
+from ..engine.dependency import body_mark_index, marks_touched
 from ..engine.match import match_rule
 from ..engine.views import FactsView
 from ..lang.atoms import Atom
-from ..lang.literals import Condition
+from ..lang.literals import Condition, Event
 from ..lang.rules import Rule
+from ..lang.updates import Update, UpdateOp
 from .groundings import RuleGrounding
 from .validity import InterpretationView
 
@@ -39,10 +65,45 @@ _DELTA_PREFIX = "__delta__"
 
 
 def _is_monotone(rule):
+    """Purely positive condition body: the semi-naive monotone fragment."""
     return all(
         isinstance(literal, Condition) and literal.positive
         for literal in rule.body
     )
+
+
+def _is_epoch_monotone(rule):
+    """No negated conditions: valid instances only accumulate within an epoch.
+
+    Positive conditions and event literals both read sets that grow
+    inflationarily within one epoch (``I∅ ∪ I+`` and ``I+``/``I-``
+    respectively), so their validity only switches off→on.
+    """
+    return not any(
+        isinstance(literal, Condition) and not literal.positive
+        for literal in rule.body
+    )
+
+
+def _shadow_atom(atom):
+    return Atom(_DELTA_PREFIX + atom.predicate, atom.terms)
+
+
+def _delta_variant(rule, index, literal):
+    """*rule* with body literal *index* renamed into the delta namespace.
+
+    The shadow literal keeps its kind: a positive condition reads the
+    round's newly ``+``-marked atoms, an event literal ``±a`` reads the
+    round's newly ``±``-marked atoms.  The variant bypasses safety
+    re-validation (the original rule is safe and the variant only renames
+    a predicate).
+    """
+    if isinstance(literal, Event):
+        shadow = Event(Update(literal.op, _shadow_atom(literal.atom)))
+    else:
+        shadow = Condition(_shadow_atom(literal.atom), positive=True)
+    body = rule.body[:index] + (shadow,) + rule.body[index + 1 :]
+    return Rule.__new_unchecked__(rule.head, body, None, None)
 
 
 class NaiveEvaluation:
@@ -53,30 +114,40 @@ class NaiveEvaluation:
     def __init__(self, program, blocked):
         self.program = program
         self.blocked = frozenset(blocked)
+        self.last_firing_count = 0
 
     def compute(self, interpretation, delta_updates=None):
         """All valid unblocked firings: ``{head Update: frozenset[RuleGrounding]}``."""
         from .consequence import compute_firings
 
-        return compute_firings(self.program, interpretation, self.blocked)
+        firings = compute_firings(self.program, interpretation, self.blocked)
+        self.last_firing_count = sum(len(g) for g in firings.values())
+        return firings
 
 
 class _DeltaView(FactsView):
-    """Serves ``__delta__``-prefixed predicates from last round's inserts,
-    everything else from the underlying interpretation view."""
+    """Serves ``__delta__``-prefixed predicates from last round's new marks,
+    everything else from the underlying interpretation view.
 
-    __slots__ = ("inner", "delta_db")
+    *delta_plus* holds the newly ``+``-marked atoms (shadow-named) and
+    backs shadow positive conditions and shadow ``+a`` event literals;
+    *delta_minus* holds the newly ``-``-marked atoms and backs shadow
+    ``-a`` event literals.  The semi-naive strategy only ever populates
+    *delta_plus* (its monotone fragment has no event literals)."""
 
-    def __init__(self, inner, delta_db):
+    __slots__ = ("inner", "delta_plus", "delta_minus")
+
+    def __init__(self, inner, delta_plus, delta_minus=None):
         self.inner = inner
-        self.delta_db = delta_db
+        self.delta_plus = delta_plus
+        self.delta_minus = delta_minus
 
     def _is_shadow(self, predicate):
         return predicate.startswith(_DELTA_PREFIX)
 
     def condition_candidates(self, predicate, arity, bound):
         if self._is_shadow(predicate):
-            relation = self.delta_db.relation(predicate)
+            relation = self.delta_plus.relation(predicate)
             if relation is None or relation.arity != arity:
                 return ()
             return relation.candidates(bound)
@@ -84,22 +155,80 @@ class _DeltaView(FactsView):
 
     def condition_holds(self, atom):
         if self._is_shadow(atom.predicate):
-            return atom in self.delta_db
+            return atom in self.delta_plus
         return self.inner.condition_holds(atom)
 
     def negation_holds(self, atom):
         return self.inner.negation_holds(atom)
 
+    def _event_store(self, op):
+        return self.delta_plus if op is UpdateOp.INSERT else self.delta_minus
+
     def event_candidates(self, op, predicate, arity, bound):
+        if self._is_shadow(predicate):
+            store = self._event_store(op)
+            relation = store.relation(predicate) if store is not None else None
+            if relation is None or relation.arity != arity:
+                return ()
+            return relation.candidates(bound)
         return self.inner.event_candidates(op, predicate, arity, bound)
 
     def event_holds(self, op, atom):
+        if self._is_shadow(atom.predicate):
+            store = self._event_store(op)
+            return store is not None and atom in store
         return self.inner.event_holds(op, atom)
 
     def estimate(self, predicate):
         if self._is_shadow(predicate):
-            return self.delta_db.count(predicate)
+            total = self.delta_plus.count(predicate)
+            if self.delta_minus is not None:
+                total += self.delta_minus.count(predicate)
+            return total
         return self.inner.estimate(predicate)
+
+
+def _collect(rule, blocked, view, into):
+    """Match *rule* against *view*, adding unblocked instances to *into*.
+
+    Returns the number of instances that were actually new in *into*.
+    """
+    added = 0
+    for substitution in match_rule(rule, view):
+        instance = RuleGrounding(rule, substitution)
+        if instance in blocked:
+            continue
+        head = instance.ground_head()
+        bucket = into.get(head)
+        if bucket is None:
+            into[head] = {instance}
+            added += 1
+        elif instance not in bucket:
+            bucket.add(instance)
+            added += 1
+    return added
+
+
+def _collect_variant(original_rule, variant_rule, blocked, view, into, touched=None):
+    """Like :func:`_collect`, but grounding identity uses *original_rule*."""
+    added = 0
+    for substitution in match_rule(variant_rule, view):
+        instance = RuleGrounding(original_rule, substitution)
+        if instance in blocked:
+            continue
+        head = instance.ground_head()
+        bucket = into.get(head)
+        if bucket is None:
+            into[head] = {instance}
+            added += 1
+        elif instance not in bucket:
+            bucket.add(instance)
+            added += 1
+        else:
+            continue
+        if touched is not None:
+            touched.add(head)
+    return added
 
 
 class SemiNaiveEvaluation:
@@ -121,37 +250,11 @@ class SemiNaiveEvaluation:
         self._variants = []  # (original_rule, variant_rule)
         for rule in self.monotone_rules:
             for index, literal in enumerate(rule.body):
-                shadow_atom = Atom(
-                    _DELTA_PREFIX + literal.atom.predicate, literal.atom.terms
-                )
-                body = (
-                    rule.body[:index]
-                    + (Condition(shadow_atom, positive=True),)
-                    + rule.body[index + 1 :]
-                )
-                self._variants.append(
-                    (rule, Rule.__new_unchecked__(rule.head, body, None, None))
-                )
+                self._variants.append((rule, _delta_variant(rule, index, literal)))
         self._accumulated = {}  # Update -> set[RuleGrounding]
+        self._monotone_total = 0
         self._first_round_done = False
-
-    # -- internals -------------------------------------------------------------
-
-    def _collect(self, rule, view, into):
-        for substitution in match_rule(rule, view):
-            instance = RuleGrounding(rule, substitution)
-            if instance in self.blocked:
-                continue
-            head = instance.ground_head()
-            into.setdefault(head, set()).add(instance)
-
-    def _collect_variant(self, original_rule, variant_rule, view, into):
-        for substitution in match_rule(variant_rule, view):
-            instance = RuleGrounding(original_rule, substitution)
-            if instance in self.blocked:
-                continue
-            head = instance.ground_head()
-            into.setdefault(head, set()).add(instance)
+        self.last_firing_count = 0
 
     @staticmethod
     def _delta_database(delta_updates):
@@ -160,9 +263,7 @@ class SemiNaiveEvaluation:
         delta_db = Database()
         for update in delta_updates:
             if update.is_insert:
-                delta_db.add(
-                    Atom(_DELTA_PREFIX + update.atom.predicate, update.atom.terms)
-                )
+                delta_db.add(_shadow_atom(update.atom))
         return delta_db
 
     # -- the strategy ---------------------------------------------------------------
@@ -173,28 +274,158 @@ class SemiNaiveEvaluation:
         if not self._first_round_done:
             # Epoch round 1: full match of the monotone fragment.
             for rule in self.monotone_rules:
-                self._collect(rule, view, self._accumulated)
+                self._monotone_total += _collect(
+                    rule, self.blocked, view, self._accumulated
+                )
             self._first_round_done = True
         elif delta_updates:
             delta_db = self._delta_database(delta_updates)
             if delta_db:
                 delta_view = _DeltaView(view, delta_db)
                 for original_rule, variant_rule in self._variants:
-                    self._collect_variant(
-                        original_rule, variant_rule, delta_view, self._accumulated
+                    self._monotone_total += _collect_variant(
+                        original_rule,
+                        variant_rule,
+                        self.blocked,
+                        delta_view,
+                        self._accumulated,
                     )
 
         firings = {
             head: set(instances) for head, instances in self._accumulated.items()
         }
+        count = self._monotone_total
         for rule in self.volatile_rules:
-            self._collect(rule, view, firings)
+            count += _collect(rule, self.blocked, view, firings)
+        self.last_firing_count = count
         return {head: frozenset(instances) for head, instances in firings.items()}
+
+
+class IncrementalEvaluation:
+    """Delta evaluation for the whole negation-free fragment plus
+    dirty-predicate scheduling for the rest.
+
+    Three refinements over :class:`SemiNaiveEvaluation`:
+
+    * event literals join the monotone fragment (their validity is
+      epoch-monotone too), with delta variants reading the round's new
+      ``+``/``-`` marks;
+    * the accumulated monotone firings are kept as ready frozensets that
+      are re-frozen only for heads touched this round, so each round's
+      result dict is a shallow copy instead of a deep one;
+    * volatile (negation-bearing) rules cache their previous firings and
+      are rematched only when last round's new marks touched one of the
+      ``(predicate, op)`` marks their bodies read — a sound
+      over-approximation since literal validity over ``p`` depends only on
+      the marks over ``p`` (and positive conditions and events each read
+      only one polarity; see
+      :func:`repro.engine.dependency.body_mark_index`).
+    """
+
+    name = "incremental"
+
+    def __init__(self, program, blocked):
+        self.blocked = frozenset(blocked)
+        self.monotone_rules = []
+        self.volatile_rules = []
+        for rule in program:
+            (
+                self.monotone_rules
+                if _is_epoch_monotone(rule)
+                else self.volatile_rules
+            ).append(rule)
+        self._variants = []  # (original_rule, variant_rule)
+        for rule in self.monotone_rules:
+            for index, literal in enumerate(rule.body):
+                self._variants.append((rule, _delta_variant(rule, index, literal)))
+        self._body_marks = body_mark_index(self.volatile_rules)
+        self._accumulated = {}  # Update -> set[RuleGrounding]
+        self._frozen = {}  # Update -> frozenset[RuleGrounding], kept in sync
+        self._monotone_total = 0
+        self._volatile_cache = {}  # rule -> {Update: frozenset[RuleGrounding]}
+        self._first_round_done = False
+        self.last_firing_count = 0
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _delta_databases(delta_updates):
+        from ..storage.database import Database
+
+        delta_plus = Database()
+        delta_minus = Database()
+        for update in delta_updates:
+            shadow = _shadow_atom(update.atom)
+            (delta_plus if update.is_insert else delta_minus).add(shadow)
+        return delta_plus, delta_minus
+
+    def _collect_volatile(self, rule, view):
+        staged = {}
+        _collect(rule, self.blocked, view, staged)
+        return {head: frozenset(instances) for head, instances in staged.items()}
+
+    # -- the strategy ---------------------------------------------------------------
+
+    def compute(self, interpretation, delta_updates=None):
+        view = InterpretationView(interpretation)
+        dirty = None  # None means "everything": the epoch's first round.
+
+        if not self._first_round_done:
+            for rule in self.monotone_rules:
+                self._monotone_total += _collect(
+                    rule, self.blocked, view, self._accumulated
+                )
+            self._frozen = {
+                head: frozenset(instances)
+                for head, instances in self._accumulated.items()
+            }
+            self._first_round_done = True
+        elif delta_updates:
+            dirty = marks_touched(delta_updates)
+            delta_plus, delta_minus = self._delta_databases(delta_updates)
+            delta_view = _DeltaView(view, delta_plus, delta_minus)
+            touched = set()
+            for original_rule, variant_rule in self._variants:
+                self._monotone_total += _collect_variant(
+                    original_rule,
+                    variant_rule,
+                    self.blocked,
+                    delta_view,
+                    self._accumulated,
+                    touched,
+                )
+            for head in touched:
+                self._frozen[head] = frozenset(self._accumulated[head])
+        else:
+            dirty = frozenset()
+
+        firings = dict(self._frozen)
+        count = self._monotone_total
+        for rule in self.volatile_rules:
+            cached = self._volatile_cache.get(rule)
+            if (
+                cached is None
+                or dirty is None
+                or not dirty.isdisjoint(self._body_marks[rule])
+            ):
+                cached = self._collect_volatile(rule, view)
+                self._volatile_cache[rule] = cached
+            for head, instances in cached.items():
+                existing = firings.get(head)
+                firings[head] = (
+                    instances if existing is None else existing | instances
+                )
+                # Volatile instances embed their own rule, so they never
+                # collide with monotone instances or other rules' caches.
+                count += len(instances)
+        self.last_firing_count = count
+        return firings
 
 
 EVALUATION_STRATEGIES = {
     "naive": NaiveEvaluation,
     "seminaive": SemiNaiveEvaluation,
+    "incremental": IncrementalEvaluation,
 }
 
 

@@ -137,8 +137,13 @@ class IInterpretation:
         return len(self._unmarked) + self.marked_count()
 
     def copy(self):
+        # Carry the hash indexes: ``Γ``'s apply copies the interpretation
+        # every round, and rebuilding indexes from scratch each time costs
+        # more than the per-bucket set copies.
         return IInterpretation(
-            self._unmarked.copy(), self._plus.copy(), self._minus.copy()
+            self._unmarked.copy(with_indexes=True),
+            self._plus.copy(with_indexes=True),
+            self._minus.copy(with_indexes=True),
         )
 
     def freeze(self):
@@ -150,8 +155,12 @@ class IInterpretation:
         )
 
     def restarted(self):
-        """A fresh interpretation keeping only ``I∅`` (the paper's restart)."""
-        return IInterpretation(unmarked=self._unmarked.copy())
+        """A fresh interpretation keeping only ``I∅`` (the paper's restart).
+
+        ``I∅`` is invariant during a run, so its indexes are still valid
+        after a conflict restart — carry them instead of rebuilding.
+        """
+        return IInterpretation(unmarked=self._unmarked.copy(with_indexes=True))
 
     # -- comparisons ---------------------------------------------------------------------------
 

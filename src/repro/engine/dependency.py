@@ -203,6 +203,66 @@ class DependencyGraph:
         return [frozenset(s) for s in strata if s]
 
 
+def body_predicate_index(rules):
+    """Map each rule to the frozenset of predicates its body reads.
+
+    This is the rule-side of the dependency graph above, keyed by rule
+    instead of by edge.  The incremental evaluator uses it for
+    dirty-predicate scheduling: all three validity cases for a literal over
+    predicate ``p`` (positive condition, negated condition, event) depend
+    only on the unmarked atoms and marks over ``p``, so a rule's set of
+    valid instances can change between two rounds of one epoch only if a
+    body predicate acquired new marks in between.
+    """
+    return {
+        rule: frozenset(literal.atom.predicate for literal in rule.body)
+        for rule in rules
+    }
+
+
+def body_mark_index(rules):
+    """Map each rule to the ``(predicate, op)`` marks its validity reads.
+
+    A polarity-aware refinement of :func:`body_predicate_index`: within one
+    epoch ``I∅`` is invariant, so a literal's validity can only change when
+    specific marks arrive —
+
+    * a positive condition on ``p`` (``p ∈ I∅ ∪ I+``) reads only ``+p``;
+    * a negated condition on ``p`` reads both ``+p`` (can invalidate it)
+      and ``-p`` (can validate it);
+    * an event literal ``+p``/``-p`` reads only its own mark.
+
+    A rule's valid-instance set is unchanged between rounds whose new marks
+    are disjoint from this set.
+    """
+    from ..lang.updates import UpdateOp
+
+    index = {}
+    for rule in rules:
+        marks = set()
+        for literal in rule.body:
+            predicate = literal.atom.predicate
+            if isinstance(literal, Event):
+                marks.add((predicate, literal.op))
+            elif literal.positive:
+                marks.add((predicate, UpdateOp.INSERT))
+            else:
+                marks.add((predicate, UpdateOp.INSERT))
+                marks.add((predicate, UpdateOp.DELETE))
+        index[rule] = frozenset(marks)
+    return index
+
+
+def marks_touched(updates):
+    """The ``(predicate, op)`` marks dirtied by a batch of ground updates."""
+    return frozenset((update.atom.predicate, update.op) for update in updates)
+
+
+def predicates_touched(updates):
+    """The predicates dirtied by a batch of ground updates (insert or delete)."""
+    return frozenset(update.atom.predicate for update in updates)
+
+
 @dataclass(frozen=True)
 class ProgramClass:
     """What fragment a program belongs to."""

@@ -26,7 +26,7 @@ class _CompiledLiteral:
     """A literal preprocessed for fast matching."""
 
     __slots__ = ("literal", "kind", "predicate", "arity", "terms", "is_event", "op",
-                 "positive")
+                 "positive", "const_bound", "const_items", "var_items")
 
     def __init__(self, literal, kind):
         self.literal = literal
@@ -37,6 +37,19 @@ class _CompiledLiteral:
         self.is_event = isinstance(literal, Event)
         self.op = literal.op if self.is_event else None
         self.positive = literal.positive if isinstance(literal, Condition) else True
+        # Positions split once at compile time so the per-round hot paths
+        # never re-test isinstance per term.  ``const_bound`` is shared with
+        # the view layer and must never be mutated.
+        const_bound = {}
+        var_items = []
+        for position, term in enumerate(self.terms):
+            if isinstance(term, Constant):
+                const_bound[position] = term.value
+            else:
+                var_items.append((position, term))
+        self.const_bound = const_bound
+        self.const_items = tuple(const_bound.items())
+        self.var_items = tuple(var_items)
 
 
 class CompiledRule:
@@ -86,14 +99,19 @@ def _check_holds(view, compiled_literal, bindings):
 
 
 def _candidate_rows(view, compiled_literal, bindings):
-    bound = {}
-    for position, term in enumerate(compiled_literal.terms):
-        if isinstance(term, Constant):
-            bound[position] = term.value
-        else:
-            constant = bindings.get(term)
-            if constant is not None:
-                bound[position] = constant.value
+    # Non-allocating path: the constant part of the binding pattern is
+    # precompiled and shared; a fresh dict is built only when the current
+    # bindings actually constrain one of the literal's variables.
+    bound = compiled_literal.const_bound
+    extended = None
+    for position, term in compiled_literal.var_items:
+        constant = bindings.get(term)
+        if constant is not None:
+            if extended is None:
+                extended = dict(bound)
+            extended[position] = constant.value
+    if extended is not None:
+        bound = extended
     if compiled_literal.is_event:
         return view.event_candidates(
             compiled_literal.op, compiled_literal.predicate, compiled_literal.arity, bound
@@ -109,13 +127,12 @@ def _unify_row(compiled_literal, row, bindings):
     Handles repeated variables (``q(X, X)``) and re-checks columns that the
     view may have served unbound (views may return supersets).
     """
+    for position, value in compiled_literal.const_items:
+        if row[position] != value:
+            return None
     extended = None
-    for position, term in enumerate(compiled_literal.terms):
+    for position, term in compiled_literal.var_items:
         value = row[position]
-        if isinstance(term, Constant):
-            if term.value != value:
-                return None
-            continue
         current = (extended or bindings).get(term)
         if current is not None:
             if current.value != value:

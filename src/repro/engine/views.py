@@ -94,7 +94,7 @@ class AtomSetView(FactsView):
     :class:`Database` (with indexes) would cost more than the scan.
     """
 
-    __slots__ = ("_atoms", "_by_predicate")
+    __slots__ = ("_atoms", "_by_predicate", "_row_sets")
 
     def __init__(self, atoms):
         self._atoms = frozenset(atoms)
@@ -103,11 +103,20 @@ class AtomSetView(FactsView):
             self._by_predicate.setdefault(atom.signature(), []).append(
                 atom.value_tuple()
             )
+        self._row_sets = {
+            signature: frozenset(rows)
+            for signature, rows in self._by_predicate.items()
+        }
 
     def condition_candidates(self, predicate, arity, bound):
         rows = self._by_predicate.get((predicate, arity), ())
         if not bound:
             return rows
+        if len(bound) == arity:
+            # Fully bound: answer with one membership test instead of a scan.
+            row = tuple(bound[column] for column in range(arity))
+            row_set = self._row_sets.get((predicate, arity), frozenset())
+            return (row,) if row in row_set else ()
         return (
             row for row in rows if all(row[c] == v for c, v in bound.items())
         )

@@ -140,11 +140,17 @@ class Database:
 
     # -- value semantics ---------------------------------------------------------------
 
-    def copy(self):
-        """An independent copy (catalog copied, rows copied, indexes dropped)."""
+    def copy(self, with_indexes=False):
+        """An independent copy (catalog copied, rows copied).
+
+        Indexes are dropped by default; ``with_indexes=True`` carries them
+        over (see :meth:`Relation.copy`), which the engine uses when copying
+        an interpretation every round and when restarting an epoch.
+        """
         clone = Database(catalog=self.catalog.copy())
         clone._relations = {
-            name: relation.copy() for name, relation in self._relations.items()
+            name: relation.copy(with_indexes=with_indexes)
+            for name, relation in self._relations.items()
         }
         return clone
 

@@ -41,7 +41,36 @@ class Delta:
 
     @classmethod
     def diff(cls, before, after):
-        """The delta turning database *before* into database *after*."""
+        """The delta turning database *before* into database *after*.
+
+        When both sides are :class:`~repro.storage.database.Database`
+        instances the comparison runs per-relation on raw row sets, so atom
+        objects are only built for rows that actually differ — the common
+        case (a run touching a small fraction of a large database) costs
+        O(|difference|) atom constructions instead of O(|D|).
+        """
+        from ..lang.atoms import Atom
+        from ..lang.terms import Constant
+        from .database import Database
+
+        if isinstance(before, Database) and isinstance(after, Database):
+            updates = []
+            predicates = set(before.predicates()) | set(after.predicates())
+            for predicate in sorted(predicates):
+                before_rel = before.relation(predicate)
+                after_rel = after.relation(predicate)
+                before_rows = before_rel.row_set() if before_rel is not None else frozenset()
+                after_rows = after_rel.row_set() if after_rel is not None else frozenset()
+                if before_rows == after_rows:
+                    continue
+                for row in after_rows - before_rows:
+                    atom = Atom(predicate, tuple(Constant(v) for v in row))
+                    updates.append(Update(UpdateOp.INSERT, atom))
+                for row in before_rows - after_rows:
+                    atom = Atom(predicate, tuple(Constant(v) for v in row))
+                    updates.append(Update(UpdateOp.DELETE, atom))
+            return cls(updates)
+
         before_atoms = before.freeze() if hasattr(before, "freeze") else frozenset(before)
         after_atoms = after.freeze() if hasattr(after, "freeze") else frozenset(after)
         updates = [Update(UpdateOp.INSERT, a) for a in after_atoms - before_atoms]

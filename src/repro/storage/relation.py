@@ -85,6 +85,10 @@ class Relation:
         """A snapshot list of all rows (safe to mutate the relation while using)."""
         return list(self._tuples)
 
+    def row_set(self):
+        """The live set of rows — read-only, must not be mutated or retained."""
+        return self._tuples
+
     def _index_on(self, column):
         index = self._indexes.get(column)
         if index is None:
@@ -97,12 +101,18 @@ class Relation:
     def candidates(self, bound):
         """Rows consistent with *bound*, a ``{column: value}`` mapping.
 
-        Uses the index on the most selective bound column and filters the
-        rest.  With no bound columns this is a full scan.  Returns an
-        iterable of rows; the result must not be retained across mutations.
+        With every column bound this is a single O(1) membership test;
+        otherwise it uses the index on the most selective bound column and
+        filters the rest.  With no bound columns this is a full scan.
+        Returns an iterable of rows; the result must not be retained across
+        mutations.
         """
         if not bound:
             return self._tuples
+        if len(bound) == self.arity:
+            # Fully bound: the only possible answer is the row itself.
+            row = tuple(bound[column] for column in range(self.arity))
+            return (row,) if row in self._tuples else ()
         best_column = None
         best_bucket = None
         for column, value in bound.items():
@@ -118,10 +128,21 @@ class Relation:
             row for row in best_bucket if all(row[c] == v for c, v in rest)
         )
 
-    def copy(self):
-        """An independent copy sharing no mutable state (indexes not copied)."""
+    def copy(self, with_indexes=False):
+        """An independent copy sharing no mutable state.
+
+        With ``with_indexes=True`` the hash indexes are carried over as
+        per-bucket set copies — cheaper than rebuilding them from scratch on
+        the first lookup, which matters on hot paths that copy a relation
+        every evaluation round (``Γ``'s apply and epoch restarts).
+        """
         clone = Relation(self.name, self.arity)
         clone._tuples = set(self._tuples)
+        if with_indexes and self._indexes:
+            clone._indexes = {
+                column: {value: set(rows) for value, rows in index.items()}
+                for column, index in self._indexes.items()
+            }
         return clone
 
     def __eq__(self, other):

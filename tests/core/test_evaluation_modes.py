@@ -1,11 +1,13 @@
-"""Tests for the naive vs. semi-naive Γ evaluation strategies."""
+"""Tests for the naive, semi-naive, and incremental Γ evaluation strategies."""
 
 import pytest
 
 from repro.core.engine import ParkEngine, park
 from repro.core.evaluation import (
+    IncrementalEvaluation,
     NaiveEvaluation,
     SemiNaiveEvaluation,
+    _is_epoch_monotone,
     _is_monotone,
     make_evaluation,
 )
@@ -42,6 +44,24 @@ class TestClassification:
         (rule,) = parse_program("p(X) -> -r(X).")
         assert _is_monotone(rule)
 
+    def test_event_rule_is_epoch_monotone(self):
+        # I+/I- grow inflationarily within an epoch, so event validity
+        # only switches off→on — the wider fragment admits it.
+        (rule,) = parse_program("+p(X) -> +r(X).")
+        assert _is_epoch_monotone(rule)
+
+    def test_delete_event_is_epoch_monotone(self):
+        (rule,) = parse_program("-p(X), q(X) -> +r(X).")
+        assert _is_epoch_monotone(rule)
+
+    def test_negation_is_not_epoch_monotone(self):
+        (rule,) = parse_program("p(X), not q(X) -> +r(X).")
+        assert not _is_epoch_monotone(rule)
+
+    def test_positive_rule_is_epoch_monotone(self):
+        (rule,) = parse_program("p(X), q(X) -> +r(X).")
+        assert _is_epoch_monotone(rule)
+
 
 class TestStrategyFactory:
     def test_known_names(self):
@@ -51,6 +71,10 @@ class TestStrategyFactory:
         )
         assert isinstance(
             make_evaluation("seminaive", program, frozenset()), SemiNaiveEvaluation
+        )
+        assert isinstance(
+            make_evaluation("incremental", program, frozenset()),
+            IncrementalEvaluation,
         )
 
     def test_unknown_name(self):
@@ -63,7 +87,7 @@ class TestStrategyFactory:
 
 
 class TestRoundEquivalence:
-    """Round by round, both strategies produce identical firings."""
+    """Round by round, all strategies produce identical firings."""
 
     PROGRAM = parse_program("""
     edge(X, Y) -> +tc(X, Y).
@@ -77,14 +101,54 @@ class TestRoundEquivalence:
         database = Database.from_text("edge(a, b). edge(b, c). edge(c, d).")
         interpretation = IInterpretation.from_database(database)
         naive = make_evaluation("naive", self.PROGRAM, frozenset())
-        seminaive = make_evaluation("seminaive", self.PROGRAM, frozenset())
+        others = [
+            make_evaluation(name, self.PROGRAM, frozenset())
+            for name in ("seminaive", "incremental")
+        ]
 
         delta = None
         for _ in range(10):
             naive_firings = naive.compute(interpretation, delta)
-            semi_firings = seminaive.compute(interpretation, delta)
-            assert naive_firings == semi_firings
+            for other in others:
+                other_firings = other.compute(interpretation, delta)
+                assert naive_firings == other_firings, other.name
+                assert other.last_firing_count == naive.last_firing_count
             result = GammaResult(interpretation, naive_firings)
+            if result.reached_fixpoint:
+                break
+            delta = result.new_updates
+            interpretation = result.apply()
+        else:
+            pytest.fail("no fixpoint in 10 rounds")
+
+    def test_event_rules_match_each_round(self):
+        from repro.core.consequence import GammaResult
+
+        # Event literals exercise the widened epoch-monotone fragment:
+        # the incremental strategy matches them via delta variants.
+        program = parse_program("""
+        edge(X, Y) -> +hop(X, Y).
+        +hop(X, Z), edge(Z, Y) -> +hop(X, Y).
+        +hop(X, Y), not blocked(X) -> +audit(X, Y).
+        """)
+        database = Database.from_text(
+            "edge(a, b). edge(b, c). edge(c, d). blocked(b)."
+        )
+        interpretation = IInterpretation.from_database(database)
+        evaluators = {
+            name: make_evaluation(name, program, frozenset())
+            for name in ("naive", "seminaive", "incremental")
+        }
+
+        delta = None
+        for _ in range(10):
+            rounds = {
+                name: evaluator.compute(interpretation, delta)
+                for name, evaluator in evaluators.items()
+            }
+            assert rounds["seminaive"] == rounds["naive"]
+            assert rounds["incremental"] == rounds["naive"]
+            result = GammaResult(interpretation, rounds["naive"])
             if result.reached_fixpoint:
                 break
             delta = result.new_updates
@@ -104,23 +168,105 @@ class TestEndToEndEquivalence:
         paper_example("E7"),
     ]
 
+    @pytest.mark.parametrize("strategy", ["seminaive", "incremental"])
     @pytest.mark.parametrize(
         "workload", WORKLOADS, ids=lambda w: w.name
     )
-    def test_same_results_and_blocked_sets(self, workload):
+    def test_same_results_and_blocked_sets(self, workload, strategy):
         naive = workload.run(evaluation="naive")
-        seminaive = workload.run(evaluation="seminaive")
-        assert naive.atoms == seminaive.atoms
-        assert naive.blocked == seminaive.blocked
-        assert naive.stats.rounds == seminaive.stats.rounds
-        assert naive.stats.restarts == seminaive.stats.restarts
+        other = workload.run(evaluation=strategy)
+        assert naive.atoms == other.atoms
+        assert naive.blocked == other.blocked
+        assert naive.stats.rounds == other.stats.rounds
+        assert naive.stats.restarts == other.stats.restarts
+        assert naive.stats.firings_total == other.stats.firings_total
 
-    def test_eca_transactions_equivalent(self):
+    @pytest.mark.parametrize("strategy", ["seminaive", "incremental"])
+    def test_eca_transactions_equivalent(self, strategy):
         from repro.lang import parse_atom
         from repro.lang.updates import insert
 
         program = "+account(X) -> +welcome(X). welcome(X) -> +mailed(X)."
         updates = [insert(parse_atom("account(u1)"))]
         naive = park(program, "", updates=updates, evaluation="naive")
-        seminaive = park(program, "", updates=updates, evaluation="seminaive")
-        assert naive.atoms == seminaive.atoms
+        other = park(program, "", updates=updates, evaluation=strategy)
+        assert naive.atoms == other.atoms
+        assert naive.stats.firings_total == other.stats.firings_total
+
+    def test_eca_negation_mix_equivalent(self):
+        from repro.lang import parse_atom
+        from repro.lang.updates import delete
+
+        # Mixes all three literal kinds: the delete event enters the
+        # epoch-monotone fragment, the negation rule is dirty-scheduled.
+        program = """
+        -active(X), emp(X) -> +cleanup(X).
+        emp(X), not active(X), cleanup(X) -> -payroll(X).
+        payroll(X) -> +paid(X).
+        """
+        database = (
+            "emp(a). emp(b). active(a). active(b). payroll(a). payroll(b)."
+        )
+        updates = [delete(parse_atom("active(a)"))]
+        results = {
+            name: park(program, database, updates=updates, evaluation=name)
+            for name in ("naive", "seminaive", "incremental")
+        }
+        for name in ("seminaive", "incremental"):
+            assert results[name].atoms == results["naive"].atoms, name
+            assert results[name].blocked == results["naive"].blocked, name
+            assert (
+                results[name].stats.firings_total
+                == results["naive"].stats.firings_total
+            ), name
+
+
+class TestDirtyScheduling:
+    """The incremental strategy skips volatile rules whose marks stay clean."""
+
+    def test_untouched_volatile_rule_reuses_cache(self, monkeypatch):
+        from repro.core import evaluation as evaluation_module
+        from repro.core.consequence import GammaResult
+
+        program = parse_program("""
+        edge(X, Y) -> +tc(X, Y).
+        tc(X, Z), edge(Z, Y) -> +tc(X, Y).
+        island(X), not bridge(X) -> +lonely(X).
+        """)
+        database = Database.from_text(
+            "edge(a, b). edge(b, c). edge(c, d). island(i1). island(i2)."
+        )
+        interpretation = IInterpretation.from_database(database)
+        evaluator = make_evaluation("incremental", program, frozenset())
+
+        matched_rules = []
+        original_match = evaluation_module.match_rule
+
+        def counting_match(rule, view):
+            matched_rules.append(rule)
+            return original_match(rule, view)
+
+        monkeypatch.setattr(evaluation_module, "match_rule", counting_match)
+
+        (volatile_rule,) = evaluator.volatile_rules
+        delta = None
+        for _ in range(10):
+            matched_rules.clear()
+            firings = evaluator.compute(interpretation, delta)
+            result = GammaResult(interpretation, firings)
+            if delta is not None:
+                # Later rounds only dirty tc (+ marks); the negation rule
+                # reads (island, +/-) and (bridge, +/-), so it is skipped
+                # but its cached firings still appear in the result.
+                assert volatile_rule not in matched_rules
+            assert any(
+                grounding.rule == volatile_rule
+                for groundings in firings.values()
+                for grounding in groundings
+            )
+            if result.reached_fixpoint:
+                break
+            delta = result.new_updates
+            interpretation = result.apply()
+        else:
+            pytest.fail("no fixpoint in 10 rounds")

@@ -1,0 +1,146 @@
+"""The three Γ evaluation strategies are observationally identical.
+
+``naive`` recomputes every rule's firings each round; ``seminaive``
+delta-matches the purely positive fragment; ``incremental`` additionally
+delta-matches event literals and skips negation-bearing rules whose body
+marks were untouched.  All three must produce **bit-identical**
+observable behaviour — per-round firings, recorded traces, blocked sets,
+statistics, and final databases — for random safe programs (with events,
+negation, and deletes), random transactions, every policy, and both
+blocking modes.  Any divergence is an evaluation-strategy bug by
+construction, since ``naive`` is the paper's definition transcribed.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.property import strategies as strat
+
+from repro.analysis.trace import TraceRecorder
+from repro.core.blocking import BlockingMode
+from repro.core.engine import EngineListener, ParkEngine
+from repro.errors import NonTerminationError
+from repro.lang.atoms import Atom
+from repro.lang.updates import Update, UpdateOp
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+STRATEGIES = ("naive", "seminaive", "incremental")
+
+
+def _make_policy(name):
+    from repro.policies.composite import ConstantPolicy
+    from repro.policies.inertia import InertiaPolicy
+    from repro.policies.priority import PriorityPolicy
+
+    if name == "inertia":
+        return InertiaPolicy()
+    if name == "priority":
+        return PriorityPolicy()
+    return ConstantPolicy(name)
+
+
+class FiringsRecorder(EngineListener):
+    """Captures every round's raw firings map, including inconsistent rounds."""
+
+    def __init__(self):
+        self.rounds = []
+
+    def on_round(self, round_number, epoch, gamma_result):
+        self.rounds.append((round_number, epoch, gamma_result.firings))
+
+
+@st.composite
+def scenarios(draw):
+    """A random program + database + ground transaction updates."""
+    program, database = draw(strat.program_database_pairs())
+    arities = sorted(program.predicates())
+    updates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        predicate, arity = draw(st.sampled_from(arities))
+        row = tuple(draw(strat.constants) for _ in range(arity))
+        op = draw(st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]))
+        updates.append(Update(op, Atom(predicate, row)))
+    return program, database, tuple(updates)
+
+
+def _run(strategy, program, database, updates, policy_name, blocking):
+    firings = FiringsRecorder()
+    trace = TraceRecorder()
+    engine = ParkEngine(
+        policy=_make_policy(policy_name),
+        blocking_mode=blocking,
+        listeners=(trace, firings),
+        evaluation=strategy,
+    )
+    result = engine.run(program, database, updates=updates)
+    return result, tuple(trace.events), tuple(firings.rounds)
+
+
+@given(
+    scenario=scenarios(),
+    policy_name=st.sampled_from(["inertia", "priority", "insert", "delete"]),
+    blocking=st.sampled_from([BlockingMode.ALL, BlockingMode.MINIMAL]),
+)
+@RELAXED
+def test_strategies_bit_identical(scenario, policy_name, blocking):
+    program, database, updates = scenario
+    outcomes = {}
+    failures = {}
+    for strategy in STRATEGIES:
+        try:
+            outcomes[strategy] = _run(
+                strategy, program, database, updates, policy_name, blocking
+            )
+        except NonTerminationError as error:
+            # A policy that cannot make progress must fail identically
+            # under every strategy.
+            failures[strategy] = str(error)
+    if failures:
+        assert set(failures) == set(STRATEGIES), (failures, outcomes)
+        assert len(set(failures.values())) == 1, failures
+        return
+
+    base_result, base_trace, base_firings = outcomes["naive"]
+    for strategy in STRATEGIES[1:]:
+        result, trace, firings = outcomes[strategy]
+        assert firings == base_firings, strategy
+        assert trace == base_trace, strategy
+        assert result.blocked == base_result.blocked, strategy
+        assert result.atoms == base_result.atoms, strategy
+        assert result.delta.inserts == base_result.delta.inserts, strategy
+        assert result.delta.deletes == base_result.delta.deletes, strategy
+        assert result.stats.rounds == base_result.stats.rounds, strategy
+        assert result.stats.restarts == base_result.stats.restarts, strategy
+        assert (
+            result.stats.conflicts_resolved
+            == base_result.stats.conflicts_resolved
+        ), strategy
+        assert (
+            result.stats.firings_total == base_result.stats.firings_total
+        ), strategy
+
+
+@given(scenario=scenarios())
+@RELAXED
+def test_firing_counts_match_without_listeners(scenario):
+    """``stats.firings_total`` is identical with and without listeners
+    attached — the listener-free path uses the evaluators' incremental
+    counters instead of re-summing the firings map."""
+    program, database, updates = scenario
+    for strategy in STRATEGIES:
+        try:
+            silent = ParkEngine(evaluation=strategy).run(
+                program, database, updates=updates
+            )
+            listened = ParkEngine(
+                evaluation=strategy, listeners=(TraceRecorder(),)
+            ).run(program, database, updates=updates)
+        except NonTerminationError:
+            continue
+        assert silent.stats.firings_total == listened.stats.firings_total
+        assert silent.atoms == listened.atoms

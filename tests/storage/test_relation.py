@@ -81,6 +81,21 @@ class TestCandidates:
         self.r.discard(("c", "a"))
         assert set(self.r.candidates({0: "c"})) == set()
 
+    def test_fully_bound_hit(self):
+        assert tuple(self.r.candidates({0: "a", 1: "b"})) == (("a", "b"),)
+
+    def test_fully_bound_miss(self):
+        assert tuple(self.r.candidates({1: "z", 0: "a"})) == ()
+
+    def test_fully_bound_builds_no_index(self):
+        # Direct membership, not an index lookup: no index materialised.
+        list(self.r.candidates({0: "a", 1: "b"}))
+        assert not self.r._indexes
+
+    def test_fully_bound_zero_arity(self):
+        flag = Relation("flag", 0, [()])
+        assert tuple(flag.candidates({})) == ((),)
+
 
 class TestValueSemantics:
     def test_copy_independent(self):
@@ -89,6 +104,33 @@ class TestValueSemantics:
         clone.add(("x", "y"))
         assert len(r) == 1
         assert len(clone) == 2
+
+    def test_copy_drops_indexes_by_default(self):
+        r = Relation("edge", 2, [("a", "b")])
+        list(r.candidates({0: "a"}))
+        assert not r.copy()._indexes
+
+    def test_copy_with_indexes_carries_them_over(self):
+        r = Relation("edge", 2, [("a", "b"), ("a", "c")])
+        list(r.candidates({0: "a"}))  # build the column-0 index
+        clone = r.copy(with_indexes=True)
+        assert set(clone._indexes) == {0}
+        assert set(clone.candidates({0: "a"})) == {("a", "b"), ("a", "c")}
+
+    def test_copied_indexes_are_independent(self):
+        r = Relation("edge", 2, [("a", "b")])
+        list(r.candidates({0: "a"}))
+        clone = r.copy(with_indexes=True)
+        clone.add(("a", "z"))
+        clone.discard(("a", "b"))
+        assert set(clone.candidates({0: "a"})) == {("a", "z")}
+        assert set(r.candidates({0: "a"})) == {("a", "b")}
+
+    def test_row_set_is_live(self):
+        r = Relation("edge", 2, [("a", "b")])
+        rows = r.row_set()
+        r.add(("b", "c"))
+        assert rows == {("a", "b"), ("b", "c")}
 
     def test_equality_by_contents(self):
         r1 = Relation("edge", 2, [("a", "b")])
