@@ -1,17 +1,24 @@
-"""Strategy-comparison benchmark runner: naive vs seminaive vs incremental.
+"""Strategy × backend benchmark runner for the PARK engine.
 
 Runs the scaling workload families used by the pytest benchmark suites
 (``bench_scaling_db``, ``bench_scaling_rules``, ``bench_eca``) under all
-three Γ evaluation strategies and writes ``BENCH_park.json`` with wall
-time, round counts, and firings/sec per workload, plus the speedup of
-each delta strategy over naive.  While timing it also asserts the
-strategies stay bit-identical (atoms, blocked set, rounds, restarts,
-firings), so a regression shows up as a hard failure rather than a
-silently wrong speedup.
+three Γ evaluation strategies and **both matcher backends** (the slot
+``compiled`` register machine and the ``interpreted`` reference
+backtracker), and writes ``BENCH_park.json`` with wall time, round
+counts, and firings/sec per (workload, strategy, backend), plus two
+derived speedups: each delta strategy over naive (on the default
+compiled backend) and compiled over interpreted per strategy.  While
+timing it also asserts that every (strategy, backend) combination stays
+bit-identical (atoms, blocked set, rounds, restarts, firings), so a
+regression shows up as a hard failure rather than a silently wrong
+speedup.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--repeats N] [--out PATH]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--repeats N] [--out PATH] [--quick]
+
+``--quick`` runs a reduced workload list with one repeat — the CI smoke
+configuration.
 """
 
 import argparse
@@ -19,6 +26,7 @@ import json
 import sys
 import time
 
+from repro.engine.match import clear_compile_cache, set_matcher_backend
 from repro.workloads import (
     conflict_cascade,
     deactivation_batch,
@@ -29,10 +37,18 @@ from repro.workloads import (
 )
 
 STRATEGIES = ("naive", "seminaive", "incremental")
+BACKENDS = ("compiled", "interpreted")
 
 
-def _workloads():
+def _workloads(quick=False):
     """(name, workload) pairs — the upper ends of each suite's sweep."""
+    if quick:
+        return [
+            ("tc-40", transitive_closure(40, seed=11)),
+            ("reach-100", relational_reachability(100, fanout=2)),
+            ("chain-200", propositional_chain(200)),
+            ("batch-80", deactivation_batch(400, 80, seed=2)),
+        ]
     return [
         ("tc-40", transitive_closure(40, seed=11)),
         ("tc-80", transitive_closure(80, seed=11)),
@@ -56,7 +72,9 @@ def _fingerprint(result):
     )
 
 
-def _time_workload(workload, strategy, repeats):
+def _time_workload(workload, strategy, backend, repeats):
+    set_matcher_backend(backend)
+    clear_compile_cache()
     best = None
     result = None
     for _ in range(repeats):
@@ -68,50 +86,98 @@ def _time_workload(workload, strategy, repeats):
     return best, result
 
 
-def run(repeats=3, out="BENCH_park.json", verbose=True):
-    report = {"repeats": repeats, "strategies": list(STRATEGIES), "workloads": {}}
-    for name, workload in _workloads():
-        entry = {}
-        fingerprints = {}
-        for strategy in STRATEGIES:
-            seconds, result = _time_workload(workload, strategy, repeats)
-            fingerprints[strategy] = _fingerprint(result)
-            entry[strategy] = {
-                "wall_time_s": round(seconds, 6),
-                "rounds": result.stats.rounds,
-                "restarts": result.stats.restarts,
-                "firings_total": result.stats.firings_total,
-                "firings_per_s": round(result.stats.firings_total / seconds, 1)
-                if seconds > 0
-                else None,
-            }
-        for strategy in STRATEGIES[1:]:
-            if fingerprints[strategy] != fingerprints["naive"]:
-                raise AssertionError(
-                    "%s diverged from naive on workload %s" % (strategy, name)
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else None
+
+
+def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False):
+    report = {
+        "repeats": repeats,
+        "quick": quick,
+        "strategies": list(STRATEGIES),
+        "backends": list(BACKENDS),
+        "workloads": {},
+    }
+    try:
+        for name, workload in _workloads(quick=quick):
+            entry = {}
+            fingerprints = {}
+            for strategy in STRATEGIES:
+                cell = {}
+                for backend in BACKENDS:
+                    seconds, result = _time_workload(
+                        workload, strategy, backend, repeats
+                    )
+                    fingerprints[(strategy, backend)] = _fingerprint(result)
+                    cell[backend] = {
+                        "wall_time_s": round(seconds, 6),
+                        "rounds": result.stats.rounds,
+                        "restarts": result.stats.restarts,
+                        "firings_total": result.stats.firings_total,
+                        "firings_per_s": round(
+                            result.stats.firings_total / seconds, 1
+                        )
+                        if seconds > 0
+                        else None,
+                    }
+                cell["backend_speedup"] = round(
+                    cell["interpreted"]["wall_time_s"]
+                    / cell["compiled"]["wall_time_s"],
+                    2,
                 )
-            entry[strategy]["speedup_vs_naive"] = round(
-                entry["naive"]["wall_time_s"] / entry[strategy]["wall_time_s"], 2
-            )
-        report["workloads"][name] = entry
-        if verbose:
-            print(
-                "%-12s naive %8.4fs   seminaive %8.4fs (%.2fx)   incremental %8.4fs (%.2fx)"
-                % (
-                    name,
-                    entry["naive"]["wall_time_s"],
-                    entry["seminaive"]["wall_time_s"],
-                    entry["seminaive"]["speedup_vs_naive"],
-                    entry["incremental"]["wall_time_s"],
-                    entry["incremental"]["speedup_vs_naive"],
+                entry[strategy] = cell
+            baseline = fingerprints[("naive", "compiled")]
+            for key, fingerprint in fingerprints.items():
+                if fingerprint != baseline:
+                    raise AssertionError(
+                        "%s/%s diverged from naive/compiled on workload %s"
+                        % (key[0], key[1], name)
+                    )
+            for strategy in STRATEGIES[1:]:
+                entry[strategy]["speedup_vs_naive"] = round(
+                    entry["naive"]["compiled"]["wall_time_s"]
+                    / entry[strategy]["compiled"]["wall_time_s"],
+                    2,
                 )
+            entry["backend_speedup_geomean"] = round(
+                _geomean(
+                    [entry[s]["backend_speedup"] for s in STRATEGIES]
+                ),
+                2,
             )
+            report["workloads"][name] = entry
+            if verbose:
+                print(
+                    "%-12s naive %8.4fs   seminaive %8.4fs (%.2fx)   "
+                    "incremental %8.4fs (%.2fx)   compiled/interpreted %.2fx"
+                    % (
+                        name,
+                        entry["naive"]["compiled"]["wall_time_s"],
+                        entry["seminaive"]["compiled"]["wall_time_s"],
+                        entry["seminaive"]["speedup_vs_naive"],
+                        entry["incremental"]["compiled"]["wall_time_s"],
+                        entry["incremental"]["speedup_vs_naive"],
+                        entry["backend_speedup_geomean"],
+                    )
+                )
+    finally:
+        set_matcher_backend("compiled")
+        clear_compile_cache()
     doubled = [
         name
         for name, entry in report["workloads"].items()
         if entry["incremental"]["speedup_vs_naive"] >= 2.0
     ]
     report["incremental_2x_workloads"] = doubled
+    accelerated = [
+        name
+        for name, entry in report["workloads"].items()
+        if entry["backend_speedup_geomean"] >= 1.5
+    ]
+    report["compiled_1_5x_workloads"] = accelerated
     with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -119,6 +185,14 @@ def run(repeats=3, out="BENCH_park.json", verbose=True):
         print(
             "incremental >= 2x on %d/%d workloads: %s"
             % (len(doubled), len(report["workloads"]), ", ".join(doubled))
+        )
+        print(
+            "compiled >= 1.5x interpreted on %d/%d workloads: %s"
+            % (
+                len(accelerated),
+                len(report["workloads"]),
+                ", ".join(accelerated),
+            )
         )
         print("wrote %s" % out)
     return report
@@ -128,8 +202,15 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default="BENCH_park.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workload list, one repeat (CI smoke)",
+    )
     args = parser.parse_args(argv)
-    run(repeats=args.repeats, out=args.out)
+    if args.quick and args.repeats == parser.get_default("repeats"):
+        args.repeats = 1
+    run(repeats=args.repeats, out=args.out, quick=args.quick)
     return 0
 
 

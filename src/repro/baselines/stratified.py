@@ -55,6 +55,29 @@ class _StratumView(FactsView):
     def estimate(self, predicate):
         return self.current.count(predicate)
 
+    # -- row-level fast paths (compiled matcher) ---------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        relation = self.current.relation(predicate)
+        if relation is None or relation.arity != arity:
+            return ()
+        return relation.candidates_key(columns, key)
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        return ()
+
+    def condition_holds_row(self, predicate, arity, row):
+        return self.current.has_row(predicate, arity, row)
+
+    def negation_holds_row(self, predicate, arity, row):
+        return not self.settled.has_row(predicate, arity, row)
+
+    def event_holds_row(self, op, predicate, arity, row):
+        return False
+
+    def register_lookup(self, predicate, arity, columns):
+        self.current.register_lookup(predicate, arity, columns)
+
 
 def _validate(program):
     for rule in program:

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import FrozenSet
 
 from ..engine.match import fireable_heads
-from ..engine.views import FactsView
+from ..engine.views import FactsView, _atom_from_row
 from ..errors import EngineError, NonTerminationError
 from ..lang.program import Program
 from ..storage.database import Database
@@ -84,6 +84,31 @@ class _ReductView(FactsView):
 
     def estimate(self, predicate):
         return self.current.count(predicate)
+
+    # -- row-level fast paths (compiled matcher) ---------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        relation = self.current.relation(predicate)
+        if relation is None or relation.arity != arity:
+            return ()
+        return relation.candidates_key(columns, key)
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        return ()
+
+    def condition_holds_row(self, predicate, arity, row):
+        return self.current.has_row(predicate, arity, row)
+
+    def negation_holds_row(self, predicate, arity, row):
+        # ``assumed`` is a frozenset of atoms (a frozen fixpoint), not a
+        # Database, so this check reconstructs the atom.
+        return _atom_from_row(predicate, row) not in self.assumed
+
+    def event_holds_row(self, op, predicate, arity, row):
+        return False
+
+    def register_lookup(self, predicate, arity, columns):
+        self.current.register_lookup(predicate, arity, columns)
 
 
 def _validate(program):

@@ -99,6 +99,11 @@ def _build_parser():
         help="Γ evaluation strategy (bit-identical results; "
         "'incremental' delta-matches events and skips clean rules)",
     )
+    run.add_argument(
+        "--matcher", choices=["compiled", "interpreted"], default=None,
+        help="body-matching backend (bit-identical results; defaults to "
+        "$REPRO_MATCHER or 'compiled')",
+    )
     run.add_argument("--trace", action="store_true", help="print the trace")
     run.add_argument("--stats", action="store_true", help="print run counters")
 
@@ -133,6 +138,10 @@ def _load_inputs(args):
 
 
 def _command_run(args, out):
+    if getattr(args, "matcher", None):
+        from .engine.match import set_matcher_backend
+
+        set_matcher_backend(args.matcher)
     program, database, updates = _load_inputs(args)
     recorder = TraceRecorder() if args.trace else None
     engine = ParkEngine(

@@ -187,6 +187,46 @@ class _DeltaView(FactsView):
             return total
         return self.inner.estimate(predicate)
 
+    # -- row-level fast paths (compiled matcher) ---------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        if self._is_shadow(predicate):
+            relation = self.delta_plus.relation(predicate)
+            if relation is None or relation.arity != arity:
+                return ()
+            return relation.candidates_key(columns, key)
+        return self.inner.condition_candidates_key(predicate, arity, columns, key)
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        if self._is_shadow(predicate):
+            store = self._event_store(op)
+            relation = store.relation(predicate) if store is not None else None
+            if relation is None or relation.arity != arity:
+                return ()
+            return relation.candidates_key(columns, key)
+        return self.inner.event_candidates_key(op, predicate, arity, columns, key)
+
+    def condition_holds_row(self, predicate, arity, row):
+        if self._is_shadow(predicate):
+            return self.delta_plus.has_row(predicate, arity, row)
+        return self.inner.condition_holds_row(predicate, arity, row)
+
+    def negation_holds_row(self, predicate, arity, row):
+        return self.inner.negation_holds_row(predicate, arity, row)
+
+    def event_holds_row(self, op, predicate, arity, row):
+        if self._is_shadow(predicate):
+            store = self._event_store(op)
+            return store is not None and store.has_row(predicate, arity, row)
+        return self.inner.event_holds_row(op, predicate, arity, row)
+
+    def register_lookup(self, predicate, arity, columns):
+        # Shadow relations hold one round's delta — too small and too
+        # short-lived to be worth a composite index — so only forward
+        # signatures over real predicates.
+        if not self._is_shadow(predicate):
+            self.inner.register_lookup(predicate, arity, columns)
+
 
 def _collect(rule, blocked, view, into):
     """Match *rule* against *view*, adding unblocked instances to *into*.
@@ -252,6 +292,7 @@ class SemiNaiveEvaluation:
             for index, literal in enumerate(rule.body):
                 self._variants.append((rule, _delta_variant(rule, index, literal)))
         self._accumulated = {}  # Update -> set[RuleGrounding]
+        self._frozen = {}  # Update -> frozenset[RuleGrounding], kept in sync
         self._monotone_total = 0
         self._first_round_done = False
         self.last_firing_count = 0
@@ -270,6 +311,7 @@ class SemiNaiveEvaluation:
 
     def compute(self, interpretation, delta_updates=None):
         view = InterpretationView(interpretation)
+        touched = set()
 
         if not self._first_round_done:
             # Epoch round 1: full match of the monotone fragment.
@@ -278,6 +320,7 @@ class SemiNaiveEvaluation:
                     rule, self.blocked, view, self._accumulated
                 )
             self._first_round_done = True
+            touched.update(self._accumulated)
         elif delta_updates:
             delta_db = self._delta_database(delta_updates)
             if delta_db:
@@ -289,12 +332,24 @@ class SemiNaiveEvaluation:
                         self.blocked,
                         delta_view,
                         self._accumulated,
+                        touched=touched,
                     )
 
-        firings = {
-            head: set(instances) for head, instances in self._accumulated.items()
-        }
+        # Re-freeze only the heads this round's matching touched; the
+        # accumulated map is append-only, so every other head's frozenset
+        # is still current and the round's result is a shallow dict copy —
+        # O(#heads) instead of O(#instances) per round.
+        accumulated = self._accumulated
+        frozen = self._frozen
+        for head in touched:
+            frozen[head] = frozenset(accumulated[head])
+
         count = self._monotone_total
+        if not self.volatile_rules:
+            self.last_firing_count = count
+            return dict(frozen)
+
+        firings = {head: set(instances) for head, instances in accumulated.items()}
         for rule in self.volatile_rules:
             count += _collect(rule, self.blocked, view, firings)
         self.last_firing_count = count

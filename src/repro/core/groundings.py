@@ -31,8 +31,9 @@ class RuleGrounding:
         if not isinstance(self.substitution, Substitution):
             object.__setattr__(self, "substitution", Substitution(self.substitution))
         rule_vars = self.rule.variables()
-        bound_vars = set(self.substitution)
+        bound_vars = self.substitution.variable_set()
         if bound_vars != rule_vars:
+            bound_vars = set(bound_vars)
             extra = sorted(v.name for v in bound_vars - rule_vars)
             missing = sorted(v.name for v in rule_vars - bound_vars)
             problems = []
@@ -45,9 +46,34 @@ class RuleGrounding:
                 % (self.rule.describe(), "; ".join(problems))
             )
 
+    def __hash__(self):
+        # Cached: groundings populate the firings / ins / del / blocked
+        # sets, and the dataclass-generated hash would re-hash the full rule
+        # structure on every set operation.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.rule, self.substitution))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def ground_head(self):
-        """The ground head update of this instance."""
-        return self.rule.head.ground(self.substitution)
+        """The ground head update of this instance.
+
+        Memoized per rule: the fixpoint re-derives the same instances every
+        round, and the matcher serves interned substitutions, so the memo
+        turns repeat head groundings into one dict hit returning a shared
+        :class:`~repro.lang.updates.Update`.
+        """
+        rule = self.rule
+        memo = rule.__dict__.get("_head_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(rule, "_head_memo", memo)
+        head = memo.get(self.substitution)
+        if head is None:
+            head = rule.head.ground(self.substitution)
+            memo[self.substitution] = head
+        return head
 
     def ground_body(self):
         """The ground body literals of this instance, in rule order."""

@@ -29,15 +29,25 @@ class Provenance:
         self._first_round = {}
 
     def record(self, firings, round_number=None):
-        """Merge one round's firings (``{Update: frozenset[RuleGrounding]}``)."""
+        """Merge one round's firings (``{Update: frozenset[RuleGrounding]}``).
+
+        Stores the round's frozensets by reference and merges copy-on-write:
+        the delta strategies hand back the *same* frozenset for heads a
+        round did not touch, so the common case is an identity check rather
+        than a set union.
+        """
+        derivers = self._derivers
         for update, instances in firings.items():
-            bucket = self._derivers.get(update)
-            if bucket is None:
-                self._derivers[update] = set(instances)
+            existing = derivers.get(update)
+            if existing is None:
+                derivers[update] = instances
                 if round_number is not None:
                     self._first_round[update] = round_number
-            else:
-                bucket.update(instances)
+            elif existing is not instances:
+                if existing <= instances:
+                    derivers[update] = instances
+                else:
+                    derivers[update] = frozenset(existing | instances)
 
     def derivers(self, update):
         """All recorded instances that derived *update* this epoch."""

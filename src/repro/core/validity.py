@@ -104,6 +104,65 @@ class InterpretationView(FactsView):
             return self.interpretation.has_plus(atom)
         return self.interpretation.has_minus(atom)
 
+    # -- row-level fast paths (compiled matcher) --------------------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        unmarked = self.interpretation.unmarked.relation(predicate)
+        plus = self.interpretation.plus.relation(predicate)
+        sources = []
+        if unmarked is not None and unmarked.arity == arity:
+            sources.append(unmarked.candidates_key(columns, key))
+        if plus is not None and plus.arity == arity:
+            sources.append(plus.candidates_key(columns, key))
+        if not sources:
+            return ()
+        if len(sources) == 1:
+            return sources[0]
+        return itertools.chain(*sources)
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        store = (
+            self.interpretation.plus
+            if op is UpdateOp.INSERT
+            else self.interpretation.minus
+        )
+        relation = store.relation(predicate)
+        if relation is None or relation.arity != arity:
+            return ()
+        return relation.candidates_key(columns, key)
+
+    def condition_holds_row(self, predicate, arity, row):
+        interpretation = self.interpretation
+        return interpretation.unmarked.has_row(
+            predicate, arity, row
+        ) or interpretation.plus.has_row(predicate, arity, row)
+
+    def negation_holds_row(self, predicate, arity, row):
+        interpretation = self.interpretation
+        if interpretation.minus.has_row(predicate, arity, row):
+            return True
+        return not (
+            interpretation.unmarked.has_row(predicate, arity, row)
+            or interpretation.plus.has_row(predicate, arity, row)
+        )
+
+    def event_holds_row(self, op, predicate, arity, row):
+        store = (
+            self.interpretation.plus
+            if op is UpdateOp.INSERT
+            else self.interpretation.minus
+        )
+        return store.has_row(predicate, arity, row)
+
+    def register_lookup(self, predicate, arity, columns):
+        # A condition probe reads I∅ and I+; an event probe reads I+ or I-.
+        # Registration is schema-level and idempotent, so register the
+        # signature with all three stores rather than threading the literal
+        # kind through the handshake.
+        self.interpretation.unmarked.register_lookup(predicate, arity, columns)
+        self.interpretation.plus.register_lookup(predicate, arity, columns)
+        self.interpretation.minus.register_lookup(predicate, arity, columns)
+
     # -- statistics -----------------------------------------------------------------------
 
     def estimate(self, predicate):

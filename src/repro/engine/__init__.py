@@ -6,6 +6,7 @@ paper's i-interpretation validity; the deductive baselines plug in plain
 closed-world databases.
 """
 
+from .compiler import CompiledProgram, clear_program_cache, compile_program
 from .datalog import naive_least_fixpoint, query, seminaive_least_fixpoint
 from .dependency import (
     DependencyEdge,
@@ -25,8 +26,10 @@ from .match import (
     clear_compile_cache,
     compile_rule,
     fireable_heads,
+    get_matcher_backend,
     match_body_once,
     match_rule,
+    set_matcher_backend,
 )
 from .planner import PlanStep, explain_plan, plan_body
 from .query import conjunctive_query, holds, query_rows
@@ -34,6 +37,7 @@ from .views import AtomSetView, DatabaseView, FactsView
 
 __all__ = [
     "AtomSetView",
+    "CompiledProgram",
     "CompiledRule",
     "DatabaseView",
     "DependencyEdge",
@@ -43,9 +47,13 @@ __all__ = [
     "FactsView",
     "PlanStep",
     "clear_compile_cache",
+    "clear_program_cache",
+    "compile_program",
     "compile_rule",
     "explain_plan",
     "fireable_heads",
+    "get_matcher_backend",
+    "set_matcher_backend",
     "ground_instances",
     "ground_program",
     "ground_substitutions",

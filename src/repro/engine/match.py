@@ -6,24 +6,74 @@ valid.  This single engine powers the immediate consequence operator ``Γ``,
 conflict detection (both "look one step into the future"), and the baseline
 deductive semantics.
 
-Evaluation is backtracking search over the planner's literal order, with
-candidate rows served from hash indexes.  Rules are compiled once (plan +
-per-literal patterns) and cached, since the PARK fixpoint re-evaluates the
-same rules every round.
+Two interchangeable backends implement the search:
+
+``compiled`` (the default)
+    The slot compiler of :mod:`repro.engine.compiler`: the body is lowered
+    once to a register-machine program (fixed variable slots, raw value
+    tuples, an iterative cursor stack) and executed without recursion or
+    dict copies.  It also registers its lookup signatures with the view so
+    the storage layer can build composite indexes.
+
+``interpreted``
+    The original backtracking search below — the reference oracle.  It is
+    deliberately simple and stays byte-for-byte in PARK-semantics lockstep
+    with the compiled backend (property-tested).
+
+Select with the ``REPRO_MATCHER`` environment variable or
+:func:`set_matcher_backend`; both backends yield identical substitution
+sets for every rule/view, so the choice is performance-only.
+
+Evaluation in both backends follows the planner's literal order, with
+candidate rows served from hash indexes.  Rules are compiled once and
+cached, since the PARK fixpoint re-evaluates the same rules every round.
 """
 
 from __future__ import annotations
 
+import os
+
+from ..lang.atoms import Atom
 from ..lang.literals import Condition, Event
 from ..lang.substitution import Substitution
 from ..lang.terms import Constant, Variable
+from .compiler import clear_program_cache, compile_program
 from .planner import plan_body
 
 _compiled_cache = {}
 
+_VALID_BACKENDS = ("compiled", "interpreted")
+
+_backend = "compiled"
+
+
+def set_matcher_backend(name):
+    """Select the matching backend: ``"compiled"`` or ``"interpreted"``.
+
+    Returns the normalized name.  Affects all subsequent ``match_rule`` /
+    ``fireable_heads`` / ``match_body_once`` calls process-wide.
+    """
+    global _backend
+    normalized = str(name).strip().lower()
+    if normalized not in _VALID_BACKENDS:
+        raise ValueError(
+            "unknown matcher backend %r (expected one of: %s)"
+            % (name, ", ".join(_VALID_BACKENDS))
+        )
+    _backend = normalized
+    return normalized
+
+
+def get_matcher_backend():
+    """The currently selected matching backend name."""
+    return _backend
+
+
+set_matcher_backend(os.environ.get("REPRO_MATCHER") or "compiled")
+
 
 class _CompiledLiteral:
-    """A literal preprocessed for fast matching."""
+    """A literal preprocessed for fast interpreted matching."""
 
     __slots__ = ("literal", "kind", "predicate", "arity", "terms", "is_event", "op",
                  "positive", "const_bound", "const_items", "var_items")
@@ -66,7 +116,7 @@ class CompiledRule:
 
 
 def compile_rule(rule):
-    """Compile *rule* (cached)."""
+    """Compile *rule* for the interpreted backend (cached)."""
     compiled = _compiled_cache.get(rule)
     if compiled is None:
         compiled = CompiledRule(rule)
@@ -75,14 +125,13 @@ def compile_rule(rule):
 
 
 def clear_compile_cache():
-    """Drop all cached compiled rules (mainly for tests and benchmarks)."""
+    """Drop all cached compiled rules, both backends (tests and benchmarks)."""
     _compiled_cache.clear()
+    clear_program_cache()
 
 
 def _ground_atom(compiled_literal, bindings):
     """Instantiate the literal's atom under *bindings* (must be complete)."""
-    from ..lang.atoms import Atom
-
     terms = tuple(
         bindings[t] if isinstance(t, Variable) else t for t in compiled_literal.terms
     )
@@ -167,8 +216,12 @@ def match_rule(rule, view, freeze=True):
     variables; with ``freeze=False`` yields raw ``{Variable: Constant}``
     dicts (cheaper; the dict must not be retained).
 
-    A bodyless rule yields exactly one empty substitution.
+    A bodyless rule yields exactly one empty substitution.  Both backends
+    yield identical substitution multisets up to order.
     """
+    if _backend == "compiled":
+        yield from compile_program(rule, view).substitutions(view, freeze)
+        return
     compiled = compile_rule(rule)
     for bindings in _search(view, compiled.steps, 0, {}):
         if freeze:
@@ -179,6 +232,8 @@ def match_rule(rule, view, freeze=True):
 
 def match_body_once(rule, view):
     """True iff the rule body has at least one valid grounding in *view*."""
+    if _backend == "compiled":
+        return compile_program(rule, view).matches_once(view)
     for _ in match_rule(rule, view, freeze=False):
         return True
     return False
@@ -190,13 +245,14 @@ def fireable_heads(rule, view):
     Deduplicates: distinct substitutions that ground the head identically
     yield one update.
     """
+    if _backend == "compiled":
+        yield from compile_program(rule, view).fireable_updates(view)
+        return
+    head = rule.head
+    head_is_ground = head.atom.is_ground()
     seen = set()
     for bindings in match_rule(rule, view, freeze=False):
-        head = rule.head
-        if head.atom.is_ground():
-            update = head
-        else:
-            update = head.substitute(bindings)
+        update = head if head_is_ground else head.substitute(bindings)
         if update not in seen:
             seen.add(update)
             yield update

@@ -10,11 +10,18 @@ order matters:
 * **binding literals** (positive conditions and events) are ordered
   greedily: at each step pick the literal with the most already-bound
   argument positions (most selective index lookup), breaking ties by
-  fewest free variables, then by original body position (determinism).
+  fewest free variables, then — when a :class:`~repro.engine.views.FactsView`
+  is supplied — by its :meth:`estimate` of the literal's predicate size
+  (smaller relations first), and finally by original body position
+  (determinism).
 
-The resulting plan is a static property of the rule, computed once and
-cached on the compiled rule; it does not consult data statistics, which
-keeps plans deterministic across runs and engines.
+The resulting plan is a static property of the rule (plus, optionally,
+the statistics of the view it is first compiled against), computed once
+and cached on the compiled rule.  Without a view the estimate tie-break
+contributes nothing and plans depend on the rule alone, which keeps the
+planner's behaviour reproducible across runs and engines; with a view
+the estimates are read once at planning time, so the plan is still a
+deterministic function of (rule, view statistics).
 """
 
 from __future__ import annotations
@@ -42,11 +49,18 @@ def _is_negative(literal):
     return isinstance(literal, Condition) and not literal.positive
 
 
-def plan_body(rule):
-    """Compute the evaluation order for *rule*'s body as a tuple of PlanSteps."""
+def plan_body(rule, view=None):
+    """Compute the evaluation order for *rule*'s body as a tuple of PlanSteps.
+
+    With *view* supplied, its :meth:`~repro.engine.views.FactsView.estimate`
+    is consulted as a tie-break between equally-bound literals (smaller
+    predicates make cheaper outer loops); without one, the tie-break falls
+    straight through to body position.
+    """
     if not isinstance(rule, Rule):
         raise TypeError("expected a Rule, got %r" % (rule,))
 
+    estimate = view.estimate if view is not None else None
     pending = list(enumerate(rule.body))
     bound_vars = set()
     steps = []
@@ -72,7 +86,8 @@ def plan_body(rule):
                 literal.atom.arity - len(literal_vars)
             )
             free_count = len(literal_vars - bound_vars)
-            key = (-bound_count, free_count, position)
+            size = estimate(literal.atom.predicate) if estimate is not None else 0
+            key = (-bound_count, free_count, size, position)
             if best_key is None or key < best_key:
                 best, best_key = (position, literal), key
         if best is None:

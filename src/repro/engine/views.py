@@ -14,14 +14,34 @@ closed-world assumption).  A :class:`FactsView` abstracts the difference:
 Candidate methods return raw value tuples consistent with the bound columns
 (a superset is permitted — the matcher re-checks bindings), which lets
 implementations serve them straight from hash indexes.
+
+The compiled matcher (:mod:`repro.engine.compiler`) additionally speaks a
+*row-level* dialect of the same protocol — ``*_candidates_key`` lookups
+taking a prebuilt ``(columns, key)`` pair instead of a dict, ``*_holds_row``
+ground checks taking a raw value tuple instead of an :class:`Atom`, and
+``register_lookup`` for the composite-index handshake.  Every row-level
+method has a default implementation in terms of the atom-level one, so
+existing :class:`FactsView` subclasses keep working unmodified; the
+built-in views override them to stay allocation-free on the hot path.
 """
 
 from __future__ import annotations
 
+from ..lang.atoms import Atom
+from ..lang.terms import Constant
+
+
+def _atom_from_row(predicate, row):
+    """Reconstruct a ground :class:`Atom` from a raw value tuple."""
+    return Atom(predicate, tuple(Constant(value) for value in row))
 
 
 class FactsView:
-    """Abstract fact source for the matcher.  Subclasses override all methods."""
+    """Abstract fact source for the matcher.
+
+    Subclasses must override the five atom-level methods; the row-level
+    methods and ``register_lookup`` have working defaults.
+    """
 
     def condition_candidates(self, predicate, arity, bound):
         """Rows that could make a positive condition on *predicate* valid.
@@ -48,8 +68,46 @@ class FactsView:
         raise NotImplementedError
 
     def estimate(self, predicate):
-        """A size estimate for *predicate*, used by the join planner."""
+        """A size estimate for *predicate*.
+
+        Consulted by the join planner as a tie-break between equally-bound
+        body literals when a view is passed to
+        :func:`repro.engine.planner.plan_body` (the compiled matcher does
+        this on first compile); smaller estimates are scheduled earlier.
+        Only relative magnitudes matter, and ``0`` (the default) simply
+        leaves the ordering to body position.
+        """
         return 0
+
+    # -- row-level dialect (compiled matcher) ----------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        """Rows whose *columns* equal *key* — positional twin of
+        :meth:`condition_candidates` (same superset allowance)."""
+        return self.condition_candidates(predicate, arity, dict(zip(columns, key)))
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        """Positional twin of :meth:`event_candidates`."""
+        return self.event_candidates(op, predicate, arity, dict(zip(columns, key)))
+
+    def condition_holds_row(self, predicate, arity, row):
+        """Row-tuple twin of :meth:`condition_holds` for ground literals."""
+        return self.condition_holds(_atom_from_row(predicate, row))
+
+    def negation_holds_row(self, predicate, arity, row):
+        """Row-tuple twin of :meth:`negation_holds`."""
+        return self.negation_holds(_atom_from_row(predicate, row))
+
+    def event_holds_row(self, op, predicate, arity, row):
+        """Row-tuple twin of :meth:`event_holds`."""
+        return self.event_holds(op, _atom_from_row(predicate, row))
+
+    def register_lookup(self, predicate, arity, columns):
+        """Declare that compiled plans will probe *predicate* binding exactly
+        *columns* (sorted tuple).  Views over indexed storage forward this
+        to :meth:`repro.storage.database.Database.register_lookup` so the
+        matching composite indexes are built once and maintained
+        incrementally; the default is a no-op."""
 
 
 class DatabaseView(FactsView):
@@ -86,6 +144,29 @@ class DatabaseView(FactsView):
     def estimate(self, predicate):
         return self.database.count(predicate)
 
+    # -- row-level fast paths ----------------------------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        relation = self.database.relation(predicate)
+        if relation is None or relation.arity != arity:
+            return ()
+        return relation.candidates_key(columns, key)
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        return ()
+
+    def condition_holds_row(self, predicate, arity, row):
+        return self.database.has_row(predicate, arity, row)
+
+    def negation_holds_row(self, predicate, arity, row):
+        return not self.database.has_row(predicate, arity, row)
+
+    def event_holds_row(self, op, predicate, arity, row):
+        return False
+
+    def register_lookup(self, predicate, arity, columns):
+        self.database.register_lookup(predicate, arity, columns)
+
 
 class AtomSetView(FactsView):
     """Closed-world view over a plain set/frozenset of ground atoms.
@@ -94,7 +175,7 @@ class AtomSetView(FactsView):
     :class:`Database` (with indexes) would cost more than the scan.
     """
 
-    __slots__ = ("_atoms", "_by_predicate", "_row_sets")
+    __slots__ = ("_atoms", "_by_predicate", "_row_sets", "_counts")
 
     def __init__(self, atoms):
         self._atoms = frozenset(atoms)
@@ -107,6 +188,12 @@ class AtomSetView(FactsView):
             signature: frozenset(rows)
             for signature, rows in self._by_predicate.items()
         }
+        # Per-predicate-name totals, so estimate() is a dict hit instead of
+        # an O(#signatures) scan per call (the planner may consult it once
+        # per body literal per compile).
+        self._counts = {}
+        for (name, _arity), rows in self._by_predicate.items():
+            self._counts[name] = self._counts.get(name, 0) + len(rows)
 
     def condition_candidates(self, predicate, arity, bound):
         rows = self._by_predicate.get((predicate, arity), ())
@@ -134,8 +221,31 @@ class AtomSetView(FactsView):
         return False
 
     def estimate(self, predicate):
-        total = 0
-        for (name, _arity), rows in self._by_predicate.items():
-            if name == predicate:
-                total += len(rows)
-        return total
+        return self._counts.get(predicate, 0)
+
+    # -- row-level fast paths ----------------------------------------------------
+
+    def condition_candidates_key(self, predicate, arity, columns, key):
+        rows = self._by_predicate.get((predicate, arity), ())
+        if not columns:
+            return rows
+        if len(columns) == arity:
+            # columns is sorted and distinct, so key is the row itself.
+            row_set = self._row_sets.get((predicate, arity), frozenset())
+            return (key,) if key in row_set else ()
+        pairs = tuple(zip(columns, key))
+        return (
+            row for row in rows if all(row[c] == v for c, v in pairs)
+        )
+
+    def condition_holds_row(self, predicate, arity, row):
+        return row in self._row_sets.get((predicate, arity), frozenset())
+
+    def negation_holds_row(self, predicate, arity, row):
+        return row not in self._row_sets.get((predicate, arity), frozenset())
+
+    def event_candidates_key(self, op, predicate, arity, columns, key):
+        return ()
+
+    def event_holds_row(self, op, predicate, arity, row):
+        return False

@@ -35,6 +35,15 @@ class Atom:
             if not isinstance(term, (Variable, Constant)):
                 raise TypeError("atom argument %r is not a term" % (term,))
 
+    def __hash__(self):
+        # Cached: ground atoms live in the database sets and the blocked-set
+        # machinery, so they are hashed far more often than constructed.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.predicate, self.terms))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def arity(self):
         """Number of argument positions."""
@@ -90,14 +99,21 @@ class Atom:
         """The tuple of raw constant values; requires the atom to be ground.
 
         Used by the storage layer, which stores plain value tuples rather
-        than :class:`Constant` wrappers.
+        than :class:`Constant` wrappers.  Cached: membership tests convert
+        the same atoms every Γ round.
         """
-        values = []
-        for term in self.terms:
-            if isinstance(term, Variable):
-                raise ValueError("value_tuple() requires a ground atom, got %s" % self)
-            values.append(term.value)
-        return tuple(values)
+        row = self.__dict__.get("_row")
+        if row is None:
+            values = []
+            for term in self.terms:
+                if isinstance(term, Variable):
+                    raise ValueError(
+                        "value_tuple() requires a ground atom, got %s" % self
+                    )
+                values.append(term.value)
+            row = tuple(values)
+            object.__setattr__(self, "_row", row)
+        return row
 
     def __str__(self):
         if not self.terms:

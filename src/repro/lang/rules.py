@@ -53,6 +53,17 @@ class Rule:
             raise TypeError("priority must be an int, got %r" % (self.priority,))
         self._check_safety()
 
+    def __hash__(self):
+        # Cached: rules key the matcher's compile caches and appear inside
+        # every RuleGrounding hash, so the deep structural hash would
+        # otherwise be recomputed once per grounding per round.  Lazy (not
+        # in ``__post_init__``) because ``__new_unchecked__`` skips that.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.head, self.body, self.name, self.priority))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # -- safety ------------------------------------------------------------
 
     def _check_safety(self):
@@ -85,11 +96,15 @@ class Rule:
     # -- structure ---------------------------------------------------------
 
     def variables(self):
-        """All variables occurring anywhere in the rule."""
-        result = set(self.head.variables())
-        for literal in self.body:
-            result |= literal.variables()
-        return result
+        """All variables occurring anywhere in the rule (cached frozenset)."""
+        cached = self.__dict__.get("_variables")
+        if cached is None:
+            result = set(self.head.variables())
+            for literal in self.body:
+                result |= literal.variables()
+            cached = frozenset(result)
+            object.__setattr__(self, "_variables", cached)
+        return cached
 
     def predicates(self):
         """All predicate signatures mentioned by the rule (body and head)."""

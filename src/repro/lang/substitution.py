@@ -25,7 +25,7 @@ class Substitution(Mapping):
     :meth:`restrict` (projection onto a variable set).
     """
 
-    __slots__ = ("_bindings", "_hash")
+    __slots__ = ("_bindings", "_hash", "_vars")
 
     def __init__(self, bindings=None):
         items: Dict[Variable, Term] = {}
@@ -40,6 +40,23 @@ class Substitution(Mapping):
             sorted(items.items(), key=lambda kv: kv[0].name)
         )
         self._hash = hash(self._bindings)
+        self._vars = None
+
+    @classmethod
+    def _from_sorted(cls, bindings):
+        """Internal fast constructor for the compiled matcher.
+
+        *bindings* must already be a tuple of ``(Variable, Constant)`` pairs
+        sorted by variable name — exactly the canonical form ``__init__``
+        normalizes to — so validation and re-sorting are skipped.  Produces
+        objects indistinguishable (``==``, ``hash``) from normally
+        constructed ones.
+        """
+        self = object.__new__(cls)
+        self._bindings = bindings
+        self._hash = hash(bindings)
+        self._vars = None
+        return self
 
     # -- Mapping protocol --------------------------------------------------
 
@@ -107,6 +124,12 @@ class Substitution(Mapping):
         return Substitution(
             {var: term for var, term in self._bindings if var in wanted}
         )
+
+    def variable_set(self):
+        """The bound variables as a frozenset (computed once, cached)."""
+        if self._vars is None:
+            self._vars = frozenset(key for key, _ in self._bindings)
+        return self._vars
 
     def is_ground(self):
         """True iff every bound value is a constant."""

@@ -33,6 +33,16 @@ class Variable:
         if not self.name:
             raise ValueError("variable name must be non-empty")
 
+    def __hash__(self):
+        # Cached: terms are hashed constantly (substitution keys, atom and
+        # rule hashes) and the generated dataclass hash re-allocates a field
+        # tuple per call.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(("Variable", self.name))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def __str__(self):
         return self.name
 
@@ -56,6 +66,13 @@ class Constant:
             raise TypeError(
                 "constant value must be a string or an integer, got %r" % (self.value,)
             )
+
+    def __hash__(self):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(("Constant", self.value))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __str__(self):
         if isinstance(self.value, int):

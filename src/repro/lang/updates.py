@@ -52,14 +52,21 @@ class Update:
             raise TypeError("op must be an UpdateOp, got %r" % (self.op,))
         if not isinstance(self.atom, Atom):
             raise TypeError("atom must be an Atom, got %r" % (self.atom,))
+        # Plain attributes, not properties: conflict detection and the
+        # i-interpretation membership tests branch on the sign for every
+        # firing every round.
+        insert = self.op is UpdateOp.INSERT
+        object.__setattr__(self, "is_insert", insert)
+        object.__setattr__(self, "is_delete", not insert)
 
-    @property
-    def is_insert(self):
-        return self.op is UpdateOp.INSERT
-
-    @property
-    def is_delete(self):
-        return self.op is UpdateOp.DELETE
+    def __hash__(self):
+        # Cached: firings dicts and i-interpretation membership tests hash
+        # updates every round.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.op, self.atom))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def is_ground(self):
         return self.atom.is_ground()

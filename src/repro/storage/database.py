@@ -23,11 +23,12 @@ from .relation import Relation
 class Database:
     """A mutable set of ground atoms, organized into indexed relations."""
 
-    __slots__ = ("catalog", "_relations")
+    __slots__ = ("catalog", "_relations", "_lookup_registry")
 
     def __init__(self, atoms=(), catalog=None):
         self.catalog = catalog if catalog is not None else Catalog()
         self._relations = {}
+        self._lookup_registry = {}  # predicate -> set of (arity, column tuple)
         for atom in atoms:
             self.add(atom)
 
@@ -64,6 +65,9 @@ class Database:
                 return None
             self.catalog.ensure(atom.predicate, atom.arity)
             relation = Relation(atom.predicate, atom.arity)
+            for arity, columns in self._lookup_registry.get(atom.predicate, ()):
+                if arity == atom.arity:
+                    relation.register_index(columns)
             self._relations[atom.predicate] = relation
         elif relation.arity != atom.arity:
             raise SchemaError(
@@ -92,9 +96,10 @@ class Database:
 
     def __contains__(self, atom):
         relation = self._relations.get(atom.predicate)
-        if relation is None or relation.arity != atom.arity:
+        if relation is None:
             return False
-        return atom.value_tuple() in relation
+        row = atom.value_tuple()
+        return len(row) == relation.arity and row in relation._tuples
 
     def __len__(self):
         return sum(len(r) for r in self._relations.values())
@@ -120,6 +125,34 @@ class Database:
     def relation(self, predicate):
         """The :class:`Relation` for *predicate*, or ``None``."""
         return self._relations.get(predicate)
+
+    def has_row(self, predicate, arity, row):
+        """Membership test on raw values: whether ``predicate(*row)`` is stored.
+
+        The tuple-level twin of ``atom in db``, used by the compiled matcher
+        to test ground literals without constructing an :class:`Atom`.
+        """
+        relation = self._relations.get(predicate)
+        return (
+            relation is not None and relation.arity == arity and row in relation
+        )
+
+    def register_lookup(self, predicate, arity, columns):
+        """Declare a multi-column lookup signature for *predicate*.
+
+        Forwarded to the relation's composite-index machinery
+        (:meth:`Relation.register_index`); remembered so relations created
+        later — e.g. the ``+``/``-`` mark stores, whose relations appear
+        when the first mark arrives — pick the signature up on creation.
+        Idempotent and cheap; the index itself is built lazily on first
+        probe.
+        """
+        columns = tuple(columns)
+        signatures = self._lookup_registry.setdefault(predicate, set())
+        signatures.add((arity, columns))
+        relation = self._relations.get(predicate)
+        if relation is not None and relation.arity == arity:
+            relation.register_index(columns)
 
     def predicates(self):
         """Sorted list of predicate names with at least one declared relation."""
@@ -151,6 +184,10 @@ class Database:
         clone._relations = {
             name: relation.copy(with_indexes=with_indexes)
             for name, relation in self._relations.items()
+        }
+        clone._lookup_registry = {
+            predicate: set(signatures)
+            for predicate, signatures in self._lookup_registry.items()
         }
         return clone
 

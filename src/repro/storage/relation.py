@@ -6,6 +6,14 @@ Each relation lazily maintains one hash index per column, built the first
 time a lookup binds that column and kept incrementally up to date afterwards.
 This gives the body-matching engine constant-time candidate retrieval, which
 is what makes the polynomial bounds of the paper practical.
+
+On top of the single-column indexes, a relation supports **composite
+indexes** keyed by a tuple of columns.  The compiled matcher registers the
+bound-column signatures its plans will probe (:meth:`Relation.register_index`
+— the "lookup-signature handshake"), each index is materialized lazily on
+the first probe and maintained incrementally by :meth:`add` /
+:meth:`discard` from then on, so a multi-column probe is a single hash
+lookup instead of a best-bucket scan-and-filter.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from ..errors import SchemaError
 class Relation:
     """A named relation holding ground tuples of a fixed arity."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_registered", "_composite")
 
     def __init__(self, name, arity, tuples=()):
         if arity < 0:
@@ -25,6 +33,8 @@ class Relation:
         self.arity = arity
         self._tuples = set()
         self._indexes = {}  # column -> {value -> set of tuples}
+        self._registered = set()  # column tuples with a composite index
+        self._composite = {}  # column tuple -> {value tuple -> set of tuples}
         for row in tuples:
             self.add(row)
 
@@ -49,6 +59,9 @@ class Relation:
         self._tuples.add(row)
         for column, index in self._indexes.items():
             index.setdefault(row[column], set()).add(row)
+        for columns, index in self._composite.items():
+            key = tuple(row[c] for c in columns)
+            index.setdefault(key, set()).add(row)
         return True
 
     def discard(self, row):
@@ -63,12 +76,25 @@ class Relation:
                 bucket.discard(row)
                 if not bucket:
                     del index[row[column]]
+        for columns, index in self._composite.items():
+            key = tuple(row[c] for c in columns)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[key]
         return True
 
     def clear(self):
-        """Remove all rows (indexes are dropped, not rebuilt)."""
+        """Remove all rows (indexes are dropped, not rebuilt).
+
+        Registered composite signatures survive: they describe which probes
+        the compiled plans make, not the data, so the indexes simply
+        rematerialize on the next probe.
+        """
         self._tuples.clear()
         self._indexes.clear()
+        self._composite.clear()
 
     # -- access ------------------------------------------------------------------
 
@@ -98,14 +124,65 @@ class Relation:
             self._indexes[column] = index
         return index
 
+    # -- composite indexes ---------------------------------------------------------
+
+    def register_index(self, columns):
+        """Declare that lookups will bind exactly *columns* (sorted tuple).
+
+        Trivial signatures are ignored: a single column uses the per-column
+        index and a fully-bound probe is a plain membership test.  The
+        composite index itself is built lazily on the first probe and then
+        maintained incrementally, so registering is free until the signature
+        is actually used.
+        """
+        columns = tuple(columns)
+        if len(columns) < 2 or len(columns) >= self.arity:
+            return
+        self._registered.add(columns)
+
+    def _composite_on(self, columns):
+        index = self._composite.get(columns)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                index.setdefault(tuple(row[c] for c in columns), set()).add(row)
+            self._composite[columns] = index
+        return index
+
+    def candidates_key(self, columns, key):
+        """Rows whose *columns* (a sorted tuple of column indexes) equal *key*.
+
+        The positional twin of :meth:`candidates`, used by the compiled
+        matcher: the caller passes the prebuilt column tuple from the plan
+        step plus the current key values, avoiding a per-probe dict.  An
+        empty *columns* is a full scan; all columns bound is a membership
+        test (*key* then *is* the row); one column uses the per-column
+        index; anything else hits (and lazily builds) a composite index.
+        Returns an iterable of rows; must not be retained across mutations.
+        """
+        count = len(columns)
+        if not count:
+            return self._tuples
+        if count == self.arity:
+            # columns is sorted and distinct, so it is (0, ..., arity-1)
+            # and key is the row itself.
+            return (key,) if key in self._tuples else ()
+        if count == 1:
+            bucket = self._index_on(columns[0]).get(key[0])
+            return bucket if bucket is not None else ()
+        self._registered.add(columns)
+        bucket = self._composite_on(columns).get(key)
+        return bucket if bucket is not None else ()
+
     def candidates(self, bound):
         """Rows consistent with *bound*, a ``{column: value}`` mapping.
 
-        With every column bound this is a single O(1) membership test;
-        otherwise it uses the index on the most selective bound column and
-        filters the rest.  With no bound columns this is a full scan.
-        Returns an iterable of rows; the result must not be retained across
-        mutations.
+        With every column bound this is a single O(1) membership test.  A
+        multi-column probe whose signature has a registered composite index
+        is a single hash lookup; otherwise it uses the index on the most
+        selective bound column and filters the rest.  With no bound columns
+        this is a full scan.  Returns an iterable of rows; the result must
+        not be retained across mutations.
         """
         if not bound:
             return self._tuples
@@ -113,6 +190,12 @@ class Relation:
             # Fully bound: the only possible answer is the row itself.
             row = tuple(bound[column] for column in range(self.arity))
             return (row,) if row in self._tuples else ()
+        if len(bound) > 1:
+            columns = tuple(sorted(bound))
+            if columns in self._registered:
+                key = tuple(bound[c] for c in columns)
+                bucket = self._composite_on(columns).get(key)
+                return bucket if bucket is not None else ()
         best_column = None
         best_bucket = None
         for column, value in bound.items():
@@ -131,18 +214,27 @@ class Relation:
     def copy(self, with_indexes=False):
         """An independent copy sharing no mutable state.
 
-        With ``with_indexes=True`` the hash indexes are carried over as
-        per-bucket set copies — cheaper than rebuilding them from scratch on
-        the first lookup, which matters on hot paths that copy a relation
-        every evaluation round (``Γ``'s apply and epoch restarts).
+        With ``with_indexes=True`` the hash indexes (single-column and
+        composite) are carried over as per-bucket set copies — cheaper than
+        rebuilding them from scratch on the first lookup, which matters on
+        hot paths that copy a relation every evaluation round (``Γ``'s
+        apply and epoch restarts).  Registered composite signatures are
+        always carried: they are schema-level metadata, not data.
         """
         clone = Relation(self.name, self.arity)
         clone._tuples = set(self._tuples)
-        if with_indexes and self._indexes:
-            clone._indexes = {
-                column: {value: set(rows) for value, rows in index.items()}
-                for column, index in self._indexes.items()
-            }
+        clone._registered = set(self._registered)
+        if with_indexes:
+            if self._indexes:
+                clone._indexes = {
+                    column: {value: set(rows) for value, rows in index.items()}
+                    for column, index in self._indexes.items()
+                }
+            if self._composite:
+                clone._composite = {
+                    columns: {key: set(rows) for key, rows in index.items()}
+                    for columns, index in self._composite.items()
+                }
         return clone
 
     def __eq__(self, other):

@@ -1,0 +1,188 @@
+"""Tests for the slot compiler and its register-machine executor."""
+
+from repro.engine.compiler import (
+    CompiledProgram,
+    clear_program_cache,
+    compile_program,
+)
+from repro.engine.views import DatabaseView
+from repro.lang import parse_rule, substitution
+from repro.storage.database import Database
+
+
+def setup_function(function):
+    clear_program_cache()
+
+
+def view_of(facts_text):
+    return DatabaseView(Database.from_text(facts_text))
+
+
+def subs(rule_text, facts_text):
+    rule = parse_rule(rule_text)
+    view = view_of(facts_text)
+    return sorted(compile_program(rule).substitutions(view), key=str)
+
+
+class TestCompilation:
+    def test_slots_cover_all_rule_variables(self):
+        rule = parse_rule("edge(X, Y), edge(Y, Z) -> +path(X, Z).")
+        program = compile_program(rule)
+        assert program.nslots == 3
+        assert {v for v, _ in program.sub_items} == rule.variables()
+
+    def test_sub_items_sorted_by_name(self):
+        rule = parse_rule("edge(Z, A), p(M) -> +q(A, M, Z).")
+        program = compile_program(rule)
+        names = [v.name for v, _ in program.sub_items]
+        assert names == sorted(names)
+
+    def test_compile_cached_per_rule(self):
+        rule = parse_rule("p(X) -> +q(X).")
+        assert compile_program(rule) is compile_program(rule)
+        clear_program_cache()
+        fresh = compile_program(rule)
+        assert fresh is compile_program(rule)
+
+    def test_check_steps_fold_into_preceding_bind(self):
+        rule = parse_rule("p(X), not r(X) -> +q(X).")
+        program = compile_program(rule)
+        assert len(program.bind_steps) == 1
+        assert len(program.bind_steps[0].post_checks) == 1
+        assert not program.prefix_checks
+
+    def test_ground_check_before_any_bind_is_prefix(self):
+        rule = parse_rule("not r(a), p(X) -> +q(X).")
+        program = compile_program(rule)
+        assert len(program.prefix_checks) == 1
+
+    def test_registrations_only_for_composite_signatures(self):
+        # Second literal probes with Y bound (1 column of 2) — a
+        # single-column signature, never registered.
+        rule = parse_rule("edge(X, Y), edge(Y, Z) -> +path(X, Z).")
+        assert compile_program(rule).registrations == ()
+        # Probing r(X, Y, Z) with X and Y bound: 2 of 3 columns — the
+        # composite case the handshake exists for.
+        wide = parse_rule("p(X, Y), r(X, Y, Z) -> +s(Z).")
+        program = compile_program(wide)
+        assert program.registrations == (("r", 3, (0, 1)),)
+
+
+class TestExecution:
+    def test_join(self):
+        found = subs(
+            "edge(X, Y), edge(Y, Z) -> +path(X, Z).",
+            "edge(a, b). edge(b, c).",
+        )
+        assert found == [substitution(X="a", Y="b", Z="c")]
+
+    def test_constants_rechecked(self):
+        found = subs("edge(a, Y) -> +q(Y).", "edge(a, b). edge(c, d).")
+        assert found == [substitution(Y="b")]
+
+    def test_repeated_variable_within_literal(self):
+        found = subs("edge(X, X) -> +loop(X).", "edge(a, a). edge(a, b).")
+        assert found == [substitution(X="a")]
+
+    def test_negation(self):
+        found = subs(
+            "p(X), not r(X) -> +q(X).", "p(a). p(b). r(a)."
+        )
+        assert found == [substitution(X="b")]
+
+    def test_bodyless_rule_yields_one_empty_solution(self):
+        rule = parse_rule("-> +q(b).")
+        program = compile_program(rule)
+        assert list(program.substitutions(view_of("p(a)."))) == [substitution()]
+
+    def test_zero_arity_literals(self):
+        found = subs("flag, p(X) -> +q(X).", "flag. p(a).")
+        assert found == [substitution(X="a")]
+        assert subs("flag, p(X) -> +q(X).", "p(a).") == []
+
+    def test_deep_join_backtracks_correctly(self):
+        # Three-way join forces the cursor stack to resume suspended
+        # iterators at every depth; a probe returning a restartable
+        # iterable (rather than an iterator) would duplicate results.
+        found = subs(
+            "edge(X, Y), edge(Y, Z), edge(Z, W) -> +p3(X, W).",
+            "edge(a, b). edge(b, c). edge(c, d). edge(b, d). edge(d, e).",
+        )
+        assert found == sorted(
+            [
+                substitution(X="a", Y="b", Z="c", W="d"),
+                substitution(X="a", Y="b", Z="d", W="e"),
+                substitution(X="b", Y="c", Z="d", W="e"),
+            ],
+            key=str,
+        )
+
+    def test_freeze_false_yields_dicts(self):
+        rule = parse_rule("p(X) -> +q(X).")
+        program = compile_program(rule)
+        rows = list(program.substitutions(view_of("p(a)."), freeze=False))
+        assert rows == [substitution(X="a")]
+        assert isinstance(rows[0], dict)
+
+    def test_substitutions_interned_across_calls(self):
+        rule = parse_rule("p(X) -> +q(X).")
+        program = compile_program(rule)
+        view = view_of("p(a).")
+        (first,) = program.substitutions(view)
+        (second,) = program.substitutions(view)
+        assert first is second
+
+
+class TestFireableUpdates:
+    def test_head_grounded_from_slots(self):
+        rule = parse_rule("edge(X, Y) -> +reach(Y).")
+        program = compile_program(rule)
+        heads = sorted(
+            str(u) for u in program.fireable_updates(view_of("edge(a, b). edge(c, d)."))
+        )
+        assert heads == ["+reach(b)", "+reach(d)"]
+
+    def test_deduplicates_identical_heads(self):
+        rule = parse_rule("edge(X, Y) -> +reach(Y).")
+        program = compile_program(rule)
+        heads = [
+            str(u)
+            for u in program.fireable_updates(view_of("edge(a, b). edge(c, b)."))
+        ]
+        assert heads == ["+reach(b)"]
+
+    def test_ground_head_yields_once(self):
+        rule = parse_rule("p(X) -> +q(b).")
+        program = compile_program(rule)
+        heads = [str(u) for u in program.fireable_updates(view_of("p(a). p(c)."))]
+        assert heads == ["+q(b)"]
+
+    def test_head_updates_interned_across_calls(self):
+        rule = parse_rule("edge(X, Y) -> +reach(Y).")
+        program = compile_program(rule)
+        view = view_of("edge(a, b).")
+        (first,) = program.fireable_updates(view)
+        (second,) = program.fireable_updates(view)
+        assert first is second
+
+
+class TestIndexHandshake:
+    def test_composite_signatures_registered_on_database(self):
+        # r(X, Y, Z) probed with X and Y bound — a 2-of-3 composite
+        # signature the compiler must hand to the storage layer.
+        rule = parse_rule("p(X, Y), r(X, Y, Z) -> +s(Z).")
+        database = Database.from_text(
+            "p(a, b). r(a, b, c1). r(a, b, c2). r(a, x, c3)."
+        )
+        view = DatabaseView(database)
+        program = compile_program(rule)
+        found = sorted(program.substitutions(view), key=str)
+        assert len(found) == 2
+        relation = database.relation("r")
+        assert any(len(cols) == 2 for cols in relation._registered)
+
+    def test_matches_once(self):
+        rule = parse_rule("p(X), q(X) -> +r(X).")
+        program = compile_program(rule)
+        assert program.matches_once(view_of("p(a). q(a)."))
+        assert not program.matches_once(view_of("p(a). q(b)."))

@@ -59,3 +59,50 @@ class TestExplain:
         assert len(lines) == 2
         assert "[bind]" in lines[0]
         assert "[check]" in lines[1]
+
+
+class _StatsView:
+    """Minimal stand-in exposing only the planner's statistics hook."""
+
+    def __init__(self, counts):
+        self.counts = counts
+
+    def estimate(self, predicate):
+        return self.counts.get(predicate, 0)
+
+
+def kinds_with_stats(rule_text, counts):
+    view = _StatsView(counts)
+    return [
+        (str(s.literal), s.kind)
+        for s in plan_body(parse_rule(rule_text), view)
+    ]
+
+
+class TestStatsTieBreak:
+    def test_smaller_relation_scanned_first(self):
+        # Equal bound/free counts: the view's cardinality estimate breaks
+        # the tie, so the smaller relation drives the join.
+        plan = kinds_with_stats(
+            "m(X), n(Y) -> +q(X, Y).", {"m": 1000, "n": 3}
+        )
+        assert plan[0][0] == "n(Y)"
+
+    def test_equal_estimates_fall_back_to_position(self):
+        plan = kinds_with_stats(
+            "m(X), n(Y) -> +q(X, Y).", {"m": 5, "n": 5}
+        )
+        assert plan[0][0] == "m(X)"
+
+    def test_bound_count_still_dominates_estimate(self):
+        # s(X, Y) has a bound column once X is known; a huge estimate must
+        # not demote it below the unbound t(Z, W).
+        plan = kinds_with_stats(
+            "p(X), t(Z, W), s(X, Y) -> +q(X).",
+            {"p": 1, "s": 10_000, "t": 1},
+        )
+        assert plan[1][0] == "s(X, Y)"
+
+    def test_no_view_means_position_tie_break(self):
+        plan = kinds("m(X), n(Y) -> +q(X, Y).")
+        assert plan[0][0] == "m(X)"

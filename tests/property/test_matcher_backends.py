@@ -1,0 +1,198 @@
+"""The compiled and interpreted matcher backends are observationally identical.
+
+The slot compiler (:mod:`repro.engine.compiler`) lowers rule bodies to
+register-machine programs with composite-index lookups; the interpreted
+backtracking matcher is the reference oracle.  For every (rule, view) the
+two must produce the same substitution *set* (duplicates may differ in
+multiplicity when an atom is both unmarked and ``+``-marked — consumers
+are set-based), the same fireable heads, and — end to end — bit-identical
+engine behaviour: per-round firings, traces, blocked sets, statistics,
+and final databases, across random programs, transactions, policies,
+blocking modes, and all three Γ evaluation strategies.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.property import strategies as strat
+
+from repro.analysis.trace import TraceRecorder
+from repro.core.blocking import BlockingMode
+from repro.core.engine import EngineListener, ParkEngine
+from repro.core.interpretation import IInterpretation
+from repro.core.validity import InterpretationView
+from repro.engine.match import (
+    clear_compile_cache,
+    fireable_heads,
+    get_matcher_backend,
+    match_body_once,
+    match_rule,
+    set_matcher_backend,
+)
+from repro.errors import NonTerminationError
+from repro.lang.atoms import Atom
+from repro.lang.terms import Constant
+from repro.lang.updates import Update, UpdateOp
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+BACKENDS = ("interpreted", "compiled")
+STRATEGIES = ("naive", "seminaive", "incremental")
+
+
+def _with_backend(backend, thunk):
+    previous = get_matcher_backend()
+    set_matcher_backend(backend)
+    clear_compile_cache()
+    try:
+        return thunk()
+    finally:
+        set_matcher_backend(previous)
+
+
+def _make_policy(name):
+    from repro.policies.composite import ConstantPolicy
+    from repro.policies.inertia import InertiaPolicy
+    from repro.policies.priority import PriorityPolicy
+
+    if name == "inertia":
+        return InertiaPolicy()
+    if name == "priority":
+        return PriorityPolicy()
+    return ConstantPolicy(name)
+
+
+class FiringsRecorder(EngineListener):
+    def __init__(self):
+        self.rounds = []
+
+    def on_round(self, round_number, epoch, gamma_result):
+        self.rounds.append((round_number, epoch, gamma_result.firings))
+
+
+@st.composite
+def matching_scenarios(draw):
+    """A safe rule + an i-interpretation with random +/- marks."""
+    program, database = draw(
+        strat.program_database_pairs(max_rules=1, max_facts=6)
+    )
+    (rule,) = program
+    interpretation = IInterpretation.from_database(database)
+    arities = {}
+    for predicate, arity in rule.predicates():
+        arities[predicate] = arity
+    for atom in database.atoms():
+        arities[atom.predicate] = atom.arity
+    names = sorted(arities)
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        predicate = draw(st.sampled_from(names))
+        row = tuple(
+            Constant(draw(st.sampled_from(["a", "b", "c"])))
+            for _ in range(arities[predicate])
+        )
+        op = draw(st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]))
+        interpretation.add_update(Update(op, Atom(predicate, row)))
+    return rule, interpretation
+
+
+@given(matching_scenarios())
+@RELAXED
+def test_backends_identical_substitution_sets(scenario):
+    rule, interpretation = scenario
+    results = {}
+    for backend in BACKENDS:
+        view = InterpretationView(interpretation)
+        results[backend] = _with_backend(
+            backend, lambda: set(match_rule(rule, view))
+        )
+    assert results["compiled"] == results["interpreted"]
+
+
+@given(matching_scenarios())
+@RELAXED
+def test_backends_identical_fireable_heads(scenario):
+    rule, interpretation = scenario
+    heads = {}
+    once = {}
+    for backend in BACKENDS:
+        view = InterpretationView(interpretation)
+        heads[backend] = _with_backend(
+            backend, lambda: sorted(fireable_heads(rule, view), key=str)
+        )
+        once[backend] = _with_backend(
+            backend, lambda: match_body_once(rule, view)
+        )
+    assert heads["compiled"] == heads["interpreted"]
+    assert once["compiled"] == once["interpreted"]
+
+
+@st.composite
+def engine_scenarios(draw):
+    program, database = draw(strat.program_database_pairs())
+    arities = sorted(program.predicates())
+    updates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        predicate, arity = draw(st.sampled_from(arities))
+        row = tuple(draw(strat.constants) for _ in range(arity))
+        op = draw(st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]))
+        updates.append(Update(op, Atom(predicate, row)))
+    return program, database, tuple(updates)
+
+
+def _run_engine(strategy, program, database, updates, policy_name, blocking):
+    firings = FiringsRecorder()
+    trace = TraceRecorder()
+    engine = ParkEngine(
+        policy=_make_policy(policy_name),
+        blocking_mode=blocking,
+        listeners=(trace, firings),
+        evaluation=strategy,
+    )
+    result = engine.run(program, database, updates=updates)
+    return result, tuple(trace.events), tuple(firings.rounds)
+
+
+@given(
+    scenario=engine_scenarios(),
+    strategy=st.sampled_from(STRATEGIES),
+    policy_name=st.sampled_from(["inertia", "priority", "insert", "delete"]),
+    blocking=st.sampled_from([BlockingMode.ALL, BlockingMode.MINIMAL]),
+)
+@RELAXED
+def test_backends_bit_identical_engine_runs(
+    scenario, strategy, policy_name, blocking
+):
+    program, database, updates = scenario
+    outcomes = {}
+    failures = {}
+    for backend in BACKENDS:
+        try:
+            outcomes[backend] = _with_backend(
+                backend,
+                lambda: _run_engine(
+                    strategy, program, database, updates, policy_name, blocking
+                ),
+            )
+        except NonTerminationError as error:
+            failures[backend] = str(error)
+    if failures:
+        assert set(failures) == set(BACKENDS), (failures, outcomes)
+        assert len(set(failures.values())) == 1, failures
+        return
+
+    base_result, base_trace, base_firings = outcomes["interpreted"]
+    result, trace, firings = outcomes["compiled"]
+    assert firings == base_firings
+    assert trace == base_trace
+    assert result.blocked == base_result.blocked
+    assert result.atoms == base_result.atoms
+    assert result.delta.inserts == base_result.delta.inserts
+    assert result.delta.deletes == base_result.delta.deletes
+    assert result.stats.rounds == base_result.stats.rounds
+    assert result.stats.restarts == base_result.stats.restarts
+    assert result.stats.conflicts_resolved == base_result.stats.conflicts_resolved
+    assert result.stats.firings_total == base_result.stats.firings_total

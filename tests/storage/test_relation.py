@@ -148,3 +148,118 @@ class TestValueSemantics:
         for row in r.rows():
             r.discard(row)  # no RuntimeError from mutation during iteration
         assert len(r) == 0
+
+
+class TestCompositeIndexes:
+    """Multi-column hash indexes: registration, probing, maintenance."""
+
+    def setup_method(self):
+        self.r = Relation(
+            "t",
+            3,
+            [("a", "b", "c"), ("a", "b", "d"), ("a", "x", "c"), ("b", "b", "c")],
+        )
+
+    def test_candidates_key_unbound_scans_all(self):
+        assert set(self.r.candidates_key((), ())) == set(self.r)
+
+    def test_candidates_key_single_column(self):
+        assert set(self.r.candidates_key((1,), ("b",))) == {
+            ("a", "b", "c"),
+            ("a", "b", "d"),
+            ("b", "b", "c"),
+        }
+
+    def test_candidates_key_composite(self):
+        assert set(self.r.candidates_key((0, 1), ("a", "b"))) == {
+            ("a", "b", "c"),
+            ("a", "b", "d"),
+        }
+        assert set(self.r.candidates_key((0, 2), ("a", "c"))) == {
+            ("a", "b", "c"),
+            ("a", "x", "c"),
+        }
+
+    def test_candidates_key_composite_miss(self):
+        assert tuple(self.r.candidates_key((0, 1), ("z", "z"))) == ()
+
+    def test_candidates_key_fully_bound_is_membership(self):
+        assert tuple(self.r.candidates_key((0, 1, 2), ("a", "b", "c"))) == (
+            ("a", "b", "c"),
+        )
+        assert tuple(self.r.candidates_key((0, 1, 2), ("a", "b", "z"))) == ()
+        assert not self.r._composite  # no composite index materialised
+
+    def test_composite_probe_registers_signature(self):
+        self.r.candidates_key((0, 1), ("a", "b"))
+        assert (0, 1) in self.r._registered
+
+    def test_register_index_rejects_trivial_signatures(self):
+        self.r.register_index((0,))      # single column: existing index
+        self.r.register_index((0, 1, 2))  # full arity: membership test
+        assert not self.r._registered
+
+    def test_composite_maintained_across_interleaved_mutation(self):
+        probe = lambda: set(self.r.candidates_key((0, 1), ("a", "b")))
+        assert probe() == {("a", "b", "c"), ("a", "b", "d")}
+        self.r.add(("a", "b", "e"))
+        assert probe() == {("a", "b", "c"), ("a", "b", "d"), ("a", "b", "e")}
+        self.r.discard(("a", "b", "c"))
+        self.r.discard(("a", "b", "d"))
+        assert probe() == {("a", "b", "e")}
+        self.r.add(("a", "b", "c"))
+        assert probe() == {("a", "b", "c"), ("a", "b", "e")}
+
+    def test_no_stale_rows_after_discard(self):
+        # Regression: a discarded row must not linger in composite buckets.
+        self.r.candidates_key((0, 1), ("a", "b"))  # build the index
+        self.r.discard(("a", "b", "c"))
+        assert ("a", "b", "c") not in set(self.r.candidates_key((0, 1), ("a", "b")))
+        # ... and re-adding it must reappear exactly once.
+        self.r.add(("a", "b", "c"))
+        rows = list(self.r.candidates_key((0, 1), ("a", "b")))
+        assert rows.count(("a", "b", "c")) == 1
+
+    def test_clear_drops_buckets_keeps_registration(self):
+        self.r.candidates_key((0, 1), ("a", "b"))
+        self.r.clear()
+        assert not self.r._composite
+        assert (0, 1) in self.r._registered
+        self.r.add(("a", "b", "z"))
+        assert set(self.r.candidates_key((0, 1), ("a", "b"))) == {("a", "b", "z")}
+
+    def test_copy_carries_registration_not_buckets(self):
+        self.r.candidates_key((0, 1), ("a", "b"))
+        clone = self.r.copy()
+        assert (0, 1) in clone._registered
+        assert not clone._composite
+        assert set(clone.candidates_key((0, 1), ("a", "b"))) == {
+            ("a", "b", "c"),
+            ("a", "b", "d"),
+        }
+
+    def test_copy_with_indexes_carries_composite_buckets(self):
+        self.r.candidates_key((0, 1), ("a", "b"))
+        clone = self.r.copy(with_indexes=True)
+        assert (0, 1) in clone._composite
+        clone.add(("a", "b", "z"))
+        clone.discard(("a", "b", "c"))
+        assert set(clone.candidates_key((0, 1), ("a", "b"))) == {
+            ("a", "b", "d"),
+            ("a", "b", "z"),
+        }
+        # The original is untouched.
+        assert set(self.r.candidates_key((0, 1), ("a", "b"))) == {
+            ("a", "b", "c"),
+            ("a", "b", "d"),
+        }
+
+    def test_registered_signature_used_by_bound_dict_candidates(self):
+        # candidates() consults registered composite indexes for multi-column
+        # bound patterns instead of filtering a single-column bucket.
+        self.r.register_index((0, 1))
+        assert set(self.r.candidates({0: "a", 1: "b"})) == {
+            ("a", "b", "c"),
+            ("a", "b", "d"),
+        }
+        assert (0, 1) in self.r._composite
