@@ -15,18 +15,31 @@ speedup.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--repeats N] [--out PATH] [--quick]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--repeats N] [--out PATH] [--quick] [--metrics]
 
 ``--quick`` runs a reduced workload list with one repeat — the CI smoke
 configuration.
+
+``--metrics`` additionally runs every (strategy, backend) combination
+once with a telemetry registry attached and embeds per-phase wall-time
+breakdowns plus the semantic counter fingerprint into the report.  The
+fingerprint (rounds, epochs, restarts, conflicts, firings, blocked — see
+``repro.obs.metrics.SEMANTIC_COUNTERS``) is asserted identical across
+all combinations, and a disabled-telemetry overhead check asserts that
+runs made *after* metered runs are no slower than runs made before them
+(tolerance ``REPRO_OVERHEAD_TOLERANCE``, default 3%) — catching both a
+leaked active registry and creeping guard costs on the null path.
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro.engine.match import clear_compile_cache, set_matcher_backend
+from repro.obs import Metrics
+from repro.obs.profile import PHASES
 from repro.workloads import (
     conflict_cascade,
     deactivation_batch,
@@ -93,16 +106,148 @@ def _geomean(values):
     return product ** (1.0 / len(values)) if values else None
 
 
-def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False):
+def _metered_run(workload, strategy, backend):
+    """One run with a fresh registry attached; returns its Metrics."""
+    set_matcher_backend(backend)
+    clear_compile_cache()
+    metrics = Metrics()
+    workload.run(evaluation=strategy, metrics=metrics)
+    return metrics
+
+
+def _workload_telemetry(name, workload):
+    """Phase breakdowns and the cross-combination counter fingerprint.
+
+    Runs every (strategy, backend) combination once with telemetry on.
+    The semantic fingerprint must be identical on all of them — the
+    counters it covers describe the PARK computation, not the machinery —
+    so any divergence is a correctness failure, not a perf artifact.
+    """
+    fingerprints = {}
+    phases = {}
+    counters = {}
+    for strategy in STRATEGIES:
+        for backend in BACKENDS:
+            metrics = _metered_run(workload, strategy, backend)
+            fingerprints[(strategy, backend)] = metrics.fingerprint()
+            if backend == "compiled":
+                breakdown = {}
+                for phase, _label in PHASES:
+                    entry = metrics.timers.get(phase)
+                    if entry is not None:
+                        breakdown[phase] = {
+                            "calls": entry[0],
+                            "seconds": round(entry[1], 6),
+                        }
+                phases[strategy] = breakdown
+                counters[strategy] = dict(sorted(metrics.counters.items()))
+    baseline = fingerprints[("naive", "compiled")]
+    for key, fingerprint in fingerprints.items():
+        if fingerprint != baseline:
+            raise AssertionError(
+                "telemetry fingerprint diverged on workload %s: %s/%s got %r,"
+                " naive/compiled got %r"
+                % (name, key[0], key[1], fingerprint, baseline)
+            )
+    return {
+        "fingerprint": [[key, value] for key, value in baseline],
+        "phases": phases,
+        "counters": counters,
+    }
+
+
+#: Workloads the disabled-overhead check times (the matcher-bound ones).
+OVERHEAD_WORKLOADS = ("tc-40", "reach-100")
+
+
+def _overhead_check(workloads, repeats, tolerance, verbose=True):
+    """Assert the null-telemetry path stays fast after metered runs.
+
+    For each matcher-bound workload: interleave disabled, metered, and
+    again-disabled runs (best-of-N each, incremental/compiled — the
+    hottest configuration), so machine drift hits all three equally.
+    ``after/before`` must stay under ``1 + tolerance``; a leaked active
+    registry or new unguarded work on the null path shows up here as a
+    hard failure.
+    """
+    checks = {}
+    rounds = max(repeats, 5)
+    by_name = dict(workloads)
+    for name in OVERHEAD_WORKLOADS:
+        workload = by_name.get(name)
+        if workload is None:
+            continue
+        set_matcher_backend("compiled")
+        clear_compile_cache()
+
+        def timed(**options):
+            start = time.perf_counter()
+            workload.run(evaluation="incremental", **options)
+            return time.perf_counter() - start
+
+        timed()  # warm the compile caches outside the measurement
+        before = enabled = after = None
+        for _ in range(rounds):
+            sample = timed()
+            if before is None or sample < before:
+                before = sample
+            sample = timed(metrics=Metrics())
+            if enabled is None or sample < enabled:
+                enabled = sample
+            sample = timed()
+            if after is None or sample < after:
+                after = sample
+        ratio = after / before
+        entry = {
+            "disabled_before_s": round(before, 6),
+            "disabled_after_s": round(after, 6),
+            "enabled_s": round(enabled, 6),
+            "disabled_ratio": round(ratio, 4),
+            "enabled_overhead": round(enabled / before, 4),
+            "tolerance": tolerance,
+        }
+        checks[name] = entry
+        if verbose:
+            print(
+                "%-12s disabled %8.4fs -> %8.4fs after metered runs "
+                "(ratio %.3f, tolerance %.2f); enabled %8.4fs (%.2fx)"
+                % (
+                    name,
+                    before,
+                    after,
+                    ratio,
+                    1.0 + tolerance,
+                    enabled,
+                    enabled / before,
+                )
+            )
+        if ratio > 1.0 + tolerance:
+            raise AssertionError(
+                "disabled-telemetry path slowed down by %.1f%% on %s "
+                "(tolerance %.0f%%): an active registry leaked or the "
+                "null-metrics fast path regressed"
+                % ((ratio - 1.0) * 100, name, tolerance * 100)
+            )
+    return checks
+
+
+def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
+        metrics=False, overhead_tolerance=None):
+    if overhead_tolerance is None:
+        overhead_tolerance = float(
+            os.environ.get("REPRO_OVERHEAD_TOLERANCE") or 0.03
+        )
     report = {
         "repeats": repeats,
         "quick": quick,
+        "metrics": metrics,
         "strategies": list(STRATEGIES),
         "backends": list(BACKENDS),
         "workloads": {},
     }
+    workloads = _workloads(quick=quick)
     try:
-        for name, workload in _workloads(quick=quick):
+        for name, workload in workloads:
             entry = {}
             fingerprints = {}
             for strategy in STRATEGIES:
@@ -148,6 +293,8 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False):
                 ),
                 2,
             )
+            if metrics:
+                entry["telemetry"] = _workload_telemetry(name, workload)
             report["workloads"][name] = entry
             if verbose:
                 print(
@@ -163,6 +310,10 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False):
                         entry["backend_speedup_geomean"],
                     )
                 )
+        if metrics:
+            report["telemetry_overhead"] = _overhead_check(
+                workloads, repeats, overhead_tolerance, verbose=verbose
+            )
     finally:
         set_matcher_backend("compiled")
         clear_compile_cache()
@@ -207,10 +358,18 @@ def main(argv=None):
         action="store_true",
         help="reduced workload list, one repeat (CI smoke)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="embed phase breakdowns + counter fingerprints, assert the "
+        "fingerprint identical across combinations, and run the "
+        "disabled-telemetry overhead check",
+    )
     args = parser.parse_args(argv)
     if args.quick and args.repeats == parser.get_default("repeats"):
         args.repeats = 1
-    run(repeats=args.repeats, out=args.out, quick=args.quick)
+    run(repeats=args.repeats, out=args.out, quick=args.quick,
+        metrics=args.metrics)
     return 0
 
 

@@ -23,13 +23,98 @@ def _section(title):
     return "## %s" % title
 
 
-def report(result, trace=None, title="PARK run report", include_trace=True):
+def _epoch_breakdown(trace):
+    """Per-epoch ``Γ`` application counts from the recorded events.
+
+    Every trace event except restarts stands for one ``Γ`` application:
+    applied rounds, the inconsistent round a conflict resolves, and the
+    final fixpoint round.  Returns ``[(epoch, count, ending), ...]`` where
+    *ending* is ``"conflict"`` or ``"fixpoint"``.
+    """
+    per_epoch = {}
+    endings = {}
+    for event in trace:
+        if event.kind == "restart":
+            continue
+        per_epoch[event.epoch] = per_epoch.get(event.epoch, 0) + 1
+        if event.kind in ("conflict", "fixpoint"):
+            endings[event.epoch] = event.kind
+    return [
+        (epoch, per_epoch[epoch], endings.get(epoch, "fixpoint"))
+        for epoch in sorted(per_epoch)
+    ]
+
+
+def _telemetry_section(trace, metrics):
+    """The Telemetry section lines, in the paper's notation."""
+    lines = [_section("Telemetry"), ""]
+
+    if trace is not None and len(trace):
+        lines.append("Γ applications per epoch:")
+        lines.append("")
+        for epoch, count, ending in _epoch_breakdown(trace):
+            outcome = (
+                "reached the fixpoint Θ^ω"
+                if ending == "fixpoint"
+                else "ended in a conflict (restart from I∅)"
+            )
+            lines.append("* epoch %d: Γ^%d, %s" % (epoch, count, outcome))
+        lines.append("")
+
+    if metrics is not None:
+        timers = metrics.timers
+        if timers:
+            lines.append("| phase | time (s) | calls |")
+            lines.append("|---|---|---|")
+            for name in ("phase.match", "phase.apply", "phase.policy", "phase.incorp"):
+                entry = timers.get(name)
+                if entry is not None:
+                    lines.append(
+                        "| %s | %.6f | %d |" % (name, entry[1], entry[0])
+                    )
+            lines.append("")
+        lookups = metrics.counter("storage.index_lookups")
+        hits = metrics.counter("storage.index_hits")
+        ratio = metrics.ratio("storage.index_hits", "storage.index_lookups")
+        lines.append(
+            "* index lookups: %d (%s hit ratio), %d full scans"
+            % (
+                lookups,
+                "%.1f%%" % (ratio * 100) if ratio is not None else "n/a",
+                metrics.counter("storage.full_scans"),
+            )
+        )
+        lines.append(
+            "* rule matching: %d full Γ matches, %d delta matches, "
+            "%d dirty-skips"
+            % (
+                metrics.counter("eval.full_matches"),
+                metrics.counter("eval.delta_matches"),
+                metrics.counter("eval.volatile_skipped_clean"),
+            )
+        )
+        lines.append(
+            "* conflicts resolved: %d across %d restarts"
+            % (
+                metrics.counter("engine.conflicts_resolved"),
+                metrics.counter("engine.restarts"),
+            )
+        )
+        lines.append("")
+    return lines
+
+
+def report(result, trace=None, metrics=None, title="PARK run report",
+           include_trace=True):
     """Build a markdown report for *result* (a :class:`ParkResult`).
 
     *trace* may be the :class:`TraceRecorder` attached to the run; when
-    omitted, ``result.trace`` is used if present.
+    omitted, ``result.trace`` is used if present.  Likewise *metrics*
+    defaults to ``result.metrics``, so a run made with telemetry enabled
+    reports its counters with no extra plumbing.
     """
     trace = trace if trace is not None else result.trace
+    metrics = metrics if metrics is not None else result.metrics
     lines = ["# %s" % title, ""]
 
     lines.append(_section("Outcome"))
@@ -59,6 +144,9 @@ def report(result, trace=None, title="PARK run report", include_trace=True):
         )
     )
     lines.append("")
+
+    if metrics is not None or (trace is not None and len(trace)):
+        lines.extend(_telemetry_section(trace, metrics))
 
     if result.blocked:
         lines.append(_section("Blocked rule instances"))

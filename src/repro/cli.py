@@ -7,27 +7,39 @@ Usage (also via ``python -m repro``)::
         --update '+q(b)' --update '-active(joe)' \
         --policy priority --trace
     python -m repro check --rules rules.park          # parse + classify only
-    python -m repro query --db facts.park --query 'p(X), not q(X)' 
+    python -m repro query --db facts.park --query 'p(X), not q(X)'
     python -m repro explain --rules r.park --db d.park --target '+q'
+    python -m repro profile examples/quickstart.park  # hot-spot report
 
 Policies: ``inertia`` (default), ``priority``, ``specificity``,
 ``random[:seed]``, ``insert``, ``delete``.  Exit status is 0 on success,
 1 on usage/parse errors, 2 on engine errors.
+
+Telemetry: ``run`` takes ``--metrics`` (print the counter registry),
+``--trace-out FILE`` (write the span trace as JSON lines), and
+``--max-rounds`` / ``--max-restarts`` budgets.  ``profile`` always runs
+with telemetry on and prints the per-rule/per-phase hot-spot table (or
+``--json``).  Both flush whatever telemetry was recorded even when the
+engine errors out mid-run, so a diverging program still yields a usable
+partial trace and profile.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from time import perf_counter
 
 from .analysis.explain import Explainer
 from .analysis.render import render_database, render_trace
 from .analysis.trace import TraceRecorder
 from .core.blocking import BlockingMode
 from .core.engine import ParkEngine
-from .errors import ParkError
+from .errors import EngineError, ParkError
 from .lang.parser import parse_atom, parse_database, parse_program
 from .lang.updates import Update, UpdateOp
+from .obs import Metrics
 from .storage.database import Database
 
 
@@ -106,6 +118,58 @@ def _build_parser():
     )
     run.add_argument("--trace", action="store_true", help="print the trace")
     run.add_argument("--stats", action="store_true", help="print run counters")
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="record the telemetry registry and print every counter",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the span trace as JSON lines ('-' = stdout); flushed "
+        "even if the engine errors out mid-run",
+    )
+    run.add_argument(
+        "--max-rounds", type=int, default=None, metavar="N",
+        help="abort with an engine error after N Γ rounds",
+    )
+    run.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="abort with an engine error after N conflict restarts",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="run with telemetry on and print the hot-spot report",
+    )
+    profile.add_argument("rules", help="rule file ('-' = stdin)")
+    profile.add_argument("--db", default=None, help="fact file ('-' = stdin)")
+    profile.add_argument(
+        "--update", action="append", default=[], metavar="±atom",
+        help="transaction update, e.g. '+q(b)' (repeatable)",
+    )
+    profile.add_argument("--policy", default="inertia")
+    profile.add_argument(
+        "--blocking", choices=["all", "minimal"], default="all",
+    )
+    profile.add_argument(
+        "--evaluation", choices=["naive", "seminaive", "incremental"],
+        default="naive",
+    )
+    profile.add_argument(
+        "--matcher", choices=["compiled", "interpreted"], default=None,
+    )
+    profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N slowest rules",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    profile.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write the span trace as JSON lines",
+    )
+    profile.add_argument("--max-rounds", type=int, default=None, metavar="N")
+    profile.add_argument("--max-restarts", type=int, default=None, metavar="N")
 
     check = commands.add_parser("check", help="parse and classify a program")
     check.add_argument("--rules", required=True)
@@ -137,6 +201,14 @@ def _load_inputs(args):
     return program, database, updates
 
 
+def _flush_trace(tracer, path, out):
+    """Write the span trace as JSON lines; ``-`` streams to *out*."""
+    if path == "-":
+        out.write(tracer.to_jsonl())
+    else:
+        tracer.write_jsonl(path)
+
+
 def _command_run(args, out):
     if getattr(args, "matcher", None):
         from .engine.match import set_matcher_backend
@@ -144,15 +216,32 @@ def _command_run(args, out):
         set_matcher_backend(args.matcher)
     program, database, updates = _load_inputs(args)
     recorder = TraceRecorder() if args.trace else None
+    metrics = Metrics() if args.metrics else None
+    if args.trace_out:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    else:
+        tracer = None
     engine = ParkEngine(
         policy=_make_policy(args.policy),
         blocking_mode=BlockingMode.MINIMAL
         if args.blocking == "minimal"
         else BlockingMode.ALL,
+        max_rounds=args.max_rounds,
+        max_restarts=args.max_restarts,
         listeners=(recorder,) if recorder is not None else (),
         evaluation=getattr(args, "evaluation", "naive"),
+        metrics=metrics,
+        tracer=tracer,
     )
-    result = engine.run(program, database, updates=updates)
+    try:
+        result = engine.run(program, database, updates=updates)
+    finally:
+        # Engine errors still surface (exit 2 via main), but whatever
+        # telemetry was recorded up to the failure is flushed first.
+        if tracer is not None:
+            _flush_trace(tracer, args.trace_out, out)
     if recorder is not None:
         out.write(render_trace(recorder) + "\n\n")
     out.write("result: %s\n" % render_database(result.database))
@@ -161,6 +250,76 @@ def _command_run(args, out):
         out.write("blocked rules: %s\n" % ", ".join(result.blocked_rules()))
     if args.stats:
         out.write("%s\n" % result.summary())
+    if metrics is not None:
+        out.write("metrics:\n")
+        for name, value in sorted(metrics.counters.items()):
+            out.write("  %-36s %d\n" % (name, value))
+        for name, value in sorted(metrics.gauges.items()):
+            out.write("  %-36s %d\n" % (name, value))
+        for name, entry in sorted(metrics.timers.items()):
+            out.write(
+                "  %-36s %.6f s over %d calls\n" % (name, entry[1], entry[0])
+            )
+    return 0
+
+
+def _command_profile(args, out):
+    from .engine.match import get_matcher_backend, set_matcher_backend
+    from .obs import Tracer, hotspot_report, render_profile
+
+    if args.matcher:
+        set_matcher_backend(args.matcher)
+    program = parse_program(_read(args.rules))
+    database = (
+        Database(parse_database(_read(args.db))) if args.db else Database()
+    )
+    updates = [_parse_update(u) for u in args.update]
+    metrics = Metrics()
+    tracer = Tracer() if args.trace_out else None
+    engine = ParkEngine(
+        policy=_make_policy(args.policy),
+        blocking_mode=BlockingMode.MINIMAL
+        if args.blocking == "minimal"
+        else BlockingMode.ALL,
+        max_rounds=args.max_rounds,
+        max_restarts=args.max_restarts,
+        evaluation=args.evaluation,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    meta = {
+        "rules": args.rules,
+        "policy": args.policy,
+        "evaluation": args.evaluation,
+        "matcher": args.matcher or get_matcher_backend(),
+        "blocking": args.blocking,
+    }
+    if args.db:
+        meta["db"] = args.db
+    result = None
+    error = None
+    start = perf_counter()
+    try:
+        result = engine.run(program, database, updates=updates)
+    except EngineError as engine_error:
+        # Report the partial profile: everything recorded up to the
+        # failure is still valid telemetry.
+        error = engine_error
+        meta["error"] = str(engine_error)
+    wall_time = perf_counter() - start
+    if tracer is not None:
+        _flush_trace(tracer, args.trace_out, out)
+    report = hotspot_report(
+        metrics, result=result, wall_time=wall_time, top=args.top, meta=meta
+    )
+    if args.json:
+        json.dump(report, out, indent=2)
+        out.write("\n")
+    else:
+        out.write(render_profile(report))
+    if error is not None:
+        sys.stderr.write("error: %s\n" % error)
+        return 2
     return 0
 
 
@@ -221,6 +380,7 @@ def main(argv=None, out=None):
         return int(exit_error.code or 0)
     handlers = {
         "run": _command_run,
+        "profile": _command_profile,
         "check": _command_check,
         "query": _command_query,
         "explain": _command_explain,

@@ -13,12 +13,24 @@ within the finite set of rule groundings — the engine raises
 :class:`NonTerminationError` only if a (buggy) policy configuration breaks
 the latter invariant.  Optional ``max_rounds`` / ``max_restarts`` budgets
 are available for defensive callers.
+
+Telemetry follows the same opt-in pattern as listeners: construct with
+``metrics=`` (a :class:`repro.obs.metrics.Metrics`) and/or ``tracer=``
+(a :class:`repro.obs.tracing.Tracer`) and the run records phase timings,
+counters, and nested engine/match/policy spans.  The metrics registry is
+installed process-wide for the duration of the run so the matcher,
+planner, and storage layers attribute their counters to it; with neither
+option the loop takes the same null-telemetry fast path it always took
+for listeners (one ``is None`` test per site — see DESIGN.md §7).
 """
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..errors import NonTerminationError
 from ..lang.program import Program
+from ..obs import metrics as _obs
 from ..policies.base import as_policy
 from ..storage.database import Database
 from ..storage.delta import Delta
@@ -37,7 +49,8 @@ class EngineListener:
     """Receives structured events during a run.  All methods are no-ops here.
 
     Implementations: :class:`repro.analysis.trace.TraceRecorder` (records
-    everything), or ad-hoc subclasses for progress reporting.
+    everything), :class:`repro.obs.tracing.TracingListener` (forwards the
+    events into a span trace), or ad-hoc subclasses for progress reporting.
     """
 
     def on_start(self, program, database, policy_name):
@@ -81,7 +94,7 @@ def _coerce_database(database):
 
 
 class ParkEngine:
-    """A configured PARK evaluator: policy + blocking mode + listeners.
+    """A configured PARK evaluator: policy + blocking mode + telemetry.
 
     Engines are reusable and stateless across runs; every :meth:`run` is
     independent.
@@ -95,6 +108,8 @@ class ParkEngine:
         max_restarts=None,
         listeners=(),
         evaluation="naive",
+        metrics=None,
+        tracer=None,
     ):
         if policy is None:
             from ..policies.inertia import InertiaPolicy
@@ -113,6 +128,8 @@ class ParkEngine:
                 % (", ".join(sorted(EVALUATION_STRATEGIES)), evaluation)
             )
         self.evaluation = evaluation
+        self.metrics = metrics
+        self.tracer = tracer
 
     # -- events ----------------------------------------------------------------
 
@@ -138,7 +155,41 @@ class ParkEngine:
         else:
             run_program = base_program
 
+        tracer = self.tracer
+        if self.metrics is None and tracer is None:
+            return self._run_loop(run_program, original)
+
+        # Install the registry process-wide for the run so the matcher,
+        # planner, and storage layers record into it; restore the previous
+        # one (usually None) even if the run raises.
+        previous = _obs.set_active(self.metrics) if self.metrics is not None else None
+        run_span = (
+            tracer.begin(
+                "engine.run",
+                policy=self.policy.name,
+                evaluation=self.evaluation,
+                rules=len(run_program),
+                atoms=len(original),
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            return self._run_loop(run_program, original)
+        finally:
+            if tracer is not None:
+                # Also closes any round/match/policy spans a mid-run error
+                # left open, stamping them with the failure time.
+                tracer.end(run_span)
+            if self.metrics is not None:
+                _obs.set_active(previous)
+
+    def _run_loop(self, run_program, original):
         have_listeners = bool(self.listeners)
+        tracer = self.tracer
+        # Record into whatever registry is active — our own (installed by
+        # run()) or one the caller activated around the whole run.
+        metrics = _obs.ACTIVE
         self._emit("on_start", run_program, original, self.policy.name)
 
         stats = RunStats()
@@ -148,6 +199,10 @@ class ParkEngine:
         epoch = 1
         evaluator = make_evaluation(self.evaluation, run_program, blocked)
         last_new_updates = None
+        if metrics is not None:
+            metrics.inc("engine.runs")
+            metrics.gauge("engine.input_atoms", len(original))
+            metrics.gauge("engine.program_rules", len(run_program))
 
         while True:
             stats.rounds += 1
@@ -155,26 +210,56 @@ class ParkEngine:
                 raise NonTerminationError(
                     "PARK exceeded max_rounds=%d" % self.max_rounds
                 )
+            round_span = (
+                tracer.begin("engine.round", round=stats.rounds, epoch=epoch)
+                if tracer is not None
+                else None
+            )
+            if metrics is not None:
+                metrics.inc("engine.rounds")
+                match_start = perf_counter()
+            if tracer is not None:
+                match_span = tracer.begin("match.gamma")
             firings = evaluator.compute(interpretation, last_new_updates)
+            if tracer is not None:
+                tracer.end(match_span)
+            if metrics is not None:
+                metrics.observe("phase.match", perf_counter() - match_start)
+                metrics.inc("engine.firings", evaluator.last_firing_count)
             result = GammaResult(interpretation, firings)
+            # Firings are counted by the strategies as they collect them,
+            # so the total is free whether or not anyone is listening.
+            stats.firings_total += evaluator.last_firing_count
             if have_listeners:
-                stats.firings_total += result.firing_count
                 self._emit("on_round", stats.rounds, epoch, result)
-            else:
-                # Strategies count firings as they collect them; skip the
-                # per-round re-summation over the firings map.
-                stats.firings_total += evaluator.last_firing_count
 
             if result.is_consistent:
                 provenance.record(result.firings, round_number=stats.rounds)
                 if result.reached_fixpoint:
+                    if tracer is not None:
+                        tracer.end(round_span)
                     break
                 last_new_updates = result.new_updates
+                if metrics is not None:
+                    apply_start = perf_counter()
+                if tracer is not None:
+                    apply_span = tracer.begin("engine.apply")
                 interpretation = result.apply()
+                if tracer is not None:
+                    tracer.end(apply_span)
+                    tracer.end(round_span)
+                if metrics is not None:
+                    metrics.observe("phase.apply", perf_counter() - apply_start)
                 self._emit("on_apply", stats.rounds, epoch, interpretation)
                 continue
 
             # Conflict branch of Θ: resolve, block, restart from I∅.
+            if metrics is not None:
+                policy_start = perf_counter()
+            if tracer is not None:
+                policy_span = tracer.begin(
+                    "policy.resolve", round=stats.rounds, epoch=epoch
+                )
             conflicts = build_conflicts(result, blocked, provenance)
             additions, decisions = resolve_conflicts(
                 conflicts,
@@ -186,6 +271,11 @@ class ParkEngine:
                 restarts=stats.restarts,
                 mode=self.blocking_mode,
             )
+            if tracer is not None:
+                tracer.end(policy_span)
+            if metrics is not None:
+                metrics.observe("phase.policy", perf_counter() - policy_start)
+                metrics.inc("engine.conflicts_resolved", len(decisions))
             new_instances = additions - blocked
             if not new_instances:
                 raise NonTerminationError(
@@ -216,16 +306,32 @@ class ParkEngine:
             provenance.clear()
             evaluator = make_evaluation(self.evaluation, run_program, blocked)
             last_new_updates = None
+            if metrics is not None:
+                metrics.inc("engine.restarts")
+            if tracer is not None:
+                tracer.end(round_span)
             if have_listeners:
                 self._emit("on_restart", epoch, frozenset(blocked))
 
         stats.blocked_instances = len(blocked)
+        if metrics is not None:
+            metrics.inc("engine.epochs", epoch)
+            metrics.inc("engine.blocked_instances", len(blocked))
         if have_listeners:
             self._emit(
                 "on_fixpoint", stats.rounds, epoch, interpretation, frozenset(blocked)
             )
 
+        if metrics is not None:
+            incorp_start = perf_counter()
+        if tracer is not None:
+            incorp_span = tracer.begin("engine.incorp")
         final_database = incorp(interpretation)
+        if tracer is not None:
+            tracer.end(incorp_span)
+        if metrics is not None:
+            metrics.observe("phase.incorp", perf_counter() - incorp_start)
+            metrics.gauge("engine.result_atoms", len(final_database))
         run_result = ParkResult(
             database=final_database,
             delta=Delta.diff(original, final_database),
@@ -234,6 +340,7 @@ class ParkEngine:
             stats=stats,
             policy_name=self.policy.name,
             provenance=provenance,
+            metrics=metrics,
         )
         self._emit("on_finish", run_result)
         return run_result

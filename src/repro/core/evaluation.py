@@ -51,6 +51,8 @@ map each round when no listeners are attached.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..engine.dependency import body_mark_index, marks_touched
 from ..engine.match import match_rule
 from ..engine.views import FactsView
@@ -58,6 +60,7 @@ from ..lang.atoms import Atom
 from ..lang.literals import Condition, Event
 from ..lang.rules import Rule
 from ..lang.updates import Update, UpdateOp
+from ..obs import metrics as _obs
 from .groundings import RuleGrounding
 from .validity import InterpretationView
 
@@ -118,11 +121,13 @@ class NaiveEvaluation:
 
     def compute(self, interpretation, delta_updates=None):
         """All valid unblocked firings: ``{head Update: frozenset[RuleGrounding]}``."""
-        from .consequence import compute_firings
-
-        firings = compute_firings(self.program, interpretation, self.blocked)
-        self.last_firing_count = sum(len(g) for g in firings.values())
-        return firings
+        view = InterpretationView(interpretation)
+        firings = {}
+        count = 0
+        for rule in self.program:
+            count += _collect(rule, self.blocked, view, firings)
+        self.last_firing_count = count
+        return {head: frozenset(instances) for head, instances in firings.items()}
 
 
 class _DeltaView(FactsView):
@@ -228,11 +233,7 @@ class _DeltaView(FactsView):
             self.inner.register_lookup(predicate, arity, columns)
 
 
-def _collect(rule, blocked, view, into):
-    """Match *rule* against *view*, adding unblocked instances to *into*.
-
-    Returns the number of instances that were actually new in *into*.
-    """
+def _collect_inner(rule, blocked, view, into):
     added = 0
     for substitution in match_rule(rule, view):
         instance = RuleGrounding(rule, substitution)
@@ -249,8 +250,25 @@ def _collect(rule, blocked, view, into):
     return added
 
 
-def _collect_variant(original_rule, variant_rule, blocked, view, into, touched=None):
-    """Like :func:`_collect`, but grounding identity uses *original_rule*."""
+def _collect(rule, blocked, view, into):
+    """Match *rule* against *view*, adding unblocked instances to *into*.
+
+    Returns the number of instances that were actually new in *into*.
+    With a metrics registry active, the pass is timed and attributed to
+    the rule (the raw material of ``repro profile``); without one, the
+    clocks are never read.
+    """
+    m = _obs.ACTIVE
+    if m is None:
+        return _collect_inner(rule, blocked, view, into)
+    start = perf_counter()
+    added = _collect_inner(rule, blocked, view, into)
+    m.observe_rule(rule.describe(), perf_counter() - start, added)
+    m.inc("eval.full_matches")
+    return added
+
+
+def _collect_variant_inner(original_rule, variant_rule, blocked, view, into, touched):
     added = 0
     for substitution in match_rule(variant_rule, view):
         instance = RuleGrounding(original_rule, substitution)
@@ -268,6 +286,26 @@ def _collect_variant(original_rule, variant_rule, blocked, view, into, touched=N
             continue
         if touched is not None:
             touched.add(head)
+    return added
+
+
+def _collect_variant(original_rule, variant_rule, blocked, view, into, touched=None):
+    """Like :func:`_collect`, but grounding identity uses *original_rule*.
+
+    Timed under the *original* rule's description, so a rule's profile
+    aggregates its full matches and all of its delta-variant matches.
+    """
+    m = _obs.ACTIVE
+    if m is None:
+        return _collect_variant_inner(
+            original_rule, variant_rule, blocked, view, into, touched
+        )
+    start = perf_counter()
+    added = _collect_variant_inner(
+        original_rule, variant_rule, blocked, view, into, touched
+    )
+    m.observe_rule(original_rule.describe(), perf_counter() - start, added)
+    m.inc("eval.delta_matches")
     return added
 
 
@@ -456,6 +494,7 @@ class IncrementalEvaluation:
 
         firings = dict(self._frozen)
         count = self._monotone_total
+        m = _obs.ACTIVE
         for rule in self.volatile_rules:
             cached = self._volatile_cache.get(rule)
             if (
@@ -465,6 +504,10 @@ class IncrementalEvaluation:
             ):
                 cached = self._collect_volatile(rule, view)
                 self._volatile_cache[rule] = cached
+                if m is not None:
+                    m.inc("eval.volatile_rematched")
+            elif m is not None:
+                m.inc("eval.volatile_skipped_clean")
             for head, instances in cached.items():
                 existing = firings.get(head)
                 firings[head] = (

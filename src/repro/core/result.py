@@ -56,6 +56,8 @@ class ParkResult:
             instances derived which marked literals); feed it to
             :class:`repro.analysis.explain.Explainer` for derivation trees.
         trace: the recorded trace, when a recorder was attached.
+        metrics: the :class:`repro.obs.metrics.Metrics` registry that was
+            active during the run, when telemetry was enabled.
     """
 
     database: object
@@ -66,6 +68,7 @@ class ParkResult:
     policy_name: str
     provenance: Optional[object] = None
     trace: Optional[object] = None
+    metrics: Optional[object] = None
 
     @property
     def atoms(self):

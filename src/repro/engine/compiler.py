@@ -47,6 +47,7 @@ from ..lang.literals import Condition, Event
 from ..lang.substitution import Substitution
 from ..lang.terms import Constant
 from ..lang.updates import Update
+from ..obs import metrics as _obs
 from .planner import plan_body
 
 _const_intern = {}
@@ -61,9 +62,14 @@ def _intern_constant(value):
     keeps their cached hashes warm.
     """
     constant = _const_intern.get(value)
+    m = _obs.ACTIVE
     if constant is None:
         constant = Constant(value)
         _const_intern[value] = constant
+        if m is not None:
+            m.inc("intern.const_misses")
+    elif m is not None:
+        m.inc("intern.const_hits")
     return constant
 
 
@@ -358,6 +364,7 @@ class CompiledProgram:
         sub_items = self.sub_items
         if freeze:
             cache = self.sub_cache
+            m = _obs.ACTIVE
             for slots in self.solutions(view):
                 key = tuple(slots)
                 sub = cache.get(key)
@@ -369,6 +376,10 @@ class CompiledProgram:
                         )
                     )
                     cache[key] = sub
+                    if m is not None:
+                        m.inc("intern.sub_misses")
+                elif m is not None:
+                    m.inc("intern.sub_hits")
                 yield sub
         else:
             for slots in self.solutions(view):
@@ -391,6 +402,7 @@ class CompiledProgram:
         value_fixed = self.head_value_fixed
         term_fixed = self.head_term_fixed
         cache = self.head_cache
+        m = _obs.ACTIVE
         for slots in self.solutions(view):
             values = list(value_fixed)
             for index, slot in head_slots:
@@ -408,6 +420,10 @@ class CompiledProgram:
                     self.head_op, Atom(self.head_predicate, tuple(terms))
                 )
                 cache[values] = update
+                if m is not None:
+                    m.inc("intern.head_misses")
+            elif m is not None:
+                m.inc("intern.head_hits")
             yield update
 
     def matches_once(self, view):
@@ -431,9 +447,14 @@ def compile_program(rule, view=None):
     grounding set).
     """
     program = _program_cache.get(rule)
+    m = _obs.ACTIVE
     if program is None:
         program = CompiledProgram(rule, view)
         _program_cache[rule] = program
+        if m is not None:
+            m.inc("compiler.programs_compiled")
+    elif m is not None:
+        m.inc("compiler.cache_hits")
     return program
 
 

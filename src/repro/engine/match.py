@@ -37,6 +37,7 @@ from ..lang.atoms import Atom
 from ..lang.literals import Condition, Event
 from ..lang.substitution import Substitution
 from ..lang.terms import Constant, Variable
+from ..obs import metrics as _obs
 from .compiler import clear_program_cache, compile_program
 from .planner import plan_body
 
@@ -121,6 +122,9 @@ def compile_rule(rule):
     if compiled is None:
         compiled = CompiledRule(rule)
         _compiled_cache[rule] = compiled
+        m = _obs.ACTIVE
+        if m is not None:
+            m.inc("compiler.rules_compiled")
     return compiled
 
 
@@ -219,6 +223,9 @@ def match_rule(rule, view, freeze=True):
     A bodyless rule yields exactly one empty substitution.  Both backends
     yield identical substitution multisets up to order.
     """
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("match.rule_matches")
     if _backend == "compiled":
         yield from compile_program(rule, view).substitutions(view, freeze)
         return
@@ -232,6 +239,9 @@ def match_rule(rule, view, freeze=True):
 
 def match_body_once(rule, view):
     """True iff the rule body has at least one valid grounding in *view*."""
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("match.once_checks")
     if _backend == "compiled":
         return compile_program(rule, view).matches_once(view)
     for _ in match_rule(rule, view, freeze=False):
@@ -245,6 +255,9 @@ def fireable_heads(rule, view):
     Deduplicates: distinct substitutions that ground the head identically
     yield one update.
     """
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("match.head_enumerations")
     if _backend == "compiled":
         yield from compile_program(rule, view).fireable_updates(view)
         return

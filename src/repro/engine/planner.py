@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from ..lang.literals import Condition
 from ..lang.rules import Rule
+from ..obs import metrics as _obs
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,12 @@ def plan_body(rule, view=None):
     """
     if not isinstance(rule, Rule):
         raise TypeError("expected a Rule, got %r" % (rule,))
+
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("planner.plans")
+        if view is not None:
+            m.inc("planner.plans_with_stats")
 
     estimate = view.estimate if view is not None else None
     pending = list(enumerate(rule.body))

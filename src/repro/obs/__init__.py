@@ -1,0 +1,54 @@
+"""Observability: always-on counters, span tracing, and run profiling.
+
+Three cooperating layers, all opt-in and all zero-cost when disabled:
+
+* :mod:`repro.obs.metrics` — a process-global :class:`Metrics` registry of
+  cheap counters/gauges/timer-histograms.  Hot paths across the engine,
+  evaluation strategies, matchers, planner, and storage guard every
+  recording behind ``metrics.ACTIVE is None`` — the generalization of the
+  engine's ``have_listeners`` fast path — so a run without telemetry pays
+  one pointer check per instrumented site.
+* :mod:`repro.obs.tracing` — span-based structured tracing.  A
+  :class:`Tracer` records nested engine/match/policy spans plus the
+  listener-level point events, exportable as JSON lines
+  (``repro run --trace-out`` / ``repro profile --trace-out``).
+* :mod:`repro.obs.profile` — the ``repro profile`` hot-spot report:
+  per-rule and per-phase wall time, firings, match attempts, and index
+  efficiency, as a text table or JSON.
+
+This package's ``__init__`` must stay import-light: :mod:`repro.core.engine`
+imports :mod:`repro.obs.metrics`, while :mod:`repro.obs.tracing` imports
+the engine's listener protocol — re-exports are therefore lazy.
+"""
+
+from __future__ import annotations
+
+from .metrics import Metrics, NullMetrics, get_active, set_active
+
+_LAZY = {
+    "Tracer": ("repro.obs.tracing", "Tracer"),
+    "TracingListener": ("repro.obs.tracing", "TracingListener"),
+    "hotspot_report": ("repro.obs.profile", "hotspot_report"),
+    "render_profile": ("repro.obs.profile", "render_profile"),
+}
+
+__all__ = [
+    "Metrics",
+    "NullMetrics",
+    "get_active",
+    "set_active",
+    "Tracer",
+    "TracingListener",
+    "hotspot_report",
+    "render_profile",
+]
+
+
+def __getattr__(name):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,229 @@
+"""The metrics registry: counters, gauges, and timer-histograms.
+
+Instrumented sites across the codebase read the module-global
+:data:`ACTIVE` and record only when it is a :class:`Metrics` instance::
+
+    from ..obs import metrics as _obs
+    ...
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("storage.index_lookups")
+
+With no registry installed the cost per site is one module-attribute load
+and a ``None`` test — the same shape as the engine's ``have_listeners``
+guard, generalized to every layer.  The benchmark runner asserts this
+disabled path stays within a few percent of the baseline wall time
+(``benchmarks/run_benchmarks.py --metrics``).
+
+The registry itself is deliberately primitive — plain dicts of numbers,
+no locks, no background threads — because PARK runs are single-threaded
+and the recording has to be cheap enough to leave on in production.
+
+Metric names are dotted ``layer.event`` strings; the full catalog lives
+in ``docs/observability.md``.  :meth:`Metrics.fingerprint` extracts the
+*semantic* counters — those that every evaluation strategy and matcher
+backend must agree on bit-for-bit — which the benchmark runner and CI
+assert equal across all strategy × backend combinations.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+#: The installed registry, or ``None`` (telemetry disabled).  Hot paths
+#: read this through the module (``_obs.ACTIVE``) so installation is
+#: visible everywhere without indirection.
+ACTIVE = None
+
+#: Counters that are a function of the PARK semantics alone — identical
+#: for every evaluation strategy and matcher backend on the same run.
+#: ``Metrics.fingerprint()`` is restricted to these.
+SEMANTIC_COUNTERS = (
+    "engine.runs",
+    "engine.rounds",
+    "engine.epochs",
+    "engine.restarts",
+    "engine.conflicts_resolved",
+    "engine.firings",
+    "engine.blocked_instances",
+)
+
+
+def get_active():
+    """The currently installed :class:`Metrics`, or ``None``."""
+    return ACTIVE
+
+
+def set_active(registry):
+    """Install *registry* process-wide (``None`` disables); returns the old one."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = registry
+    return previous
+
+
+class Metrics:
+    """A registry of counters, gauges, timer-histograms, and per-rule stats.
+
+    * **counters** only go up (``inc``);
+    * **gauges** hold the last value set (``gauge``);
+    * **timers** aggregate observations into ``(count, total, min, max)``
+      — a fixed-size histogram summary, not a sample reservoir;
+    * **rule stats** aggregate ``(match calls, seconds, firings)`` per
+      rule description — the raw material of ``repro profile``.
+
+    Install with :func:`set_active` or the :meth:`activate` context
+    manager; the engine does the latter automatically for the duration of
+    a run when constructed with ``ParkEngine(metrics=...)``.
+    """
+
+    __slots__ = ("counters", "gauges", "timers", "rules")
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.timers = {}  # name -> [count, total, min, max]
+        self.rules = {}  # rule description -> [calls, seconds, firings]
+
+    # -- recording ---------------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        """Add *amount* to counter *name* (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name, value):
+        """Set gauge *name* to *value* (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name, seconds):
+        """Record one duration under timer *name*."""
+        entry = self.timers.get(name)
+        if entry is None:
+            self.timers[name] = [1, seconds, seconds, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+            if seconds < entry[2]:
+                entry[2] = seconds
+            if seconds > entry[3]:
+                entry[3] = seconds
+
+    def observe_rule(self, description, seconds, firings):
+        """Record one body-match pass for the rule named *description*."""
+        entry = self.rules.get(description)
+        if entry is None:
+            self.rules[description] = [1, seconds, firings]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+            entry[2] += firings
+
+    @contextmanager
+    def time(self, name):
+        """Context manager recording the block's duration under *name*."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- installation -------------------------------------------------------------
+
+    @contextmanager
+    def activate(self):
+        """Install this registry for the duration of the block (re-entrant)."""
+        previous = set_active(self)
+        try:
+            yield self
+        finally:
+            set_active(previous)
+
+    # -- reading -----------------------------------------------------------------
+
+    def counter(self, name):
+        """Counter *name*'s value (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def timer_total(self, name):
+        """Total seconds observed under timer *name* (0.0 if never)."""
+        entry = self.timers.get(name)
+        return entry[1] if entry is not None else 0.0
+
+    def ratio(self, numerator, denominator):
+        """``counter(numerator) / counter(denominator)``, or ``None`` if 0/0."""
+        total = self.counter(denominator)
+        if not total:
+            return None
+        return self.counter(numerator) / total
+
+    def fingerprint(self):
+        """The semantic counters as an ordered ``(name, value)`` tuple.
+
+        Deterministic across evaluation strategies and matcher backends:
+        any divergence means a semantics bug, which is exactly what the
+        benchmark runner and CI assert on.
+        """
+        return tuple((name, self.counters.get(name, 0)) for name in SEMANTIC_COUNTERS)
+
+    def as_dict(self):
+        """Everything recorded, as a JSON-serializable dict."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {
+                name: {
+                    "count": entry[0],
+                    "total_s": entry[1],
+                    "min_s": entry[2],
+                    "max_s": entry[3],
+                }
+                for name, entry in sorted(self.timers.items())
+            },
+            "rules": {
+                description: {
+                    "calls": entry[0],
+                    "seconds": entry[1],
+                    "firings": entry[2],
+                }
+                for description, entry in sorted(self.rules.items())
+            },
+        }
+
+    def reset(self):
+        """Drop everything recorded so far."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+        self.rules.clear()
+
+    def __repr__(self):
+        return "Metrics(%d counters, %d gauges, %d timers, %d rules)" % (
+            len(self.counters),
+            len(self.gauges),
+            len(self.timers),
+            len(self.rules),
+        )
+
+
+class NullMetrics(Metrics):
+    """A registry that records nothing — every method is a no-op.
+
+    Installing it is semantically identical to installing ``None`` but
+    exercises the *enabled* branches of every guard, which the overhead
+    benchmark uses to separate guard cost from recording cost.
+    """
+
+    __slots__ = ()
+
+    def inc(self, name, amount=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def observe(self, name, seconds):
+        pass
+
+    def observe_rule(self, description, seconds, firings):
+        pass

@@ -1,0 +1,214 @@
+"""Span-based structured tracing, exportable as JSON lines.
+
+A :class:`Tracer` records two kinds of entries, both plain dicts:
+
+* **spans** — named durations with strict nesting (``engine.run`` >
+  ``engine.round`` > ``match.gamma`` / ``engine.apply`` /
+  ``policy.resolve`` > ...), each carrying ``id``, ``parent``, start
+  timestamp ``ts`` (seconds since the tracer was created), duration
+  ``dur``, and an ``attrs`` dict;
+* **events** — instantaneous points (the engine listener protocol's
+  ``on_*`` notifications) with the same ``id``/``parent``/``ts``/``attrs``
+  shape but no duration.
+
+Entries are appended in *start* order, so a trace flushed mid-run — e.g.
+by the CLI's error path — contains every span that had begun, with open
+spans marked ``"open": true`` instead of a duration.  That is what makes
+``--trace-out`` useful on runs that die in a ``NonTerminationError``: the
+spans recorded up to the failure are exactly the diagnosis.
+
+The engine emits spans itself when constructed with
+``ParkEngine(tracer=...)``; :class:`TracingListener` adds the listener
+events into the same tracer so one JSON-lines file tells the whole story.
+Tracing never touches the evaluation state — spans observe wall time and
+pre-existing counts only — so it cannot perturb PARK semantics (DESIGN.md
+§7).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+from ..core.engine import EngineListener
+
+
+class Tracer:
+    """Records spans and events; see the module docstring for the schema."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._origin = clock()
+        self.records = []  # every span/event dict, in start order
+        self._stack = []  # open span records, innermost last
+        self._next_id = 1
+
+    # -- internals ---------------------------------------------------------------
+
+    def _now(self):
+        return self._clock() - self._origin
+
+    def _fresh(self, type_name, name, attrs):
+        record = {
+            "type": type_name,
+            "id": self._next_id,
+            "parent": self._stack[-1]["id"] if self._stack else None,
+            "name": name,
+            "ts": round(self._now(), 9),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._next_id += 1
+        self.records.append(record)
+        return record
+
+    # -- spans -------------------------------------------------------------------
+
+    def begin(self, name, **attrs):
+        """Open a span; returns the record to pass to :meth:`end`.
+
+        The explicit begin/end pair exists for instrumentation sites where
+        a ``with`` block would contort control flow (the engine's round
+        loop); prefer :meth:`span` elsewhere.
+        """
+        record = self._fresh("span", name, attrs)
+        self._stack.append(record)
+        return record
+
+    def end(self, record):
+        """Close *record* (and any span erroneously left open inside it)."""
+        while self._stack:
+            top = self._stack.pop()
+            top["dur"] = round(self._now() - top["ts"], 9)
+            if top is record:
+                return
+        raise ValueError("span %r is not open" % record.get("name"))
+
+    @contextmanager
+    def span(self, name, **attrs):
+        """Context manager form of :meth:`begin`/:meth:`end`."""
+        record = self.begin(name, **attrs)
+        try:
+            yield record
+        finally:
+            self.end(record)
+
+    # -- events ------------------------------------------------------------------
+
+    def event(self, name, **attrs):
+        """Record an instantaneous event under the currently open span."""
+        return self._fresh("event", name, attrs)
+
+    # -- queries and export ------------------------------------------------------
+
+    def open_spans(self):
+        """The currently open spans, outermost first."""
+        return list(self._stack)
+
+    def spans(self, name=None):
+        """All span records, optionally filtered by *name*."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name=None):
+        """All event records, optionally filtered by *name*."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def to_jsonl(self):
+        """The trace as JSON lines; open spans are marked ``"open": true``."""
+        lines = []
+        for record in self.records:
+            if record["type"] == "span" and "dur" not in record:
+                record = dict(record, open=True)
+            lines.append(json.dumps(record, sort_keys=True, default=str))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path):
+        """Write :meth:`to_jsonl` to *path*; safe to call mid-run."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def __len__(self):
+        return len(self.records)
+
+
+class TracingListener(EngineListener):
+    """Forwards the engine's ``on_*`` notifications into a :class:`Tracer`.
+
+    Attrs are scalars and short strings — counts, names, rendered atoms —
+    never live engine objects, so recording them cannot alias or mutate
+    evaluation state.
+    """
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def on_start(self, program, database, policy_name):
+        self.tracer.event(
+            "engine.start",
+            policy=policy_name,
+            rules=len(program),
+            atoms=len(database),
+        )
+
+    def on_round(self, round_number, epoch, gamma_result):
+        self.tracer.event(
+            "engine.round",
+            round=round_number,
+            epoch=epoch,
+            firings=gamma_result.firing_count,
+            new_updates=len(gamma_result.new_updates),
+            consistent=gamma_result.is_consistent,
+        )
+
+    def on_apply(self, round_number, epoch, interpretation):
+        self.tracer.event(
+            "engine.apply",
+            round=round_number,
+            epoch=epoch,
+            marked=interpretation.marked_count(),
+        )
+
+    def on_conflicts(self, round_number, epoch, conflicts, decisions, blocked_added):
+        self.tracer.event(
+            "engine.conflicts",
+            round=round_number,
+            epoch=epoch,
+            atoms=sorted(str(conflict.atom) for conflict in conflicts),
+            decisions=len(decisions),
+            blocked_added=len(blocked_added),
+        )
+
+    def on_restart(self, epoch, blocked):
+        self.tracer.event("engine.restart", epoch=epoch, blocked=len(blocked))
+
+    def on_fixpoint(self, round_number, epoch, interpretation, blocked):
+        self.tracer.event(
+            "engine.fixpoint",
+            round=round_number,
+            epoch=epoch,
+            marked=interpretation.marked_count(),
+            blocked=len(blocked),
+        )
+
+    def on_finish(self, result):
+        stats = result.stats
+        self.tracer.event(
+            "engine.finish",
+            atoms=len(result.database),
+            rounds=stats.rounds,
+            epochs=stats.epochs,
+            restarts=stats.restarts,
+            conflicts_resolved=stats.conflicts_resolved,
+            firings=stats.firings_total,
+            blocked=stats.blocked_instances,
+            policy=result.policy_name,
+        )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..errors import SchemaError
 from ..lang.atoms import Atom
 from ..lang.terms import Constant
+from ..obs import metrics as _obs
 from .catalog import Catalog
 from .relation import Relation
 
@@ -180,6 +181,9 @@ class Database:
         over (see :meth:`Relation.copy`), which the engine uses when copying
         an interpretation every round and when restarting an epoch.
         """
+        m = _obs.ACTIVE
+        if m is not None:
+            m.inc("storage.db_copies")
         clone = Database(catalog=self.catalog.copy())
         clone._relations = {
             name: relation.copy(with_indexes=with_indexes)

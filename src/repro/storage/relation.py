@@ -19,6 +19,7 @@ lookup instead of a best-bucket scan-and-filter.
 from __future__ import annotations
 
 from ..errors import SchemaError
+from ..obs import metrics as _obs
 
 
 class Relation:
@@ -122,6 +123,9 @@ class Relation:
             for row in self._tuples:
                 index.setdefault(row[column], set()).add(row)
             self._indexes[column] = index
+            m = _obs.ACTIVE
+            if m is not None:
+                m.inc("storage.index_builds")
         return index
 
     # -- composite indexes ---------------------------------------------------------
@@ -147,6 +151,9 @@ class Relation:
             for row in self._tuples:
                 index.setdefault(tuple(row[c] for c in columns), set()).add(row)
             self._composite[columns] = index
+            m = _obs.ACTIVE
+            if m is not None:
+                m.inc("storage.composite_builds")
         return index
 
     def candidates_key(self, columns, key):
@@ -161,17 +168,29 @@ class Relation:
         Returns an iterable of rows; must not be retained across mutations.
         """
         count = len(columns)
+        m = _obs.ACTIVE
         if not count:
+            if m is not None:
+                m.inc("storage.full_scans")
             return self._tuples
         if count == self.arity:
             # columns is sorted and distinct, so it is (0, ..., arity-1)
             # and key is the row itself.
-            return (key,) if key in self._tuples else ()
+            present = key in self._tuples
+            if m is not None:
+                m.inc("storage.index_lookups")
+                if present:
+                    m.inc("storage.index_hits")
+            return (key,) if present else ()
         if count == 1:
             bucket = self._index_on(columns[0]).get(key[0])
-            return bucket if bucket is not None else ()
-        self._registered.add(columns)
-        bucket = self._composite_on(columns).get(key)
+        else:
+            self._registered.add(columns)
+            bucket = self._composite_on(columns).get(key)
+        if m is not None:
+            m.inc("storage.index_lookups")
+            if bucket:
+                m.inc("storage.index_hits")
         return bucket if bucket is not None else ()
 
     def candidates(self, bound):
@@ -184,17 +203,27 @@ class Relation:
         this is a full scan.  Returns an iterable of rows; the result must
         not be retained across mutations.
         """
+        m = _obs.ACTIVE
         if not bound:
+            if m is not None:
+                m.inc("storage.full_scans")
             return self._tuples
+        if m is not None:
+            m.inc("storage.index_lookups")
         if len(bound) == self.arity:
             # Fully bound: the only possible answer is the row itself.
             row = tuple(bound[column] for column in range(self.arity))
-            return (row,) if row in self._tuples else ()
+            present = row in self._tuples
+            if present and m is not None:
+                m.inc("storage.index_hits")
+            return (row,) if present else ()
         if len(bound) > 1:
             columns = tuple(sorted(bound))
             if columns in self._registered:
                 key = tuple(bound[c] for c in columns)
                 bucket = self._composite_on(columns).get(key)
+                if bucket and m is not None:
+                    m.inc("storage.index_hits")
                 return bucket if bucket is not None else ()
         best_column = None
         best_bucket = None
@@ -204,6 +233,8 @@ class Relation:
                 best_column, best_bucket = column, bucket
             if not bucket:
                 return ()
+        if m is not None and best_bucket:
+            m.inc("storage.index_hits")
         if len(bound) == 1:
             return best_bucket
         rest = [(c, v) for c, v in bound.items() if c != best_column]
@@ -224,6 +255,9 @@ class Relation:
         clone = Relation(self.name, self.arity)
         clone._tuples = set(self._tuples)
         clone._registered = set(self._registered)
+        m = _obs.ACTIVE
+        if m is not None:
+            m.inc("storage.snapshot_copies")
         if with_indexes:
             if self._indexes:
                 clone._indexes = {

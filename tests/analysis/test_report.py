@@ -66,3 +66,43 @@ class TestReport:
         path = tmp_path / "report.md"
         text = save_report(result, str(path), trace=recorder)
         assert path.read_text() == text
+
+
+class TestTelemetrySection:
+    def test_per_epoch_gamma_counts(self):
+        result, recorder = traced_run()
+        text = report(result, recorder)
+        assert "## Telemetry" in text
+        # P1 under inertia: epoch 1 ends in the a-conflict, epoch 2 runs
+        # to the fixpoint with r3 blocked.
+        assert "* epoch 1: Γ^" in text
+        assert "ended in a conflict (restart from I∅)" in text
+        assert "* epoch 2: Γ^" in text
+        assert "reached the fixpoint Θ^ω" in text
+
+    def test_metrics_render_phase_and_index_lines(self):
+        from repro.obs import Metrics
+
+        recorder = TraceRecorder()
+        metrics = Metrics()
+        result = ParkEngine(listeners=[recorder], metrics=metrics).run(
+            "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+            "edge(a, b). edge(b, c).",
+        )
+        text = report(result, recorder)  # metrics picked up via result.metrics
+        assert "| phase.match |" in text
+        assert "* index lookups:" in text
+        assert "* rule matching:" in text
+        assert "* conflicts resolved: 0 across 0 restarts" in text
+
+    def test_explicit_metrics_parameter(self):
+        from repro.obs import Metrics
+
+        metrics = Metrics()
+        result = ParkEngine(metrics=metrics).run("p -> +q.", "p.")
+        text = report(result, metrics=metrics)
+        assert "| phase.match |" in text
+
+    def test_no_telemetry_without_trace_or_metrics(self):
+        result = park(P1, "p.")
+        assert "## Telemetry" not in report(result)

@@ -1,0 +1,107 @@
+"""Trace equivalence: identical event sequences across backends and strategies.
+
+The PARK trace is the semantics made visible — the sequence of applied
+rounds, conflicts, restarts, and the fixpoint, with the intermediate
+interpretations.  Telemetry, the matcher backend, and the Γ evaluation
+strategy are all performance machinery; none of them may change a single
+recorded event.  These tests run the same programs under every
+(strategy × backend) combination — with and without metrics/tracing
+attached — and assert the :class:`TraceRecorder` event lists compare
+equal (the event dataclasses are frozen, so ``==`` is structural).
+"""
+
+import pytest
+
+from repro.analysis.trace import TraceRecorder
+from repro.core.engine import ParkEngine
+from repro.engine.match import (
+    clear_compile_cache,
+    get_matcher_backend,
+    set_matcher_backend,
+)
+from repro.obs import Metrics, Tracer
+
+BACKENDS = ("interpreted", "compiled")
+STRATEGIES = ("naive", "seminaive", "incremental")
+
+PROGRAMS = [
+    # Pure deduction, multiple rounds.
+    ("p -> +q. q -> +r. r -> +s.", "p."),
+    # Recursion over a relation.
+    (
+        "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+        "edge(a, b). edge(b, c). edge(c, d). edge(d, a).",
+    ),
+    # The paper's P1: one conflict, one restart, a blocked instance.
+    ("@name(r1) p -> +q. @name(r2) p -> -a. @name(r3) q -> +a.", "p. a."),
+    # Negation plus deletion.
+    (
+        "@name(a) p(X), not q(X) -> +r(X). @name(b) r(X) -> -p(X).",
+        "p(1). p(2). q(2).",
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = get_matcher_backend()
+    clear_compile_cache()
+    yield
+    set_matcher_backend(previous)
+    clear_compile_cache()
+
+
+def _record(program, facts, strategy, backend, with_telemetry=False):
+    set_matcher_backend(backend)
+    clear_compile_cache()
+    recorder = TraceRecorder()
+    options = {}
+    if with_telemetry:
+        options["metrics"] = Metrics()
+        options["tracer"] = Tracer()
+    engine = ParkEngine(
+        listeners=[recorder], evaluation=strategy, **options
+    )
+    engine.run(program, facts)
+    return recorder
+
+
+@pytest.mark.parametrize("program,facts", PROGRAMS)
+def test_event_sequences_identical_across_all_combinations(program, facts):
+    reference = _record(program, facts, "naive", "interpreted")
+    assert reference.events, "reference run recorded no events"
+    for strategy in STRATEGIES:
+        for backend in BACKENDS:
+            recorder = _record(program, facts, strategy, backend)
+            assert recorder.events == reference.events, (
+                "trace diverged for evaluation=%s matcher=%s"
+                % (strategy, backend)
+            )
+
+
+@pytest.mark.parametrize("program,facts", PROGRAMS)
+def test_telemetry_does_not_perturb_the_trace(program, facts):
+    for strategy in STRATEGIES:
+        for backend in BACKENDS:
+            plain = _record(program, facts, strategy, backend)
+            telemetered = _record(
+                program, facts, strategy, backend, with_telemetry=True
+            )
+            assert telemetered.events == plain.events, (
+                "telemetry changed the trace for evaluation=%s matcher=%s"
+                % (strategy, backend)
+            )
+
+
+def test_semantic_fingerprints_identical_across_combinations():
+    """The strategy/backend-invariant counters agree on every combination."""
+    program, facts = PROGRAMS[2]
+    fingerprints = set()
+    for strategy in STRATEGIES:
+        for backend in BACKENDS:
+            set_matcher_backend(backend)
+            clear_compile_cache()
+            metrics = Metrics()
+            ParkEngine(evaluation=strategy, metrics=metrics).run(program, facts)
+            fingerprints.add(metrics.fingerprint())
+    assert len(fingerprints) == 1

@@ -73,6 +73,23 @@ class TestStats:
         result = park("p -> +q.", "p.")
         assert result.stats.firings_total >= 1
 
+    def test_firings_total_without_listeners(self):
+        """firings_total accumulates whether or not anyone is listening.
+
+        Regression test: the count used to ride a listener-only branch,
+        so plain ``park(...)`` calls reported 0.
+        """
+        program = "p -> +q. q -> +r."
+        silent = park(program, "p.")
+        assert silent.stats.firings_total > 0
+
+        from repro.analysis.trace import TraceRecorder
+        from repro.core.engine import ParkEngine
+
+        recorder = TraceRecorder()
+        listened = ParkEngine(listeners=[recorder]).run(program, "p.")
+        assert silent.stats.firings_total == listened.stats.firings_total
+
 
 class TestBudgets:
     def test_max_rounds(self):

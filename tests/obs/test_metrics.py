@@ -1,0 +1,187 @@
+"""Tests for the metrics registry and its process-wide installation."""
+
+import pytest
+
+from repro.core.engine import ParkEngine, park
+from repro.obs import Metrics, NullMetrics, get_active, set_active
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import SEMANTIC_COUNTERS
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_registry():
+    assert get_active() is None, "a registry leaked in from another test"
+    yield
+    set_active(None)
+
+
+class TestRegistry:
+    def test_counters(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("never") == 0
+
+    def test_gauges_last_write_wins(self):
+        m = Metrics()
+        m.gauge("size", 10)
+        m.gauge("size", 3)
+        assert m.gauges["size"] == 3
+
+    def test_timer_aggregation(self):
+        m = Metrics()
+        m.observe("t", 0.2)
+        m.observe("t", 0.1)
+        m.observe("t", 0.4)
+        count, total, low, high = m.timers["t"]
+        assert count == 3
+        assert total == pytest.approx(0.7)
+        assert low == pytest.approx(0.1)
+        assert high == pytest.approx(0.4)
+        assert m.timer_total("t") == pytest.approx(0.7)
+        assert m.timer_total("never") == 0.0
+
+    def test_time_context_manager(self):
+        m = Metrics()
+        with m.time("block"):
+            pass
+        assert m.timers["block"][0] == 1
+
+    def test_rule_stats(self):
+        m = Metrics()
+        m.observe_rule("r1", 0.1, 3)
+        m.observe_rule("r1", 0.2, 0)
+        assert m.rules["r1"][0] == 2
+        assert m.rules["r1"][1] == pytest.approx(0.3)
+        assert m.rules["r1"][2] == 3
+
+    def test_ratio(self):
+        m = Metrics()
+        assert m.ratio("hits", "lookups") is None
+        m.inc("lookups", 4)
+        m.inc("hits", 3)
+        assert m.ratio("hits", "lookups") == pytest.approx(0.75)
+
+    def test_fingerprint_covers_semantic_counters_only(self):
+        m = Metrics()
+        m.inc("engine.rounds", 7)
+        m.inc("storage.index_lookups", 999)
+        fingerprint = dict(m.fingerprint())
+        assert fingerprint["engine.rounds"] == 7
+        assert "storage.index_lookups" not in fingerprint
+        assert tuple(name for name, _ in m.fingerprint()) == SEMANTIC_COUNTERS
+
+    def test_as_dict_and_reset(self):
+        import json
+
+        m = Metrics()
+        m.inc("a")
+        m.gauge("g", 1)
+        m.observe("t", 0.5)
+        m.observe_rule("r", 0.5, 2)
+        payload = m.as_dict()
+        json.dumps(payload)  # must be serializable
+        assert payload["counters"] == {"a": 1}
+        assert payload["timers"]["t"]["count"] == 1
+        m.reset()
+        assert not m.counters and not m.gauges and not m.timers and not m.rules
+
+
+class TestInstallation:
+    def test_set_active_returns_previous(self):
+        first = Metrics()
+        second = Metrics()
+        assert set_active(first) is None
+        assert set_active(second) is first
+        assert set_active(None) is second
+
+    def test_activate_restores_on_error(self):
+        m = Metrics()
+        with pytest.raises(RuntimeError):
+            with m.activate():
+                assert obs_metrics.ACTIVE is m
+                raise RuntimeError("boom")
+        assert obs_metrics.ACTIVE is None
+
+    def test_engine_installs_and_restores(self):
+        m = Metrics()
+        park("p -> +q.", "p.", metrics=m)
+        assert obs_metrics.ACTIVE is None
+        assert m.counter("engine.runs") == 1
+        assert m.counter("engine.rounds") > 0
+
+    def test_engine_restores_registry_on_engine_error(self):
+        from repro.errors import NonTerminationError
+
+        m = Metrics()
+        engine = ParkEngine(metrics=m, max_rounds=1)
+        with pytest.raises(NonTerminationError):
+            engine.run("p -> +q. q -> +r.", "p.")
+        assert obs_metrics.ACTIVE is None
+        # Partial telemetry survives: the first round was recorded before
+        # the budget check aborted the second.
+        assert m.counter("engine.rounds") == 1
+        assert m.counter("engine.firings") > 0
+
+    def test_ambient_activation_records_run(self):
+        m = Metrics()
+        with m.activate():
+            park("p -> +q.", "p.")
+        assert m.counter("engine.runs") == 1
+        assert m.counter("match.rule_matches") > 0
+
+    def test_result_carries_registry(self):
+        m = Metrics()
+        result = park("p -> +q.", "p.", metrics=m)
+        assert result.metrics is m
+
+    def test_null_metrics_records_nothing(self):
+        m = NullMetrics()
+        park("p -> +q.", "p.", metrics=m)
+        assert not m.counters
+        assert not m.timers
+        assert not m.rules
+
+
+class TestEngineCounters:
+    def test_conflict_counters(self):
+        m = Metrics()
+        park(
+            "@name(r1) p -> +q. @name(r2) p -> -a. @name(r3) q -> +a.",
+            "p. a.",
+            metrics=m,
+        )
+        assert m.counter("engine.restarts") == 1
+        assert m.counter("engine.epochs") == 2
+        assert m.counter("engine.conflicts_resolved") == 1
+        assert m.counter("engine.blocked_instances") == 1
+
+    def test_storage_and_matching_counters_on_a_join(self):
+        m = Metrics()
+        park(
+            "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+            "edge(a, b). edge(b, c). edge(c, d).",
+            metrics=m,
+        )
+        assert m.counter("storage.index_lookups") > 0
+        assert m.counter("storage.index_hits") > 0
+        assert m.counter("match.rule_matches") > 0
+        assert m.counter("eval.full_matches") > 0
+        assert m.counter("planner.plans") >= 2
+        assert m.rules  # per-rule attribution recorded
+
+    def test_incremental_strategy_counters(self):
+        m = Metrics()
+        park(
+            "p(X) -> +q(X). q(X) -> +r(X).",
+            "p(1). p(2).",
+            metrics=m,
+            evaluation="incremental",
+        )
+        assert (
+            m.counter("eval.delta_matches")
+            + m.counter("eval.volatile_rematched")
+            + m.counter("eval.volatile_skipped_clean")
+            > 0
+        )

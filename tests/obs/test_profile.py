@@ -1,0 +1,96 @@
+"""Tests for the hot-spot report builder and its text rendering."""
+
+import json
+
+from repro.core.engine import park
+from repro.obs import Metrics, hotspot_report, render_profile
+
+P1 = "@name(r1) p -> +q. @name(r2) p -> -a. @name(r3) q -> +a."
+
+TC = (
+    "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+    "edge(a, b). edge(b, c). edge(c, d).",
+)
+
+
+def metered_run(program=P1, facts="p. a.", **options):
+    metrics = Metrics()
+    result = park(program, facts, metrics=metrics, **options)
+    return metrics, result
+
+
+class TestHotspotReport:
+    def test_run_section(self):
+        metrics, result = metered_run()
+        report = hotspot_report(metrics, result=result, wall_time=0.5)
+        assert report["run"]["epochs"] == 2
+        assert report["run"]["conflicts_resolved"] == 1
+        assert report["run"]["blocked_instances"] == 1
+        assert report["run"]["result_atoms"] == len(result.database)
+        assert report["run"]["policy"] == "inertia"
+        assert report["wall_time_s"] == 0.5
+
+    def test_without_result(self):
+        metrics, _ = metered_run()
+        report = hotspot_report(metrics)
+        assert "result_atoms" not in report["run"]
+        assert report["wall_time_s"] is None
+
+    def test_phase_shares_sum_against_wall_time(self):
+        metrics, result = metered_run(*TC)
+        wall = sum(entry[1] for entry in metrics.timers.values()) * 2
+        report = hotspot_report(metrics, result=result, wall_time=wall)
+        shares = [entry["share"] for entry in report["phases"].values()]
+        assert all(share is not None for share in shares)
+        assert sum(shares) <= 0.55  # phases are half the doubled wall time
+
+    def test_rules_sorted_by_time_and_truncated(self):
+        metrics, result = metered_run()
+        report = hotspot_report(metrics, result=result, top=2)
+        assert len(report["rules"]) == 2
+        assert report["rules_truncated"] == 1  # r1/r2/r3, one dropped
+        seconds = [entry["seconds"] for entry in report["rules"]]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_index_section_ratio(self):
+        metrics, result = metered_run(*TC)
+        report = hotspot_report(metrics, result=result)
+        index = report["index"]
+        assert index["lookups"] > 0
+        assert 0.0 <= index["hit_ratio"] <= 1.0
+
+    def test_meta_carried_through(self):
+        metrics, result = metered_run()
+        report = hotspot_report(metrics, meta={"rules": "x.park"})
+        assert report["meta"]["rules"] == "x.park"
+
+    def test_json_serializable(self):
+        metrics, result = metered_run(*TC)
+        json.dumps(hotspot_report(metrics, result=result, wall_time=0.1))
+
+
+class TestRenderProfile:
+    def test_table_sections_present(self):
+        metrics, result = metered_run()
+        text = render_profile(
+            hotspot_report(metrics, result=result, wall_time=0.01)
+        )
+        assert "per-phase breakdown" in text
+        assert "per-rule hot spots" in text
+        assert "index efficiency:" in text
+        assert "matching:" in text
+        assert "r3" in text
+
+    def test_error_banner_on_partial_telemetry(self):
+        metrics, result = metered_run()
+        report = hotspot_report(
+            metrics, meta={"rules": "x.park", "error": "exceeded max_rounds=2"}
+        )
+        text = render_profile(report)
+        assert "! run failed: exceeded max_rounds=2" in text
+        assert "partial telemetry" in text
+
+    def test_truncation_note(self):
+        metrics, result = metered_run()
+        text = render_profile(hotspot_report(metrics, result=result, top=1))
+        assert "more rules" in text

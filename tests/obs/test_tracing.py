@@ -1,0 +1,143 @@
+"""Tests for span tracing and the tracing engine listener."""
+
+import json
+
+import pytest
+
+from repro.core.engine import ParkEngine, park
+from repro.errors import NonTerminationError
+from repro.obs import Tracer, TracingListener
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestTracer:
+    def test_nested_spans(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner", depth=1):
+                t.event("tick")
+        outer, inner = t.spans()
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert inner["attrs"] == {"depth": 1}
+        (tick,) = t.events()
+        assert tick["parent"] == inner["id"]
+        assert "dur" in outer and "dur" in inner and "dur" not in tick
+
+    def test_end_cascades_over_orphans(self):
+        t = Tracer()
+        outer = t.begin("outer")
+        t.begin("orphan")
+        t.end(outer)  # closes orphan too, stamping its duration
+        assert t.open_spans() == []
+        assert all("dur" in span for span in t.spans())
+
+    def test_end_unopened_span_raises(self):
+        t = Tracer()
+        record = t.begin("a")
+        t.end(record)
+        with pytest.raises(ValueError):
+            t.end(record)
+
+    def test_jsonl_roundtrip(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("run", rules=2):
+            t.event("fired", rule="r1")
+        lines = t.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "run"
+        assert parsed[1]["attrs"]["rule"] == "r1"
+
+    def test_open_spans_marked_in_jsonl(self):
+        t = Tracer()
+        t.begin("never-closed")
+        (line,) = t.to_jsonl().splitlines()
+        parsed = json.loads(line)
+        assert parsed["open"] is True
+        assert "dur" not in parsed
+        # ...and the record itself was not mutated by export.
+        assert "open" not in t.records[0]
+
+    def test_write_jsonl(self, tmp_path):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        t.write_jsonl(str(path))
+        assert json.loads(path.read_text())["name"] == "a"
+
+    def test_empty_trace_serializes_to_empty_string(self):
+        assert Tracer().to_jsonl() == ""
+
+
+class TestEngineSpans:
+    def test_run_emits_phase_spans(self):
+        t = Tracer()
+        park("p -> +q. q -> +r.", "p.", tracer=t)
+        names = [s["name"] for s in t.spans()]
+        assert names[0] == "engine.run"
+        assert names.count("engine.round") == 3
+        assert "match.gamma" in names
+        assert "engine.apply" in names
+        assert "engine.incorp" in names
+        assert t.open_spans() == []
+
+    def test_conflict_run_emits_policy_span(self):
+        t = Tracer()
+        park(
+            "@name(r1) p -> +q. @name(r2) p -> -a. @name(r3) q -> +a.",
+            "p. a.",
+            tracer=t,
+        )
+        (policy_span,) = t.spans("policy.resolve")
+        assert policy_span["attrs"]["epoch"] == 1
+
+    def test_error_leaves_no_open_spans(self):
+        t = Tracer()
+        engine = ParkEngine(tracer=t, max_rounds=1)
+        with pytest.raises(NonTerminationError):
+            engine.run("p -> +q. q -> +r.", "p.")
+        # run()'s finally cascade-closed everything that had begun.
+        assert t.open_spans() == []
+        assert t.spans("engine.run")
+
+    def test_span_tree_is_well_formed(self):
+        t = Tracer()
+        park("p(X) -> +q(X).", "p(1). p(2).", tracer=t)
+        ids = {span["id"] for span in t.spans()}
+        for span in t.spans():
+            assert span["parent"] is None or span["parent"] in ids
+
+
+class TestTracingListener:
+    def test_listener_event_stream(self):
+        t = Tracer()
+        listener = TracingListener(t)
+        ParkEngine(listeners=[listener]).run(
+            "@name(r1) p -> +q. @name(r2) p -> -a. @name(r3) q -> +a.", "p. a."
+        )
+        names = [e["name"] for e in t.events()]
+        assert names[0] == "engine.start"
+        assert "engine.conflicts" in names
+        assert "engine.restart" in names
+        assert names[-2:] == ["engine.fixpoint", "engine.finish"]
+        (finish,) = t.events("engine.finish")
+        assert finish["attrs"]["restarts"] == 1
+        assert finish["attrs"]["blocked"] == 1
+
+    def test_listener_events_nest_under_engine_spans(self):
+        t = Tracer()
+        listener = TracingListener(t)
+        ParkEngine(listeners=[listener], tracer=t).run("p -> +q.", "p.")
+        (start,) = t.events("engine.start")
+        (run_span,) = t.spans("engine.run")
+        assert start["parent"] == run_span["id"]

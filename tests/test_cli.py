@@ -58,6 +58,49 @@ class TestRun:
         assert code == 0
         assert "restarts" in output
 
+    def test_metrics_flag(self, rules_file, facts_file):
+        code, output = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file, "--metrics"
+        )
+        assert code == 0
+        assert "metrics:" in output
+        assert "engine.rounds" in output
+        assert "phase.match" in output
+
+    def test_trace_out_writes_jsonl(self, rules_file, facts_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "run.trace.jsonl"
+        code, _ = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file,
+            "--trace-out", str(trace_path),
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert records[0]["name"] == "engine.run"
+        assert all("dur" in r for r in records if r["type"] == "span")
+
+    def test_trace_out_flushed_on_engine_error(self, tmp_path):
+        import json
+
+        rules = tmp_path / "chain.park"
+        rules.write_text("p -> +q. q -> +r. r -> +s.")
+        facts = tmp_path / "facts.park"
+        facts.write_text("p.")
+        trace_path = tmp_path / "partial.trace.jsonl"
+        code, _ = run_cli(
+            "run", "--rules", str(rules), "--db", str(facts),
+            "--max-rounds", "2", "--trace-out", str(trace_path),
+        )
+        assert code == 2  # engine error still reported
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert records, "partial trace must be flushed on engine errors"
+        assert records[0]["name"] == "engine.run"
+
     def test_updates(self, tmp_path):
         rules = tmp_path / "eca.park"
         rules.write_text(ECA_RULES)
@@ -197,3 +240,80 @@ class TestQueryCommand:
         facts.write_text("p(a).")
         code, _ = run_cli("query", "--db", str(facts), "--query", "not p(X)")
         assert code == 2
+
+
+class TestProfile:
+    def test_profile_table(self, rules_file, facts_file):
+        code, output = run_cli("profile", rules_file, "--db", facts_file)
+        assert code == 0
+        assert "PARK profile:" in output
+        assert "per-phase breakdown" in output
+        assert "per-rule hot spots" in output
+        assert "r1" in output and "r3" in output
+        assert "index efficiency:" in output
+
+    def test_profile_quickstart_example(self):
+        # The self-contained paper example must profile without a --db.
+        code, output = run_cli("profile", "examples/quickstart.park")
+        assert code == 0
+        assert "epochs 2" in output
+        assert "blocked 1" in output
+
+    def test_profile_json(self, rules_file, facts_file):
+        import json
+
+        code, output = run_cli(
+            "profile", rules_file, "--db", facts_file, "--json"
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["run"]["epochs"] == 2
+        assert report["meta"]["matcher"] in ("compiled", "interpreted")
+        assert report["rules"]
+
+    def test_profile_top_truncates(self, rules_file, facts_file):
+        code, output = run_cli(
+            "profile", rules_file, "--db", facts_file, "--top", "1"
+        )
+        assert code == 0
+        assert "more rules" in output
+
+    def test_profile_partial_on_engine_error(self, tmp_path):
+        rules = tmp_path / "chain.park"
+        rules.write_text("p -> +q. q -> +r. r -> +s.")
+        facts = tmp_path / "facts.park"
+        facts.write_text("p.")
+        code, output = run_cli(
+            "profile", str(rules), "--db", str(facts), "--max-rounds", "2"
+        )
+        assert code == 2
+        assert "! run failed:" in output
+        assert "partial telemetry" in output
+        assert "per-phase breakdown" in output
+
+    def test_profile_trace_out(self, rules_file, facts_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "profile.trace.jsonl"
+        code, _ = run_cli(
+            "profile", rules_file, "--db", facts_file,
+            "--trace-out", str(trace_path),
+        )
+        assert code == 0
+        lines = trace_path.read_text().splitlines()
+        assert json.loads(lines[0])["name"] == "engine.run"
+
+    def test_profile_evaluation_and_matcher_flags(self, rules_file, facts_file):
+        from repro.engine.match import get_matcher_backend, set_matcher_backend
+
+        previous = get_matcher_backend()
+        try:
+            code, output = run_cli(
+                "profile", rules_file, "--db", facts_file,
+                "--evaluation", "incremental", "--matcher", "interpreted",
+            )
+        finally:
+            set_matcher_backend(previous)
+        assert code == 0
+        assert "evaluation=incremental" in output
+        assert "matcher=interpreted" in output
