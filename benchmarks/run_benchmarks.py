@@ -99,6 +99,27 @@ def _time_workload(workload, strategy, backend, repeats):
     return best, result
 
 
+def _time_facts_run(workload, repeats):
+    """Best-of-N for the default configuration with static facts enabled.
+
+    ``facts=True`` makes the engine analyze the program at run start and
+    take every gated fast path it can prove sound (conflict-scan skip,
+    auto-seminaive, dead-rule pruning); the caller asserts the result
+    fingerprint stayed identical.
+    """
+    set_matcher_backend("compiled")
+    clear_compile_cache()
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = workload.run(evaluation="naive", facts=True)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
 def _geomean(values):
     product = 1.0
     for value in values:
@@ -293,13 +314,27 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
                 ),
                 2,
             )
+            facts_seconds, facts_result = _time_facts_run(workload, repeats)
+            if _fingerprint(facts_result) != baseline:
+                raise AssertionError(
+                    "facts-enabled run diverged from naive/compiled on "
+                    "workload %s" % name
+                )
+            entry["facts"] = {
+                "wall_time_s": round(facts_seconds, 6),
+                "speedup_vs_naive": round(
+                    entry["naive"]["compiled"]["wall_time_s"] / facts_seconds,
+                    2,
+                ),
+            }
             if metrics:
                 entry["telemetry"] = _workload_telemetry(name, workload)
             report["workloads"][name] = entry
             if verbose:
                 print(
                     "%-12s naive %8.4fs   seminaive %8.4fs (%.2fx)   "
-                    "incremental %8.4fs (%.2fx)   compiled/interpreted %.2fx"
+                    "incremental %8.4fs (%.2fx)   facts %8.4fs (%.2fx)   "
+                    "compiled/interpreted %.2fx"
                     % (
                         name,
                         entry["naive"]["compiled"]["wall_time_s"],
@@ -307,6 +342,8 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
                         entry["seminaive"]["speedup_vs_naive"],
                         entry["incremental"]["compiled"]["wall_time_s"],
                         entry["incremental"]["speedup_vs_naive"],
+                        entry["facts"]["wall_time_s"],
+                        entry["facts"]["speedup_vs_naive"],
                         entry["backend_speedup_geomean"],
                     )
                 )
@@ -329,6 +366,12 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
         if entry["backend_speedup_geomean"] >= 1.5
     ]
     report["compiled_1_5x_workloads"] = accelerated
+    facts_wins = [
+        name
+        for name, entry in report["workloads"].items()
+        if entry["facts"]["speedup_vs_naive"] >= 1.2
+    ]
+    report["facts_accelerated_workloads"] = facts_wins
     with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -343,6 +386,14 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
                 len(accelerated),
                 len(report["workloads"]),
                 ", ".join(accelerated),
+            )
+        )
+        print(
+            "static facts >= 1.2x naive on %d/%d workloads: %s"
+            % (
+                len(facts_wins),
+                len(report["workloads"]),
+                ", ".join(facts_wins),
             )
         )
         print("wrote %s" % out)

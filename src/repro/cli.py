@@ -6,7 +6,8 @@ Usage (also via ``python -m repro``)::
     python -m repro run --rules rules.park --db facts.park \
         --update '+q(b)' --update '-active(joe)' \
         --policy priority --trace
-    python -m repro check --rules rules.park          # parse + classify only
+    python -m repro check examples/                   # static analysis
+    python -m repro check rules.park --json --strict  # CI gating
     python -m repro query --db facts.park --query 'p(X), not q(X)'
     python -m repro explain --rules r.park --db d.park --target '+q'
     python -m repro profile examples/quickstart.park  # hot-spot report
@@ -14,6 +15,15 @@ Usage (also via ``python -m repro``)::
 Policies: ``inertia`` (default), ``priority``, ``specificity``,
 ``random[:seed]``, ``insert``, ``delete``.  Exit status is 0 on success,
 1 on usage/parse errors, 2 on engine errors.
+
+``check`` runs the static analyzer (:mod:`repro.lint`) over one or more
+``.park`` files or directories: classification, ``PARK0xx`` diagnostics
+with source spans, and the derived program facts.  Exit status: 1 when
+any *error* diagnostic is present (also for warnings under ``--strict``);
+info diagnostics never gate.  ``run`` and ``profile`` take ``--facts`` to
+let the engine use the same analysis for its static fast paths, and both
+warn once (to stderr) when the program has safety violations, excluding
+the unsafe rules from the run instead of failing inside grounding.
 
 Telemetry: ``run`` takes ``--metrics`` (print the counter registry),
 ``--trace-out FILE`` (write the span trace as JSON lines), and
@@ -135,6 +145,12 @@ def _build_parser():
         "--max-restarts", type=int, default=None, metavar="N",
         help="abort with an engine error after N conflict restarts",
     )
+    run.add_argument(
+        "--facts", action="store_true",
+        help="analyze the program first and enable the static fast paths "
+        "(conflict-scan skip, auto-seminaive, dead-rule pruning); "
+        "results are bit-identical",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -170,9 +186,38 @@ def _build_parser():
     )
     profile.add_argument("--max-rounds", type=int, default=None, metavar="N")
     profile.add_argument("--max-restarts", type=int, default=None, metavar="N")
+    profile.add_argument(
+        "--facts", action="store_true",
+        help="enable the engine's static fast paths (bit-identical results)",
+    )
 
-    check = commands.add_parser("check", help="parse and classify a program")
-    check.add_argument("--rules", required=True)
+    check = commands.add_parser(
+        "check", help="statically analyze programs (PARK0xx diagnostics)"
+    )
+    check.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=".park files or directories (directories glob *.park)",
+    )
+    check.add_argument(
+        "--rules", default=None,
+        help="a rule file to analyze (same as a positional PATH)",
+    )
+    check.add_argument(
+        "--db", default=None,
+        help="fact file; sharpens dead-rule analysis with actual EDB rows",
+    )
+    check.add_argument(
+        "--policy", default=None,
+        help="policy the program will run under; enables the "
+        "policy-specific conflict diagnostics (PARK021/PARK022)",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    check.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on warnings too (errors always exit 1)",
+    )
 
     query = commands.add_parser("query", help="ad-hoc conjunctive query")
     query.add_argument("--db", required=True, help="fact file ('-' = stdin)")
@@ -192,8 +237,42 @@ def _build_parser():
     return parser
 
 
+def _parse_rules_for_run(text, origin):
+    """Parse rule text for ``run``/``profile`` with a friendly safety path.
+
+    Syntax, duplicate-name, and arity problems still fail the command with
+    the strict parser's located error.  Safety violations instead warn
+    once on stderr — pointing at ``repro check`` — and the unsafe rules
+    are excluded from the run, rather than the whole command failing.
+    """
+    from .lang.parser import parse_source
+    from .lang.program import Program
+    from .lang.source import SAFETY
+
+    parsed = parse_source(text)
+    if any(issue.kind != SAFETY for issue in parsed.issues):
+        return parse_program(text)  # raises the located strict error
+    safety_issues = parsed.issues_of(SAFETY)
+    if not safety_issues:
+        return parsed.program()
+    sys.stderr.write(
+        "warning: %s: %d unsafe rule(s) excluded from this run "
+        "(see 'repro check %s'):\n" % (origin, len(safety_issues), origin)
+    )
+    for issue in safety_issues:
+        sys.stderr.write("  %s: %s\n" % (issue.span, issue.message))
+    unsafe = {issue.rule_index for issue in safety_issues}
+    return Program(
+        tuple(
+            rule
+            for index, rule in enumerate(parsed.rules)
+            if index not in unsafe
+        )
+    )
+
+
 def _load_inputs(args):
-    program = parse_program(_read(args.rules))
+    program = _parse_rules_for_run(_read(args.rules), args.rules)
     database = (
         Database(parse_database(_read(args.db))) if args.db else Database()
     )
@@ -234,6 +313,7 @@ def _command_run(args, out):
         evaluation=getattr(args, "evaluation", "naive"),
         metrics=metrics,
         tracer=tracer,
+        facts=True if getattr(args, "facts", False) else None,
     )
     try:
         result = engine.run(program, database, updates=updates)
@@ -269,7 +349,7 @@ def _command_profile(args, out):
 
     if args.matcher:
         set_matcher_backend(args.matcher)
-    program = parse_program(_read(args.rules))
+    program = _parse_rules_for_run(_read(args.rules), args.rules)
     database = (
         Database(parse_database(_read(args.db))) if args.db else Database()
     )
@@ -286,6 +366,7 @@ def _command_profile(args, out):
         evaluation=args.evaluation,
         metrics=metrics,
         tracer=tracer,
+        facts=True if args.facts else None,
     )
     meta = {
         "rules": args.rules,
@@ -323,24 +404,57 @@ def _command_profile(args, out):
     return 0
 
 
-def _command_check(args, out):
-    from .engine.dependency import DependencyGraph, classify_program
+def _check_targets(paths):
+    """Expand files/directories into the list of files to analyze."""
+    import glob
+    import os
 
-    program = parse_program(_read(args.rules))
-    classification = classify_program(program)
-    graph = DependencyGraph(program)
-    out.write("rules      : %d\n" % len(program))
-    out.write("predicates : %s\n" % ", ".join(sorted(p for p, _ in program.predicates())))
-    out.write("positive   : %s\n" % classification.positive)
-    out.write("stratifiable: %s\n" % classification.stratifiable)
-    out.write("recursive  : %s\n" % classification.recursive)
-    out.write("uses events: %s\n" % classification.uses_events)
-    out.write("uses delete: %s\n" % classification.uses_deletion)
-    if classification.stratifiable and classification.deductive:
-        strata = graph.stratification()
-        for level, predicates in enumerate(strata):
-            out.write("stratum %d  : %s\n" % (level, ", ".join(sorted(predicates))))
-    return 0
+    files = []
+    for path in paths:
+        if path == "-" or not os.path.isdir(path):
+            files.append(path)
+            continue
+        matched = sorted(glob.glob(os.path.join(path, "*.park")))
+        if not matched:
+            raise ParkError("no .park files in directory %r" % path)
+        files.extend(matched)
+    return files
+
+
+def _command_check(args, out):
+    from .lint import LintReport, analyze_path, analyze_text
+    from .lint.report import render_lint_report
+
+    paths = list(args.paths)
+    if args.rules:
+        paths.append(args.rules)
+    if not paths:
+        raise ParkError(
+            "repro check: give one or more .park files or directories "
+            "(or --rules FILE)"
+        )
+    database = Database(parse_database(_read(args.db))) if args.db else None
+    report = LintReport()
+    for path in _check_targets(paths):
+        if path == "-":
+            report.add(
+                analyze_text(
+                    sys.stdin.read(),
+                    path="<stdin>",
+                    policy=args.policy,
+                    database=database,
+                )
+            )
+        else:
+            report.add(
+                analyze_path(path, policy=args.policy, database=database)
+            )
+    if args.json:
+        json.dump(report.to_json(strict=args.strict), out, indent=2)
+        out.write("\n")
+    else:
+        render_lint_report(report, out)
+    return report.exit_code(strict=args.strict)
 
 
 def _command_query(args, out):

@@ -38,13 +38,17 @@ class GammaResult:
         "_firing_count",
     )
 
-    def __init__(self, interpretation, firings):
+    def __init__(self, interpretation, firings, assume_consistent=False):
         self.interpretation = interpretation
         self.firings = firings
         self.new_updates = sorted(
             (u for u in firings if not interpretation.has_update(u)), key=str
         )
-        self.conflict_atoms = self._find_conflict_atoms()
+        # ``assume_consistent`` skips the conflict scan entirely.  Only
+        # sound when the caller has a static proof that no atom can ever
+        # be marked both + and - (ProgramFacts.conflict_free); the engine
+        # asserts that proof before passing True.
+        self.conflict_atoms = [] if assume_consistent else self._find_conflict_atoms()
         self._firing_count = None
 
     @property

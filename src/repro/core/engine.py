@@ -22,6 +22,19 @@ installed process-wide for the duration of the run so the matcher,
 planner, and storage layers attribute their counters to it; with neither
 option the loop takes the same null-telemetry fast path it always took
 for listeners (one ``is None`` test per site — see DESIGN.md §7).
+
+Static fast paths (DESIGN.md §8): construct with ``facts=True`` (analyze
+at run start) or a precomputed :class:`~repro.lint.facts.ProgramFacts`,
+and the run may (a) skip per-round conflict detection when the program is
+statically conflict-free, (b) route a stratifiable program from the
+``naive`` strategy onto ``seminaive``, and (c) prune statically-dead
+rules from matcher compilation.  Each path is individually gated
+(``facts_conflict_skip`` / ``facts_seminaive`` / ``facts_prune``) and
+semantics-preserving: the run's fingerprint (atoms, blocked, rounds,
+restarts, firings) is bit-identical to the ungated run.  Facts that do
+not describe the run program ``P_U`` (transaction rules change the
+emitters) are re-derived against it, with the run's database sharpening
+liveness — soundness never rests on the caller.
 """
 
 from __future__ import annotations
@@ -110,6 +123,10 @@ class ParkEngine:
         evaluation="naive",
         metrics=None,
         tracer=None,
+        facts=None,
+        facts_conflict_skip=True,
+        facts_seminaive=True,
+        facts_prune=True,
     ):
         if policy is None:
             from ..policies.inertia import InertiaPolicy
@@ -130,12 +147,37 @@ class ParkEngine:
         self.evaluation = evaluation
         self.metrics = metrics
         self.tracer = tracer
+        # ``facts``: None (off), True (analyze at run start), or a
+        # precomputed lint.facts.ProgramFacts for the program being run.
+        self.facts = facts
+        self.facts_conflict_skip = facts_conflict_skip
+        self.facts_seminaive = facts_seminaive
+        self.facts_prune = facts_prune
 
     # -- events ----------------------------------------------------------------
 
     def _emit(self, method_name, *args):
         for listener in self.listeners:
             getattr(listener, method_name)(*args)
+
+    # -- static facts -----------------------------------------------------------
+
+    def _resolve_facts(self, run_program, original):
+        """The :class:`ProgramFacts` to run under, or ``None`` when off.
+
+        Precomputed facts are only trusted when they describe exactly the
+        run program (transaction rules of ``P_U`` change the emittable
+        sets); otherwise — and for ``facts=True`` — they are re-derived
+        against the run program with the run's database sharpening
+        liveness.  Either way the result is sound for this run.
+        """
+        if self.facts is None:
+            return None
+        from ..lint.facts import ProgramFacts
+
+        if isinstance(self.facts, ProgramFacts) and self.facts.matches(run_program):
+            return self.facts
+        return ProgramFacts.analyze(run_program, database=original)
 
     # -- the run -----------------------------------------------------------------
 
@@ -192,12 +234,42 @@ class ParkEngine:
         metrics = _obs.ACTIVE
         self._emit("on_start", run_program, original, self.policy.name)
 
+        # Static fast paths: each one is individually gated and preserves
+        # the run's semantic fingerprint bit-for-bit (see class docstring).
+        facts = self._resolve_facts(run_program, original)
+        skip_conflict_scan = False
+        evaluation_name = self.evaluation
+        matcher_program = run_program
+        if facts is not None:
+            skip_conflict_scan = self.facts_conflict_skip and facts.conflict_free
+            if (
+                self.facts_seminaive
+                and facts.stratifiable
+                and evaluation_name == "naive"
+            ):
+                # Any strategy computes the same rounds; stratifiable
+                # programs are where the monotone split pays off.
+                evaluation_name = "seminaive"
+            if self.facts_prune and facts.dead:
+                # Dead rules can never fire, so the matcher need not
+                # compile or probe them; firings are unchanged.
+                matcher_program = facts.live_program(run_program)
+            if metrics is not None:
+                metrics.gauge(
+                    "engine.facts_conflict_free", int(facts.conflict_free)
+                )
+                metrics.gauge("engine.facts_dead_rules", len(facts.dead))
+                metrics.gauge(
+                    "engine.facts_auto_seminaive",
+                    int(evaluation_name != self.evaluation),
+                )
+
         stats = RunStats()
         blocked = set()
         provenance = Provenance()
         interpretation = IInterpretation.from_database(original)
         epoch = 1
-        evaluator = make_evaluation(self.evaluation, run_program, blocked)
+        evaluator = make_evaluation(evaluation_name, matcher_program, blocked)
         last_new_updates = None
         if metrics is not None:
             metrics.inc("engine.runs")
@@ -226,7 +298,9 @@ class ParkEngine:
             if metrics is not None:
                 metrics.observe("phase.match", perf_counter() - match_start)
                 metrics.inc("engine.firings", evaluator.last_firing_count)
-            result = GammaResult(interpretation, firings)
+            result = GammaResult(
+                interpretation, firings, assume_consistent=skip_conflict_scan
+            )
             # Firings are counted by the strategies as they collect them,
             # so the total is free whether or not anyone is listening.
             stats.firings_total += evaluator.last_firing_count
@@ -304,7 +378,7 @@ class ParkEngine:
             epoch += 1
             interpretation = interpretation.restarted()
             provenance.clear()
-            evaluator = make_evaluation(self.evaluation, run_program, blocked)
+            evaluator = make_evaluation(evaluation_name, matcher_program, blocked)
             last_new_updates = None
             if metrics is not None:
                 metrics.inc("engine.restarts")

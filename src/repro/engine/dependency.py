@@ -16,7 +16,7 @@ features take a program outside the deductive fragment entirely, which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..errors import EngineError
 from ..lang.literals import Condition, Event
@@ -24,37 +24,66 @@ from ..lang.literals import Condition, Event
 
 @dataclass(frozen=True)
 class DependencyEdge:
-    """An edge ``source -> target`` induced by some rule."""
+    """An edge ``source -> target`` induced by one or more rules.
+
+    Edges are deduplicated structurally (same endpoints, polarity, and
+    event flag), so a single edge may be induced by several rules:
+    ``rules`` lists the witnessing rule indices into the program, and
+    ``span`` points at the first witnessing body literal in the source
+    text when the graph was built with a source map (lint does this; the
+    engine's uses don't need it and pass none).
+    """
 
     source: str
     target: str
     negative: bool = False
     through_event: bool = False
+    rules: Tuple[int, ...] = ()
+    span: Optional[object] = None
 
 
 class DependencyGraph:
-    """The predicate dependency graph of a program."""
+    """The predicate dependency graph of a program.
 
-    def __init__(self, program):
+    *spans* is an optional sequence of
+    :class:`~repro.lang.source.RuleSpans` aligned with the program's rule
+    order (the lenient parser produces one); when given, every edge
+    carries the source span of its first witnessing body literal, so both
+    the linter and stratification errors can point at the offending text.
+    """
+
+    def __init__(self, program, spans=None):
         self.program = program
-        self._edges: Set[DependencyEdge] = set()
         self._nodes: Set[str] = set()
-        for rule in program:
+        witnesses: Dict[Tuple[str, str, bool, bool], List[Tuple[int, int]]] = {}
+        for rule_index, rule in enumerate(program):
             head = rule.head.atom.predicate
             self._nodes.add(head)
-            for literal in rule.body:
+            for literal_index, literal in enumerate(rule.body):
                 body_predicate = literal.atom.predicate
                 self._nodes.add(body_predicate)
                 negative = isinstance(literal, Condition) and not literal.positive
                 through_event = isinstance(literal, Event)
-                self._edges.add(
-                    DependencyEdge(
-                        source=body_predicate,
-                        target=head,
-                        negative=negative,
-                        through_event=through_event,
-                    )
+                key = (body_predicate, head, negative, through_event)
+                witnesses.setdefault(key, []).append((rule_index, literal_index))
+        self._edges: Set[DependencyEdge] = set()
+        for key, sites in witnesses.items():
+            source, target, negative, through_event = key
+            span = None
+            if spans is not None:
+                first_rule, first_literal = sites[0]
+                if first_rule < len(spans):
+                    span = spans[first_rule].literal(first_literal)
+            self._edges.add(
+                DependencyEdge(
+                    source=source,
+                    target=target,
+                    negative=negative,
+                    through_event=through_event,
+                    rules=tuple(sorted({rule_index for rule_index, _ in sites})),
+                    span=span,
                 )
+            )
 
     @property
     def nodes(self) -> FrozenSet[str]:
@@ -74,6 +103,36 @@ class DependencyGraph:
 
     def negative_edges(self):
         return frozenset(e for e in self._edges if e.negative)
+
+    def witnesses(self, source, target):
+        """Rule indices inducing any edge ``source -> target``, sorted."""
+        result = set()
+        for edge in self._edges:
+            if edge.source == source and edge.target == target:
+                result.update(edge.rules)
+        return sorted(result)
+
+    def negative_cycle_edges(self):
+        """Negative edges inside a strongly connected component, sorted.
+
+        The program is stratifiable iff this is empty; each returned edge
+        carries its witnessing rules (and span, when the graph was built
+        with one), so callers can report *which* negation breaks
+        stratifiability and where.
+        """
+        component_of: Dict[str, int] = {}
+        for position, component in enumerate(self.sccs()):
+            for predicate in component:
+                component_of[predicate] = position
+        return sorted(
+            (
+                edge
+                for edge in self._edges
+                if edge.negative
+                and component_of[edge.source] == component_of[edge.target]
+            ),
+            key=lambda edge: (edge.source, edge.target),
+        )
 
     # -- strongly connected components (Tarjan, iterative) ----------------------
 

@@ -8,7 +8,14 @@ text syntax with a parser and pretty-printer, and a fluent Python builder.
 from .atoms import Atom, atom
 from .builder import Pred, RuleBuilder, rules, when
 from .literals import Condition, Event, Literal, neg, on_delete, on_insert, pos
-from .parser import parse_atom, parse_body, parse_database, parse_program, parse_rule
+from .parser import (
+    parse_atom,
+    parse_body,
+    parse_database,
+    parse_program,
+    parse_rule,
+    parse_source,
+)
 from .pretty import (
     render_atom,
     render_database,
@@ -20,6 +27,7 @@ from .pretty import (
 )
 from .program import Program, program
 from .rules import Rule, rule
+from .source import ParsedSource, RuleSpans, SourceIssue, Span
 from .substitution import EMPTY_SUBSTITUTION, Substitution, substitution
 from .terms import Constant, Term, Variable, is_constant, is_variable, make_term
 from .updates import Update, UpdateOp, delete, insert
@@ -31,10 +39,14 @@ __all__ = [
     "EMPTY_SUBSTITUTION",
     "Event",
     "Literal",
+    "ParsedSource",
     "Pred",
     "Program",
     "Rule",
     "RuleBuilder",
+    "RuleSpans",
+    "SourceIssue",
+    "Span",
     "Substitution",
     "Term",
     "Update",
@@ -54,6 +66,7 @@ __all__ = [
     "parse_database",
     "parse_program",
     "parse_rule",
+    "parse_source",
     "pos",
     "program",
     "render_atom",

@@ -27,18 +27,59 @@ Examples::
 
     # a transaction update, as a bodyless rule (paper, Section 4.3)
     -> +q(b).
+
+Every error raised while parsing carries a source position: syntax errors
+are :class:`~repro.errors.ParseError` as before, and rule-safety,
+duplicate-name, and arity errors (which the language objects raise
+without location) are re-raised with a ``line L, column C:`` prefix and
+``.line``/``.column`` attributes pointing at the offending statement.
+
+For analysis tools, :func:`parse_source` parses *leniently*: instead of
+raising it collects every problem as a located
+:class:`~repro.lang.source.SourceIssue`, resynchronises after syntax
+errors at the next ``.``, builds safety-violating rules unchecked so
+later passes can still inspect them, and returns a
+:class:`~repro.lang.source.ParsedSource` with per-rule
+:class:`~repro.lang.source.RuleSpans`.
 """
 
 from __future__ import annotations
 
-from ..errors import ParseError
+from ..errors import ArityError, LanguageError, ParseError, SafetyError
 from . import lexer as lex
 from .atoms import Atom
 from .literals import Condition, Event
 from .program import Program
 from .rules import Rule
+from .source import (
+    ARITY,
+    DUPLICATE_NAME,
+    SAFETY,
+    SYNTAX,
+    ParsedSource,
+    RuleSpans,
+    SourceIssue,
+    Span,
+)
 from .terms import Constant, Variable
 from .updates import Update, UpdateOp
+
+
+def _token_span(token):
+    return Span(
+        token.line,
+        token.column,
+        token.line,
+        token.column + max(len(token.text), 1),
+    )
+
+
+def _located(error, span):
+    """Re-raise helper: the same error class with a source-position prefix."""
+    relocated = type(error)("%s: %s" % (span, error))
+    relocated.line = span.line
+    relocated.column = span.column
+    return relocated
 
 
 class Parser:
@@ -52,6 +93,9 @@ class Parser:
 
     def _peek(self):
         return self._tokens[self._index]
+
+    def _previous(self):
+        return self._tokens[max(self._index - 1, 0)]
 
     def _advance(self):
         token = self._tokens[self._index]
@@ -71,18 +115,88 @@ class Parser:
     def _at(self, kind):
         return self._peek().kind == kind
 
+    def _span_from(self, start_token):
+        """The span from *start_token* through the last consumed token."""
+        end = self._previous()
+        if end.line < start_token.line or (
+            end.line == start_token.line and end.column < start_token.column
+        ):
+            end = start_token
+        return Span(
+            start_token.line,
+            start_token.column,
+            end.line,
+            end.column + max(len(end.text), 1),
+        )
+
     # -- entry points ----------------------------------------------------------
 
     def parse_program(self):
-        """Parse a whole rule program."""
+        """Parse a whole rule program.
+
+        Safety, duplicate-name, and arity errors are raised with the
+        offending statement's source position attached.
+        """
         rules = []
+        schema = _SchemaTracker()
         while not self._at(lex.EOF):
-            rules.append(self._statement())
+            rule, spans = self._statement()
+            schema.check(rule, spans)
+            rules.append(rule)
         return Program(tuple(rules))
+
+    def parse_source(self):
+        """Parse leniently, collecting issues instead of raising.
+
+        Returns a :class:`~repro.lang.source.ParsedSource`.  Statements
+        with syntax errors are skipped (parsing resumes after the next
+        ``.``); unsafe rules are built unchecked and reported as
+        ``safety`` issues; duplicate names and arity clashes become
+        ``duplicate-name`` / ``arity`` issues.
+        """
+        from dataclasses import replace
+
+        rules = []
+        spans = []
+        issues = []
+        schema = _SchemaTracker(issues=issues)
+        while not self._at(lex.EOF):
+            before = len(issues)
+            try:
+                rule, rule_spans = self._statement(issues=issues)
+            except ParseError as error:
+                issues.append(
+                    SourceIssue(
+                        kind=SYNTAX,
+                        message=str(error),
+                        span=_token_span(self._peek())
+                        if error.line is None
+                        else Span(error.line, error.column, error.line, error.column + 1),
+                    )
+                )
+                self._synchronize()
+                continue
+            index = len(rules)
+            for position in range(before, len(issues)):
+                if issues[position].rule_index is None:
+                    issues[position] = replace(issues[position], rule_index=index)
+            schema.check(rule, rule_spans, rule_index=index)
+            rules.append(rule)
+            spans.append(rule_spans)
+        return ParsedSource(
+            rules=tuple(rules), spans=tuple(spans), issues=tuple(issues)
+        )
+
+    def _synchronize(self):
+        """Skip past the next ``.`` so lenient parsing can resume."""
+        while not self._at(lex.EOF):
+            token = self._advance()
+            if token.kind == lex.PERIOD:
+                return
 
     def parse_rule(self):
         """Parse exactly one rule (annotations allowed); reject trailing input."""
-        parsed = self._statement()
+        parsed, _spans = self._statement()
         token = self._peek()
         if token.kind != lex.EOF:
             raise ParseError(
@@ -107,7 +221,8 @@ class Parser:
 
     # -- grammar productions -----------------------------------------------------
 
-    def _statement(self):
+    def _statement(self, issues=None):
+        start = self._peek()
         name = None
         priority = None
         while self._at(lex.AT):
@@ -118,12 +233,32 @@ class Parser:
                 priority = value
 
         body = ()
+        body_spans = ()
         if not self._at(lex.ARROW):
-            body = self._body()
+            body, body_spans = self._body()
         self._expect(lex.ARROW, "'->'")
+        head_start = self._peek()
         head = self._head()
+        head_span = self._span_from(head_start)
         self._expect(lex.PERIOD, "'.' at end of rule")
-        return Rule(head=head, body=body, name=name, priority=priority)
+        spans = RuleSpans(
+            rule=self._span_from(start), head=head_span, body=body_spans
+        )
+        try:
+            rule = Rule(head=head, body=body, name=name, priority=priority)
+        except SafetyError as error:
+            if issues is None:
+                raise _located(error, spans.rule) from error
+            issues.append(
+                SourceIssue(
+                    kind=SAFETY,
+                    message=str(error),
+                    span=spans.rule,
+                    rule_index=None,  # filled by caller ordering; index == len(rules)
+                )
+            )
+            rule = Rule.__new_unchecked__(head, body, name, priority)
+        return rule, spans
 
     def _annotation(self):
         self._expect(lex.AT)
@@ -152,11 +287,15 @@ class Parser:
         return key_token.text, value
 
     def _body(self):
+        start = self._peek()
         literals = [self._literal()]
+        spans = [self._span_from(start)]
         while self._at(lex.COMMA):
             self._advance()
+            start = self._peek()
             literals.append(self._literal())
-        return tuple(literals)
+            spans.append(self._span_from(start))
+        return tuple(literals), tuple(spans)
 
     def _literal(self):
         if self._at(lex.NOT):
@@ -220,6 +359,60 @@ class Parser:
         raise ParseError("expected a term, found %s" % token, token.line, token.column)
 
 
+class _SchemaTracker:
+    """Program-level validation (names, arities) with source positions.
+
+    The :class:`~repro.lang.program.Program` constructor performs the same
+    checks but can only say *what* clashed; tracking while parsing lets us
+    also say *where*.  With ``issues`` the clash is recorded (lenient
+    mode); without, the matching strict error is raised, located.
+    """
+
+    def __init__(self, issues=None):
+        self.issues = issues
+        self._names = {}
+        self._arities = {}
+
+    def _report(self, error, kind, span, rule_index):
+        if self.issues is None:
+            raise _located(error, span) from None
+        self.issues.append(
+            SourceIssue(
+                kind=kind, message=str(error), span=span, rule_index=rule_index
+            )
+        )
+
+    def check(self, rule, spans, rule_index=None):
+        if rule.name is not None:
+            if rule.name in self._names:
+                self._report(
+                    LanguageError("duplicate rule name: %r" % rule.name),
+                    DUPLICATE_NAME,
+                    spans.rule,
+                    rule_index,
+                )
+            else:
+                self._names[rule.name] = spans.rule
+        sites = [(rule.head.atom, spans.head)]
+        for position, literal in enumerate(rule.body):
+            sites.append((literal.atom, spans.literal(position)))
+        for atom, span in sites:
+            predicate, arity = atom.signature()
+            known = self._arities.get(predicate)
+            if known is None:
+                self._arities[predicate] = arity
+            elif known != arity:
+                self._report(
+                    ArityError(
+                        "predicate %r used with arities %d and %d"
+                        % (predicate, known, arity)
+                    ),
+                    ARITY,
+                    span,
+                    rule_index,
+                )
+
+
 def parse_program(text):
     """Parse rule-language source text into a :class:`Program`.
 
@@ -228,6 +421,16 @@ def parse_program(text):
     1
     """
     return Parser(text).parse_program()
+
+
+def parse_source(text):
+    """Lenient parse for analysis: collect located issues, never raise.
+
+    >>> parsed = parse_source("p(X) -> +q(Y).")
+    >>> [issue.kind for issue in parsed.issues]
+    ['safety']
+    """
+    return Parser(text).parse_source()
 
 
 def parse_rule(text):
@@ -263,7 +466,7 @@ def parse_body(text):
     parser = Parser(text)
     if parser._at(lex.EOF):
         raise ParseError("empty query", 1, 1)
-    literals = parser._body()
+    literals, _spans = parser._body()
     token = parser._peek()
     if token.kind == lex.PERIOD:
         parser._advance()

@@ -1,0 +1,126 @@
+"""Source locations and lenient parse results for program analysis.
+
+The strict parser (:mod:`repro.lang.parser`) raises on the first problem,
+which is right for the engine but useless for a linter that should report
+*every* problem with a precise location.  This module defines the shared
+vocabulary:
+
+* :class:`Span` — a half-open source region (1-based line/column);
+* :class:`RuleSpans` — the spans of one rule: the whole statement, its
+  head, and each body literal (aligned with ``rule.body``);
+* :class:`SourceIssue` — one problem found while parsing leniently
+  (syntax error, safety violation, duplicate name, arity clash);
+* :class:`ParsedSource` — everything a lenient parse recovers: the rules
+  that could be built (safety-unchecked ones included), their spans, and
+  the issues.
+
+The objects are plain data; converting issues into ``PARK0xx`` diagnostics
+is the job of :mod:`repro.lint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source region from (line, column) up to (end_line, end_column).
+
+    Positions are 1-based; the end column is exclusive, so a one-character
+    token at line 1, column 5 spans ``Span(1, 5, 1, 6)``.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self):
+        return "line %d, column %d" % (self.line, self.column)
+
+    def to_json(self):
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+
+@dataclass(frozen=True)
+class RuleSpans:
+    """Where one parsed rule statement sits in the source text."""
+
+    rule: Span
+    head: Span
+    body: Tuple[Span, ...] = ()
+
+    def literal(self, index):
+        """The span of body literal *index*, falling back to the rule span."""
+        if 0 <= index < len(self.body):
+            return self.body[index]
+        return self.rule
+
+
+#: Issue kinds produced by the lenient parser.
+SYNTAX = "syntax"
+SAFETY = "safety"
+DUPLICATE_NAME = "duplicate-name"
+ARITY = "arity"
+
+
+@dataclass(frozen=True)
+class SourceIssue:
+    """One problem found by a lenient parse, located in the source."""
+
+    kind: str
+    message: str
+    span: Span
+    rule_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ParsedSource:
+    """The result of a lenient parse: rules, their spans, and the issues.
+
+    ``rules`` contains every statement that produced a rule object —
+    including rules that violate the safety conditions (built unchecked so
+    analysis can still inspect them).  ``spans`` is aligned with
+    ``rules``.  Statements with syntax errors are skipped (the parser
+    resynchronises at the next ``.``) and appear only in ``issues``.
+    """
+
+    rules: Tuple = ()
+    spans: Tuple[RuleSpans, ...] = ()
+    issues: Tuple[SourceIssue, ...] = ()
+
+    @property
+    def clean(self):
+        """No issues of any kind."""
+        return not self.issues
+
+    def issues_of(self, kind):
+        return tuple(issue for issue in self.issues if issue.kind == kind)
+
+    def program(self):
+        """A validated :class:`~repro.lang.program.Program` of the rules.
+
+        Only meaningful when the source parsed without issues; an unsafe
+        or schema-violating source re-raises the strict errors here.
+        """
+        from .program import Program
+        from .rules import Rule
+
+        checked = []
+        for rule in self.rules:
+            checked.append(
+                Rule(
+                    head=rule.head,
+                    body=rule.body,
+                    name=rule.name,
+                    priority=rule.priority,
+                )
+            )
+        return Program(tuple(checked))

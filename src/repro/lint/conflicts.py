@@ -1,0 +1,142 @@
+"""Conflict pass: the static side of ``conflicts(P, I)`` and SELECT.
+
+Works off the :class:`~repro.lint.facts.ProgramFacts` conflict pairs —
+predicates some live rule can mark ``+`` and some live rule can mark
+``-`` on unifiable head atoms — and relates them to the *configured*
+conflict-resolution policy:
+
+* ``PARK020`` (info) — a static conflict pair exists.  Not a defect:
+  resolving such conflicts is what PARK is for.  The linter surfaces them
+  so the author knows which predicates can reach the SELECT policy.
+* ``PARK021`` (warning) — the configured policy has no ordering for a
+  reachable pair and will silently fall through to its tie-breaker:
+  under ``priority``, both sides' witnesses tie on their maximum
+  priority; under ``specificity``, no witness pair is statically
+  comparable (neither rule's positive-condition predicate set strictly
+  contains the other's — an approximation of the runtime strict-superset
+  test on ground bodies, see :mod:`repro.policies.specificity`).
+* ``PARK022`` (info) — a policy other than the inertia default was
+  configured, but the program is statically conflict-free, so SELECT can
+  never be invoked.
+"""
+
+from __future__ import annotations
+
+from ..lang.literals import Condition
+from .diagnostics import Diagnostic
+
+#: Policies that always produce a decision without a tie-breaker.
+_ALWAYS_DECISIVE = {"inertia", "random", "insert", "delete", "constant"}
+
+
+def _policy_name(policy_spec):
+    if policy_spec is None:
+        return None
+    name = str(policy_spec).split(":", 1)[0].strip().lower()
+    return name or None
+
+
+def _max_priority(rules, indices):
+    return max(
+        (rules[i].priority if rules[i].priority is not None else 0)
+        for i in indices
+    )
+
+
+def _positive_predicates(rule):
+    return frozenset(
+        literal.atom.predicate
+        for literal in rule.body
+        if isinstance(literal, Condition) and literal.positive
+    )
+
+
+def _specificity_orderable(rules, insert_index, delete_index):
+    """Static stand-in for ``more_specific``: one rule's positive-condition
+    predicate set strictly contains the other's."""
+    ins = _positive_predicates(rules[insert_index])
+    dels = _positive_predicates(rules[delete_index])
+    return ins < dels or dels < ins
+
+
+def check_conflicts(rules, facts, spans=None, policy=None):
+    """Yield PARK020/021/022 diagnostics for *facts* under *policy*.
+
+    *policy* is the CLI policy spec string (``inertia``, ``priority``,
+    ``specificity``, ``random[:seed]``, a constant decision) or ``None``
+    when unspecified; the pass only reasons about the policy *name*.
+    """
+    name = _policy_name(policy)
+
+    def span_of(rule_index):
+        if spans is not None and rule_index < len(spans):
+            return spans[rule_index].head
+        return None
+
+    for pair in facts.conflict_pairs:
+        first_insert = pair.insert_rules[0]
+        witnesses = ", ".join(
+            rules[i].describe() for i in pair.insert_rules + pair.delete_rules
+        )
+        yield Diagnostic(
+            code="PARK020",
+            message=(
+                "predicate %r is derivable with both + and - (rules: %s); "
+                "conflicts on it resolve via the SELECT policy"
+                % (pair.predicate, witnesses)
+            ),
+            span=span_of(first_insert),
+            rule=rules[first_insert].describe(),
+            rule_index=first_insert,
+        )
+
+        if name == "priority":
+            if _max_priority(rules, pair.insert_rules) == _max_priority(
+                rules, pair.delete_rules
+            ):
+                yield Diagnostic(
+                    code="PARK021",
+                    message=(
+                        "priority policy cannot order the conflict pair on "
+                        "%r: both sides' best priority is %d; conflicts "
+                        "will fall through to the tie-breaker"
+                        % (
+                            pair.predicate,
+                            _max_priority(rules, pair.insert_rules),
+                        )
+                    ),
+                    span=span_of(first_insert),
+                    rule=rules[first_insert].describe(),
+                    rule_index=first_insert,
+                )
+        elif name == "specificity":
+            if not any(
+                _specificity_orderable(rules, i, j)
+                for i in pair.insert_rules
+                for j in pair.delete_rules
+            ):
+                yield Diagnostic(
+                    code="PARK021",
+                    message=(
+                        "specificity policy cannot order the conflict pair "
+                        "on %r: no witnessing rule's positive conditions "
+                        "strictly contain the other side's; conflicts will "
+                        "fall through to the fallback" % pair.predicate
+                    ),
+                    span=span_of(first_insert),
+                    rule=rules[first_insert].describe(),
+                    rule_index=first_insert,
+                )
+
+    if (
+        name is not None
+        and name not in ("inertia", None)
+        and facts.conflict_free
+    ):
+        yield Diagnostic(
+            code="PARK022",
+            message=(
+                "policy %r is configured but the program is statically "
+                "conflict-free; SELECT can never be invoked" % name
+            ),
+        )

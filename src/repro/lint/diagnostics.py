@@ -1,0 +1,163 @@
+"""Diagnostic objects and the per-file / multi-file lint reports.
+
+A :class:`Diagnostic` is one finding: a stable ``PARK0xx`` code, a
+severity, a human message, and (when known) the source span and the rule
+it concerns.  :class:`FileReport` collects one file's diagnostics with
+the :class:`~repro.lint.facts.ProgramFacts` the analyzer derived;
+:class:`LintReport` aggregates files for the CLI, which renders either
+the human form (``path:line:col: severity[CODE]: message``) or ``--json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .codes import ERROR, SEVERITY_RANK, WARNING, severity_of
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, ready for human or JSON rendering."""
+
+    code: str
+    message: str
+    severity: str = None  # defaults to the code's registered severity
+    span: Optional[object] = None  # a lang.source.Span
+    rule: Optional[str] = None  # rule.describe() of the rule concerned
+    rule_index: Optional[int] = None
+
+    def __post_init__(self):
+        if self.severity is None:
+            object.__setattr__(self, "severity", severity_of(self.code))
+
+    @property
+    def rank(self):
+        return SEVERITY_RANK[self.severity]
+
+    def sort_key(self):
+        span = self.span
+        position = (span.line, span.column) if span is not None else (0, 0)
+        return position + (self.code, self.message)
+
+    def format(self, path=None):
+        """``path:line:col: severity[CODE]: message`` (parts optional)."""
+        prefix = ""
+        if path:
+            prefix = "%s:" % path
+        if self.span is not None:
+            prefix += "%d:%d:" % (self.span.line, self.span.column)
+        if prefix:
+            prefix += " "
+        suffix = " (rule %s)" % self.rule if self.rule else ""
+        return "%s%s[%s]: %s%s" % (
+            prefix,
+            self.severity,
+            self.code,
+            self.message,
+            suffix,
+        )
+
+    def to_json(self):
+        record = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            record["span"] = self.span.to_json()
+        if self.rule is not None:
+            record["rule"] = self.rule
+        if self.rule_index is not None:
+            record["rule_index"] = self.rule_index
+        return record
+
+
+@dataclass
+class FileReport:
+    """One source file's (or in-memory program's) analysis result."""
+
+    path: Optional[str]
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    facts: Optional[object] = None  # a lint.facts.ProgramFacts
+    rules: int = 0
+    rule_objects: Tuple = ()  # the parsed rules (not serialized)
+
+    def __post_init__(self):
+        self.diagnostics = tuple(
+            sorted(self.diagnostics, key=Diagnostic.sort_key)
+        )
+
+    def count(self, severity):
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self):
+        return self.count(ERROR)
+
+    @property
+    def warnings(self):
+        return self.count(WARNING)
+
+    def codes(self):
+        """The distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def to_json(self):
+        record = {
+            "path": self.path,
+            "rules": self.rules,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+        if self.facts is not None:
+            record["facts"] = self.facts.to_json()
+        return record
+
+
+@dataclass
+class LintReport:
+    """A multi-file analysis run, as produced by ``repro check``."""
+
+    files: List[FileReport] = field(default_factory=list)
+
+    def add(self, file_report):
+        self.files.append(file_report)
+
+    @property
+    def diagnostics(self):
+        for file_report in self.files:
+            for diagnostic in file_report.diagnostics:
+                yield file_report.path, diagnostic
+
+    @property
+    def errors(self):
+        return sum(f.errors for f in self.files)
+
+    @property
+    def warnings(self):
+        return sum(f.warnings for f in self.files)
+
+    @property
+    def total(self):
+        return sum(len(f.diagnostics) for f in self.files)
+
+    def exit_code(self, strict=False):
+        """0 when clean; 1 on errors, or on warnings under ``--strict``."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def to_json(self, strict=False):
+        return {
+            "files": [f.to_json() for f in self.files],
+            "summary": {
+                "files": len(self.files),
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "diagnostics": self.total,
+                "strict": strict,
+                "exit_code": self.exit_code(strict=strict),
+            },
+        }

@@ -1,0 +1,72 @@
+"""Dependency pass: stratification and negation placement.
+
+Builds the predicate dependency graph (shared with the engine —
+:mod:`repro.engine.dependency` — so lint and the dirty-predicate
+scheduler agree on edges, polarity, and witnessing rules) and reports:
+
+* ``PARK010`` — the program is not stratifiable: a negative edge closes
+  a cycle, i.e. some predicate depends negatively on itself.  PARK still
+  assigns such programs a semantics (that is the point of the paper),
+  but they leave the deductive fragment where Γ iteration coincides with
+  the stratified baseline, and the result can depend on rule order
+  sensitivity that stratifiable programs provably don't have.
+* ``PARK011`` — negation on a *derived* predicate (the program is not
+  semipositive).  Purely informational: stratifiable non-semipositive
+  programs are fine, but semipositivity is the fragment where negation
+  is independent of evaluation order round by round.
+"""
+
+from __future__ import annotations
+
+from ..engine.dependency import DependencyGraph
+from ..lang.literals import Condition
+from .diagnostics import Diagnostic
+
+
+def check_graph(rules, spans=None):
+    """Yield PARK010/PARK011 diagnostics for *rules*."""
+    graph = DependencyGraph(rules, spans=spans)
+
+    bad_edges = graph.negative_cycle_edges()
+    bad_pairs = set()
+    for edge in bad_edges:
+        bad_pairs.add((edge.source, edge.target))
+        rule_index = edge.rules[0] if edge.rules else None
+        rule = rules[rule_index] if rule_index is not None else None
+        yield Diagnostic(
+            code="PARK010",
+            message=(
+                "not stratifiable: %r depends negatively on %r inside a "
+                "recursive component" % (edge.target, edge.source)
+            ),
+            span=edge.span,
+            rule=rule.describe() if rule is not None else None,
+            rule_index=rule_index,
+        )
+
+    head_predicates = {rule.head.atom.predicate for rule in rules}
+    for index, rule in enumerate(rules):
+        rule_spans = spans[index] if spans is not None and index < len(spans) else None
+        for literal_index, literal in enumerate(rule.body):
+            if not isinstance(literal, Condition) or literal.positive:
+                continue
+            predicate = literal.atom.predicate
+            if predicate not in head_predicates:
+                continue
+            # Already reported as PARK010 for this dependency.
+            if (predicate, rule.head.atom.predicate) in bad_pairs:
+                continue
+            yield Diagnostic(
+                code="PARK011",
+                message=(
+                    "negation on derived predicate %r (program is not "
+                    "semipositive)" % predicate
+                ),
+                span=(
+                    rule_spans.literal(literal_index)
+                    if rule_spans is not None
+                    else None
+                ),
+                rule=rule.describe(),
+                rule_index=index,
+            )

@@ -1,0 +1,70 @@
+"""Reachability pass: dead rules and event hygiene.
+
+Reads the liveness fixpoint off :class:`~repro.lint.facts.ProgramFacts`:
+
+* ``PARK030`` — a rule is statically dead: some body literal can never
+  be satisfied (an event nothing emits; with a database in hand, also a
+  positive condition on a predicate with no rows and no live deriving
+  rule).  The engine's dead-rule pruning removes exactly these rules.
+* ``PARK031`` — an event literal no rule emits.  Reported on the literal
+  itself; at run time only a transaction update could trigger it, which
+  is sometimes intended (ECA entry points) — hence a warning, not an
+  error.
+
+When a rule is dead *because* of one of its own unmatched events, only
+``PARK031`` is emitted for that rule — a ``PARK030`` on top would repeat
+the same fact.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+
+
+def check_reachability(rules, facts, spans=None):
+    """Yield PARK030/PARK031 diagnostics from *facts*."""
+    unmatched_by_rule = {}
+    for event in facts.unmatched_events:
+        unmatched_by_rule.setdefault(event.rule_index, []).append(event)
+
+    for event in facts.unmatched_events:
+        rule = rules[event.rule_index]
+        rule_spans = (
+            spans[event.rule_index]
+            if spans is not None and event.rule_index < len(spans)
+            else None
+        )
+        yield Diagnostic(
+            code="PARK031",
+            message=(
+                "no rule emits %s%s; this event can only come from a "
+                "transaction update"
+                % ("+" if event.op.value == "+" else "-", event.predicate)
+            ),
+            span=(
+                rule_spans.literal(event.literal_index)
+                if rule_spans is not None
+                else None
+            ),
+            rule=rule.describe(),
+            rule_index=event.rule_index,
+        )
+
+    for index in facts.dead:
+        if index in unmatched_by_rule:
+            continue  # already explained by PARK031 on the event literal
+        rule = rules[index]
+        rule_spans = spans[index] if spans is not None and index < len(spans) else None
+        detail = (
+            "no body literal assignment is satisfiable against the given "
+            "database and the live rules"
+            if facts.database_aware
+            else "no live rule makes its body satisfiable"
+        )
+        yield Diagnostic(
+            code="PARK030",
+            message="rule can never fire: %s" % detail,
+            span=rule_spans.rule if rule_spans is not None else None,
+            rule=rule.describe(),
+            rule_index=index,
+        )

@@ -1,0 +1,66 @@
+"""Safety pass: the range-restriction conditions of Section 2.
+
+A PARK rule is *safe* when (1) every head variable and (2) every variable
+of a negated body literal is bound by a positive body literal — a
+positive condition or an event (events bind because they are matched
+against the marked sets).  The strict parser refuses unsafe rules
+outright; this pass re-derives the violations on leniently parsed rules
+so the linter can report *every* offending variable with a precise span:
+
+* ``PARK002`` — a head variable is unbound;
+* ``PARK003`` — a negated-literal variable is unbound.
+"""
+
+from __future__ import annotations
+
+from ..lang.literals import Condition
+from .diagnostics import Diagnostic
+
+
+def _binding_variables(rule):
+    bound = set()
+    for literal in rule.body:
+        if literal.binds:
+            bound |= literal.variables()
+    return bound
+
+
+def check_safety(rules, spans=None):
+    """Yield PARK002/PARK003 diagnostics for the unsafe rules in *rules*."""
+    for index, rule in enumerate(rules):
+        rule_spans = spans[index] if spans is not None and index < len(spans) else None
+        bound = _binding_variables(rule)
+
+        unsafe_head = rule.head.variables() - bound
+        if unsafe_head:
+            yield Diagnostic(
+                code="PARK002",
+                message=(
+                    "head variable(s) %s are not bound by any positive "
+                    "body literal"
+                    % ", ".join(sorted(v.name for v in unsafe_head))
+                ),
+                span=rule_spans.head if rule_spans is not None else None,
+                rule=rule.describe(),
+                rule_index=index,
+            )
+
+        for literal_index, literal in enumerate(rule.body):
+            if not isinstance(literal, Condition) or literal.positive:
+                continue
+            unsafe = literal.variables() - bound
+            if unsafe:
+                yield Diagnostic(
+                    code="PARK003",
+                    message=(
+                        "variable(s) %s occur only in the negated literal %s"
+                        % (", ".join(sorted(v.name for v in unsafe)), literal)
+                    ),
+                    span=(
+                        rule_spans.literal(literal_index)
+                        if rule_spans is not None
+                        else None
+                    ),
+                    rule=rule.describe(),
+                    rule_index=index,
+                )

@@ -118,3 +118,46 @@ class TestClassification:
         assert c.uses_events
         assert c.uses_deletion
         assert not c.deductive
+
+
+class TestEdgeWitnesses:
+    """Satellite: edges carry witnessing rules and (optionally) spans."""
+
+    def test_witnesses_merged_per_structural_edge(self):
+        g = graph("p(X) -> +q(X). p(X), r(X) -> +q(X).")
+        (edge,) = [e for e in g.edges if e.source == "p"]
+        assert edge.rules == (0, 1)
+        assert g.witnesses("p", "q") == [0, 1]
+        assert g.witnesses("r", "q") == [1]
+        assert g.witnesses("q", "p") == []
+
+    def test_polarity_splits_edges_but_witnesses_union(self):
+        g = graph("p(X), q(X) -> +s(X). p(X), not q(X) -> +t(X).")
+        kinds = {(e.target, e.negative) for e in g.edges if e.source == "q"}
+        assert kinds == {("s", False), ("t", True)}
+        assert g.witnesses("q", "s") == [0]
+        assert g.witnesses("q", "t") == [1]
+
+    def test_spans_attached_from_source_map(self):
+        from repro.lang import parse_source
+
+        parsed = parse_source("p(X) -> +q(X).\nr(X), p(X) -> +s(X).\n")
+        g = DependencyGraph(parsed.rules, spans=parsed.spans)
+        (edge,) = [e for e in g.edges if e.source == "r"]
+        assert edge.span.line == 2
+        assert edge.span.column == 1
+        (edge,) = [e for e in g.edges if e.source == "p" and e.target == "s"]
+        assert edge.span.column == len("r(X), ") + 1
+
+    def test_spans_default_to_none(self):
+        g = graph("p(X) -> +q(X).")
+        (edge,) = g.edges
+        assert edge.span is None
+
+    def test_negative_cycle_edges(self):
+        g = graph("p(X), not q(X) -> +q(X). p(X), not s(X) -> +t(X).")
+        (edge,) = g.negative_cycle_edges()
+        assert (edge.source, edge.target) == ("q", "q")
+        assert edge.negative
+        stratifiable = graph("p(X), not s(X) -> +t(X).")
+        assert stratifiable.negative_cycle_edges() == []

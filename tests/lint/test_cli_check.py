@@ -1,0 +1,153 @@
+"""The ``repro check`` subcommand: output forms, gating, golden files."""
+
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestGoldenJson:
+    """Golden-file tests for ``repro check --json`` on ``examples/``."""
+
+    @pytest.mark.parametrize("name", ["quickstart", "payroll"])
+    def test_examples_json_matches_golden(self, name, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, output = run_cli(
+            "check", "--json", "examples/%s.park" % name
+        )
+        assert code == 0
+        golden = json.loads((GOLDEN_DIR / ("%s.json" % name)).read_text())
+        assert json.loads(output) == golden
+
+
+class TestHumanOutput:
+    def test_classification_block_preserved(self, tmp_path):
+        rules = tmp_path / "rules.park"
+        rules.write_text("p -> +q. p -> -a. q -> +a.")
+        code, output = run_cli("check", "--rules", str(rules))
+        assert code == 0
+        assert "rules      : 3" in output
+        assert "uses delete: True" in output
+        assert "conflict-free: False" in output
+
+    def test_diagnostics_located_in_output(self, tmp_path):
+        rules = tmp_path / "bad.park"
+        rules.write_text("p(X) -> +q(X, Y).")
+        code, output = run_cli("check", str(rules))
+        assert code == 1
+        assert "%s:1:" % rules in output
+        assert "error[PARK002]" in output
+
+    def test_multi_file_summary(self, tmp_path):
+        for name in ("a", "b"):
+            (tmp_path / ("%s.park" % name)).write_text("p(X) -> +q(X).")
+        code, output = run_cli("check", str(tmp_path))
+        assert code == 0
+        assert "total: 2 file(s)" in output
+
+
+class TestGating:
+    def test_errors_always_exit_one(self, tmp_path):
+        rules = tmp_path / "bad.park"
+        rules.write_text("p(X) -> +q(X, Y).")
+        assert run_cli("check", str(rules))[0] == 1
+
+    def test_warnings_gate_only_under_strict(self, tmp_path):
+        rules = tmp_path / "warn.park"
+        rules.write_text("p(X), +never(X) -> +q(X).")  # PARK031 warning
+        assert run_cli("check", str(rules))[0] == 0
+        assert run_cli("check", "--strict", str(rules))[0] == 1
+
+    def test_info_never_gates(self, tmp_path):
+        rules = tmp_path / "info.park"
+        rules.write_text("p(X) -> +f(X). p(X), not ok(X) -> -f(X).")
+        assert run_cli("check", "--strict", str(rules))[0] == 0
+
+    def test_json_summary_records_strictness(self, tmp_path):
+        rules = tmp_path / "warn.park"
+        rules.write_text("p(X), +never(X) -> +q(X).")
+        code, output = run_cli("check", "--strict", "--json", str(rules))
+        assert code == 1
+        summary = json.loads(output)["summary"]
+        assert summary["strict"] is True
+        assert summary["exit_code"] == 1
+        assert summary["warnings"] == 1
+
+
+class TestInputs:
+    def test_directory_expansion(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, output = run_cli("check", "examples")
+        assert code == 0
+        assert "examples%squickstart.park" % os.sep in output
+        assert "examples%spayroll.park" % os.sep in output
+
+    def test_empty_directory_errors(self, tmp_path):
+        assert run_cli("check", str(tmp_path))[0] == 2
+
+    def test_no_paths_errors(self):
+        assert run_cli("check")[0] == 2
+
+    def test_policy_flag_enables_policy_diagnostics(self, tmp_path):
+        rules = tmp_path / "c.park"
+        rules.write_text("p(X) -> +f(X). p(X), not ok(X) -> -f(X).")
+        _, plain = run_cli("check", str(rules))
+        assert "PARK021" not in plain
+        _, with_policy = run_cli("check", "--policy", "priority", str(rules))
+        assert "PARK021" in with_policy
+
+    def test_db_flag_sharpens_dead_rules(self, tmp_path):
+        rules = tmp_path / "d.park"
+        rules.write_text("p(X) -> +q(X). ghost(X) -> +r(X).")
+        facts = tmp_path / "facts.park"
+        facts.write_text("p(a).")
+        _, plain = run_cli("check", str(rules))
+        assert "PARK030" not in plain
+        _, with_db = run_cli("check", "--db", str(facts), str(rules))
+        assert "PARK030" in with_db
+
+
+class TestRunSafetyWarning:
+    """Satellite: run/profile warn on unsafe rules instead of failing."""
+
+    def test_run_warns_once_and_continues(self, tmp_path, capsys):
+        rules = tmp_path / "mixed.park"
+        rules.write_text("@name(bad) p(X) -> +q(X, Y).\n@name(ok) p(X) -> +r(X).\n")
+        facts = tmp_path / "facts.park"
+        facts.write_text("p(a).")
+        code, output = run_cli(
+            "run", "--rules", str(rules), "--db", str(facts)
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "r(a)" in output
+        assert captured.err.count("unsafe rule(s) excluded") == 1
+        assert "repro check" in captured.err
+
+    def test_profile_warns_too(self, tmp_path, capsys):
+        rules = tmp_path / "mixed.park"
+        rules.write_text("p(X) -> +q(X, Y).\n-> +seed(a).\n")
+        code, _ = run_cli("profile", str(rules))
+        assert code == 0
+        assert "unsafe rule(s) excluded" in capsys.readouterr().err
+
+    def test_syntax_errors_still_fail(self, tmp_path):
+        rules = tmp_path / "broken.park"
+        rules.write_text("p( ->")
+        facts = tmp_path / "facts.park"
+        facts.write_text("p(a).")
+        code, _ = run_cli("run", "--rules", str(rules), "--db", str(facts))
+        assert code == 2

@@ -1,0 +1,86 @@
+"""Conflict pass: PARK020 (pair), PARK021 (policy can't order), PARK022."""
+
+from repro.lint import analyze_text
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+CONFLICTING = """
+@name(ins) p(X) -> +flag(X).
+@name(del) p(X), not ok(X) -> -flag(X).
+"""
+
+
+class TestConflictPairs:
+    def test_park020_names_both_witnesses(self):
+        report = analyze_text(CONFLICTING)
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK020"]
+        assert diag.severity == "info"
+        assert "'flag'" in diag.message
+        assert "ins" in diag.message and "del" in diag.message
+        assert not report.facts.conflict_free
+
+    def test_refined_by_head_unification(self):
+        # +p(a) and -p(b) can never collide on the same ground atom.
+        report = analyze_text("q(X) -> +p(a). q(X) -> -p(b).")
+        assert "PARK020" not in codes(report)
+        assert report.facts.conflict_free
+
+    def test_dead_rules_do_not_create_pairs(self):
+        # The deleting rule is event-gated on an event nothing emits.
+        text = "q(X) -> +p(X). +never(X), q(X) -> -p(X)."
+        report = analyze_text(text)
+        assert "PARK020" not in codes(report)
+        assert report.facts.conflict_free
+
+
+class TestPolicyOrdering:
+    def test_park021_priority_tie(self):
+        report = analyze_text(CONFLICTING, policy="priority")
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK021"]
+        assert diag.severity == "warning"
+        assert "priority" in diag.message
+
+    def test_priority_ordering_silences_park021(self):
+        text = """
+        @name(ins) @priority(2) p(X) -> +flag(X).
+        @name(del) p(X), not ok(X) -> -flag(X).
+        """
+        report = analyze_text(text, policy="priority")
+        assert "PARK021" not in codes(report)
+
+    def test_park021_specificity_incomparable(self):
+        report = analyze_text(CONFLICTING, policy="specificity")
+        assert "PARK021" in codes(report)
+
+    def test_specificity_ordering_silences_park021(self):
+        text = """
+        @name(gen) bird(X) -> +flies(X).
+        @name(spec) bird(X), penguin(X) -> -flies(X).
+        """
+        report = analyze_text(text, policy="specificity")
+        assert "PARK020" in codes(report)
+        assert "PARK021" not in codes(report)
+
+    def test_inertia_never_warns(self):
+        report = analyze_text(CONFLICTING, policy="inertia")
+        assert "PARK021" not in codes(report)
+        assert "PARK022" not in codes(report)
+
+
+class TestPolicyNeverInvoked:
+    def test_park022_on_conflict_free_program(self):
+        report = analyze_text("p(X) -> +q(X).", policy="priority")
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK022"]
+        assert diag.severity == "info"
+        assert "priority" in diag.message
+
+    def test_no_park022_without_a_policy(self):
+        report = analyze_text("p(X) -> +q(X).")
+        assert "PARK022" not in codes(report)
+
+    def test_no_park022_when_conflicts_reachable(self):
+        report = analyze_text(CONFLICTING, policy="random:7")
+        assert "PARK022" not in codes(report)

@@ -1,0 +1,105 @@
+"""ProgramFacts: unification, liveness, conflict pairs, pruning guard."""
+
+import pytest
+
+from repro.lang import parse_database, parse_program
+from repro.lang.parser import parse_atom
+from repro.lint import ProgramFacts, atoms_may_unify
+from repro.storage.database import Database
+
+
+class TestUnification:
+    def test_constants_must_match(self):
+        assert not atoms_may_unify(parse_atom("p(a)"), parse_atom("p(b)"))
+        assert atoms_may_unify(parse_atom("p(a)"), parse_atom("p(a)"))
+
+    def test_variables_renamed_apart(self):
+        # X on the left is unrelated to X on the right.
+        assert atoms_may_unify(parse_atom("p(X, a)"), parse_atom("p(b, X)"))
+
+    def test_repeated_variables_constrain(self):
+        assert not atoms_may_unify(parse_atom("p(X, X)"), parse_atom("p(a, b)"))
+        assert atoms_may_unify(parse_atom("p(X, X)"), parse_atom("p(a, a)"))
+        assert atoms_may_unify(parse_atom("p(X, X)"), parse_atom("p(Y, Z)"))
+
+    def test_transitive_bindings(self):
+        # X=Y (positionally) then Y=a forces X=a, clashing with b.
+        assert not atoms_may_unify(
+            parse_atom("p(X, X, b)"), parse_atom("p(Y, a, Y)")
+        )
+
+    def test_predicate_and_arity_gate(self):
+        assert not atoms_may_unify(parse_atom("p(a)"), parse_atom("q(a)"))
+        assert not atoms_may_unify(parse_atom("p(a)"), parse_atom("p(a, b)"))
+
+
+class TestLiveness:
+    def test_everything_live_without_database(self):
+        facts = ProgramFacts.analyze(parse_program("mystery(X) -> +q(X)."))
+        assert facts.dead == ()
+        assert not facts.database_aware
+
+    def test_event_chain_liveness(self):
+        text = "p(X) -> +a(X). +a(X) -> +b(X). +b(X) -> +c(X)."
+        facts = ProgramFacts.analyze(parse_program(text))
+        assert facts.dead == ()
+        assert facts.insertable == {"a", "b", "c"}
+
+    def test_deletable_tracked_separately(self):
+        facts = ProgramFacts.analyze(parse_program("p(X) -> -q(X)."))
+        assert facts.deletable == {"q"}
+        assert facts.insertable == frozenset()
+
+    def test_fixpoint_with_database(self):
+        db = Database(parse_database("seed(a)."))
+        text = "seed(X) -> +step1(X). step1(X) -> +step2(X). other(X) -> +r(X)."
+        facts = ProgramFacts.analyze(parse_program(text), database=db)
+        assert facts.dead == (2,)
+        assert facts.live == {0, 1}
+
+
+class TestConflictFreedom:
+    def test_matches_guards_staleness(self):
+        program = parse_program("p(X) -> +q(X).")
+        other = parse_program("p(X) -> +r(X).")
+        facts = ProgramFacts.analyze(program)
+        assert facts.matches(program)
+        assert not facts.matches(other)
+        with pytest.raises(ValueError):
+            facts.live_program(other)
+
+    def test_live_program_prunes_only_dead(self):
+        db = Database(parse_database("p(a)."))
+        program = parse_program("p(X) -> +q(X). ghost(X) -> +r(X).")
+        facts = ProgramFacts.analyze(program, database=db)
+        pruned = facts.live_program(program)
+        assert len(pruned) == 1
+        assert tuple(pruned)[0] is tuple(program)[0]
+
+    def test_live_program_identity_when_nothing_dead(self):
+        program = parse_program("p(X) -> +q(X).")
+        facts = ProgramFacts.analyze(program)
+        assert facts.live_program(program) is program
+
+    def test_to_json_shape(self):
+        facts = ProgramFacts.analyze(
+            parse_program("p(X) -> +q(X). p(X) -> -q(X).")
+        )
+        record = facts.to_json()
+        assert record["conflict_free"] is False
+        assert record["conflict_pairs"] == [
+            {"predicate": "q", "insert_rules": [0], "delete_rules": [1]}
+        ]
+
+    def test_transaction_rules_change_the_answer(self):
+        # The base program is conflict-free; P_U with a -q update is not.
+        from repro.core.eca import extend_with_updates
+        from repro.lang.updates import Update, UpdateOp
+
+        program = parse_program("p(X) -> +q(X).")
+        base = ProgramFacts.analyze(program)
+        assert base.conflict_free
+        extended = extend_with_updates(
+            program, [Update(UpdateOp.DELETE, parse_atom("q(a)"))]
+        )
+        assert not ProgramFacts.analyze(extended).conflict_free

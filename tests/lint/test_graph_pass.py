@@ -1,0 +1,50 @@
+"""Dependency pass: PARK010 (not stratifiable), PARK011 (not semipositive)."""
+
+from repro.lint import analyze_text
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestStratifiability:
+    def test_park010_on_negative_self_dependency(self):
+        report = analyze_text("@name(r) p(X), not q(X) -> +q(X).")
+        assert "PARK010" in codes(report)
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK010"]
+        assert diag.severity == "warning"
+        assert "'q'" in diag.message
+        assert diag.rule == "r"
+        # span points at the negated literal
+        assert diag.span.column == len("@name(r) p(X), ") + 1
+        assert not report.facts.stratifiable
+
+    def test_park010_through_a_cycle(self):
+        text = "a(X), not b(X) -> +c(X). c(X) -> +b(X)."
+        report = analyze_text(text)
+        assert "PARK010" in codes(report)
+
+    def test_stratifiable_negation_is_not_flagged(self):
+        report = analyze_text("p(X), not q(X) -> +r(X). s(X) -> +q(X).")
+        assert "PARK010" not in codes(report)
+        assert report.facts.stratifiable
+
+
+class TestSemipositivity:
+    def test_park011_on_derived_negation(self):
+        report = analyze_text("s(X) -> +q(X). p(X), not q(X) -> +r(X).")
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK011"]
+        assert diag.severity == "info"
+        assert "'q'" in diag.message
+        assert not report.facts.semipositive
+
+    def test_edb_negation_is_semipositive(self):
+        report = analyze_text("p(X), not edb(X) -> +r(X).")
+        assert "PARK011" not in codes(report)
+        assert report.facts.semipositive
+
+    def test_park011_suppressed_when_park010_covers_the_edge(self):
+        # The in-SCC negation is reported once, as PARK010.
+        report = analyze_text("p(X), not q(X) -> +q(X).")
+        assert codes(report).count("PARK010") == 1
+        assert "PARK011" not in codes(report)

@@ -1,0 +1,96 @@
+"""Parser-derived diagnostics: PARK001/004/005, recovery, located errors."""
+
+import pytest
+
+from repro.errors import ArityError, LanguageError, ParseError, SafetyError
+from repro.lang import parse_program, parse_source
+from repro.lint import analyze_text
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestSyntaxDiagnostics:
+    def test_park001_with_position(self):
+        report = analyze_text("p(X ->")
+        (diag,) = report.diagnostics
+        assert diag.code == "PARK001"
+        assert diag.severity == "error"
+        assert diag.span is not None
+        # the message does not repeat the position the span already carries
+        assert "line" not in diag.message
+
+    def test_recovery_continues_after_bad_statement(self):
+        text = "p(X ->.\nq(X) -> +r(X).\n"
+        report = analyze_text(text)
+        assert codes(report) == ["PARK001"]
+        assert report.rules == 1
+
+    def test_multiple_syntax_errors_all_reported(self):
+        text = "p( ->.\nq( ->.\nr(X) -> +s(X).\n"
+        report = analyze_text(text)
+        assert codes(report) == ["PARK001", "PARK001"]
+        assert [d.span.line for d in report.diagnostics] == [1, 2]
+
+
+class TestSchemaDiagnostics:
+    def test_park005_duplicate_name(self):
+        text = "@name(d) p(X) -> +q(X).\n@name(d) p(X) -> +r(X).\n"
+        report = analyze_text(text)
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK005"]
+        assert "'d'" in diag.message
+        assert diag.span.line == 2
+
+    def test_park004_arity_clash(self):
+        text = "p(X) -> +q(X).\np(X, X) -> +r(X).\n"
+        report = analyze_text(text)
+        (diag,) = [d for d in report.diagnostics if d.code == "PARK004"]
+        assert "'p'" in diag.message
+        assert diag.span.line == 2
+
+
+class TestStrictParserLocations:
+    """Satellite: every strict-parse error carries line/column."""
+
+    def test_safety_error_located(self):
+        with pytest.raises(SafetyError) as info:
+            parse_program("p(X) -> +q(X, Y).")
+        assert "line 1, column 1" in str(info.value)
+        assert info.value.line == 1
+
+    def test_duplicate_name_located(self):
+        with pytest.raises(LanguageError) as info:
+            parse_program("@name(d) -> +p. @name(d) -> +q.")
+        assert "line 1, column 17" in str(info.value)
+
+    def test_arity_error_located(self):
+        with pytest.raises(ArityError) as info:
+            parse_program("-> +p(a). -> +p(a, b).")
+        assert "line 1, column" in str(info.value)
+        assert info.value.column is not None
+
+    def test_syntax_error_located(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("p(X) -> ")
+        assert info.value.line is not None
+
+
+class TestLenientParse:
+    def test_unsafe_rules_built_unchecked(self):
+        parsed = parse_source("p(X) -> +q(X, Y).")
+        assert len(parsed.rules) == 1
+        assert [i.kind for i in parsed.issues] == ["safety"]
+        assert parsed.issues[0].rule_index == 0
+
+    def test_spans_aligned_with_rules(self):
+        parsed = parse_source("p(X) -> +q(X).\nr(X) -> +s(X).\n")
+        assert parsed.clean
+        assert len(parsed.spans) == 2
+        assert parsed.spans[0].rule.line == 1
+        assert parsed.spans[1].rule.line == 2
+
+    def test_program_revalidates(self):
+        parsed = parse_source("p(X) -> +q(X, Y).")
+        with pytest.raises(SafetyError):
+            parsed.program()

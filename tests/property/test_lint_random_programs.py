@@ -1,0 +1,92 @@
+"""Lint agrees with the runtime on every random workload program.
+
+The property of the satellite task: every program out of
+``workloads/random_programs.py`` either lints clean (no error-severity
+diagnostics — and then the strict parser and the engine accept it), or
+lint's error diagnostics predict exactly the error class the strict
+parser raises.  Corrupted variants (unbound head variables, dangling
+negated variables) exercise the prediction side.
+"""
+
+import pytest
+
+from repro.errors import SafetyError
+from repro.lang import parse_program, render_program
+from repro.lang.literals import neg
+from repro.lang.rules import Rule
+from repro.lang.terms import Variable
+from repro.lint import analyze_text, severity_of
+from repro.workloads.random_programs import ProgramGenerator, random_workload
+
+SEEDS = range(12)
+
+#: Diagnostic code -> error class the strict toolchain raises for it.
+PREDICTED_ERRORS = {
+    "PARK002": SafetyError,
+    "PARK003": SafetyError,
+}
+
+
+def lint_errors(text):
+    report = analyze_text(text)
+    return [d for d in report.diagnostics if d.severity == "error"]
+
+
+class TestGeneratedProgramsLintClean:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_and_runnable(self, seed):
+        workload = random_workload(
+            seed, event_probability=0.2, delete_head_probability=0.3
+        )
+        text = render_program(workload.program)
+        errors = lint_errors(text)
+        assert errors == [], [d.format() for d in errors]
+        # lint clean => the strict parser accepts the very same text
+        reparsed = parse_program(text)
+        assert len(reparsed) == len(workload.program)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_under_eventful_generation(self, seed):
+        generator = ProgramGenerator(seed=seed, event_probability=0.5)
+        text = render_program(generator.program(10))
+        assert lint_errors(text) == []
+
+
+def _corrupt_head(rule):
+    """Widen the head with a fresh variable: breaks safety condition 1."""
+    fresh = Variable("Zfresh")
+    head = rule.head
+    atom = head.atom
+    new_atom = type(atom)(atom.predicate + "_c", atom.terms + (fresh,))
+    return Rule.__new_unchecked__(
+        type(head)(head.op, new_atom), rule.body, rule.name, rule.priority
+    )
+
+
+def _corrupt_negation(rule):
+    """Append a negated literal over a fresh variable: breaks condition 2."""
+    fresh = Variable("Zfresh")
+    extra = neg(type(rule.head.atom)("dangling", (fresh,)))
+    return Rule.__new_unchecked__(
+        rule.head, rule.body + (extra,), rule.name, rule.priority
+    )
+
+
+class TestLintPredictsRuntimeErrors:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("corrupt", [_corrupt_head, _corrupt_negation])
+    def test_error_class_predicted(self, seed, corrupt):
+        program = ProgramGenerator(seed=seed).program(6)
+        rules = list(program)
+        rules[seed % len(rules)] = corrupt(rules[seed % len(rules)])
+        text = "\n".join(render_program(type(program)(tuple(rules))).splitlines())
+        errors = lint_errors(text)
+        assert errors, "corruption must produce an error diagnostic"
+        predicted = {PREDICTED_ERRORS[d.code] for d in errors}
+        assert len(predicted) == 1
+        with pytest.raises(tuple(predicted)):
+            parse_program(text)
+
+    def test_every_registered_error_code_has_error_severity(self):
+        for code in PREDICTED_ERRORS:
+            assert severity_of(code) == "error"
