@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Commit-pipeline throughput and recovery-speed benchmark.
+
+Measures the durability tax and what group commit buys back::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+    PYTHONPATH=src python benchmarks/bench_durability.py --quick \
+        --journal-dir ci_journals --out bench_durability.json
+
+Legs (same workload, same rules, fresh database each):
+
+* ``no-journal``     — upper bound: PARK commits with no durability;
+* ``fsync-always``   — one fsync per auto-commit (the default, crash-safe
+  to the last acknowledged commit);
+* ``group-8`` / ``group-32`` — :meth:`ActiveDatabase.group_commit`
+  batching, one fsync per N commits (crash-safe to the last barrier);
+* ``recovery``       — replaying the fsync-always journal from the
+  checkpoint snapshot, reported in records/second.
+
+With ``--journal-dir`` the journals are left on disk so CI can run
+``repro journal verify`` over exactly what a real commit history
+produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+from time import perf_counter
+
+from repro.active import ActiveDatabase
+
+RULES = """
+@name(audit) +account(X) -> +audit(X).
+@name(close) -account(X), audit(X) -> -audit(X).
+"""
+
+
+def build_db(journal_path):
+    db = ActiveDatabase.from_text("account(seed).", journal=journal_path)
+    db.add_rules(RULES)
+    return db
+
+
+def run_commits(db, commits, group=None):
+    start = perf_counter()
+    if group:
+        with db.group_commit(group):
+            for index in range(commits):
+                db.insert("account", "acct_%d" % index)
+    else:
+        for index in range(commits):
+            db.insert("account", "acct_%d" % index)
+    return perf_counter() - start
+
+
+def bench(commits, workdir):
+    results = {}
+
+    seconds = run_commits(build_db(None), commits)
+    results["no-journal"] = {"seconds": seconds, "commits": commits}
+
+    always_journal = os.path.join(workdir, "commits.journal")
+    snapshot = os.path.join(workdir, "base.park")
+    db = build_db(always_journal)
+    db.checkpoint(snapshot)
+    seconds = run_commits(db, commits)
+    results["fsync-always"] = {"seconds": seconds, "commits": commits}
+
+    for group in (8, 32):
+        path = os.path.join(workdir, "group_%d.journal" % group)
+        seconds = run_commits(build_db(path), commits, group=group)
+        results["group-%d" % group] = {"seconds": seconds, "commits": commits}
+
+    start = perf_counter()
+    recovered = ActiveDatabase.recover(snapshot, always_journal)
+    seconds = perf_counter() - start
+    replayed = len(recovered.journal.records())
+    assert recovered.database == db.database, "recovery diverged"
+    results["recovery"] = {"seconds": seconds, "records": replayed}
+    return results
+
+
+def report(results, out):
+    base = results["fsync-always"]
+    out.write(
+        "%-14s %10s %14s %10s\n"
+        % ("leg", "seconds", "commits/s", "vs-always")
+    )
+    for name, entry in results.items():
+        if name == "recovery":
+            continue
+        rate = entry["commits"] / entry["seconds"] if entry["seconds"] else 0
+        speedup = base["seconds"] / entry["seconds"] if entry["seconds"] else 0
+        out.write(
+            "%-14s %10.4f %14.0f %9.2fx\n"
+            % (name, entry["seconds"], rate, speedup)
+        )
+    recovery = results["recovery"]
+    rate = (
+        recovery["records"] / recovery["seconds"] if recovery["seconds"] else 0
+    )
+    out.write(
+        "%-14s %10.4f %14.0f  (records/s, %d records)\n"
+        % ("recovery", recovery["seconds"], rate, recovery["records"])
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--commits", type=int, default=1000)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI sizing (200 commits)"
+    )
+    parser.add_argument("--out", default=None, help="also write JSON here")
+    parser.add_argument(
+        "--journal-dir", default=None,
+        help="keep the produced journals in this directory (for "
+        "'repro journal verify' smoke checks)",
+    )
+    args = parser.parse_args(argv)
+    commits = 200 if args.quick else args.commits
+
+    if args.journal_dir:
+        workdir = args.journal_dir
+        os.makedirs(workdir, exist_ok=True)
+        cleanup = False
+    else:
+        workdir = tempfile.mkdtemp(prefix="park-durability-bench-")
+        cleanup = True
+    try:
+        results = bench(commits, workdir)
+        report(results, sys.stdout)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump({"commits": commits, "legs": results}, handle, indent=2)
+                handle.write("\n")
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,19 @@ def main():
     assert recovered_other_rules.database == db.database
     print("recovery is independent of the current rule set: True")
 
+    # --- group commit: one fsync per batch of auto-commits ------------------------
+    before = len(db.journal)
+    with db.group_commit(4):
+        for name in ("dave", "erin", "frank"):
+            db.insert("account", name)
+            db.insert("balance_ok", name)
+    print()
+    print("group commit appended", len(db.journal) - before,
+          "records with batched fsyncs")
+    recovered_batch = ActiveDatabase.recover(snapshot, journal)
+    assert recovered_batch.database == db.database
+    print("recovery after group commit still matches: True")
+
     # --- checkpointing truncates the journal ------------------------------------------
     db.checkpoint(snapshot)
     print()

@@ -1,33 +1,61 @@
 """The commit journal: durable, replayable history of applied deltas.
 
-A :class:`Journal` appends one line per committed transaction — the
-transaction id, the requested update set ``U``, and the applied delta —
-in the rule language's own textual form.  Recovery is the classical
-recipe: restore the base snapshot, then :func:`replay` the journal's
-deltas in order.  Because PARK is deterministic, replaying *deltas*
-(rather than re-running rules) reproduces the exact state even if the
-rule set has changed since.
+A :class:`Journal` appends one framed record per committed transaction —
+the transaction id, the requested update set ``U``, and the applied
+delta.  Recovery is the classical recipe: restore the base snapshot,
+then replay the journal's deltas in order.  Because PARK is
+deterministic, replaying *deltas* (rather than re-running rules)
+reproduces the exact state even if the rule set has changed since.
 
-Format, one record per line (``|``-separated, atoms in parser syntax)::
+The journal is a write-ahead log: :meth:`ActiveDatabase._commit`
+appends (and fsyncs) the record *before* the delta touches the live
+database, so an acknowledged commit is always recoverable and a crash
+between the two loses nothing that was acknowledged.
 
-    tx=3|requested=-active(joe)|applied=+audit(joe, 4200);-active(joe)
+Record framing (v2), one record per line::
 
-Corrupt or truncated trailing lines (a crash mid-append) are tolerated:
-:func:`Journal.records` stops at the first unparsable line and reports
-it, mirroring how write-ahead logs recover.
+    v2|tx=3|len=57|crc=9f0c41aa|requested=-active(joe)|applied=+audit(joe)
+
+* field values are percent-escaped (``%`` ``|`` ``;`` newline CR), so
+  quoted string constants containing the structural bytes round-trip;
+* ``len`` is the byte length of the body (everything after the fourth
+  ``|``) — a truncated record, including one missing only its trailing
+  newline, can never masquerade as complete;
+* ``crc`` is the CRC-32 of the body bytes, catching bit rot and pages
+  that hit disk out of order.
+
+Files written by the v1 format (plain ``tx=...|requested=...|applied=...``
+lines, no framing) are still read transparently; new appends always
+write v2, so a pre-existing journal simply becomes mixed-version.
+
+Crash artifacts at the tail are tolerated *and repaired*:
+:meth:`records` stops at a torn final record and reports it in
+:attr:`corrupt_tail`; the first :meth:`append` (and
+:meth:`ActiveDatabase.recover`) physically truncates the torn bytes via
+:meth:`repair_tail` so the next record is never concatenated onto them.
+Corruption *before* intact records still raises — that indicates real
+damage, not a crash mid-append.
+
+Throughput: :meth:`group_commit` batches the fsyncs of many small
+auto-commit transactions into one barrier (see ``docs/durability.md``).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..errors import StorageError
 from ..lang.parser import parse_atom
 from ..lang.pretty import render_atom
 from ..lang.updates import Update, UpdateOp
+from ..obs import metrics as _obs
 from ..storage.delta import Delta
+from ..storage.fsio import REAL_FS
 
 
 @dataclass(frozen=True)
@@ -37,6 +65,7 @@ class JournalRecord:
     transaction_id: int
     requested: Tuple[Update, ...]
     delta: Delta
+    version: int = field(default=2, compare=False)
 
 
 def _render_update(update):
@@ -51,19 +80,102 @@ def _parse_update(text):
     return Update(op, parse_atom(text[1:]))
 
 
+# -- v2 framing ---------------------------------------------------------------------
+
+#: Escape order matters: ``%`` first on encode, last on decode.
+_ESCAPES = (
+    ("%", "%25"),
+    ("|", "%7C"),
+    (";", "%3B"),
+    ("\n", "%0A"),
+    ("\r", "%0D"),
+)
+
+
+def _escape_field(text):
+    for raw, encoded in _ESCAPES:
+        text = text.replace(raw, encoded)
+    return text
+
+
+def _unescape_field(text):
+    for raw, encoded in reversed(_ESCAPES):
+        text = text.replace(encoded, raw)
+    return text
+
+
 def _render_record(record):
-    requested = ";".join(_render_update(u) for u in record.requested)
-    applied = ";".join(_render_update(u) for u in record.delta.updates())
-    return "tx=%d|requested=%s|applied=%s" % (
+    requested = ";".join(
+        _escape_field(_render_update(u)) for u in record.requested
+    )
+    applied = ";".join(
+        _escape_field(_render_update(u)) for u in record.delta.updates()
+    )
+    body = "requested=%s|applied=%s" % (requested, applied)
+    body_bytes = body.encode("utf-8")
+    return "v2|tx=%d|len=%d|crc=%08x|%s" % (
         record.transaction_id,
-        requested,
-        applied,
+        len(body_bytes),
+        zlib.crc32(body_bytes) & 0xFFFFFFFF,
+        body,
     )
 
 
-def _parse_record(line):
+def _parse_field(part, name, line):
+    prefix = name + "="
+    if not part.startswith(prefix):
+        raise StorageError(
+            "journal line missing %r field: %r" % (name, line)
+        )
+    return part[len(prefix):]
+
+
+def _parse_record_v2(line):
+    parts = line.split("|", 4)
+    if len(parts) != 5:
+        raise StorageError("truncated v2 journal record %r" % line)
+    _, tx_part, len_part, crc_part, body = parts
+    try:
+        transaction_id = int(_parse_field(tx_part, "tx", line))
+        length = int(_parse_field(len_part, "len", line))
+        crc = int(_parse_field(crc_part, "crc", line), 16)
+    except ValueError as error:
+        raise StorageError("malformed journal line %r (%s)" % (line, error))
+    body_bytes = body.encode("utf-8")
+    if len(body_bytes) != length:
+        raise StorageError(
+            "torn v2 journal record: body is %d bytes, frame says %d"
+            % (len(body_bytes), length)
+        )
+    if zlib.crc32(body_bytes) & 0xFFFFFFFF != crc:
+        raise StorageError("v2 journal record fails its CRC: %r" % line)
+    fields = body.split("|")
+    if len(fields) != 2:
+        raise StorageError("malformed v2 journal body %r" % body)
+    try:
+        requested = tuple(
+            _parse_update(_unescape_field(u))
+            for u in _parse_field(fields[0], "requested", line).split(";")
+            if u
+        )
+        applied = Delta(
+            _parse_update(_unescape_field(u))
+            for u in _parse_field(fields[1], "applied", line).split(";")
+            if u
+        )
+    except (KeyError, ValueError) as error:
+        raise StorageError("malformed journal line %r (%s)" % (line, error))
+    return JournalRecord(
+        transaction_id=transaction_id,
+        requested=requested,
+        delta=applied,
+        version=2,
+    )
+
+
+def _parse_record_v1(line):
     fields = {}
-    for part in line.rstrip("\n").split("|"):
+    for part in line.split("|"):
         key, _, value = part.partition("=")
         if not _:
             raise StorageError("journal line missing '=': %r" % line)
@@ -79,59 +191,209 @@ def _parse_record(line):
     except (KeyError, ValueError) as error:
         raise StorageError("malformed journal line %r (%s)" % (line, error))
     return JournalRecord(
-        transaction_id=transaction_id, requested=requested, delta=applied
+        transaction_id=transaction_id,
+        requested=requested,
+        delta=applied,
+        version=1,
     )
 
 
-class Journal:
-    """An append-only commit journal backed by one file."""
+def _parse_record(line):
+    line = line.rstrip("\n").rstrip("\r")
+    if line.startswith("v2|"):
+        return _parse_record_v2(line)
+    return _parse_record_v1(line)
 
-    def __init__(self, path):
+
+class Journal:
+    """An append-only commit journal backed by one file.
+
+    All file access goes through *fs* (default: the production
+    :data:`~repro.storage.fsio.REAL_FS`), which the fault-injection
+    harness replaces to simulate crashes at byte granularity.
+
+    A journal has one writer: the record count is cached after the first
+    scan (``__len__`` would otherwise re-parse the whole file) and kept
+    current by :meth:`append`/:meth:`truncate`, so concurrent external
+    writers would stale it.
+    """
+
+    def __init__(self, path, fs=None):
         self.path = str(path)
         self.corrupt_tail: Optional[str] = None
+        self._fs = fs if fs is not None else REAL_FS
+        self._count: Optional[int] = None
+        self._good_offset = 0
+        self._needs_repair = False
+        self._scanned = False
+        self._tail_checked = False
+        self._group_size = 1
+        self._pending_syncs = 0
 
     # -- writing -------------------------------------------------------------------
 
     def append(self, transaction_id, requested, delta):
-        """Durably append one commit record."""
+        """Durably append one commit record (v2 framing).
+
+        The first append checks the tail and truncates a torn final
+        record left by a crash, so new records are never concatenated
+        onto torn bytes.  With :meth:`group_commit` active the fsync is
+        deferred until the group barrier.
+        """
         record = JournalRecord(
             transaction_id=transaction_id,
             requested=tuple(requested),
             delta=delta,
         )
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(_render_record(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        if not self._tail_checked:
+            self.repair_tail()
+        fs = self._fs
+        data = (_render_record(record) + "\n").encode("utf-8")
+        creating = not fs.exists(self.path)
+        sync_now = self._group_size <= 1
+        fs.append(self.path, data, sync=sync_now)
+        if creating:
+            # The file's existence must survive the crash too.
+            fs.sync_dir(os.path.dirname(os.path.abspath(self.path)))
+        m = _obs.ACTIVE
+        if m is not None:
+            m.inc("journal.appends")
+            m.inc("journal.bytes_written", len(data))
+            if creating:
+                m.inc("journal.dir_fsyncs")
+        if sync_now:
+            if m is not None:
+                m.inc("journal.fsyncs")
+        else:
+            self._pending_syncs += 1
+            if self._pending_syncs >= self._group_size:
+                self.sync()
+        if self._count is not None:
+            self._count += 1
+        self._good_offset += len(data)
         return record
 
+    def sync(self):
+        """fsync any appends deferred by :meth:`group_commit`."""
+        if self._pending_syncs and self._fs.exists(self.path):
+            self._fs.sync(self.path)
+            m = _obs.ACTIVE
+            if m is not None:
+                m.inc("journal.fsyncs")
+                m.inc("journal.group_flushes")
+        self._pending_syncs = 0
+
+    @contextmanager
+    def group_commit(self, size):
+        """Coalesce up to *size* appends into one fsync barrier.
+
+        Inside the block, appended records are written immediately but
+        fsynced only every *size* records (and once more on exit).  A
+        crash inside the block can lose at most the un-fsynced suffix —
+        recovery still yields a clean prefix of the committed history,
+        it just may be a slightly shorter one.
+        """
+        previous = self._group_size
+        self._group_size = max(1, int(size))
+        try:
+            yield self
+        finally:
+            self._group_size = previous
+            self.sync()
+
     # -- reading ---------------------------------------------------------------------
+
+    def _scan(self) -> List[JournalRecord]:
+        """Parse the file, recording tail state and byte offsets."""
+        self.corrupt_tail = None
+        self._needs_repair = False
+        self._good_offset = 0
+        self._scanned = True
+        if not self._fs.exists(self.path):
+            self._count = 0
+            return []
+        data = self._fs.read_bytes(self.path)
+        lines = data.splitlines(keepends=True)
+        # Trailing blank lines never count when deciding whether a bad
+        # line is "the tail": a torn record followed by blank line(s)
+        # must still be tolerated, not raised on.
+        last_content = -1
+        for index, raw in enumerate(lines):
+            if raw.strip():
+                last_content = index
+        records = []
+        offset = 0
+        for index, raw in enumerate(lines):
+            end = offset + len(raw)
+            if not raw.strip():
+                offset = end
+                continue
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                text = raw.decode("utf-8", "replace")
+                failure = StorageError(
+                    "journal line %d is not UTF-8" % (index + 1)
+                )
+            else:
+                failure = None
+            if failure is None:
+                try:
+                    record = _parse_record(text)
+                except StorageError as error:
+                    failure = error
+                else:
+                    if not raw.endswith(b"\n"):
+                        # A complete-looking record without its trailing
+                        # newline is still a torn append: the next record
+                        # would be concatenated onto this line.
+                        failure = StorageError(
+                            "final journal record has no trailing newline"
+                        )
+            if failure is not None:
+                if index >= last_content:
+                    self.corrupt_tail = text
+                    self._needs_repair = True
+                    break
+                raise failure
+            records.append(record)
+            self._good_offset = end
+            offset = end
+        if not self._needs_repair and data and not data.endswith(b"\n"):
+            # Trailing blank bytes without a newline: torn junk, repairable.
+            self._needs_repair = True
+        self._count = len(records)
+        return records
 
     def records(self) -> List[JournalRecord]:
         """All readable records, in append order.
 
-        A corrupt/truncated *final* line is skipped and remembered in
-        :attr:`corrupt_tail`; corruption before intact records raises
-        (that indicates real damage, not a crash mid-append).
+        A corrupt/truncated *final* record (even when followed only by
+        blank lines) is skipped and remembered in :attr:`corrupt_tail`;
+        corruption before intact records raises (that indicates real
+        damage, not a crash mid-append).
         """
+        return self._scan()
+
+    def repair_tail(self):
+        """Physically truncate a torn final record; returns True if repaired.
+
+        Idempotent.  Called automatically by the first :meth:`append`
+        and by :meth:`ActiveDatabase.recover`, so a crash artifact never
+        survives into the next append.
+        """
+        self._tail_checked = True
+        if not self._scanned:
+            self._scan()
+        if not self._needs_repair:
+            return False
+        self._fs.truncate(self.path, self._good_offset)
         self.corrupt_tail = None
-        if not os.path.exists(self.path):
-            return []
-        records = []
-        lines = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                records.append(_parse_record(line))
-            except StorageError:
-                if index == len(lines) - 1:
-                    self.corrupt_tail = line
-                    break
-                raise
-        return records
+        self._needs_repair = False
+        m = _obs.ACTIVE
+        if m is not None:
+            m.inc("journal.tail_repairs")
+        return True
 
     def replay(self, database, in_place=True):
         """Apply every journaled delta to *database*, in order."""
@@ -142,8 +404,24 @@ class Journal:
 
     def truncate(self):
         """Discard the journal (after a successful base-snapshot checkpoint)."""
-        if os.path.exists(self.path):
-            os.remove(self.path)
+        fs = self._fs
+        if fs.exists(self.path):
+            fs.remove(self.path)
+            fs.sync_dir(os.path.dirname(os.path.abspath(self.path)))
+        self.corrupt_tail = None
+        self._count = 0
+        self._good_offset = 0
+        self._needs_repair = False
+        self._scanned = True
+        self._tail_checked = True
+        self._pending_syncs = 0
 
     def __len__(self):
-        return len(self.records())
+        # The count is cached after the first scan and kept current by
+        # append/truncate; only the very first call pays a file parse.
+        if self._count is None:
+            self._scan()
+        return self._count
+
+    def __repr__(self):
+        return "Journal(%r)" % self.path

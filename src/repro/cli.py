@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``)::
     python -m repro query --db facts.park --query 'p(X), not q(X)'
     python -m repro explain --rules r.park --db d.park --target '+q'
     python -m repro profile examples/quickstart.park  # hot-spot report
+    python -m repro journal verify commits.journal    # WAL integrity check
 
 Policies: ``inertia`` (default), ``priority``, ``specificity``,
 ``random[:seed]``, ``insert``, ``delete``.  Exit status is 0 on success,
@@ -217,6 +218,23 @@ def _build_parser():
     check.add_argument(
         "--strict", action="store_true",
         help="exit 1 on warnings too (errors always exit 1)",
+    )
+
+    journal = commands.add_parser(
+        "journal", help="inspect, verify, or repair a commit journal"
+    )
+    journal.add_argument(
+        "action", choices=["inspect", "verify", "repair"],
+        help="inspect: list records; verify: integrity-check framing and "
+        "CRCs; repair: truncate a torn final record",
+    )
+    journal.add_argument("path", help="journal file written by ActiveDatabase")
+    journal.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    journal.add_argument(
+        "--strict", action="store_true",
+        help="verify: treat a (recoverable) torn tail as a failure too",
     )
 
     query = commands.add_parser("query", help="ad-hoc conjunctive query")
@@ -457,6 +475,110 @@ def _command_check(args, out):
     return report.exit_code(strict=args.strict)
 
 
+def _journal_report(journal):
+    """Scan *journal*; returns (records, damage_message_or_None)."""
+    from .errors import StorageError
+
+    try:
+        return journal.records(), None
+    except StorageError as error:
+        return [], str(error)
+
+
+def _command_journal(args, out):
+    from .active.journal import Journal
+    from .lang.pretty import render_update
+
+    journal = Journal(args.path)
+    if args.action == "repair":
+        records, damage = _journal_report(journal)
+        if damage is not None:
+            sys.stderr.write(
+                "error: %s\n"
+                "       (corruption before intact records is not a torn "
+                "tail; repair refuses to guess)\n" % damage
+            )
+            return 1
+        repaired = journal.repair_tail()
+        out.write(
+            "repaired: torn tail truncated, %d records kept\n" % len(records)
+            if repaired
+            else "clean: nothing to repair (%d records)\n" % len(records)
+        )
+        return 0
+
+    records, damage = _journal_report(journal)
+    tail = (
+        "damaged"
+        if damage is not None
+        else ("torn" if journal.corrupt_tail is not None else "clean")
+    )
+    if args.json:
+        report = {
+            "path": args.path,
+            "records": [
+                {
+                    "tx": record.transaction_id,
+                    "version": record.version,
+                    "requested": [render_update(u) for u in record.requested],
+                    "inserts": len(record.delta.inserts),
+                    "deletes": len(record.delta.deletes),
+                }
+                for record in records
+            ],
+            "tail": tail,
+        }
+        if damage is not None:
+            report["damage"] = damage
+        json.dump(report, out, indent=2)
+        out.write("\n")
+    elif args.action == "inspect":
+        out.write("journal: %s\n" % args.path)
+        if records:
+            out.write(
+                "  %6s  %4s  %10s  %8s  %8s\n"
+                % ("tx", "ver", "requested", "inserts", "deletes")
+            )
+            for record in records:
+                out.write(
+                    "  %6d  v%-3d  %10d  %8d  %8d\n"
+                    % (
+                        record.transaction_id,
+                        record.version,
+                        len(record.requested),
+                        len(record.delta.inserts),
+                        len(record.delta.deletes),
+                    )
+                )
+        out.write("  %d records, tail: %s\n" % (len(records), tail))
+        if journal.corrupt_tail is not None:
+            out.write("  torn tail: %r\n" % journal.corrupt_tail.strip())
+    if damage is not None:
+        sys.stderr.write("error: %s\n" % damage)
+        return 1
+    if args.action == "verify":
+        versions = {}
+        for record in records:
+            versions[record.version] = versions.get(record.version, 0) + 1
+        breakdown = ", ".join(
+            "%d v%d" % (count, version)
+            for version, count in sorted(versions.items())
+        )
+        if not args.json:
+            out.write(
+                "ok: %d records (%s), tail %s\n"
+                % (len(records), breakdown or "empty", tail)
+            )
+        if journal.corrupt_tail is not None:
+            sys.stderr.write(
+                "warning: torn final record (recoverable; "
+                "'repro journal repair' truncates it)\n"
+            )
+            if args.strict:
+                return 1
+    return 0
+
+
 def _command_query(args, out):
     from .engine.query import query_rows
 
@@ -496,6 +618,7 @@ def main(argv=None, out=None):
         "run": _command_run,
         "profile": _command_profile,
         "check": _command_check,
+        "journal": _command_journal,
         "query": _command_query,
         "explain": _command_explain,
     }

@@ -6,6 +6,7 @@ Token kinds::
     VAR       variable:               X, Salary, _tmp
     INT       integer literal:        42, -7 is MINUS INT
     STRING    quoted constant:        "New York", 'a b'
+              escapes: \" \' \\ \n \r \t (raw newlines are rejected)
     LPAREN RPAREN COMMA PERIOD ARROW PLUS MINUS AT NOT
     EOF
 
@@ -139,6 +140,8 @@ class Lexer:
 
         self._error("unexpected character %r" % char)
 
+    _STRING_ESCAPES = {"n": "\n", "r": "\r", "t": "\t"}
+
     def _string(self, quote, line, column):
         self._advance()  # opening quote
         chars = []
@@ -149,10 +152,16 @@ class Lexer:
             if char == quote:
                 self._advance()
                 return Token(STRING, "".join(chars), line, column)
-            if char == "\\" and self._peek(1) in (quote, "\\"):
-                chars.append(self._peek(1))
-                self._advance(2)
-                continue
+            if char == "\\":
+                escaped = self._peek(1)
+                if escaped in (quote, "\\"):
+                    chars.append(escaped)
+                    self._advance(2)
+                    continue
+                if escaped in self._STRING_ESCAPES:
+                    chars.append(self._STRING_ESCAPES[escaped])
+                    self._advance(2)
+                    continue
             chars.append(char)
             self._advance()
 

@@ -38,7 +38,15 @@ def render_term(term):
             return str(term.value)
         if _is_bare_identifier(term.value):
             return term.value
-        escaped = term.value.replace("\\", "\\\\").replace('"', '\\"')
+        # Control characters are escaped so every rendered fact stays on
+        # one physical line — snapshots and journal records depend on it.
+        escaped = (
+            term.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
         return '"%s"' % escaped
     raise TypeError("not a term: %r" % (term,))
 

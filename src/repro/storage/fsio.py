@@ -1,0 +1,97 @@
+"""Durable file primitives: the file layer behind the commit journal.
+
+The journal never touches ``open``/``os`` directly; every operation goes
+through an object with the :class:`RealFS` interface.  In production that
+object is the module singleton :data:`REAL_FS` (thin wrappers over the
+standard library), and the fault-injection harness
+(:mod:`repro.testing.faults`) substitutes a shim that tears writes at
+byte granularity and drops un-fsynced bytes — which is how the crash
+safety of the commit pipeline is actually proven rather than assumed.
+
+Two primitives here are easy to forget and load-bearing for crash
+safety:
+
+* ``append(..., sync=True)`` fsyncs the *file* so the record's bytes
+  survive power loss, and
+* ``sync_dir`` fsyncs the *directory* so the file's very existence (or
+  removal, after a checkpoint truncation) survives it too.  POSIX makes
+  no durability promise about directory entries without it.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class RealFS:
+    """The production file layer: thin wrappers over ``os`` and ``open``.
+
+    Methods are path-based rather than handle-based so a shim can account
+    for every byte without replicating Python's file-object surface.
+    """
+
+    def exists(self, path):
+        return os.path.exists(path)
+
+    def size(self, path):
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
+    def read_bytes(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def append(self, path, data, sync=True):
+        """Append *data* (bytes); with ``sync`` the bytes are made durable."""
+        with open(path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+
+    def sync(self, path):
+        """fsync *path*'s data — flushes every write, whatever handle made it."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def truncate(self, path, size):
+        """Truncate *path* to *size* bytes, durably."""
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def remove(self, path):
+        if os.path.exists(path):
+            os.remove(path)
+
+    def sync_dir(self, path):
+        """fsync directory *path* so created/removed entries survive a crash.
+
+        Best-effort: platforms that cannot open a directory (Windows)
+        silently skip — there is no portable equivalent there.
+        """
+        try:
+            fd = os.open(path or ".", os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+#: The default, shared production file layer.
+REAL_FS = RealFS()
+
+
+def fsync_dir_of(path):
+    """fsync the directory containing *path* (see :meth:`RealFS.sync_dir`)."""
+    REAL_FS.sync_dir(os.path.dirname(os.path.abspath(path)))

@@ -14,6 +14,7 @@ from ..lang.parser import parse_database, parse_program
 from ..lang.pretty import render_database, render_program
 from ..lang.program import Program
 from .database import Database
+from .fsio import fsync_dir_of
 
 
 def dump_database(database, path):
@@ -43,10 +44,16 @@ def load_program(path):
 
 
 def _atomic_write(path, text):
-    """Write-then-rename so readers never observe a torn file."""
+    """Write-then-rename so readers never observe a torn file.
+
+    The rename is followed by a directory fsync: without it the new
+    directory entry itself may not survive a crash, leaving the old file
+    (or on first write, no file) behind the just-"persisted" snapshot.
+    """
     temporary = "%s.tmp.%d" % (path, os.getpid())
     with open(temporary, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temporary, path)
+    fsync_dir_of(path)

@@ -1,0 +1,148 @@
+"""Fault injection for the durability layer.
+
+The commit journal routes every file operation through a
+:class:`~repro.storage.fsio.RealFS`-shaped object; :class:`FaultyFS` is
+the same interface with a crash budget.  It can
+
+* **tear a write at byte granularity** — ``crash_after_bytes=k`` lets
+  exactly ``k`` bytes reach the file across all appends, then raises
+  :class:`SimulatedCrash` mid-write, leaving the torn prefix on disk
+  exactly as a power cut mid-``write(2)`` would;
+* **crash at an fsync barrier** — ``crash_after_syncs=n`` allows ``n``
+  successful fsyncs, then crashes *before* the next one completes; and
+* **drop un-fsynced bytes** — ``drop_unsynced=True`` models the other
+  end of the crash envelope: at crash time every byte written since the
+  last successful fsync is discarded (truncated back to the durable
+  size), the way a volatile page cache forgets.
+
+Reality after a real crash lies anywhere between those two extremes:
+some prefix of the un-fsynced bytes survives.  The property suite in
+``tests/faults/`` therefore also enumerates *every byte prefix* of a
+recorded journal stream (:func:`crash_points`) and asserts that recovery
+from each one yields exactly a prefix of the committed states — the
+strongest form of the claim, independent of which bytes happened to
+survive.
+
+A crashed :class:`FaultyFS` refuses all further operations: code that
+swallows the crash and keeps writing is itself a durability bug, and
+this makes it loud.
+"""
+
+from __future__ import annotations
+
+from ..storage.fsio import RealFS
+
+
+class SimulatedCrash(Exception):
+    """Raised by :class:`FaultyFS` at the injected crash point."""
+
+
+class FaultyFS(RealFS):
+    """A :class:`RealFS` with a byte-granular crash budget.
+
+    Counters (``bytes_written``, ``syncs``, ``dir_syncs``) are always
+    maintained, so the shim doubles as an fsync/byte accountant for
+    group-commit tests even when no crash is configured.
+    """
+
+    def __init__(
+        self,
+        crash_after_bytes=None,
+        crash_after_syncs=None,
+        drop_unsynced=False,
+    ):
+        self.crash_after_bytes = crash_after_bytes
+        self.crash_after_syncs = crash_after_syncs
+        self.drop_unsynced = drop_unsynced
+        self.bytes_written = 0
+        self.syncs = 0
+        self.dir_syncs = 0
+        self.crashed = False
+        self._durable_sizes = {}
+
+    # -- crash machinery -----------------------------------------------------------
+
+    def _require_alive(self):
+        if self.crashed:
+            raise SimulatedCrash("filesystem already crashed")
+
+    def _crash(self, path):
+        """Trigger the crash: optionally forget un-fsynced bytes, then raise."""
+        self.crashed = True
+        if self.drop_unsynced and super().exists(path):
+            durable = self._durable_sizes.get(path, 0)
+            if durable < super().size(path):
+                super().truncate(path, durable)
+        raise SimulatedCrash(
+            "injected crash (bytes_written=%d, syncs=%d)"
+            % (self.bytes_written, self.syncs)
+        )
+
+    # -- intercepted operations ----------------------------------------------------
+
+    def append(self, path, data, sync=True):
+        self._require_alive()
+        if self.crash_after_bytes is not None:
+            budget = self.crash_after_bytes - self.bytes_written
+            if budget < len(data):
+                if budget > 0:
+                    super().append(path, data[:budget], sync=False)
+                    self.bytes_written += budget
+                self._crash(path)
+        super().append(path, data, sync=False)
+        self.bytes_written += len(data)
+        if sync:
+            self.sync(path)
+
+    def sync(self, path):
+        self._require_alive()
+        if (
+            self.crash_after_syncs is not None
+            and self.syncs >= self.crash_after_syncs
+        ):
+            self._crash(path)
+        super().sync(path)
+        self.syncs += 1
+        self._durable_sizes[path] = super().size(path)
+
+    def sync_dir(self, path):
+        self._require_alive()
+        super().sync_dir(path)
+        self.dir_syncs += 1
+
+    def truncate(self, path, size):
+        self._require_alive()
+        super().truncate(path, size)
+        self._durable_sizes[path] = size
+
+    def remove(self, path):
+        self._require_alive()
+        super().remove(path)
+        self._durable_sizes.pop(path, None)
+
+
+def record_boundaries(stream):
+    """Byte offsets just past each newline in *stream* (bytes).
+
+    For a journal stream these are exactly the offsets at which a crash
+    leaves a whole number of records behind; every other offset tears the
+    final record.
+    """
+    boundaries = []
+    position = 0
+    while True:
+        newline = stream.find(b"\n", position)
+        if newline == -1:
+            return boundaries
+        boundaries.append(newline + 1)
+        position = newline + 1
+
+
+def crash_points(stream):
+    """Every byte-granular crash offset for *stream*: ``0 .. len(stream)``.
+
+    Offset ``k`` models a crash after exactly the first ``k`` bytes of
+    the journal survived — covering torn writes, lost page-cache tails,
+    and every combination in between.
+    """
+    return range(len(stream) + 1)

@@ -1,0 +1,79 @@
+"""Shared history builder for the fault-injection suite.
+
+One deterministic "nasty" commit history is reused by several tests:
+random inserts/deletes over constants that exercise the journal framing
+(``|``, ``;``, newlines, ``%``, quotes, backslashes) plus active rules
+that cascade, so every record carries a delta that differs from its
+requested update set.
+"""
+
+import random
+
+import pytest
+
+from repro.active import ActiveDatabase
+
+RULES = """
+@name(audit) +p(X) -> +audit(X).
+@name(cascade) +q(X), p(X) -> +both(X).
+@name(retract) -p(X), audit(X) -> -audit(X).
+"""
+
+BASE_FACTS = 'p(seed). q("two words").'
+
+#: Constants chosen to break naive ``|``/``;``-joined line formats.
+NASTY_VALUES = (
+    "plain",
+    "two words",
+    "a|b",
+    "x;y",
+    "line\nbreak",
+    "100%",
+    "tab\there",
+    'quo"te',
+    "back\\slash",
+    "semi;colon|pipe",
+)
+
+
+def build_history(workdir, seed=20260805, transactions=24, group=None):
+    """Commit a random history; returns (snapshot, journal, states, tx_ids).
+
+    ``states[k]`` is the database after ``k`` commits (``states[0]`` is
+    the checkpointed base), so a recovery claiming to be "a prefix of the
+    committed history" must equal exactly one of them.
+    """
+    snapshot = str(workdir / "base.park")
+    journal_path = str(workdir / "commits.journal")
+    db = ActiveDatabase.from_text(BASE_FACTS, journal=journal_path)
+    db.add_rules(RULES)
+    db.checkpoint(snapshot)
+    states = [db.database.copy()]
+    tx_ids = []
+    rng = random.Random(seed)
+
+    def one_commit(index):
+        with db.transaction() as tx:
+            for _ in range(rng.randint(1, 3)):
+                value = "%s_%d" % (rng.choice(NASTY_VALUES), rng.randint(0, 4))
+                predicate = rng.choice(("p", "q"))
+                if rng.random() < 0.7:
+                    tx.insert(predicate, value)
+                else:
+                    tx.delete(predicate, value)
+        states.append(db.database.copy())
+        tx_ids.append(tx.transaction_id)
+
+    if group:
+        with db.group_commit(group):
+            for index in range(transactions):
+                one_commit(index)
+    else:
+        for index in range(transactions):
+            one_commit(index)
+    return snapshot, journal_path, states, tx_ids
+
+
+@pytest.fixture
+def history(tmp_path):
+    return build_history(tmp_path)

@@ -1,0 +1,94 @@
+"""Unit tests for the fault-injection file shim itself."""
+
+import pytest
+
+from repro.testing.faults import (
+    FaultyFS,
+    SimulatedCrash,
+    crash_points,
+    record_boundaries,
+)
+
+
+class TestByteBudget:
+    def test_writes_exactly_the_budget_then_crashes(self, tmp_path):
+        path = str(tmp_path / "f")
+        fs = FaultyFS(crash_after_bytes=4)
+        with pytest.raises(SimulatedCrash):
+            fs.append(path, b"0123456789")
+        assert open(path, "rb").read() == b"0123"
+        assert fs.bytes_written == 4
+        assert fs.crashed
+
+    def test_budget_spans_multiple_appends(self, tmp_path):
+        path = str(tmp_path / "f")
+        fs = FaultyFS(crash_after_bytes=6)
+        fs.append(path, b"abcd")  # 4 bytes, under budget
+        with pytest.raises(SimulatedCrash):
+            fs.append(path, b"efgh")  # 2 more allowed, then crash
+        assert open(path, "rb").read() == b"abcdef"
+
+    def test_zero_remaining_budget_tears_before_any_byte(self, tmp_path):
+        path = str(tmp_path / "f")
+        fs = FaultyFS(crash_after_bytes=0)
+        with pytest.raises(SimulatedCrash):
+            fs.append(path, b"abcd")
+        assert not (tmp_path / "f").exists()
+
+    def test_crashed_fs_refuses_everything(self, tmp_path):
+        path = str(tmp_path / "f")
+        fs = FaultyFS(crash_after_bytes=0)
+        with pytest.raises(SimulatedCrash):
+            fs.append(path, b"x")
+        for operation in (
+            lambda: fs.append(path, b"y"),
+            lambda: fs.sync(path),
+            lambda: fs.sync_dir(str(tmp_path)),
+            lambda: fs.truncate(path, 0),
+            lambda: fs.remove(path),
+        ):
+            with pytest.raises(SimulatedCrash):
+                operation()
+
+
+class TestSyncCrashes:
+    def test_crash_at_sync_barrier_keeps_written_bytes_by_default(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "f")
+        fs = FaultyFS(crash_after_syncs=0)
+        with pytest.raises(SimulatedCrash):
+            fs.append(path, b"abcd", sync=True)
+        # written but never fsynced; optimistic model keeps the bytes
+        assert open(path, "rb").read() == b"abcd"
+
+    def test_drop_unsynced_truncates_to_durable_size(self, tmp_path):
+        path = str(tmp_path / "f")
+        fs = FaultyFS(crash_after_syncs=1, drop_unsynced=True)
+        fs.append(path, b"abcd", sync=True)  # durable
+        fs.append(path, b"efgh", sync=False)  # volatile
+        with pytest.raises(SimulatedCrash):
+            fs.sync(path)
+        assert open(path, "rb").read() == b"abcd"
+
+    def test_counters(self, tmp_path):
+        path = str(tmp_path / "f")
+        fs = FaultyFS()
+        fs.append(path, b"ab", sync=True)
+        fs.append(path, b"cd", sync=False)
+        fs.sync(path)
+        fs.sync_dir(str(tmp_path))
+        assert fs.bytes_written == 4
+        assert fs.syncs == 2
+        assert fs.dir_syncs == 1
+        assert not fs.crashed
+
+
+class TestStreamHelpers:
+    def test_record_boundaries(self):
+        assert record_boundaries(b"aa\nbbb\n") == [3, 7]
+        assert record_boundaries(b"aa\nbb") == [3]
+        assert record_boundaries(b"") == []
+
+    def test_crash_points_cover_every_byte(self):
+        assert list(crash_points(b"abc")) == [0, 1, 2, 3]

@@ -1,0 +1,151 @@
+"""Driving the real commit pipeline through the faulty file layer.
+
+Where ``test_crash_points`` enumerates prefixes of a recorded stream,
+these tests crash the *live* write path: the journal's own appends and
+fsyncs run against :class:`FaultyFS`, so the write-ahead ordering, the
+group-commit barriers, and the torn-tail repair are exercised exactly as
+a real crash would hit them.
+"""
+
+import pytest
+
+from repro.active import ActiveDatabase
+from repro.active.journal import Journal
+from repro.testing.faults import FaultyFS, SimulatedCrash, record_boundaries
+
+from .conftest import BASE_FACTS, RULES
+
+
+def _journaled_db(journal_path, fs):
+    db = ActiveDatabase.from_text(
+        BASE_FACTS, journal=Journal(journal_path, fs=fs)
+    )
+    db.add_rules(RULES)
+    return db
+
+
+def _commit_until_crash(db, count=30, group=None):
+    """Auto-commit up to *count* inserts; returns (states, crashed)."""
+    states = [db.database.copy()]
+    try:
+        if group:
+            with db.group_commit(group):
+                for index in range(count):
+                    db.insert("p", "value_%d" % index)
+                    states.append(db.database.copy())
+        else:
+            for index in range(count):
+                db.insert("p", "value_%d" % index)
+                states.append(db.database.copy())
+    except SimulatedCrash:
+        return states, True
+    return states, False
+
+
+class TestWriteAheadOrdering:
+    def test_torn_append_leaves_live_database_unchanged(self, tmp_path):
+        """The WAL ordering fix, observed through a real torn write."""
+        journal_path = str(tmp_path / "commits.journal")
+        snapshot = str(tmp_path / "base.park")
+        fs = FaultyFS(crash_after_bytes=150)  # tears inside some record
+        db = _journaled_db(journal_path, fs)
+        db.checkpoint(snapshot)
+        states, crashed = _commit_until_crash(db)
+        assert crashed
+        # journal-before-apply: the commit whose append tore must not
+        # have touched the live database.
+        assert db.database == states[-1]
+        # ...and recovery yields exactly the fsync-acknowledged prefix.
+        recovered = ActiveDatabase.recover(snapshot, journal_path)
+        survivors = len(Journal(journal_path).records())
+        assert recovered.database == states[survivors]
+
+    def test_every_live_crash_point_recovers_a_prefix(self, tmp_path):
+        """End-to-end byte enumeration over a short live history."""
+        golden_dir = tmp_path / "golden"
+        golden_dir.mkdir()
+        golden_journal = str(golden_dir / "commits.journal")
+        golden_snapshot = str(golden_dir / "base.park")
+        golden = _journaled_db(golden_journal, FaultyFS())
+        golden.checkpoint(golden_snapshot)
+        golden_states, crashed = _commit_until_crash(golden, count=6)
+        assert not crashed
+        with open(golden_journal, "rb") as handle:
+            total = len(handle.read())
+        for cut in range(total + 1):
+            workdir = tmp_path / ("cut_%d" % cut)
+            workdir.mkdir()
+            journal_path = str(workdir / "commits.journal")
+            snapshot = str(workdir / "base.park")
+            db = _journaled_db(journal_path, FaultyFS(crash_after_bytes=cut))
+            db.checkpoint(snapshot)
+            states, crashed = _commit_until_crash(db, count=6)
+            assert crashed == (cut < total)
+            recovered = ActiveDatabase.recover(snapshot, journal_path)
+            survivors = len(recovered.journal.records())
+            assert recovered.database == states[survivors], (
+                "live crash after %d journal bytes diverged" % cut
+            )
+
+
+class TestGroupCommit:
+    def test_fsyncs_are_coalesced(self, tmp_path):
+        always = FaultyFS()
+        db = _journaled_db(str(tmp_path / "always.journal"), always)
+        _commit_until_crash(db, count=8)
+        assert always.syncs == 8
+
+        grouped = FaultyFS()
+        db = _journaled_db(str(tmp_path / "grouped.journal"), grouped)
+        _commit_until_crash(db, count=8, group=4)
+        assert grouped.syncs == 2
+        # same records hit the file either way
+        assert len(Journal(str(tmp_path / "grouped.journal")).records()) == 8
+
+    def test_group_exit_flushes_a_partial_batch(self, tmp_path):
+        fs = FaultyFS()
+        db = _journaled_db(str(tmp_path / "commits.journal"), fs)
+        _commit_until_crash(db, count=5, group=4)
+        assert fs.syncs == 2  # one full barrier + the exit flush
+
+    def test_crash_with_dropped_unsynced_bytes_recovers_durable_prefix(
+        self, tmp_path
+    ):
+        """The pessimistic crash model: volatile bytes vanish entirely."""
+        journal_path = str(tmp_path / "commits.journal")
+        snapshot = str(tmp_path / "base.park")
+        fs = FaultyFS(crash_after_syncs=2, drop_unsynced=True)
+        db = _journaled_db(journal_path, fs)
+        db.checkpoint(snapshot)
+        states, crashed = _commit_until_crash(db, count=12, group=4)
+        assert crashed
+        recovered = ActiveDatabase.recover(snapshot, journal_path)
+        survivors = len(recovered.journal.records())
+        # the durable prefix is whole records (fsync barriers sit on
+        # record boundaries), and is what recovery must reproduce
+        assert survivors == 8  # two barriers × group of 4
+        assert recovered.database == states[survivors]
+        with open(journal_path, "rb") as handle:
+            stream = handle.read()
+        assert len(record_boundaries(stream)) == survivors
+
+
+class TestAppendFailureRegression:
+    def test_oserror_from_append_leaves_database_and_log_unchanged(
+        self, tmp_path
+    ):
+        """Satellite regression: a failing append must abort the commit."""
+
+        class ExplodingJournal(Journal):
+            def append(self, transaction_id, requested, delta):
+                raise OSError(28, "No space left on device")
+
+        db = ActiveDatabase.from_text(
+            BASE_FACTS, journal=ExplodingJournal(str(tmp_path / "j"))
+        )
+        db.add_rules(RULES)
+        before = db.database.copy()
+        with pytest.raises(OSError):
+            db.insert("p", "doomed")
+        assert db.database == before
+        assert len(db.log) == 0

@@ -58,6 +58,16 @@ class TestStrings:
         assert lex.tokenize(r'"say \"hi\""')[0].text == 'say "hi"'
         assert lex.tokenize(r'"back\\slash"')[0].text == "back\\slash"
 
+    def test_control_escapes(self):
+        assert lex.tokenize(r'"a\nb"')[0].text == "a\nb"
+        assert lex.tokenize(r'"a\rb"')[0].text == "a\rb"
+        assert lex.tokenize(r'"a\tb"')[0].text == "a\tb"
+
+    def test_unknown_escape_stays_literal(self):
+        # only \" \' \\ \n \r \t are escapes; anything else keeps the
+        # backslash, matching what the pretty-printer has always emitted
+        assert lex.tokenize(r'"a\qb"')[0].text == "a\\qb"
+
     def test_unterminated_raises(self):
         with pytest.raises(ParseError, match="unterminated"):
             lex.tokenize('"oops')

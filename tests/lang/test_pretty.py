@@ -47,6 +47,22 @@ class TestTerms:
     def test_escapes(self):
         assert render_term(Constant('say "hi"')) == '"say \\"hi\\""'
 
+    def test_control_characters_render_escaped(self):
+        # rendered text must never contain a raw newline — snapshots and
+        # journal records are one-record-per-line formats
+        assert render_term(Constant("a\nb")) == '"a\\nb"'
+        assert render_term(Constant("a\rb")) == '"a\\rb"'
+        assert render_term(Constant("a\tb")) == '"a\\tb"'
+
+    def test_control_characters_roundtrip(self):
+        from repro.lang.parser import parse_atom
+        from repro.lang.atoms import Atom
+
+        original = Atom("wrap", (Constant("a\nb\r\tc\\d\"e"),))
+        from repro.lang.pretty import render_atom
+
+        assert parse_atom(render_atom(original)) == original
+
 
 class TestStructures:
     def test_atom(self):

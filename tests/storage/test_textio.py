@@ -39,6 +39,35 @@ class TestDatabaseIO:
         assert list(tmp_path.iterdir()) == [path]  # no temp litter
 
 
+class TestControlCharacterSafety:
+    """Snapshots must stay one-fact-per-line for any legal constant."""
+
+    NASTY = [
+        "line\nbreak",
+        "carriage\rreturn",
+        "tab\tstop",
+        "trailing newline\n",
+        "\n",
+        "mixed\n\r\t\\\"all\" of it",
+    ]
+
+    @pytest.mark.parametrize("value", NASTY)
+    def test_roundtrip(self, tmp_path, value):
+        db = Database([atom("note", value), atom("anchor")])
+        path = tmp_path / "db.park"
+        dump_database(db, str(path))
+        assert load_database(str(path)) == db
+
+    def test_dump_is_newline_safe(self, tmp_path):
+        db = Database([atom("note", "a\nb"), atom("other", "c\rd")])
+        path = tmp_path / "db.park"
+        dump_database(db, str(path))
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 2  # one physical line per fact
+        assert all(line.endswith(".") for line in lines)
+
+
 class TestProgramIO:
     def test_roundtrip_with_annotations(self, tmp_path):
         program = parse_program(

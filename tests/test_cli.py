@@ -317,3 +317,87 @@ class TestProfile:
         assert code == 0
         assert "evaluation=incremental" in output
         assert "matcher=interpreted" in output
+
+
+class TestJournalCommand:
+    @pytest.fixture
+    def journal_file(self, tmp_path):
+        from repro.active import ActiveDatabase
+
+        path = tmp_path / "commits.journal"
+        db = ActiveDatabase.from_text("p(a).", journal=str(path))
+        db.insert("note", "pipe|and;semi")
+        db.insert("q", "b")
+        return str(path)
+
+    def test_inspect_lists_records(self, journal_file):
+        code, output = run_cli("journal", "inspect", journal_file)
+        assert code == 0
+        assert "2 records, tail: clean" in output
+
+    def test_verify_clean(self, journal_file):
+        code, output = run_cli("journal", "verify", journal_file)
+        assert code == 0
+        assert "ok: 2 records (2 v2), tail clean" in output
+
+    def test_verify_missing_file_is_empty(self, tmp_path):
+        code, output = run_cli(
+            "journal", "verify", str(tmp_path / "absent.journal")
+        )
+        assert code == 0
+        assert "0 records" in output
+
+    def test_verify_torn_tail_warns_but_passes(self, journal_file):
+        with open(journal_file, "a") as handle:
+            handle.write("v2|tx=3|len=")
+        code, output = run_cli("journal", "verify", journal_file)
+        assert code == 0
+        assert "tail torn" in output
+
+    def test_verify_strict_fails_on_torn_tail(self, journal_file):
+        with open(journal_file, "a") as handle:
+            handle.write("v2|tx=3|len=")
+        code, _ = run_cli("journal", "verify", "--strict", journal_file)
+        assert code == 1
+
+    def test_verify_fails_on_mid_journal_corruption(self, journal_file):
+        with open(journal_file, "r") as handle:
+            lines = handle.readlines()
+        lines.insert(1, "garbage\n")
+        with open(journal_file, "w") as handle:
+            handle.writelines(lines)
+        code, _ = run_cli("journal", "verify", journal_file)
+        assert code == 1
+
+    def test_repair_truncates_torn_tail(self, journal_file):
+        import os
+
+        clean_size = os.path.getsize(journal_file)
+        with open(journal_file, "a") as handle:
+            handle.write("v2|tx=3|len=")
+        code, output = run_cli("journal", "repair", journal_file)
+        assert code == 0
+        assert "repaired" in output
+        assert os.path.getsize(journal_file) == clean_size
+        code, output = run_cli("journal", "repair", journal_file)
+        assert code == 0
+        assert "clean" in output
+
+    def test_repair_refuses_mid_journal_corruption(self, journal_file):
+        with open(journal_file, "r") as handle:
+            lines = handle.readlines()
+        lines.insert(1, "garbage\n")
+        with open(journal_file, "w") as handle:
+            handle.writelines(lines)
+        code, _ = run_cli("journal", "repair", journal_file)
+        assert code == 1
+
+    def test_inspect_json(self, journal_file):
+        import json
+
+        code, output = run_cli("journal", "inspect", "--json", journal_file)
+        assert code == 0
+        report = json.loads(output)
+        assert report["tail"] == "clean"
+        assert [r["tx"] for r in report["records"]] == [1, 2]
+        assert all(r["version"] == 2 for r in report["records"])
