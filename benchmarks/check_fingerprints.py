@@ -14,12 +14,20 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_fingerprints.py BENCH_smoke.json [BENCH_park.json]
 
+The check also requires the candidate to carry the storage leg — both
+relation layouts timed for every workload — so a runner regression that
+silently drops the columnar-vs-row comparison fails CI instead of going
+unnoticed (the runner itself asserts the layouts' fingerprints agree at
+measurement time).
+
 Exit status 0 when every workload shared by the two reports has an
 identical fingerprint, 1 otherwise (or if either report lacks telemetry).
 """
 
 import json
 import sys
+
+STORAGES = ("columnar", "row")
 
 
 def _fingerprints(report):
@@ -32,11 +40,32 @@ def _fingerprints(report):
     return out
 
 
+def _check_storage_leg(report, path):
+    """Every workload must carry both layouts' timings and the speedups."""
+    failures = 0
+    for name, entry in sorted(report.get("workloads", {}).items()):
+        storage = entry.get("storage") or {}
+        missing = [
+            layout
+            for layout in STORAGES
+            if not storage.get(layout, {}).get("compiled", {}).get("wall_time_s")
+        ]
+        if missing or "columnar_speedup" not in storage:
+            failures += 1
+            print(
+                "FAIL %-12s storage leg incomplete in %s (missing: %s)"
+                % (name, path, ", ".join(missing) or "columnar_speedup")
+            )
+    return failures
+
+
 def check(candidate_path, baseline_path="BENCH_park.json"):
     with open(candidate_path) as handle:
-        candidate = _fingerprints(json.load(handle))
+        candidate_report = json.load(handle)
+    candidate = _fingerprints(candidate_report)
     with open(baseline_path) as handle:
         baseline = _fingerprints(json.load(handle))
+    storage_failures = _check_storage_leg(candidate_report, candidate_path)
     if not candidate:
         print("error: %s carries no telemetry fingerprints "
               "(run with --metrics)" % candidate_path)
@@ -63,9 +92,9 @@ def check(candidate_path, baseline_path="BENCH_park.json"):
             old = baseline[name].get(key)
             if new != old:
                 print("       %-28s baseline=%r now=%r" % (key, old, new))
+    failures += storage_failures
     if failures:
-        print("%d/%d workloads drifted vs %s"
-              % (failures, len(shared), baseline_path))
+        print("%d checks failed vs %s" % (failures, baseline_path))
         return 1
     print("all %d shared workloads match %s" % (len(shared), baseline_path))
     return 0

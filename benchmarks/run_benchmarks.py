@@ -7,11 +7,13 @@ three Γ evaluation strategies and **both matcher backends** (the slot
 backtracker), and writes ``BENCH_park.json`` with wall time, round
 counts, and firings/sec per (workload, strategy, backend), plus two
 derived speedups: each delta strategy over naive (on the default
-compiled backend) and compiled over interpreted per strategy.  While
-timing it also asserts that every (strategy, backend) combination stays
-bit-identical (atoms, blocked set, rounds, restarts, firings), so a
-regression shows up as a hard failure rather than a silently wrong
-speedup.
+compiled backend) and compiled over interpreted per strategy.  A
+storage leg additionally times both relation layouts (``columnar`` and
+``row``) under both matcher backends and derives the columnar-over-row
+speedup per backend.  While timing it also asserts that every
+(strategy, backend, storage) combination stays bit-identical (atoms,
+blocked set, rounds, restarts, firings), so a regression shows up as a
+hard failure rather than a silently wrong speedup.
 
 Usage::
 
@@ -40,6 +42,7 @@ import time
 from repro.engine.match import clear_compile_cache, set_matcher_backend
 from repro.obs import Metrics
 from repro.obs.profile import PHASES
+from repro.storage.relation import get_storage_backend, set_storage_backend
 from repro.workloads import (
     conflict_cascade,
     deactivation_batch,
@@ -51,6 +54,7 @@ from repro.workloads import (
 
 STRATEGIES = ("naive", "seminaive", "incremental")
 BACKENDS = ("compiled", "interpreted")
+STORAGES = ("columnar", "row")
 
 
 def _workloads(quick=False):
@@ -118,6 +122,39 @@ def _time_facts_run(workload, repeats):
         if best is None or elapsed < best:
             best = elapsed
     return best, result
+
+
+def _storage_leg(name, workload, repeats, baseline):
+    """Both relation layouts under both matcher backends (naive strategy).
+
+    The main leg above already times the default layout (columnar); this
+    leg re-times naive/compiled and naive/interpreted under each layout
+    explicitly, asserts every combination reproduces the baseline
+    fingerprint bit-for-bit, and derives the columnar-over-row speedup
+    per backend.  Caller restores the default layout afterwards.
+    """
+    leg = {}
+    for storage in STORAGES:
+        set_storage_backend(storage)
+        cell = {}
+        for backend in BACKENDS:
+            seconds, result = _time_workload(workload, "naive", backend, repeats)
+            if _fingerprint(result) != baseline:
+                raise AssertionError(
+                    "storage layout %s/%s diverged from the baseline on "
+                    "workload %s" % (storage, backend, name)
+                )
+            cell[backend] = {"wall_time_s": round(seconds, 6)}
+        leg[storage] = cell
+    leg["columnar_speedup"] = {
+        backend: round(
+            leg["row"][backend]["wall_time_s"]
+            / leg["columnar"][backend]["wall_time_s"],
+            2,
+        )
+        for backend in BACKENDS
+    }
+    return leg
 
 
 def _geomean(values):
@@ -264,9 +301,11 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
         "metrics": metrics,
         "strategies": list(STRATEGIES),
         "backends": list(BACKENDS),
+        "storages": list(STORAGES),
         "workloads": {},
     }
     workloads = _workloads(quick=quick)
+    default_storage = get_storage_backend()
     try:
         for name, workload in workloads:
             entry = {}
@@ -327,6 +366,8 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
                     2,
                 ),
             }
+            entry["storage"] = _storage_leg(name, workload, repeats, baseline)
+            set_storage_backend(default_storage)
             if metrics:
                 entry["telemetry"] = _workload_telemetry(name, workload)
             report["workloads"][name] = entry
@@ -347,12 +388,22 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
                         entry["backend_speedup_geomean"],
                     )
                 )
+                print(
+                    "%-12s storage columnar/row: compiled %.2fx   "
+                    "interpreted %.2fx"
+                    % (
+                        "",
+                        entry["storage"]["columnar_speedup"]["compiled"],
+                        entry["storage"]["columnar_speedup"]["interpreted"],
+                    )
+                )
         if metrics:
             report["telemetry_overhead"] = _overhead_check(
                 workloads, repeats, overhead_tolerance, verbose=verbose
             )
     finally:
         set_matcher_backend("compiled")
+        set_storage_backend(default_storage)
         clear_compile_cache()
     doubled = [
         name
@@ -372,6 +423,12 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
         if entry["facts"]["speedup_vs_naive"] >= 1.2
     ]
     report["facts_accelerated_workloads"] = facts_wins
+    columnar_wins = [
+        name
+        for name, entry in report["workloads"].items()
+        if entry["storage"]["columnar_speedup"]["compiled"] >= 1.2
+    ]
+    report["columnar_accelerated_workloads"] = columnar_wins
     with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -394,6 +451,14 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
                 len(facts_wins),
                 len(report["workloads"]),
                 ", ".join(facts_wins),
+            )
+        )
+        print(
+            "columnar >= 1.2x row (compiled) on %d/%d workloads: %s"
+            % (
+                len(columnar_wins),
+                len(report["workloads"]),
+                ", ".join(columnar_wins),
             )
         )
         print("wrote %s" % out)

@@ -21,6 +21,7 @@ from time import perf_counter
 
 from ..core.blocking import BlockingMode
 from ..core.engine import ParkEngine
+from ..engine.plancache import PlanCache
 from ..errors import LanguageError, TransactionError
 from ..lang.atoms import Atom
 from ..lang.program import Program
@@ -68,6 +69,9 @@ class ActiveDatabase:
         self.log = EventLog()
         self._next_tx = 1
         self._open_tx = None
+        # Cross-transaction plan cache: commits re-run the same rule set,
+        # so program analysis is derived once and validated thereafter.
+        self.plan_cache = PlanCache()
 
     # -- constructors ---------------------------------------------------------------
 
@@ -300,6 +304,8 @@ class ActiveDatabase:
             policy=self.policy,
             blocking_mode=self.blocking_mode,
             listeners=self.listeners,
+            facts=True,
+            plan_cache=self.plan_cache,
         )
         result = engine.run(self.program, self._database, updates=tx.updates())
         # Write-ahead ordering: the journal record must be durable before

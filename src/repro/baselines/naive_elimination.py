@@ -86,10 +86,10 @@ def naive_elimination(program, database, updates=None, policy=None):
 
 
 def _as_db(database):
-    from ..storage.database import Database
+    from ..storage.database import Database, ensure_storage
 
     if isinstance(database, Database):
-        return database
+        return ensure_storage(database)
     if isinstance(database, str):
         return Database.from_text(database)
     return Database(database)

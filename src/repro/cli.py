@@ -47,6 +47,7 @@ from .analysis.render import render_database, render_trace
 from .analysis.trace import TraceRecorder
 from .core.blocking import BlockingMode
 from .core.engine import ParkEngine
+from .engine.plancache import DEFAULT_PLAN_CACHE
 from .errors import EngineError, ParkError
 from .lang.parser import parse_atom, parse_database, parse_program
 from .lang.updates import Update, UpdateOp
@@ -127,6 +128,11 @@ def _build_parser():
         help="body-matching backend (bit-identical results; defaults to "
         "$REPRO_MATCHER or 'compiled')",
     )
+    run.add_argument(
+        "--storage", choices=["columnar", "row"], default=None,
+        help="relation storage layout (bit-identical results; defaults to "
+        "$REPRO_STORAGE or 'columnar')",
+    )
     run.add_argument("--trace", action="store_true", help="print the trace")
     run.add_argument("--stats", action="store_true", help="print run counters")
     run.add_argument(
@@ -173,6 +179,9 @@ def _build_parser():
     )
     profile.add_argument(
         "--matcher", choices=["compiled", "interpreted"], default=None,
+    )
+    profile.add_argument(
+        "--storage", choices=["columnar", "row"], default=None,
     )
     profile.add_argument(
         "--top", type=int, default=None, metavar="N",
@@ -311,6 +320,10 @@ def _command_run(args, out):
         from .engine.match import set_matcher_backend
 
         set_matcher_backend(args.matcher)
+    if getattr(args, "storage", None):
+        from .storage.relation import set_storage_backend
+
+        set_storage_backend(args.storage)
     program, database, updates = _load_inputs(args)
     recorder = TraceRecorder() if args.trace else None
     metrics = Metrics() if args.metrics else None
@@ -332,6 +345,7 @@ def _command_run(args, out):
         metrics=metrics,
         tracer=tracer,
         facts=True if getattr(args, "facts", False) else None,
+        plan_cache=DEFAULT_PLAN_CACHE,
     )
     try:
         result = engine.run(program, database, updates=updates)
@@ -364,9 +378,12 @@ def _command_run(args, out):
 def _command_profile(args, out):
     from .engine.match import get_matcher_backend, set_matcher_backend
     from .obs import Tracer, hotspot_report, render_profile
+    from .storage.relation import get_storage_backend, set_storage_backend
 
     if args.matcher:
         set_matcher_backend(args.matcher)
+    if args.storage:
+        set_storage_backend(args.storage)
     program = _parse_rules_for_run(_read(args.rules), args.rules)
     database = (
         Database(parse_database(_read(args.db))) if args.db else Database()
@@ -385,12 +402,14 @@ def _command_profile(args, out):
         metrics=metrics,
         tracer=tracer,
         facts=True if args.facts else None,
+        plan_cache=DEFAULT_PLAN_CACHE,
     )
     meta = {
         "rules": args.rules,
         "policy": args.policy,
         "evaluation": args.evaluation,
         "matcher": args.matcher or get_matcher_backend(),
+        "storage": args.storage or get_storage_backend(),
         "blocking": args.blocking,
     }
     if args.db:

@@ -41,8 +41,11 @@ class GammaResult:
     def __init__(self, interpretation, firings, assume_consistent=False):
         self.interpretation = interpretation
         self.firings = firings
+        # One validated fetch of the marked set, then plain set probes —
+        # per-head has_update calls would re-validate the memo each time.
+        marked = interpretation.marked_updates()
         self.new_updates = sorted(
-            (u for u in firings if not interpretation.has_update(u)), key=str
+            (u for u in firings if u not in marked), key=str
         )
         # ``assume_consistent`` skips the conflict scan entirely.  Only
         # sound when the caller has a static proof that no atom can ever
@@ -64,6 +67,13 @@ class GammaResult:
         minus_atoms = set()
         for update in self.firings:
             (plus_atoms if update.is_insert else minus_atoms).add(update.atom)
+        # A conflict needs a - mark somewhere: no fired deletes and an
+        # empty I- means none is possible, and the same holds mirrored.
+        # Deductive workloads (insert-only programs) hit this every round.
+        if not minus_atoms and not len(interpretation.minus):
+            return []
+        if not plus_atoms and not len(interpretation.plus):
+            return []
         conflicts = set()
         # new + against (existing or new) -
         for atom in plus_atoms:

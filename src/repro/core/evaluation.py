@@ -54,7 +54,7 @@ from __future__ import annotations
 from time import perf_counter
 
 from ..engine.dependency import body_mark_index, marks_touched
-from ..engine.match import match_rule
+from ..engine.match import collect_rule_firings
 from ..engine.views import FactsView
 from ..lang.atoms import Atom
 from ..lang.literals import Condition, Event
@@ -117,6 +117,7 @@ class NaiveEvaluation:
     def __init__(self, program, blocked):
         self.program = program
         self.blocked = frozenset(blocked)
+        self._frozen = {}  # previous round's Update -> frozenset, for reuse
         self.last_firing_count = 0
 
     def compute(self, interpretation, delta_updates=None):
@@ -127,7 +128,20 @@ class NaiveEvaluation:
         for rule in self.program:
             count += _collect(rule, self.blocked, view, firings)
         self.last_firing_count = count
-        return {head: frozenset(instances) for head, instances in firings.items()}
+        # Reuse last round's frozenset when a head's instance set did not
+        # change — the common case in a converging fixpoint.  Downstream
+        # consumers (provenance merging, result comparison) then get
+        # identity fast paths instead of re-hashing every instance.
+        previous = self._frozen
+        frozen = {}
+        for head, instances in firings.items():
+            prior = previous.get(head)
+            if prior is not None and prior == instances:
+                frozen[head] = prior
+            else:
+                frozen[head] = frozenset(instances)
+        self._frozen = frozen
+        return dict(frozen)
 
 
 class _DeltaView(FactsView):
@@ -233,21 +247,21 @@ class _DeltaView(FactsView):
             self.inner.register_lookup(predicate, arity, columns)
 
 
+def _instance_factory(rule, substitution):
+    """Build the ``(RuleGrounding, ground head)`` pair for one match.
+
+    Handed to :func:`collect_rule_firings`, whose compiled backend memoizes
+    the result per slot tuple — so across rounds each distinct grounding
+    pays this construction exactly once.
+    """
+    instance = RuleGrounding(rule, substitution)
+    return instance, instance.ground_head()
+
+
 def _collect_inner(rule, blocked, view, into):
-    added = 0
-    for substitution in match_rule(rule, view):
-        instance = RuleGrounding(rule, substitution)
-        if instance in blocked:
-            continue
-        head = instance.ground_head()
-        bucket = into.get(head)
-        if bucket is None:
-            into[head] = {instance}
-            added += 1
-        elif instance not in bucket:
-            bucket.add(instance)
-            added += 1
-    return added
+    return collect_rule_firings(
+        rule, rule, view, blocked, into, _instance_factory
+    )
 
 
 def _collect(rule, blocked, view, into):
@@ -269,24 +283,9 @@ def _collect(rule, blocked, view, into):
 
 
 def _collect_variant_inner(original_rule, variant_rule, blocked, view, into, touched):
-    added = 0
-    for substitution in match_rule(variant_rule, view):
-        instance = RuleGrounding(original_rule, substitution)
-        if instance in blocked:
-            continue
-        head = instance.ground_head()
-        bucket = into.get(head)
-        if bucket is None:
-            into[head] = {instance}
-            added += 1
-        elif instance not in bucket:
-            bucket.add(instance)
-            added += 1
-        else:
-            continue
-        if touched is not None:
-            touched.add(head)
-    return added
+    return collect_rule_firings(
+        variant_rule, original_rule, view, blocked, into, _instance_factory, touched
+    )
 
 
 def _collect_variant(original_rule, variant_rule, blocked, view, into, touched=None):

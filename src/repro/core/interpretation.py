@@ -27,12 +27,20 @@ from ..storage.database import Database
 class IInterpretation:
     """A mutable i-interpretation: unmarked atoms plus ``+``/``-`` marked atoms."""
 
-    __slots__ = ("_unmarked", "_plus", "_minus")
+    __slots__ = ("_unmarked", "_plus", "_minus", "_marked", "_marked_stamp")
 
     def __init__(self, unmarked=(), plus=(), minus=()):
         self._unmarked = unmarked if isinstance(unmarked, Database) else Database(unmarked)
         self._plus = plus if isinstance(plus, Database) else Database(plus)
         self._minus = minus if isinstance(minus, Database) else Database(minus)
+        # Lazy memo of the marked literals as a set of Update objects, so
+        # the per-round "which firings are new" scan is one set lookup per
+        # firing (the Updates there are interned, so their hashes are warm)
+        # instead of an atom-store probe.  Guarded by a count stamp: code
+        # that mutates the ``plus``/``minus`` stores directly (bypassing
+        # add_update) changes the count and forces a rebuild.
+        self._marked = None
+        self._marked_stamp = -1
 
     # -- constructors -------------------------------------------------------------
 
@@ -69,11 +77,28 @@ class IInterpretation:
     def has_minus(self, atom):
         return atom in self._minus
 
+    def marked_updates(self):
+        """The marked literals as a set of Updates.  Treat as read-only.
+
+        Validated against the store sizes and rebuilt when stale, so it
+        stays correct even when code mutates ``plus``/``minus`` directly.
+        Callers scanning many updates should fetch this once and use ``in``
+        — the validation is per fetch, not per probe.
+        """
+        marked = self._marked
+        if marked is None or self._marked_stamp != len(self._plus) + len(self._minus):
+            marked = set()
+            for atom in self._plus.atoms():
+                marked.add(Update(UpdateOp.INSERT, atom))
+            for atom in self._minus.atoms():
+                marked.add(Update(UpdateOp.DELETE, atom))
+            self._marked = marked
+            self._marked_stamp = len(marked)
+        return marked
+
     def has_update(self, update):
         """Whether the marked literal *update* (``+a``/``-a``) is in ``I``."""
-        if update.is_insert:
-            return update.atom in self._plus
-        return update.atom in self._minus
+        return update in self.marked_updates()
 
     # -- mutation ----------------------------------------------------------------------
 
@@ -87,9 +112,15 @@ class IInterpretation:
         """
         if not isinstance(update, Update):
             raise TypeError("expected an Update, got %r" % (update,))
-        if update.is_insert:
-            return self._plus.add(update.atom)
-        return self._minus.add(update.atom)
+        added = (
+            self._plus.add(update.atom)
+            if update.is_insert
+            else self._minus.add(update.atom)
+        )
+        if added and self._marked is not None:
+            self._marked.add(update)
+            self._marked_stamp += 1
+        return added
 
     def add_updates(self, updates):
         """Add many marked literals; returns the number that were new."""
@@ -140,11 +171,17 @@ class IInterpretation:
         # Carry the hash indexes: ``Γ``'s apply copies the interpretation
         # every round, and rebuilding indexes from scratch each time costs
         # more than the per-bucket set copies.
-        return IInterpretation(
+        clone = IInterpretation(
             self._unmarked.copy(with_indexes=True),
             self._plus.copy(with_indexes=True),
             self._minus.copy(with_indexes=True),
         )
+        # Carry the marked-literal memo too: rebuilding it materializes an
+        # Update per marked atom, which dwarfs a set copy once I+ grows.
+        if self._marked is not None:
+            clone._marked = set(self._marked)
+            clone._marked_stamp = self._marked_stamp
+        return clone
 
     def freeze(self):
         """Canonical immutable form: ``(frozenset I∅, frozenset I+, frozenset I-)``."""

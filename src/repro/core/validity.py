@@ -58,18 +58,24 @@ class InterpretationView(FactsView):
     # -- positive conditions: a ∈ I∅ or +a ∈ I+ ------------------------------------
 
     def condition_candidates(self, predicate, arity, bound):
-        unmarked = self.interpretation.unmarked.relation(predicate)
-        plus = self.interpretation.plus.relation(predicate)
-        sources = []
-        if unmarked is not None and unmarked.arity == arity:
-            sources.append(unmarked.candidates(bound))
-        if plus is not None and plus.arity == arity:
-            sources.append(plus.candidates(bound))
-        if not sources:
-            return ()
-        if len(sources) == 1:
-            return sources[0]
-        return itertools.chain(*sources)
+        interpretation = self.interpretation
+        unmarked = interpretation.unmarked.relation(predicate)
+        if unmarked is not None and unmarked.arity != arity:
+            unmarked = None
+        plus = interpretation.plus.relation(predicate)
+        if plus is not None and plus.arity != arity:
+            plus = None
+        if plus is None or not len(plus):
+            return () if unmarked is None else unmarked.candidates(bound)
+        if unmarked is None or not len(unmarked):
+            return plus.candidates(bound)
+        # An atom may sit in both I∅ and I+ (re-inserting an unmarked fact);
+        # the matcher contract is one candidate per distinct row, so suppress
+        # plus rows the unmarked store already yielded.
+        return itertools.chain(
+            unmarked.candidates(bound),
+            (row for row in plus.candidates(bound) if row not in unmarked),
+        )
 
     def condition_holds(self, atom):
         return self.interpretation.has_unmarked(atom) or self.interpretation.has_plus(
@@ -107,18 +113,29 @@ class InterpretationView(FactsView):
     # -- row-level fast paths (compiled matcher) --------------------------------------------
 
     def condition_candidates_key(self, predicate, arity, columns, key):
-        unmarked = self.interpretation.unmarked.relation(predicate)
-        plus = self.interpretation.plus.relation(predicate)
-        sources = []
-        if unmarked is not None and unmarked.arity == arity:
-            sources.append(unmarked.candidates_key(columns, key))
-        if plus is not None and plus.arity == arity:
-            sources.append(plus.candidates_key(columns, key))
-        if not sources:
-            return ()
-        if len(sources) == 1:
-            return sources[0]
-        return itertools.chain(*sources)
+        interpretation = self.interpretation
+        unmarked = interpretation.unmarked.relation(predicate)
+        if unmarked is not None and unmarked.arity != arity:
+            unmarked = None
+        plus = interpretation.plus.relation(predicate)
+        if plus is not None and plus.arity != arity:
+            plus = None
+        if plus is None or not len(plus):
+            return () if unmarked is None else unmarked.candidates_key(columns, key)
+        if unmarked is None or not len(unmarked):
+            # The common shape for derived predicates: rows live only in
+            # I+, so no dedup filter is needed.
+            return plus.candidates_key(columns, key)
+        # Same dedup as condition_candidates, in the storage-native dialect.
+        has_native = unmarked.has_native
+        return itertools.chain(
+            unmarked.candidates_key(columns, key),
+            (
+                row
+                for row in plus.candidates_key(columns, key)
+                if not has_native(row)
+            ),
+        )
 
     def event_candidates_key(self, op, predicate, arity, columns, key):
         store = (

@@ -48,6 +48,8 @@ from ..lang.substitution import Substitution
 from ..lang.terms import Constant
 from ..lang.updates import Update
 from ..obs import metrics as _obs
+from ..storage.catalog import INTERNER
+from ..storage.relation import get_storage_backend
 from .planner import plan_body
 
 _const_intern = {}
@@ -142,6 +144,7 @@ class CompiledProgram:
 
     __slots__ = (
         "rule",
+        "mode",           # storage layout compiled against: "row" | "columnar"
         "nslots",
         "prefix_checks",  # checks scheduled before the first bind step
         "bind_steps",
@@ -150,15 +153,32 @@ class CompiledProgram:
         "head_ground",    # the ready Update when the head has no variables
         "head_op",
         "head_predicate",
-        "head_value_fixed",  # raw values, None at slot positions
+        "head_value_fixed",  # native values, None at slot positions
         "head_term_fixed",   # Constant terms, None at slot positions
         "head_slots",        # tuple of (index, slot)
         "sub_cache",         # {slot value tuple: Substitution} memo
         "head_cache",        # {head value tuple: Update} memo
+        "instance_cache",    # {owner rule: {slot value tuple: (instance, head)}}
+        "_boxed",            # native slot value -> shared Constant
     )
 
-    def __init__(self, rule, view=None):
+    def __init__(self, rule, view=None, mode=None):
         self.rule = rule
+        # The program speaks the storage-native dialect throughout: in
+        # columnar mode every plan constant is encoded to its intern id at
+        # compile time, slots hold ids, and Constants are reconstructed
+        # through the intern table's shared boxes.  A program compiled for
+        # one layout must never run against the other (compile_program
+        # keys its cache by layout).
+        if mode is None:
+            mode = get_storage_backend()
+        self.mode = mode
+        if mode == "columnar":
+            encode = INTERNER.intern
+            self._boxed = INTERNER.constant_of
+        else:
+            encode = None
+            self._boxed = _intern_constant
         slot_of = {}
         prefix_checks = []
         bind_steps = []
@@ -172,7 +192,8 @@ class CompiledProgram:
                 check_slots = []
                 for index, term in enumerate(terms):
                     if isinstance(term, Constant):
-                        fixed[index] = term.value
+                        value = term.value
+                        fixed[index] = encode(value) if encode else value
                     else:
                         check_slots.append((index, slot_of[term]))
                 check = _CheckStep(literal, tuple(fixed), tuple(check_slots))
@@ -189,8 +210,9 @@ class CompiledProgram:
             new_this_step = set()
             for index, term in enumerate(terms):
                 if isinstance(term, Constant):
-                    key_pairs.append((index, term.value, None))
-                    const_checks.append((index, term.value))
+                    value = encode(term.value) if encode else term.value
+                    key_pairs.append((index, value, None))
+                    const_checks.append((index, value))
                     continue
                 slot = slot_of.get(term)
                 if slot is None:
@@ -249,7 +271,9 @@ class CompiledProgram:
         head_slots = []
         for index, term in enumerate(head_terms):
             if isinstance(term, Constant):
-                value_fixed[index] = term.value
+                # Native dialect: the value feeds the head dedup key, which
+                # mixes with slot values, so it must match the slot encoding.
+                value_fixed[index] = encode(term.value) if encode else term.value
                 term_fixed[index] = term
             else:
                 head_slots.append((index, slot_of[term]))
@@ -262,8 +286,13 @@ class CompiledProgram:
         # Substitution / Update objects (their hashes are computed once and
         # downstream set operations get identity fast paths).  Bounded by
         # the number of distinct groundings; dropped with the program cache.
+        # instance_cache additionally memoizes (RuleGrounding, ground head)
+        # pairs, keyed per *owner* rule: delta variants strip rule names, so
+        # structurally equal variants of different originals can share one
+        # program while their groundings must keep distinct rule identity.
         self.sub_cache = {}
         self.head_cache = {}
+        self.instance_cache = {}
 
     # -- the register machine -----------------------------------------------------
 
@@ -362,6 +391,7 @@ class CompiledProgram:
         """Yield groundings as :class:`Substitution` (or raw dicts)."""
         self.register_with(view)
         sub_items = self.sub_items
+        boxed = self._boxed
         if freeze:
             cache = self.sub_cache
             m = _obs.ACTIVE
@@ -371,7 +401,7 @@ class CompiledProgram:
                 if sub is None:
                     sub = Substitution._from_sorted(
                         tuple(
-                            (variable, _intern_constant(slots[slot]))
+                            (variable, boxed(slots[slot]))
                             for variable, slot in sub_items
                         )
                     )
@@ -384,7 +414,7 @@ class CompiledProgram:
         else:
             for slots in self.solutions(view):
                 yield {
-                    variable: _intern_constant(slots[slot])
+                    variable: boxed(slots[slot])
                     for variable, slot in sub_items
                 }
 
@@ -402,6 +432,7 @@ class CompiledProgram:
         value_fixed = self.head_value_fixed
         term_fixed = self.head_term_fixed
         cache = self.head_cache
+        boxed = self._boxed
         m = _obs.ACTIVE
         for slots in self.solutions(view):
             values = list(value_fixed)
@@ -415,7 +446,7 @@ class CompiledProgram:
             if update is None:
                 terms = list(term_fixed)
                 for index, slot in head_slots:
-                    terms[index] = _intern_constant(slots[slot])
+                    terms[index] = boxed(slots[slot])
                 update = Update(
                     self.head_op, Atom(self.head_predicate, tuple(terms))
                 )
@@ -433,12 +464,76 @@ class CompiledProgram:
             return True
         return False
 
+    def collect_firings(self, view, owner, blocked, into, factory, touched=None):
+        """Enumerate groundings straight into a firings map, slots-first.
 
-_program_cache = {}
+        The fixpoint's inner loop: for every valid grounding, memoize
+        ``factory(owner, substitution) -> (instance, ground head)`` keyed
+        by the raw slot tuple, skip blocked instances, and add new ones to
+        ``into`` (``{head Update: set of instances}``).  Returns the number
+        of instances actually new in *into*; *touched* (when given)
+        collects the heads that gained one.  Because the memo key is the
+        slot tuple, a re-enumerated grounding costs one dict hit — no
+        Substitution, RuleGrounding, or head Update is rebuilt.
+
+        *owner* is the rule the instances belong to — the original rule
+        when executing a delta variant's program.
+        """
+        self.register_with(view)
+        caches = self.instance_cache
+        cache = caches.get(owner)
+        if cache is None:
+            cache = caches[owner] = {}
+        cache_get = cache.get
+        sub_cache = self.sub_cache
+        sub_items = self.sub_items
+        boxed = self._boxed
+        check_blocked = bool(blocked)
+        into_get = into.get
+        added = 0
+        for slots in self.solutions(view):
+            key = tuple(slots)
+            entry = cache_get(key)
+            if entry is None:
+                sub = sub_cache.get(key)
+                if sub is None:
+                    sub = Substitution._from_sorted(
+                        tuple(
+                            (variable, boxed(slots[slot]))
+                            for variable, slot in sub_items
+                        )
+                    )
+                    sub_cache[key] = sub
+                entry = factory(owner, sub)
+                cache[key] = entry
+            instance, head = entry
+            if check_blocked and instance in blocked:
+                continue
+            bucket = into_get(head)
+            if bucket is None:
+                into[head] = {instance}
+            else:
+                # Single-hash insert: compare sizes instead of a separate
+                # membership probe (duplicates only arise across programs
+                # that share an owner).
+                before = len(bucket)
+                bucket.add(instance)
+                if len(bucket) == before:
+                    continue
+            added += 1
+            if touched is not None:
+                touched.add(head)
+        return added
+
+
+#: One cache per storage layout: a program bakes the layout's constant
+#: encoding into its steps, so a layout switch must recompile, and
+#: switching back must find the original programs again.
+_program_caches = {"row": {}, "columnar": {}}
 
 
 def compile_program(rule, view=None):
-    """Compile *rule* to a :class:`CompiledProgram` (cached per rule).
+    """Compile *rule* to a :class:`CompiledProgram` (cached per rule and layout).
 
     The first compile may consult *view* statistics for the plan's
     tie-breaks; the cached program is reused for every later view, so the
@@ -446,11 +541,13 @@ def compile_program(rule, view=None):
     first compiled against (performance-only: any plan enumerates the same
     grounding set).
     """
-    program = _program_cache.get(rule)
+    mode = get_storage_backend()
+    cache = _program_caches[mode]
+    program = cache.get(rule)
     m = _obs.ACTIVE
     if program is None:
-        program = CompiledProgram(rule, view)
-        _program_cache[rule] = program
+        program = CompiledProgram(rule, view, mode)
+        cache[rule] = program
         if m is not None:
             m.inc("compiler.programs_compiled")
     elif m is not None:
@@ -460,5 +557,6 @@ def compile_program(rule, view=None):
 
 def clear_program_cache():
     """Drop all cached compiled programs and interned constants."""
-    _program_cache.clear()
+    for cache in _program_caches.values():
+        cache.clear()
     _const_intern.clear()

@@ -237,6 +237,47 @@ def match_rule(rule, view, freeze=True):
             yield bindings
 
 
+def collect_rule_firings(rule, owner, view, blocked, into, factory, touched=None):
+    """Collect *rule*'s unblocked firings into ``into``, slots-first.
+
+    The fixpoint's inner loop, shared by every evaluation strategy:
+    ``factory(owner, substitution)`` builds the ``(instance, ground head)``
+    pair for a grounding; new instances land in ``into`` (``{head Update:
+    set of instances}``) and their heads in *touched* (when given).
+    Returns the number of instances actually new in *into*.
+
+    *owner* is the rule the instances belong to — the original rule when
+    *rule* is a delta variant.  On the compiled backend the whole loop runs
+    inside :meth:`CompiledProgram.collect_firings` with a per-owner
+    instance memo keyed by slot tuples, so a re-enumerated grounding never
+    rebuilds a Substitution, RuleGrounding, or Update; the interpreted
+    backend is the straightforward reference loop.
+    """
+    m = _obs.ACTIVE
+    if _backend == "compiled":
+        if m is not None:
+            m.inc("match.rule_matches")
+        return compile_program(rule, view).collect_firings(
+            view, owner, blocked, into, factory, touched
+        )
+    added = 0
+    for substitution in match_rule(rule, view):
+        instance, head = factory(owner, substitution)
+        if instance in blocked:
+            continue
+        bucket = into.get(head)
+        if bucket is None:
+            into[head] = {instance}
+        elif instance not in bucket:
+            bucket.add(instance)
+        else:
+            continue
+        added += 1
+        if touched is not None:
+            touched.add(head)
+    return added
+
+
 def match_body_once(rule, view):
     """True iff the rule body has at least one valid grounding in *view*."""
     m = _obs.ACTIVE

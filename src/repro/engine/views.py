@@ -29,10 +29,20 @@ from __future__ import annotations
 
 from ..lang.atoms import Atom
 from ..lang.terms import Constant
+from ..storage.catalog import INTERNER
+from ..storage.relation import get_storage_backend
 
 
 def _atom_from_row(predicate, row):
-    """Reconstruct a ground :class:`Atom` from a raw value tuple."""
+    """Reconstruct a ground :class:`Atom` from a *storage-native* row.
+
+    Native rows are intern-id tuples under the columnar layout and raw
+    value tuples under the row layout; the compiled matcher always hands
+    this function whatever dialect the active layout speaks.
+    """
+    if get_storage_backend() == "columnar":
+        constant_of = INTERNER.constant_of
+        return Atom(predicate, tuple(constant_of(ident) for ident in row))
     return Atom(predicate, tuple(Constant(value) for value in row))
 
 
@@ -83,11 +93,34 @@ class FactsView:
 
     def condition_candidates_key(self, predicate, arity, columns, key):
         """Rows whose *columns* equal *key* — positional twin of
-        :meth:`condition_candidates` (same superset allowance)."""
+        :meth:`condition_candidates` (same superset allowance).
+
+        The row-level dialect is storage-native: under the columnar layout
+        the default bridge decodes the id key into raw values for the
+        atom-level method and re-encodes the returned rows, so subclasses
+        that only implement the atom-level protocol stay correct (if slow —
+        the built-in views override these with zero-copy paths).
+        """
+        if get_storage_backend() == "columnar":
+            value_of = INTERNER.value_of
+            bound = {c: value_of(k) for c, k in zip(columns, key)}
+            encode = INTERNER.encode_row
+            return (
+                encode(row)
+                for row in self.condition_candidates(predicate, arity, bound)
+            )
         return self.condition_candidates(predicate, arity, dict(zip(columns, key)))
 
     def event_candidates_key(self, op, predicate, arity, columns, key):
-        """Positional twin of :meth:`event_candidates`."""
+        """Positional twin of :meth:`event_candidates` (same native bridge)."""
+        if get_storage_backend() == "columnar":
+            value_of = INTERNER.value_of
+            bound = {c: value_of(k) for c, k in zip(columns, key)}
+            encode = INTERNER.encode_row
+            return (
+                encode(row)
+                for row in self.event_candidates(op, predicate, arity, bound)
+            )
         return self.event_candidates(op, predicate, arity, dict(zip(columns, key)))
 
     def condition_holds_row(self, predicate, arity, row):
@@ -175,7 +208,14 @@ class AtomSetView(FactsView):
     :class:`Database` (with indexes) would cost more than the scan.
     """
 
-    __slots__ = ("_atoms", "_by_predicate", "_row_sets", "_counts")
+    __slots__ = (
+        "_atoms",
+        "_by_predicate",
+        "_row_sets",
+        "_native_rows",
+        "_native_sets",
+        "_counts",
+    )
 
     def __init__(self, atoms):
         self._atoms = frozenset(atoms)
@@ -188,6 +228,22 @@ class AtomSetView(FactsView):
             signature: frozenset(rows)
             for signature, rows in self._by_predicate.items()
         }
+        # The row-level dialect serves storage-native rows: id-encoded
+        # copies under the columnar layout, aliases of the raw structures
+        # under the row layout.
+        if get_storage_backend() == "columnar":
+            encode = INTERNER.encode_row
+            self._native_rows = {
+                signature: [encode(row) for row in rows]
+                for signature, rows in self._by_predicate.items()
+            }
+            self._native_sets = {
+                signature: frozenset(rows)
+                for signature, rows in self._native_rows.items()
+            }
+        else:
+            self._native_rows = self._by_predicate
+            self._native_sets = self._row_sets
         # Per-predicate-name totals, so estimate() is a dict hit instead of
         # an O(#signatures) scan per call (the planner may consult it once
         # per body literal per compile).
@@ -226,12 +282,12 @@ class AtomSetView(FactsView):
     # -- row-level fast paths ----------------------------------------------------
 
     def condition_candidates_key(self, predicate, arity, columns, key):
-        rows = self._by_predicate.get((predicate, arity), ())
+        rows = self._native_rows.get((predicate, arity), ())
         if not columns:
             return rows
         if len(columns) == arity:
             # columns is sorted and distinct, so key is the row itself.
-            row_set = self._row_sets.get((predicate, arity), frozenset())
+            row_set = self._native_sets.get((predicate, arity), frozenset())
             return (key,) if key in row_set else ()
         pairs = tuple(zip(columns, key))
         return (
@@ -239,10 +295,10 @@ class AtomSetView(FactsView):
         )
 
     def condition_holds_row(self, predicate, arity, row):
-        return row in self._row_sets.get((predicate, arity), frozenset())
+        return row in self._native_sets.get((predicate, arity), frozenset())
 
     def negation_holds_row(self, predicate, arity, row):
-        return row not in self._row_sets.get((predicate, arity), frozenset())
+        return row not in self._native_sets.get((predicate, arity), frozenset())
 
     def event_candidates_key(self, op, predicate, arity, columns, key):
         return ()

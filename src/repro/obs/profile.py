@@ -92,6 +92,17 @@ def hotspot_report(metrics, result=None, wall_time=None, top=None, meta=None):
         "snapshot_copies": counters.get("storage.snapshot_copies", 0),
     }
 
+    storage = {
+        "intern_table_size": metrics.gauges.get("storage.intern_table_size", 0),
+        "conversions": counters.get("storage.conversions", 0),
+    }
+
+    plan_cache = {
+        "hits": counters.get("plan_cache.hits", 0),
+        "misses": counters.get("plan_cache.misses", 0),
+        "invalidations": counters.get("plan_cache.invalidations", 0),
+    }
+
     matching = {
         "rule_match_calls": counters.get("match.rule_matches", 0),
         "full_matches": counters.get("eval.full_matches", 0),
@@ -111,6 +122,8 @@ def hotspot_report(metrics, result=None, wall_time=None, top=None, meta=None):
         "rules": rules,
         "rules_truncated": truncated,
         "index": index,
+        "storage": storage,
+        "plan_cache": plan_cache,
         "matching": matching,
         "counters": dict(sorted(counters.items())),
     }
@@ -232,4 +245,18 @@ def render_profile(report):
             matching["intern_hits"],
         )
     )
+    storage = report.get("storage")
+    plan_cache = report.get("plan_cache")
+    if storage is not None and plan_cache is not None:
+        lines.append(
+            "storage: %d interned constants, %d layout conversions; "
+            "plan cache: %d hits, %d misses, %d invalidations"
+            % (
+                storage["intern_table_size"],
+                storage["conversions"],
+                plan_cache["hits"],
+                plan_cache["misses"],
+                plan_cache["invalidations"],
+            )
+        )
     return "\n".join(lines) + "\n"

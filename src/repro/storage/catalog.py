@@ -1,10 +1,22 @@
-"""The catalog: predicate schemas shared by a database instance.
+"""The catalog: predicate schemas and the constant intern table.
 
 A schema here is minimal — predicate name and arity, optionally with column
 names for the active-database facade.  The catalog's job is the discipline a
 commercial DBMS would impose: a predicate has one arity everywhere, and the
 storage layer refuses rows that disagree.  The paper's "implementability on
 top of a commercial DBMS" requirement motivates keeping this layer explicit.
+
+The catalog also carries the :class:`InternTable` — the database-level
+dictionary encoding every constant value as a small integer id.  The
+columnar storage layout (:class:`repro.storage.relation.ColumnarRelation`)
+stores rows as tuples of these ids and the compiled matcher scans them as
+plain integers, so one shared, append-only table is what makes id-encoded
+rows from *different* databases comparable (the engine freely mixes the
+``I∅``/``I+``/``I-`` stores, per-round delta databases, and snapshot
+copies of all of them).  Ids are never recycled: a live database may hold
+any id ever handed out, so the table only grows — bounded by the active
+domain of the process, which the ``storage.intern_table_size`` gauge
+tracks.
 """
 
 from __future__ import annotations
@@ -13,6 +25,91 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import SchemaError
+from ..lang.terms import Constant
+
+
+class InternTable:
+    """A bijection between constant values and dense integer ids.
+
+    Append-only: :meth:`intern` hands out ids ``0, 1, 2, ...`` in first-seen
+    order and an id stays valid for the life of the process.  The table
+    also memoizes one :class:`~repro.lang.terms.Constant` box per id so the
+    compiled matcher can decode a slot value into a shared term object
+    (cached hash, identity-friendly) without allocating.
+    """
+
+    __slots__ = ("_ids", "_values", "_constants")
+
+    def __init__(self):
+        self._ids = {}  # value -> id
+        self._values = []  # id -> value
+        self._constants = []  # id -> Constant (built lazily)
+
+    def intern(self, value):
+        """The id for *value*, allocating the next one on first sight."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+            self._constants.append(None)
+        return ident
+
+    def id_of(self, value):
+        """The id for *value*, or ``None`` if it was never interned."""
+        return self._ids.get(value)
+
+    def value_of(self, ident):
+        """The raw value for *ident* (must be a valid id)."""
+        return self._values[ident]
+
+    def constant_of(self, ident):
+        """The shared :class:`Constant` boxing *ident*'s value."""
+        constant = self._constants[ident]
+        if constant is None:
+            constant = Constant(self._values[ident])
+            self._constants[ident] = constant
+        return constant
+
+    def encode_row(self, row):
+        """*row* of raw values as a tuple of ids (interning as needed)."""
+        return tuple(map(self.intern, row))
+
+    def try_encode_row(self, row):
+        """Like :meth:`encode_row` but ``None`` if any value is unseen.
+
+        Membership probes use this: a row containing a never-interned value
+        cannot be stored anywhere, so the caller can answer "absent"
+        without growing the table.
+        """
+        ids = self._ids
+        try:
+            return tuple(ids[value] for value in row)
+        except KeyError:
+            return None
+
+    def decode_row(self, row):
+        """A tuple of ids back to its raw values."""
+        values = self._values
+        return tuple(values[ident] for ident in row)
+
+    def __len__(self):
+        return len(self._values)
+
+    def __repr__(self):
+        return "InternTable(%d values)" % len(self._values)
+
+
+#: The process-wide intern table.  Module-level (rather than per-catalog)
+#: because the engine builds many short-lived databases per run — delta
+#: shadows, interpretation stores, incorp results — whose id spaces must
+#: all be compatible; ``Catalog.copy`` shares it for the same reason.
+INTERNER = InternTable()
+
+
+def global_interner():
+    """The shared process-wide :class:`InternTable`."""
+    return INTERNER
 
 
 @dataclass(frozen=True)

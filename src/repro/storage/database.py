@@ -18,7 +18,7 @@ from ..lang.atoms import Atom
 from ..lang.terms import Constant
 from ..obs import metrics as _obs
 from .catalog import Catalog
-from .relation import Relation
+from .relation import get_storage_backend, make_relation
 
 
 class Database:
@@ -65,7 +65,7 @@ class Database:
             if not create:
                 return None
             self.catalog.ensure(atom.predicate, atom.arity)
-            relation = Relation(atom.predicate, atom.arity)
+            relation = make_relation(atom.predicate, atom.arity)
             for arity, columns in self._lookup_registry.get(atom.predicate, ()):
                 if arity == atom.arity:
                     relation.register_index(columns)
@@ -100,7 +100,7 @@ class Database:
         if relation is None:
             return False
         row = atom.value_tuple()
-        return len(row) == relation.arity and row in relation._tuples
+        return len(row) == relation.arity and row in relation
 
     def __len__(self):
         return sum(len(r) for r in self._relations.values())
@@ -117,8 +117,9 @@ class Database:
             relation = self._relations.get(predicate)
             if relation is None:
                 return
-            for row in relation.rows():
-                yield Atom(predicate, tuple(Constant(v) for v in row))
+            row_constants = relation.row_constants
+            for row in list(relation.row_set()):
+                yield Atom(predicate, row_constants(row))
             return
         for name in sorted(self._relations):
             yield from self.atoms(name)
@@ -128,14 +129,18 @@ class Database:
         return self._relations.get(predicate)
 
     def has_row(self, predicate, arity, row):
-        """Membership test on raw values: whether ``predicate(*row)`` is stored.
+        """Membership test on a *storage-native* row.
 
         The tuple-level twin of ``atom in db``, used by the compiled matcher
-        to test ground literals without constructing an :class:`Atom`.
+        to test ground literals without constructing an :class:`Atom`.  The
+        row is in the storage dialect: raw values in the row layout, intern
+        ids in the columnar one.
         """
         relation = self._relations.get(predicate)
         return (
-            relation is not None and relation.arity == arity and row in relation
+            relation is not None
+            and relation.arity == arity
+            and relation.has_native(row)
         )
 
     def register_lookup(self, predicate, arity, columns):
@@ -219,3 +224,34 @@ class Database:
             len(self),
             len(self._relations),
         )
+
+
+def ensure_storage(database):
+    """*database* with every relation in the currently selected layout.
+
+    Returns the input unchanged when it already conforms (the common case);
+    otherwise builds a converted copy, carrying catalog, lookup registry,
+    and registered composite signatures.  The engine calls this on entry so
+    a run never mixes native dialects — prebuilt benchmark/workload
+    databases survive a ``set_storage_backend`` switch, and a row-layout
+    database handed to a columnar-mode engine is converted once, up front.
+    """
+    backend = get_storage_backend()
+    relations = database._relations
+    if all(relation.storage == backend for relation in relations.values()):
+        return database
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("storage.conversions")
+    clone = Database(catalog=database.catalog.copy())
+    clone._lookup_registry = {
+        predicate: set(signatures)
+        for predicate, signatures in database._lookup_registry.items()
+    }
+    for name, relation in relations.items():
+        converted = make_relation(name, relation.arity)
+        converted._registered = set(relation._registered)
+        for row in relation.rows():
+            converted.add(row)
+        clone._relations[name] = converted
+    return clone

@@ -1,0 +1,201 @@
+"""Tests for the cross-transaction plan cache.
+
+An :class:`~repro.active.activedb.ActiveDatabase` re-runs one rule
+program on every commit; the :class:`~repro.engine.plancache.PlanCache`
+must make the second and later commits of an unchanged program skip
+program analysis entirely (a cache *hit*), while a program edit or a
+data magnitude change (the stats signature buckets row counts by bit
+length) forces a re-derivation (*miss* / *invalidation*).  The counters
+asserted here are the ones ``repro profile`` reports.
+"""
+
+from repro.active import ActiveDatabase
+from repro.engine.plancache import PlanCache
+from repro.lang import parse_program
+from repro.obs import Metrics
+from repro.storage.database import Database
+
+
+def _program(text="emp(X), not active(X) -> -emp(X)."):
+    return parse_program(text)
+
+
+class TestPlanCacheUnit:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        program = _program()
+        database = Database.from_text("emp(joe). active(joe).")
+        metrics = Metrics()
+        with metrics.activate():
+            first = cache.facts_for(program, database)
+            second = cache.facts_for(program, database)
+        assert second is first
+        assert metrics.counters["plan_cache.misses"] == 1
+        assert metrics.counters["plan_cache.hits"] == 1
+        assert "plan_cache.invalidations" not in metrics.counters
+        assert len(cache) == 1
+
+    def test_different_program_is_a_second_entry(self):
+        cache = PlanCache()
+        database = Database.from_text("emp(joe).")
+        facts_a = cache.facts_for(_program("emp(X) -> +seen(X)."), database)
+        facts_b = cache.facts_for(_program("emp(X) -> -emp(X)."), database)
+        assert facts_a is not facts_b
+        assert len(cache) == 2
+
+    def test_reparsed_identical_program_hits(self):
+        # Rules hash by value, so a re-parse of the same text is the same key.
+        cache = PlanCache()
+        database = Database.from_text("emp(joe).")
+        metrics = Metrics()
+        with metrics.activate():
+            first = cache.facts_for(_program(), database)
+            second = cache.facts_for(_program(), database)
+        assert second is first
+        assert metrics.counters["plan_cache.hits"] == 1
+
+    def test_magnitude_change_invalidates(self):
+        cache = PlanCache()
+        program = _program()
+        small = Database.from_text("emp(joe).")
+        grown = Database.from_text("emp(joe). emp(ann). emp(bob).")
+        metrics = Metrics()
+        with metrics.activate():
+            first = cache.facts_for(program, small)
+            second = cache.facts_for(program, grown)
+            third = cache.facts_for(program, grown)
+        # 1 row -> 3 rows crosses a bit-length bucket (1 -> 2): re-derive.
+        assert second is not first
+        assert third is second
+        assert metrics.counters["plan_cache.misses"] == 1
+        assert metrics.counters["plan_cache.invalidations"] == 1
+        assert metrics.counters["plan_cache.hits"] == 1
+        assert len(cache) == 1  # re-derived in place, not a second entry
+
+    def test_small_drift_within_bucket_still_hits(self):
+        cache = PlanCache()
+        program = _program()
+        two = Database.from_text("emp(joe). emp(ann).")
+        three = Database.from_text("emp(joe). emp(ann). emp(bob).")
+        first = cache.facts_for(program, two)
+        # 2 and 3 rows share bit-length bucket 2: the plan survives.
+        assert cache.facts_for(program, three) is first
+
+    def test_empty_to_nonempty_invalidates(self):
+        # Bucket 0 is exactly "empty" — the one data property the analysis
+        # consumes (liveness sharpening), so it must never be smeared.
+        cache = PlanCache()
+        program = _program("emp(X), flagged(X) -> -emp(X).")
+        without = Database.from_text("emp(joe).")
+        with_flag = Database.from_text("emp(joe). flagged(joe).")
+        first = cache.facts_for(program, without)
+        second = cache.facts_for(program, with_flag)
+        assert second is not first
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        database = Database.from_text("emp(joe).")
+        programs = [
+            _program("emp(X) -> +p%d(X)." % index) for index in range(3)
+        ]
+        for program in programs:
+            cache.facts_for(program, database)
+        assert len(cache) == 2
+        metrics = Metrics()
+        with metrics.activate():
+            cache.facts_for(programs[0], database)  # evicted: re-derived
+            cache.facts_for(programs[2], database)  # retained: hit
+        assert metrics.counters["plan_cache.misses"] == 1
+        assert metrics.counters["plan_cache.hits"] == 1
+
+
+def _payroll_db():
+    db = ActiveDatabase.from_text(
+        "emp(joe). emp(ann). active(joe). active(ann). "
+        "payroll(joe, 10). payroll(ann, 20)."
+    )
+    db.add_rule(
+        "@name(cleanup) emp(X), not active(X), payroll(X, S) -> -payroll(X, S)."
+    )
+    return db
+
+
+class TestActiveDatabaseIntegration:
+    """The commit path keys the cache by the *run* program ``P_U`` — the
+    registered rules plus the transaction's update rules — so two commits
+    re-plan only when the rules, the update set, or the data magnitude
+    actually changed."""
+
+    def test_second_run_of_unchanged_program_is_a_pure_hit(self):
+        db = _payroll_db()
+        db.refresh()  # first run: derives and caches the analysis
+        metrics = Metrics()
+        with metrics.activate():
+            db.refresh()  # nothing fires, nothing changed: pure hit
+        # Zero re-planning on the second run: the analysis was derived
+        # during the first commit and only validated here.
+        assert metrics.counters["plan_cache.hits"] == 1
+        assert "plan_cache.misses" not in metrics.counters
+        assert "plan_cache.invalidations" not in metrics.counters
+
+    def test_repeated_transaction_shape_is_a_hit(self):
+        db = _payroll_db()
+        with db.transaction() as tx:
+            tx.insert("active", "joe")  # already present: delta is empty
+        metrics = Metrics()
+        with metrics.activate():
+            with db.transaction() as tx:
+                tx.insert("active", "joe")
+        # Identical update set -> identical P_U rules -> same cache key;
+        # the data did not move, so the stats signature matches too.
+        assert metrics.counters["plan_cache.hits"] == 1
+        assert "plan_cache.misses" not in metrics.counters
+
+    def test_new_update_set_changes_the_run_program(self):
+        db = _payroll_db()
+        db.refresh()
+        metrics = Metrics()
+        with metrics.activate():
+            with db.transaction() as tx:
+                tx.delete("active", "ann")
+        # The transaction's P_U rules extend the program, and the paper's
+        # program facts (conflict-freedom, liveness) depend on them: a new
+        # update set is a new program and must be analyzed afresh.
+        assert metrics.counters["plan_cache.misses"] == 1
+        assert "plan_cache.hits" not in metrics.counters
+
+    def test_rule_change_between_commits_forces_replan(self):
+        db = _payroll_db()
+        db.refresh()
+        db.add_rule("@name(audit) -payroll(X, S) -> +audit(X).")
+        metrics = Metrics()
+        with metrics.activate():
+            db.refresh()
+        # New rule set -> new cache key -> full analysis again.
+        assert metrics.counters["plan_cache.misses"] == 1
+        assert "plan_cache.hits" not in metrics.counters
+
+    def test_data_magnitude_change_invalidates_plan(self):
+        from repro.lang.atoms import atom
+
+        db = _payroll_db()
+        db.refresh()
+        # Bulk-load emp across a bit-length bucket (2 rows -> 5 rows)
+        # behind the facade's back, as after an external load.
+        for name in ("eve", "mia", "tom"):
+            db.database.add(atom("emp", name))
+        metrics = Metrics()
+        with metrics.activate():
+            db.refresh()
+        assert metrics.counters["plan_cache.invalidations"] == 1
+        assert "plan_cache.misses" not in metrics.counters
+
+    def test_caches_are_per_database_instance(self):
+        db_a = _payroll_db()
+        db_b = _payroll_db()
+        db_a.refresh()
+        metrics = Metrics()
+        with metrics.activate():
+            db_b.refresh()
+        # db_b never committed before: its own cache starts cold.
+        assert metrics.counters["plan_cache.misses"] == 1

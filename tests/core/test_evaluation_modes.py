@@ -240,13 +240,15 @@ class TestDirtyScheduling:
         evaluator = make_evaluation("incremental", program, frozenset())
 
         matched_rules = []
-        original_match = evaluation_module.match_rule
+        original_collect = evaluation_module.collect_rule_firings
 
-        def counting_match(rule, view):
-            matched_rules.append(rule)
-            return original_match(rule, view)
+        def counting_collect(rule, owner, *args, **kwargs):
+            matched_rules.append(owner)
+            return original_collect(rule, owner, *args, **kwargs)
 
-        monkeypatch.setattr(evaluation_module, "match_rule", counting_match)
+        monkeypatch.setattr(
+            evaluation_module, "collect_rule_firings", counting_collect
+        )
 
         (volatile_rule,) = evaluator.volatile_rules
         delta = None

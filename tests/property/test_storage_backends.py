@@ -1,0 +1,180 @@
+"""The columnar and row storage layouts are observationally identical.
+
+:class:`~repro.storage.relation.ColumnarRelation` stores rows as tuples
+of intern-table ids in per-column ``array('q')`` arrays; the row-oriented
+:class:`~repro.storage.relation.Relation` is the reference oracle.  For
+every random program, database, and update transaction, an engine run
+must be bit-identical under both layouts — per-round firings, traces,
+blocked sets, statistics, deltas, and final databases — across all three
+Γ evaluation strategies and both matcher backends.  A relation-level
+property additionally drives the two layouts through the same random
+mutation sequence and asserts the raw dialect (rows, membership,
+candidates) agrees at every step.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.property import strategies as strat
+
+from repro.analysis.trace import TraceRecorder
+from repro.core.engine import EngineListener, ParkEngine
+from repro.engine.match import (
+    clear_compile_cache,
+    get_matcher_backend,
+    set_matcher_backend,
+)
+from repro.errors import NonTerminationError
+from repro.lang.atoms import Atom
+from repro.lang.updates import Update, UpdateOp
+from repro.storage.relation import (
+    ColumnarRelation,
+    Relation,
+    get_storage_backend,
+    set_storage_backend,
+)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+STORAGES = ("row", "columnar")
+BACKENDS = ("interpreted", "compiled")
+STRATEGIES = ("naive", "seminaive", "incremental")
+
+
+def _with_storage(storage, backend, thunk):
+    previous_storage = get_storage_backend()
+    previous_backend = get_matcher_backend()
+    set_storage_backend(storage)
+    set_matcher_backend(backend)
+    clear_compile_cache()
+    try:
+        return thunk()
+    finally:
+        set_storage_backend(previous_storage)
+        set_matcher_backend(previous_backend)
+        clear_compile_cache()
+
+
+class FiringsRecorder(EngineListener):
+    def __init__(self):
+        self.rounds = []
+
+    def on_round(self, round_number, epoch, gamma_result):
+        self.rounds.append((round_number, epoch, gamma_result.firings))
+
+
+@st.composite
+def engine_scenarios(draw):
+    program, database = draw(strat.program_database_pairs())
+    arities = sorted(program.predicates())
+    updates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        predicate, arity = draw(st.sampled_from(arities))
+        row = tuple(draw(strat.constants) for _ in range(arity))
+        op = draw(st.sampled_from([UpdateOp.INSERT, UpdateOp.DELETE]))
+        updates.append(Update(op, Atom(predicate, row)))
+    return program, database, tuple(updates)
+
+
+def _run_engine(strategy, program, database, updates):
+    firings = FiringsRecorder()
+    trace = TraceRecorder()
+    engine = ParkEngine(
+        listeners=(trace, firings),
+        evaluation=strategy,
+    )
+    result = engine.run(program, database, updates=updates)
+    return result, tuple(trace.events), tuple(firings.rounds)
+
+
+@given(
+    scenario=engine_scenarios(),
+    strategy=st.sampled_from(STRATEGIES),
+    backend=st.sampled_from(BACKENDS),
+)
+@RELAXED
+def test_storage_layouts_bit_identical_engine_runs(scenario, strategy, backend):
+    program, database, updates = scenario
+    outcomes = {}
+    failures = {}
+    for storage in STORAGES:
+        try:
+            outcomes[storage] = _with_storage(
+                storage,
+                backend,
+                lambda: _run_engine(strategy, program, database, updates),
+            )
+        except NonTerminationError as error:
+            failures[storage] = str(error)
+    if failures:
+        assert set(failures) == set(STORAGES), (failures, outcomes)
+        assert len(set(failures.values())) == 1, failures
+        return
+
+    base_result, base_trace, base_firings = outcomes["row"]
+    result, trace, firings = outcomes["columnar"]
+    assert firings == base_firings
+    assert trace == base_trace
+    assert result.blocked == base_result.blocked
+    assert result.atoms == base_result.atoms
+    assert result.delta.inserts == base_result.delta.inserts
+    assert result.delta.deletes == base_result.delta.deletes
+    assert result.stats.rounds == base_result.stats.rounds
+    assert result.stats.restarts == base_result.stats.restarts
+    assert result.stats.conflicts_resolved == base_result.stats.conflicts_resolved
+    assert result.stats.firings_total == base_result.stats.firings_total
+
+
+# -- relation-level oracle equivalence ---------------------------------------------
+
+_VALUES = ("a", "b", "c", 1, 2)
+
+
+@st.composite
+def mutation_sequences(draw):
+    arity = draw(st.integers(min_value=0, max_value=3))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "discard"]),
+                st.tuples(*[st.sampled_from(_VALUES)] * arity),
+            ),
+            max_size=25,
+        )
+    )
+    probes = draw(
+        st.lists(
+            st.tuples(*[st.sampled_from(_VALUES + ("zzz",))] * arity),
+            max_size=5,
+        )
+    )
+    return arity, ops, probes
+
+
+@given(mutation_sequences())
+@RELAXED
+def test_columnar_matches_row_oracle(sequence):
+    arity, ops, probes = sequence
+    oracle = Relation("r", arity)
+    columnar = ColumnarRelation("r", arity)
+    for op, row in ops:
+        if op == "add":
+            assert oracle.add(row) == columnar.add(row)
+        else:
+            assert oracle.discard(row) == columnar.discard(row)
+        assert len(oracle) == len(columnar)
+        assert set(oracle.rows()) == set(columnar.rows())
+        assert oracle == columnar and columnar == oracle
+    for row in probes:
+        assert (row in oracle) == (row in columnar)
+    if arity:
+        for column in range(arity):
+            for value in _VALUES:
+                assert set(oracle.candidates({column: value})) == set(
+                    columnar.candidates({column: value})
+                )
+    assert set(oracle.candidates({})) == set(columnar.candidates({}))

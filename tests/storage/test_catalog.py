@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.storage.catalog import Catalog, Schema
+from repro.storage.catalog import (
+    Catalog,
+    InternTable,
+    Schema,
+    global_interner,
+)
 
 
 class TestSchema:
@@ -68,3 +73,46 @@ class TestCatalog:
     def test_declare_type_checked(self):
         with pytest.raises(TypeError):
             Catalog().declare(("emp", 1))
+
+
+class TestInternTable:
+    def test_first_seen_order_and_stability(self):
+        t = InternTable()
+        assert t.intern("a") == 0
+        assert t.intern("b") == 1
+        assert t.intern("a") == 0  # idempotent
+        assert len(t) == 2
+
+    def test_id_of_and_value_of(self):
+        t = InternTable()
+        ident = t.intern(42)
+        assert t.id_of(42) == ident
+        assert t.value_of(ident) == 42
+        assert t.id_of("unseen") is None
+
+    def test_distinct_types_are_distinct_values(self):
+        t = InternTable()
+        assert t.intern(1) != t.intern("1")
+
+    def test_encode_decode_roundtrip(self):
+        t = InternTable()
+        row = ("joe", 4200)
+        assert t.decode_row(t.encode_row(row)) == row
+
+    def test_try_encode_row_unseen_returns_none_without_growing(self):
+        t = InternTable()
+        t.intern("a")
+        before = len(t)
+        assert t.try_encode_row(("a", "unseen")) is None
+        assert len(t) == before
+        assert t.try_encode_row(("a",)) == (0,)
+
+    def test_constant_of_is_shared_and_correct(self):
+        t = InternTable()
+        ident = t.intern("joe")
+        box = t.constant_of(ident)
+        assert box.value == "joe"
+        assert t.constant_of(ident) is box  # memoized, not reallocated
+
+    def test_global_interner_is_process_wide(self):
+        assert global_interner() is global_interner()

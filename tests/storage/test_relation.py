@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.storage.relation import Relation
+from repro.storage.relation import (
+    ColumnarRelation,
+    Relation,
+    get_storage_backend,
+    make_relation,
+    set_storage_backend,
+)
 
 
 class TestMutation:
@@ -263,3 +269,136 @@ class TestCompositeIndexes:
             ("a", "b", "d"),
         }
         assert (0, 1) in self.r._composite
+
+
+class TestColumnarRelation:
+    """The columnar layout's two dialects and its swap-with-last delete."""
+
+    def setup_method(self):
+        self.r = ColumnarRelation(
+            "edge", 2, [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")]
+        )
+
+    def test_raw_roundtrip(self):
+        assert ("a", "b") in self.r
+        assert len(self.r) == 4
+        assert set(self.r.rows()) == {("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")}
+        assert set(iter(self.r)) == set(self.r.rows())
+
+    def test_add_duplicate_returns_false(self):
+        assert not self.r.add(("a", "b"))
+        assert len(self.r) == 4
+
+    def test_mixed_value_types(self):
+        r = ColumnarRelation("payroll", 2, [("joe", 10), ("ann", 20)])
+        assert ("joe", 10) in r
+        assert ("joe", 20) not in r
+        assert set(r.rows()) == {("joe", 10), ("ann", 20)}
+
+    def test_discard_middle_keeps_columns_dense(self):
+        # Swap-with-last: deleting a non-final row moves the last row into
+        # its slot; rows(), membership, and the column arrays must agree.
+        rows = self.r.rows()
+        victim = rows[1]
+        assert self.r.discard(victim)
+        assert victim not in self.r
+        assert len(self.r) == 3
+        assert set(self.r.rows()) == set(rows) - {victim}
+        for column in range(2):
+            assert len(self.r.column(column)) == 3
+        # Column arrays still describe exactly the surviving rows.
+        decoded = {
+            (self.r._interner.value_of(self.r.column(0)[i]),
+             self.r._interner.value_of(self.r.column(1)[i]))
+            for i in range(3)
+        }
+        assert decoded == set(self.r.rows())
+
+    def test_discard_last_row(self):
+        last = self.r.rows()[-1]
+        assert self.r.discard(last)
+        assert set(self.r.rows()) == set(self.r.rows())
+        assert len(self.r.column(0)) == 3
+
+    def test_unseen_value_probe_does_not_grow_interner(self):
+        before = len(self.r._interner)
+        assert ("never-interned-value", "b") not in self.r
+        assert not self.r.discard(("never-interned-value", "b"))
+        assert len(self.r._interner) == before
+
+    def test_native_dialect(self):
+        native = next(iter(self.r.row_set()))
+        assert all(isinstance(ident, int) for ident in native)
+        assert self.r.has_native(native)
+        raw = self.r.decode_row(native)
+        assert raw in self.r
+        constants = self.r.row_constants(native)
+        assert tuple(c.value for c in constants) == raw
+
+    def test_candidates_raw_dialect(self):
+        assert set(self.r.candidates({})) == set(self.r.rows())
+        assert set(self.r.candidates({0: "a"})) == {("a", "b"), ("a", "c")}
+        assert set(self.r.candidates({0: "a", 1: "c"})) == {("a", "c")}
+        assert set(self.r.candidates({0: "zzz"})) == set()
+
+    def test_candidates_key_native_dialect(self):
+        interner = self.r._interner
+        key = (interner.intern("a"),)
+        hits = set(self.r.candidates_key((0,), key))
+        assert hits == {interner.encode_row(("a", "b")), interner.encode_row(("a", "c"))}
+
+    def test_index_maintained_after_swap_delete(self):
+        list(self.r.candidates({0: "a"}))  # build the column-0 index
+        self.r.discard(("a", "b"))
+        self.r.add(("a", "z"))
+        assert set(self.r.candidates({0: "a"})) == {("a", "c"), ("a", "z")}
+
+    def test_copy_independent_shares_interner(self):
+        clone = self.r.copy()
+        assert clone._interner is self.r._interner
+        clone.add(("x", "y"))
+        assert len(self.r) == 4
+        assert len(clone) == 5
+
+    def test_clear(self):
+        self.r.clear()
+        assert len(self.r) == 0
+        assert all(len(self.r.column(c)) == 0 for c in range(2))
+        assert self.r.add(("a", "b"))
+
+    def test_cross_layout_equality(self):
+        row = Relation("edge", 2, self.r.rows())
+        assert self.r == row
+        row.add(("z", "z"))
+        assert self.r != row
+
+    def test_zero_arity(self):
+        flag = ColumnarRelation("flag", 0, [()])
+        assert () in flag
+        assert tuple(flag.candidates({})) == ((),)
+        assert flag.discard(())
+        assert len(flag) == 0
+
+    def test_arity_enforced(self):
+        with pytest.raises(SchemaError):
+            self.r.add(("a",))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(self.r)
+
+
+class TestStorageBackendSwitch:
+    def test_make_relation_follows_backend(self):
+        previous = get_storage_backend()
+        try:
+            set_storage_backend("row")
+            assert isinstance(make_relation("t", 1), Relation)
+            set_storage_backend("columnar")
+            assert isinstance(make_relation("t", 1), ColumnarRelation)
+        finally:
+            set_storage_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_storage_backend("paged")
