@@ -28,9 +28,13 @@ breakdowns plus the semantic counter fingerprint into the report.  The
 fingerprint (rounds, epochs, restarts, conflicts, firings, blocked — see
 ``repro.obs.metrics.SEMANTIC_COUNTERS``) is asserted identical across
 all combinations, and a disabled-telemetry overhead check asserts that
-runs made *after* metered runs are no slower than runs made before them
-(tolerance ``REPRO_OVERHEAD_TOLERANCE``, default 3%) — catching both a
-leaked active registry and creeping guard costs on the null path.
+runs made *after* metered and audited runs are no slower than runs made
+before them (tolerance ``REPRO_OVERHEAD_TOLERANCE``, default 3%) —
+catching a leaked metrics registry, a leaked decision trail, and
+creeping guard costs on the null path.  It also writes two
+CI-uploadable artifacts next to the report: a Prometheus text snapshot
+(``<out stem>.prom``) and a CRC-framed decision-trail file
+(``<out stem>.audit``) that ``repro audit`` can inspect directly.
 """
 
 import argparse
@@ -41,6 +45,8 @@ import time
 
 from repro.engine.match import clear_compile_cache, set_matcher_backend
 from repro.obs import Metrics
+from repro.obs.audit import AuditLog, DecisionTrail
+from repro.obs.export import write_prometheus
 from repro.obs.profile import PHASES
 from repro.storage.relation import get_storage_backend, set_storage_backend
 from repro.workloads import (
@@ -221,11 +227,12 @@ OVERHEAD_WORKLOADS = ("tc-40", "reach-100")
 def _overhead_check(workloads, repeats, tolerance, verbose=True):
     """Assert the null-telemetry path stays fast after metered runs.
 
-    For each matcher-bound workload: interleave disabled, metered, and
-    again-disabled runs (best-of-N each, incremental/compiled — the
-    hottest configuration), so machine drift hits all three equally.
-    ``after/before`` must stay under ``1 + tolerance``; a leaked active
-    registry or new unguarded work on the null path shows up here as a
+    For each matcher-bound workload: interleave disabled, metered,
+    audited, and again-disabled runs (best-of-N each, on
+    incremental/compiled — the hottest configuration), so machine drift
+    hits all four equally.  ``after/before`` must stay under
+    ``1 + tolerance``; a leaked active registry (metrics *or* decision
+    trail) or new unguarded work on the null path shows up here as a
     hard failure.
     """
     checks = {}
@@ -244,7 +251,8 @@ def _overhead_check(workloads, repeats, tolerance, verbose=True):
             return time.perf_counter() - start
 
         timed()  # warm the compile caches outside the measurement
-        before = enabled = after = None
+        trail = DecisionTrail()
+        before = enabled = audited = after = None
         for _ in range(rounds):
             sample = timed()
             if before is None or sample < before:
@@ -252,6 +260,9 @@ def _overhead_check(workloads, repeats, tolerance, verbose=True):
             sample = timed(metrics=Metrics())
             if enabled is None or sample < enabled:
                 enabled = sample
+            sample = timed(audit=trail)
+            if audited is None or sample < audited:
+                audited = sample
             sample = timed()
             if after is None or sample < after:
                 after = sample
@@ -260,15 +271,18 @@ def _overhead_check(workloads, repeats, tolerance, verbose=True):
             "disabled_before_s": round(before, 6),
             "disabled_after_s": round(after, 6),
             "enabled_s": round(enabled, 6),
+            "audited_s": round(audited, 6),
             "disabled_ratio": round(ratio, 4),
             "enabled_overhead": round(enabled / before, 4),
+            "audited_overhead": round(audited / before, 4),
             "tolerance": tolerance,
         }
         checks[name] = entry
         if verbose:
             print(
                 "%-12s disabled %8.4fs -> %8.4fs after metered runs "
-                "(ratio %.3f, tolerance %.2f); enabled %8.4fs (%.2fx)"
+                "(ratio %.3f, tolerance %.2f); enabled %8.4fs (%.2fx); "
+                "audited %8.4fs (%.2fx)"
                 % (
                     name,
                     before,
@@ -277,16 +291,47 @@ def _overhead_check(workloads, repeats, tolerance, verbose=True):
                     1.0 + tolerance,
                     enabled,
                     enabled / before,
+                    audited,
+                    audited / before,
                 )
             )
         if ratio > 1.0 + tolerance:
             raise AssertionError(
                 "disabled-telemetry path slowed down by %.1f%% on %s "
-                "(tolerance %.0f%%): an active registry leaked or the "
-                "null-metrics fast path regressed"
+                "(tolerance %.0f%%): an active registry or decision "
+                "trail leaked, or the null-telemetry fast path regressed"
                 % ((ratio - 1.0) * 100, name, tolerance * 100)
             )
     return checks
+
+
+def _telemetry_artifacts(out, verbose=True):
+    """Write the CI-uploadable telemetry artifacts next to the report.
+
+    ``<out stem>.prom`` — Prometheus text-format snapshot of a metered
+    run (the same registry the phase breakdowns come from).
+    ``<out stem>.audit`` — the decision trail of a conflict-bearing run,
+    in the CRC-framed format the :class:`~repro.active.activedb`
+    sidecar uses, so ``repro audit verify``/``show``/``inspect`` work
+    on the artifact unchanged.
+    """
+    base = os.path.splitext(out)[0]
+    set_matcher_backend("compiled")
+    clear_compile_cache()
+    metrics = Metrics()
+    trail = DecisionTrail()
+    conflict_cascade(8).run(
+        evaluation="incremental", metrics=metrics, audit=trail
+    )
+    prom_path = base + ".prom"
+    write_prometheus(metrics, prom_path)
+    audit_path = base + ".audit"
+    if os.path.exists(audit_path):
+        os.remove(audit_path)
+    AuditLog(audit_path).append(1, trail)
+    if verbose:
+        print("wrote %s and %s" % (prom_path, audit_path))
+    return {"prometheus": prom_path, "audit": audit_path}
 
 
 def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
@@ -401,6 +446,7 @@ def run(repeats=3, out="BENCH_park.json", verbose=True, quick=False,
             report["telemetry_overhead"] = _overhead_check(
                 workloads, repeats, overhead_tolerance, verbose=verbose
             )
+            report["artifacts"] = _telemetry_artifacts(out, verbose=verbose)
     finally:
         set_matcher_backend("compiled")
         set_storage_backend(default_storage)
@@ -478,8 +524,9 @@ def main(argv=None):
         "--metrics",
         action="store_true",
         help="embed phase breakdowns + counter fingerprints, assert the "
-        "fingerprint identical across combinations, and run the "
-        "disabled-telemetry overhead check",
+        "fingerprint identical across combinations, run the "
+        "disabled-telemetry overhead check, and write the Prometheus + "
+        "decision-trail artifacts next to --out",
     )
     args = parser.parse_args(argv)
     if args.quick and args.repeats == parser.get_default("repeats"):

@@ -45,6 +45,7 @@ class ActiveDatabase:
         blocking_mode=BlockingMode.ALL,
         listeners=(),
         journal=None,
+        audit=None,
     ):
         if database is None:
             database = Database()
@@ -56,6 +57,22 @@ class ActiveDatabase:
 
             journal = Journal(journal)
         self.journal = journal
+        # ``audit``: None/False (off), True (record a decision trail per
+        # commit; persisted to a ``<journal>.audit`` sidecar when a journal
+        # is configured), a path, or an AuditLog instance.  The trail of
+        # the latest commit always rides on the commit's ParkResult.
+        self.audit_log = None
+        self._audit_enabled = bool(audit)
+        if audit is not None and audit is not False:
+            from ..obs.audit import SIDECAR_SUFFIX, AuditLog
+
+            if isinstance(audit, AuditLog):
+                self.audit_log = audit
+            elif audit is not True:
+                self.audit_log = AuditLog(audit)
+            elif journal is not None:
+                self.audit_log = AuditLog(journal.path + SIDECAR_SUFFIX)
+        self._trail = None
         self._rules = []
         for rule in rules:
             self.add_rule(rule)
@@ -240,6 +257,10 @@ class ActiveDatabase:
         snapshot is written (and fsynced, file and directory) before the
         journal is discarded, so a crash between the two leaves a valid
         snapshot plus a redundant-but-replayable journal, never neither.
+
+        The audit sidecar is deliberately *not* truncated: it is history,
+        not redo state, and ``repro audit`` keeps answering questions
+        about pre-checkpoint transactions.
         """
         from ..storage.textio import dump_database
 
@@ -275,6 +296,10 @@ class ActiveDatabase:
         state is exactly what was committed even if the rule set changed.
         A torn final record (crash mid-append) is truncated off the file,
         and the recovered instance keeps journaling to the same file.
+
+        Pass ``audit=True`` to keep appending decision trails to the
+        journal's ``.audit`` sidecar; a torn final audit record (the
+        sidecar is not fsynced per commit) is repaired the same way.
         """
         from ..storage.textio import load_database
         from .journal import Journal
@@ -289,6 +314,8 @@ class ActiveDatabase:
         db = cls(database, rules=rules, journal=journal, **options)
         if records:
             db._next_tx = max(r.transaction_id for r in records) + 1
+        if db.audit_log is not None:
+            db.audit_log.repair_tail()
         m = _obs.ACTIVE
         if m is not None:
             m.inc("journal.recoveries")
@@ -300,12 +327,22 @@ class ActiveDatabase:
 
     def _commit(self, tx):
         start = perf_counter()
+        trail = None
+        if self._audit_enabled:
+            from ..obs.audit import DecisionTrail
+
+            # One reusable trail per database: commits are serial and
+            # ``trail.start`` resets it, so each commit records cleanly.
+            if self._trail is None:
+                self._trail = DecisionTrail()
+            trail = self._trail
         engine = ParkEngine(
             policy=self.policy,
             blocking_mode=self.blocking_mode,
             listeners=self.listeners,
             facts=True,
             plan_cache=self.plan_cache,
+            audit=trail,
         )
         result = engine.run(self.program, self._database, updates=tx.updates())
         # Write-ahead ordering: the journal record must be durable before
@@ -316,6 +353,11 @@ class ActiveDatabase:
         if self.journal is not None:
             self.journal.append(tx.transaction_id, tx.updates(), result.delta)
         result.delta.apply(self._database, in_place=True)
+        # The decision trail is appended *after* the commit point: it is
+        # observability, not part of the durability contract, so a failed
+        # trail write must never un-commit an already-journaled delta.
+        if self.audit_log is not None and trail is not None:
+            self.audit_log.append(tx.transaction_id, trail)
         self.log.append(
             CommitRecord(
                 transaction_id=tx.transaction_id,

@@ -1,29 +1,54 @@
-"""Explanations: why did an update end up in the result?
+"""Explanations: why did an update end up in the result — and why not?
 
-Built on the provenance the engine records during its final epoch: every
-marked literal knows the rule instances that derived it, and each
-instance's ground body tells which facts and earlier updates supported it.
-Chasing those edges yields a derivation tree — the "valid reasons for the
-literal" the paper's Section 4.1 discussion is about.
+**Why**: built on the provenance the engine records during its final
+epoch — every marked literal knows the rule instances that derived it,
+and each instance's ground body tells which facts and earlier updates
+supported it.  Chasing those edges yields a derivation tree — the "valid
+reasons for the literal" the paper's Section 4.1 discussion is about.
 
     >>> from repro.core import park
     >>> result = park("p -> +q. q -> +r.", "p.")
     >>> from repro.analysis.explain import Explainer
-    >>> print(Explainer(result).explain_text("+r"))  # doctest: +SKIP
+    >>> print(Explainer(result).explain_text("+r"))
     +r
-      by (r2, []) since q
-        +q
-          by (r1, []) since p
-            p  [base fact]
+      by (q -> +r)
+        q  [derived]
+          +q
+            by (p -> +q)
+              p  [base fact]
+
+**Why not**: the negative-space question — why is a marked literal
+*absent* from the final interpretation?  :meth:`Explainer.why_not` walks
+a fixed taxonomy, most specific first:
+
+* ``blocked`` — an instance deriving it is in ``B``; the conflict that
+  blocked it and the *winning* side are named (from the decision trail
+  when the run was audited, from final-epoch provenance otherwise);
+* ``lost`` — it was derived in an earlier epoch and discarded when ``Θ``
+  restarted from ``I∅`` (requires the decision trail's epoch archives);
+* ``refuted`` — a candidate rule's body fails only on negation: the
+  negated atom holds in the final state;
+* ``never-matched`` — a candidate rule exists but some positive body
+  literal never held;
+* ``underivable`` — no registered rule's head even unifies with it.
+
+    >>> blocked = park("p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.", "p.",
+    ...               audit=True)
+    >>> print(Explainer(blocked).why_not_text("+q"))
+    why not +q?
+      blocked by the conflict on q: SELECT chose delete (policy inertia, epoch 1)
+        winning side: (p -> -q)
+        blocked instances: (p -> +q)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..errors import EngineError
 from ..lang.literals import Condition, Event
+from ..lang.terms import Constant, Variable
 from ..lang.updates import Update, UpdateOp
 
 
@@ -53,10 +78,66 @@ class DerivationNode:
     cyclic: bool = False
 
 
-class Explainer:
-    """Builds derivation trees from a :class:`ParkResult`'s provenance."""
+@dataclass(frozen=True)
+class Reason:
+    """Why one candidate rule failed to derive the target (why-not detail)."""
 
-    def __init__(self, result):
+    rule: str        # the rule's description, e.g. "r2" or "(p -> +q)"
+    kind: str        # "refuted" | "never-matched" | "fires"
+    detail: str      # human-readable account naming the failing literal
+
+    def to_dict(self):
+        return {"rule": self.rule, "kind": self.kind, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class WhyNot:
+    """A structured why-not verdict for one absent marked literal.
+
+    ``kind`` is one of ``present`` (nothing to explain — it *is* in the
+    result), ``blocked``, ``lost``, ``refuted``, ``never-matched``, or
+    ``underivable`` — see the module docstring for the taxonomy.
+    """
+
+    update: Update
+    kind: str
+    blocked: Tuple = ()                 # blocked instances deriving the target
+    winner: Optional[Update] = None     # the winning marked literal
+    winners: Tuple = ()                 # the winning side's instances
+    policy: Optional[str] = None
+    epoch: Optional[int] = None         # epoch of the binding verdict / loss
+    lost_derivers: Tuple = ()           # instances that derived it pre-restart
+    reasons: Tuple[Reason, ...] = field(default=())
+
+    def to_dict(self):
+        """JSON-ready dict (groundings rendered as text)."""
+        payload = {"target": str(self.update), "kind": self.kind}
+        if self.blocked:
+            payload["blocked"] = [str(g) for g in self.blocked]
+        if self.winner is not None:
+            payload["winner"] = str(self.winner)
+        if self.winners:
+            payload["winners"] = [str(g) for g in self.winners]
+        if self.policy is not None:
+            payload["policy"] = self.policy
+        if self.epoch is not None:
+            payload["epoch"] = self.epoch
+        if self.lost_derivers:
+            payload["lost_derivers"] = [str(g) for g in self.lost_derivers]
+        if self.reasons:
+            payload["reasons"] = [reason.to_dict() for reason in self.reasons]
+        return payload
+
+
+class Explainer:
+    """Builds derivation trees and why-not verdicts from a :class:`ParkResult`.
+
+    *program* supplies the candidate rules for why-not analysis; when
+    omitted it is taken from the result's decision trail (``audit=True``
+    runs).  Why and why-not on blocked/derived literals work without it.
+    """
+
+    def __init__(self, result, program=None):
         if result.provenance is None:
             raise EngineError(
                 "result carries no provenance; run through ParkEngine/park()"
@@ -64,6 +145,10 @@ class Explainer:
         self._result = result
         self._provenance = result.provenance
         self._interpretation = result.interpretation
+        self._trail = getattr(result, "trail", None)
+        if program is None and self._trail is not None:
+            program = self._trail.program
+        self._program = program
 
     # -- tree construction ------------------------------------------------------------
 
@@ -161,7 +246,300 @@ class Explainer:
                     lines.append("%s    %s  [%s]" % (pad, support.literal, support.note))
                     self._render_node(support.child, indent + 3, lines)
 
+    def explain_json(self, update, max_depth=32):
+        """The derivation tree as a JSON-ready nested dict."""
+        return self._node_dict(self.explain(update, max_depth=max_depth))
+
+    def _node_dict(self, node):
+        payload = {"update": str(node.update)}
+        if node.cyclic:
+            payload["cyclic"] = True
+        payload["steps"] = [
+            {
+                "by": str(step.grounding),
+                "rule": step.grounding.rule.describe(),
+                "supports": [
+                    dict(
+                        {"literal": str(s.literal), "note": s.note},
+                        **(
+                            {"child": self._node_dict(s.child)}
+                            if s.child is not None
+                            else {}
+                        )
+                    )
+                    for s in step.supports
+                ],
+            }
+            for step in node.steps
+        ]
+        return payload
+
+    # -- why not -----------------------------------------------------------------------
+
+    def why_not(self, update):
+        """Why is *update* absent from the final interpretation?
+
+        Returns a :class:`WhyNot`; see the module docstring for the
+        taxonomy.  Candidate-rule analysis (``refuted`` /
+        ``never-matched`` / ``underivable``) needs the program — passed to
+        the constructor or recovered from an audited run's trail; without
+        it those kinds degrade to ``unknown``.
+        """
+        update = self._coerce(update)
+        if self._interpretation.has_update(update):
+            return WhyNot(update=update, kind="present")
+
+        from ..core.groundings import sort_groundings
+
+        blockers = sort_groundings(
+            g for g in self._result.blocked if g.ground_head() == update
+        )
+        if blockers:
+            winner, winners, policy, epoch = self._winning_side(update)
+            return WhyNot(
+                update=update,
+                kind="blocked",
+                blocked=tuple(blockers),
+                winner=winner,
+                winners=tuple(winners),
+                policy=policy,
+                epoch=epoch,
+            )
+
+        lost = None
+        if self._trail is not None:
+            lost = self._trail.lost_derivers(update)
+        reasons = self._candidate_reasons(update)
+        if lost is not None:
+            epoch, derivers = lost
+            return WhyNot(
+                update=update,
+                kind="lost",
+                epoch=epoch,
+                lost_derivers=tuple(sort_groundings(derivers)),
+                reasons=reasons if reasons is not None else (),
+            )
+        if reasons is None:
+            return WhyNot(update=update, kind="unknown")
+        if not reasons:
+            return WhyNot(update=update, kind="underivable")
+        kind = (
+            "refuted"
+            if any(reason.kind == "refuted" for reason in reasons)
+            else "never-matched"
+        )
+        return WhyNot(update=update, kind=kind, reasons=reasons)
+
+    def _winning_side(self, update):
+        """``(winner update, winning instances, policy, epoch)`` for a blocked target."""
+        from ..core.groundings import sort_groundings
+
+        if self._trail is not None:
+            found = self._trail.verdict_for(update.atom)
+            if found is not None:
+                conflict, decision, policy, epoch = found
+                is_insert = decision.value == "insert"
+                winner_op = UpdateOp.INSERT if is_insert else UpdateOp.DELETE
+                return (
+                    Update(winner_op, update.atom),
+                    sort_groundings(conflict.side(is_insert)),
+                    policy,
+                    epoch,
+                )
+        # No trail: the opposite literal's final-epoch derivers are the
+        # side that won (it is the one still standing).
+        opposite = Update(
+            UpdateOp.DELETE if update.is_insert else UpdateOp.INSERT, update.atom
+        )
+        winners = sort_groundings(self._provenance.derivers(opposite))
+        winner = opposite if self._interpretation.has_update(opposite) else None
+        return winner, winners, self._result.policy_name, None
+
+    def _candidate_reasons(self, update):
+        """One :class:`Reason` per rule whose head unifies with *update*.
+
+        Returns ``None`` when no program is available, an empty tuple when
+        no head unifies (underivable).
+        """
+        if self._program is None:
+            return None
+        reasons = []
+        for rule in self._program:
+            head = rule.head
+            if head.op is not update.op:
+                continue
+            bindings = _unify_atom(head.atom, update.atom)
+            if bindings is None:
+                continue
+            reasons.append(self._rule_reason(rule, bindings))
+        return tuple(reasons)
+
+    def _rule_reason(self, rule, bindings):
+        """Walk the rule body under *bindings*; name the first dead literal."""
+        from ..core.validity import InterpretationView
+
+        view = InterpretationView(self._interpretation)
+        states = [dict(bindings)]
+        for literal in rule.body:
+            extended = []
+            for state in states:
+                extended.extend(_extensions(literal, state, view))
+            if not extended:
+                return self._dead_literal_reason(rule, literal, states)
+            states = extended
+        # Every body literal held for some grounding, yet the head is
+        # absent and nothing was blocked — only reachable on hand-built
+        # results; report it honestly rather than guessing.
+        return Reason(
+            rule=rule.describe(),
+            kind="fires",
+            detail="body holds in the final state (unexpected for an engine run)",
+        )
+
+    def _dead_literal_reason(self, rule, literal, states):
+        rendered = str(literal.substitute(states[0])) if states else str(literal)
+        if isinstance(literal, Condition) and not literal.positive:
+            # The negation failed: the atom *holds*.  Name a ground witness
+            # when the bindings pin one down.
+            witness = literal.atom.substitute(states[0]) if states else literal.atom
+            return Reason(
+                rule=rule.describe(),
+                kind="refuted",
+                detail="refuted by negation: not %s fails because %s holds"
+                % (witness, witness),
+            )
+        if isinstance(literal, Event):
+            return Reason(
+                rule=rule.describe(),
+                kind="never-matched",
+                detail="never matched: event %s did not occur" % rendered,
+            )
+        return Reason(
+            rule=rule.describe(),
+            kind="never-matched",
+            detail="never matched: %s does not hold in the final state" % rendered,
+        )
+
+    def why_not_text(self, update):
+        """The why-not verdict rendered as an indented text outline."""
+        verdict = self.why_not(update)
+        target = verdict.update
+        lines = ["why not %s?" % target]
+        if verdict.kind == "present":
+            lines.append("  it IS in the result — use explain for its derivation")
+        elif verdict.kind == "blocked":
+            decision = "insert" if verdict.winner and verdict.winner.is_insert else "delete"
+            where = ", epoch %d" % verdict.epoch if verdict.epoch is not None else ""
+            lines.append(
+                "  blocked by the conflict on %s: SELECT chose %s (policy %s%s)"
+                % (target.atom, decision, verdict.policy, where)
+            )
+            if verdict.winners:
+                lines.append(
+                    "    winning side: %s"
+                    % ", ".join(str(g) for g in verdict.winners)
+                )
+            lines.append(
+                "    blocked instances: %s"
+                % ", ".join(str(g) for g in verdict.blocked)
+            )
+        elif verdict.kind == "lost":
+            lines.append(
+                "  lost in a restart: derived in epoch %d by %s, discarded when "
+                "Θ restarted from I∅" % (
+                    verdict.epoch,
+                    ", ".join(str(g) for g in verdict.lost_derivers),
+                )
+            )
+            for reason in verdict.reasons:
+                lines.append("    afterwards, rule %s: %s" % (reason.rule, reason.detail))
+        elif verdict.kind == "underivable":
+            lines.append("  no rule's head unifies with %s" % target)
+        elif verdict.kind == "unknown":
+            lines.append(
+                "  not derivable from the final provenance; re-run with "
+                "audit=True (or pass program=) for rule-level analysis"
+            )
+        else:
+            lines.append("  no instance with head %s survived to the fixpoint:" % target)
+            for reason in verdict.reasons:
+                lines.append("    rule %s: %s" % (reason.rule, reason.detail))
+        return "\n".join(lines)
+
+
+def _unify_atom(pattern, ground):
+    """Match a (possibly open) head atom against a ground atom.
+
+    Returns the binding dict, or ``None`` when they cannot unify.
+    """
+    if (
+        pattern.predicate != ground.predicate
+        or pattern.arity != ground.arity
+    ):
+        return None
+    bindings = {}
+    for p_term, g_term in zip(pattern.terms, ground.terms):
+        if isinstance(p_term, Variable):
+            bound = bindings.get(p_term)
+            if bound is None:
+                bindings[p_term] = g_term
+            elif bound != g_term:
+                return None
+        elif p_term != g_term:
+            return None
+    return bindings
+
+
+def _extensions(literal, bindings, view):
+    """All extensions of *bindings* under which *literal* is valid.
+
+    Ground literals simply pass validity through; open positive
+    conditions and events enumerate candidate rows from the
+    interpretation's stores.  Open negated conditions cannot be decided
+    (range restriction makes them rare here) and yield nothing.
+    """
+    from ..core.validity import valid
+
+    instantiated = literal.substitute(bindings)
+    if instantiated.is_ground():
+        return [bindings] if valid(instantiated, view.interpretation) else []
+    if isinstance(instantiated, Condition) and not instantiated.positive:
+        return []
+    atom = instantiated.atom if isinstance(instantiated, Condition) else instantiated.update.atom
+    bound = {
+        position: term.value
+        for position, term in enumerate(atom.terms)
+        if isinstance(term, Constant)
+    }
+    if isinstance(instantiated, Event):
+        rows = view.event_candidates(
+            instantiated.op, atom.predicate, atom.arity, bound
+        )
+    else:
+        rows = view.condition_candidates(atom.predicate, atom.arity, bound)
+    results = []
+    for row in rows:
+        extended = dict(bindings)
+        ok = True
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                value = Constant(row[position])
+                existing = extended.get(term)
+                if existing is None:
+                    extended[term] = value
+                elif existing != value:
+                    ok = False
+                    break
+        if ok:
+            results.append(extended)
+    return results
+
 
 def why(result, update):
     """Shorthand: ``why(result, "+q(a)")`` -> indented explanation text."""
     return Explainer(result).explain_text(update)
+
+
+def why_not(result, update, program=None):
+    """Shorthand: ``why_not(result, "+q(a)")`` -> why-not verdict text."""
+    return Explainer(result, program=program).why_not_text(update)

@@ -10,8 +10,11 @@ Usage (also via ``python -m repro``)::
     python -m repro check rules.park --json --strict  # CI gating
     python -m repro query --db facts.park --query 'p(X), not q(X)'
     python -m repro explain --rules r.park --db d.park --target '+q'
+    python -m repro explain --rules r.park --db d.park --target '+q' \
+        --why-not --json                              # why is +q absent?
     python -m repro profile examples/quickstart.park  # hot-spot report
     python -m repro journal verify commits.journal    # WAL integrity check
+    python -m repro audit show commits.journal.audit --tx 17 --atom 'q(a)'
 
 Policies: ``inertia`` (default), ``priority``, ``specificity``,
 ``random[:seed]``, ``insert``, ``delete``.  Exit status is 0 on success,
@@ -32,7 +35,17 @@ Telemetry: ``run`` takes ``--metrics`` (print the counter registry),
 with telemetry on and prints the per-rule/per-phase hot-spot table (or
 ``--json``).  Both flush whatever telemetry was recorded even when the
 engine errors out mid-run, so a diverging program still yields a usable
-partial trace and profile.
+partial trace and profile.  Both also take ``--prom-out FILE``
+(Prometheus text-format metrics snapshot) and ``--chrome-out FILE``
+(chrome://tracing JSON of the span trace).
+
+``explain`` always runs with the decision trail enabled; ``--why-not``
+asks the negative-space question (why is the target *absent*: blocked by
+which conflict and winning side, lost in a restart, refuted by negation,
+or never matched), and ``--json`` emits either answer structurally.
+``audit`` reads the ``<journal>.audit`` sidecar an
+``ActiveDatabase(audit=True)`` writes: one CRC-framed decision-trail
+record per committed transaction, filterable by ``--tx`` and ``--atom``.
 """
 
 from __future__ import annotations
@@ -145,6 +158,16 @@ def _build_parser():
         "even if the engine errors out mid-run",
     )
     run.add_argument(
+        "--prom-out", default=None, metavar="FILE",
+        help="write a Prometheus text-format metrics snapshot "
+        "(implies --metrics recording)",
+    )
+    run.add_argument(
+        "--chrome-out", default=None, metavar="FILE",
+        help="write the span trace as chrome://tracing JSON "
+        "(implies trace recording)",
+    )
+    run.add_argument(
         "--max-rounds", type=int, default=None, metavar="N",
         help="abort with an engine error after N Γ rounds",
     )
@@ -193,6 +216,14 @@ def _build_parser():
     profile.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="also write the span trace as JSON lines",
+    )
+    profile.add_argument(
+        "--prom-out", default=None, metavar="FILE",
+        help="write a Prometheus text-format metrics snapshot",
+    )
+    profile.add_argument(
+        "--chrome-out", default=None, metavar="FILE",
+        help="write the span trace as chrome://tracing JSON",
     )
     profile.add_argument("--max-rounds", type=int, default=None, metavar="N")
     profile.add_argument("--max-restarts", type=int, default=None, metavar="N")
@@ -253,13 +284,53 @@ def _build_parser():
         help="body literals, e.g. 'payroll(X, S), not active(X)'",
     )
 
-    explain = commands.add_parser("explain", help="derivation of one update")
+    explain = commands.add_parser(
+        "explain", help="derivation (or why-not verdict) of one update"
+    )
     explain.add_argument("--rules", required=True)
     explain.add_argument("--db", default=None)
     explain.add_argument("--update", action="append", default=[])
     explain.add_argument("--policy", default="inertia")
     explain.add_argument(
         "--target", required=True, help="marked literal to explain, e.g. '+q'"
+    )
+    explain.add_argument(
+        "--why-not", action="store_true", dest="why_not",
+        help="explain why the target is ABSENT from the result (blocked, "
+        "lost in a restart, refuted by negation, never matched, ...)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the derivation tree / why-not verdict as JSON",
+    )
+
+    audit = commands.add_parser(
+        "audit", help="inspect a persisted decision-trail sidecar"
+    )
+    audit.add_argument(
+        "action", choices=["inspect", "show", "verify"],
+        help="inspect: one line per transaction; show: full decision "
+        "trail of --tx (or all); verify: integrity-check framing/CRCs",
+    )
+    audit.add_argument(
+        "path",
+        help="audit sidecar written by ActiveDatabase(audit=True) "
+        "(<journal>.audit)",
+    )
+    audit.add_argument(
+        "--tx", type=int, default=None, metavar="N",
+        help="restrict to transaction N",
+    )
+    audit.add_argument(
+        "--atom", default=None, metavar="ATOM",
+        help="show only events mentioning this atom, e.g. 'q(a)'",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    audit.add_argument(
+        "--strict", action="store_true",
+        help="verify: treat a (recoverable) torn tail as a failure too",
     )
     return parser
 
@@ -326,8 +397,8 @@ def _command_run(args, out):
         set_storage_backend(args.storage)
     program, database, updates = _load_inputs(args)
     recorder = TraceRecorder() if args.trace else None
-    metrics = Metrics() if args.metrics else None
-    if args.trace_out:
+    metrics = Metrics() if args.metrics or args.prom_out else None
+    if args.trace_out or args.chrome_out:
         from .obs import Tracer
 
         tracer = Tracer()
@@ -352,8 +423,16 @@ def _command_run(args, out):
     finally:
         # Engine errors still surface (exit 2 via main), but whatever
         # telemetry was recorded up to the failure is flushed first.
-        if tracer is not None:
+        if tracer is not None and args.trace_out:
             _flush_trace(tracer, args.trace_out, out)
+        if tracer is not None and args.chrome_out:
+            from .obs.export import write_chrome_trace
+
+            write_chrome_trace(tracer, args.chrome_out)
+        if metrics is not None and args.prom_out:
+            from .obs.export import write_prometheus
+
+            write_prometheus(metrics, args.prom_out)
     if recorder is not None:
         out.write(render_trace(recorder) + "\n\n")
     out.write("result: %s\n" % render_database(result.database))
@@ -362,7 +441,7 @@ def _command_run(args, out):
         out.write("blocked rules: %s\n" % ", ".join(result.blocked_rules()))
     if args.stats:
         out.write("%s\n" % result.summary())
-    if metrics is not None:
+    if metrics is not None and args.metrics:
         out.write("metrics:\n")
         for name, value in sorted(metrics.counters.items()):
             out.write("  %-36s %d\n" % (name, value))
@@ -390,7 +469,7 @@ def _command_profile(args, out):
     )
     updates = [_parse_update(u) for u in args.update]
     metrics = Metrics()
-    tracer = Tracer() if args.trace_out else None
+    tracer = Tracer() if args.trace_out or args.chrome_out else None
     engine = ParkEngine(
         policy=_make_policy(args.policy),
         blocking_mode=BlockingMode.MINIMAL
@@ -425,8 +504,16 @@ def _command_profile(args, out):
         error = engine_error
         meta["error"] = str(engine_error)
     wall_time = perf_counter() - start
-    if tracer is not None:
+    if tracer is not None and args.trace_out:
         _flush_trace(tracer, args.trace_out, out)
+    if tracer is not None and args.chrome_out:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(tracer, args.chrome_out)
+    if args.prom_out:
+        from .obs.export import write_prometheus
+
+        write_prometheus(metrics, args.prom_out)
     report = hotspot_report(
         metrics, result=result, wall_time=wall_time, top=args.top, meta=meta
     )
@@ -619,9 +706,135 @@ def _command_query(args, out):
 
 def _command_explain(args, out):
     program, database, updates = _load_inputs(args)
-    engine = ParkEngine(policy=_make_policy(args.policy))
+    # Audit the run so why-not can name winning sides, epochs, and
+    # restart losses; the overhead is irrelevant at CLI scale.
+    engine = ParkEngine(policy=_make_policy(args.policy), audit=True)
     result = engine.run(program, database, updates=updates)
-    out.write(Explainer(result).explain_text(args.target) + "\n")
+    explainer = Explainer(result)
+    if args.why_not:
+        verdict = explainer.why_not(args.target)
+        if args.json:
+            json.dump(verdict.to_dict(), out, indent=2)
+            out.write("\n")
+        else:
+            out.write(explainer.why_not_text(args.target) + "\n")
+        return 0
+    if args.json:
+        json.dump(explainer.explain_json(args.target), out, indent=2)
+        out.write("\n")
+    else:
+        out.write(explainer.explain_text(args.target) + "\n")
+    return 0
+
+
+def _audit_report(log):
+    """Scan *log*; returns (records, damage_message_or_None)."""
+    from .errors import StorageError
+
+    try:
+        return log.records(), None
+    except StorageError as error:
+        return [], str(error)
+
+
+def _command_audit(args, out):
+    from .obs.audit import AuditLog
+
+    log = AuditLog(args.path)
+    records, damage = _audit_report(log)
+    if args.tx is not None:
+        records = [r for r in records if r.transaction_id == args.tx]
+    tail = (
+        "damaged"
+        if damage is not None
+        else ("torn" if log.corrupt_tail is not None else "clean")
+    )
+
+    def _events(record):
+        if args.atom is None:
+            return list(record.events)
+        from .obs.audit import DecisionTrail
+
+        marked = ("+" + args.atom, "-" + args.atom)
+        return [
+            event
+            for event in record.events
+            if DecisionTrail._mentions(event, args.atom, marked)
+        ]
+
+    if args.json:
+        report = {
+            "path": args.path,
+            "tail": tail,
+            "records": [
+                {
+                    "tx": record.transaction_id,
+                    "events": _events(record),
+                    "verdicts": len(record.verdicts()),
+                    "restarts": len(record.restarts()),
+                    "conflicts": len(record.conflicts()),
+                }
+                for record in records
+            ],
+        }
+        if damage is not None:
+            report["damage"] = damage
+        json.dump(report, out, indent=2)
+        out.write("\n")
+    elif args.action == "inspect":
+        out.write("audit log: %s\n" % args.path)
+        if records:
+            out.write(
+                "  %6s  %8s  %10s  %9s  %8s\n"
+                % ("tx", "events", "conflicts", "verdicts", "restarts")
+            )
+            for record in records:
+                out.write(
+                    "  %6d  %8d  %10d  %9d  %8d\n"
+                    % (
+                        record.transaction_id,
+                        len(record.events),
+                        len(record.conflicts()),
+                        len(record.verdicts()),
+                        len(record.restarts()),
+                    )
+                )
+        out.write("  %d records, tail: %s\n" % (len(records), tail))
+        if log.corrupt_tail is not None:
+            out.write("  torn tail: %r\n" % log.corrupt_tail.strip())
+    elif args.action == "show":
+        for record in records:
+            out.write("tx %d:\n" % record.transaction_id)
+            for event in _events(record):
+                rendered = ", ".join(
+                    "%s=%s" % (key, value)
+                    for key, value in sorted(event.items())
+                    if key not in ("kind", "epoch", "round")
+                )
+                out.write(
+                    "  [epoch %d round %d] %-9s %s\n"
+                    % (event["epoch"], event["round"], event["kind"], rendered)
+                )
+    if damage is not None:
+        sys.stderr.write("error: %s\n" % damage)
+        return 1
+    if args.action == "verify":
+        if not args.json:
+            out.write(
+                "ok: %d records, %d events, tail %s\n"
+                % (
+                    len(records),
+                    sum(len(r.events) for r in records),
+                    tail,
+                )
+            )
+        if log.corrupt_tail is not None:
+            sys.stderr.write(
+                "warning: torn final audit record (recoverable; the next "
+                "append truncates it)\n"
+            )
+            if args.strict:
+                return 1
     return 0
 
 
@@ -638,6 +851,7 @@ def main(argv=None, out=None):
         "profile": _command_profile,
         "check": _command_check,
         "journal": _command_journal,
+        "audit": _command_audit,
         "query": _command_query,
         "explain": _command_explain,
     }

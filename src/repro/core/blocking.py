@@ -28,6 +28,7 @@ from __future__ import annotations
 import enum
 
 from ..errors import PolicyError
+from ..obs import audit as _audit
 from ..policies.base import ConflictContext, Decision, check_decision
 
 
@@ -63,6 +64,7 @@ def resolve_conflicts(
         raise PolicyError("resolve_conflicts called with no conflicts")
     chosen = conflicts[:1] if mode is BlockingMode.MINIMAL else conflicts
 
+    trail = _audit.ACTIVE
     additions = set()
     decisions = []
     for conflict in chosen:
@@ -76,7 +78,10 @@ def resolve_conflicts(
         )
         decision = check_decision(policy.select(context), policy, conflict)
         decisions.append((conflict, decision))
-        additions |= conflict.losing_side(decision is Decision.INSERT)
+        losers = conflict.losing_side(decision is Decision.INSERT)
+        if trail is not None:
+            trail.verdict(policy.name, conflict, decision, losers)
+        additions |= losers
     return additions, decisions
 
 

@@ -27,6 +27,7 @@ from typing import FrozenSet
 from ..errors import EngineError
 from ..lang.atoms import Atom
 from ..lang.updates import Update, UpdateOp
+from ..obs import audit as _audit
 from .consequence import compute_firings
 from .groundings import RuleGrounding, sort_groundings
 
@@ -95,6 +96,10 @@ def find_conflicts(program, interpretation, blocked=frozenset(), firings=None):
             Conflict(atom, frozenset(ins_by_atom[atom]), frozenset(del_by_atom[atom]))
         )
     result.sort(key=Conflict.sort_key)
+    trail = _audit.ACTIVE
+    if trail is not None:
+        for conflict in result:
+            trail.conflict(conflict)
     return result
 
 
@@ -111,15 +116,19 @@ def build_conflicts(gamma_result, blocked, provenance):
     the engine never derived.
     """
     firings = gamma_result.firings
+    trail = _audit.ACTIVE
     conflicts = []
+    stale_sides = {} if trail is not None else None
     for atom in gamma_result.conflict_atoms:
         plus_update = Update(UpdateOp.INSERT, atom)
         minus_update = Update(UpdateOp.DELETE, atom)
         ins = set(firings.get(plus_update, ()))
         dels = set(firings.get(minus_update, ()))
-        if not ins:
+        stale_ins = not ins
+        stale_dels = not dels
+        if stale_ins:
             ins = set(provenance.derivers(plus_update)) - set(blocked)
-        if not dels:
+        if stale_dels:
             dels = set(provenance.derivers(minus_update)) - set(blocked)
         if not ins or not dels:
             side = "+%s" % atom if not ins else "-%s" % atom
@@ -127,6 +136,13 @@ def build_conflicts(gamma_result, blocked, provenance):
                 "conflict on %s has no deriving instances for %s; the marked "
                 "literal was not derived by any rule this run" % (atom, side)
             )
-        conflicts.append(Conflict(atom, frozenset(ins), frozenset(dels)))
+        conflict = Conflict(atom, frozenset(ins), frozenset(dels))
+        if stale_sides is not None:
+            stale_sides[conflict] = (stale_ins, stale_dels)
+        conflicts.append(conflict)
     conflicts.sort(key=Conflict.sort_key)
+    if trail is not None:
+        for conflict in conflicts:
+            stale_ins, stale_dels = stale_sides[conflict]
+            trail.conflict(conflict, stale_ins=stale_ins, stale_dels=stale_dels)
     return conflicts

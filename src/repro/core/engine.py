@@ -43,6 +43,7 @@ from time import perf_counter
 
 from ..errors import NonTerminationError
 from ..lang.program import Program
+from ..obs import audit as _audit
 from ..obs import metrics as _obs
 from ..policies.base import as_policy
 from ..storage.catalog import INTERNER
@@ -127,6 +128,7 @@ class ParkEngine:
         evaluation="naive",
         metrics=None,
         tracer=None,
+        audit=None,
         facts=None,
         facts_conflict_skip=True,
         facts_seminaive=True,
@@ -152,6 +154,10 @@ class ParkEngine:
         self.evaluation = evaluation
         self.metrics = metrics
         self.tracer = tracer
+        # ``audit``: None (off), True (record a fresh DecisionTrail per
+        # run), or a repro.obs.audit.DecisionTrail instance to record
+        # into.  The trail rides on the result (``result.trail``).
+        self.audit = audit
         # ``facts``: None (off), True (analyze at run start), or a
         # precomputed lint.facts.ProgramFacts for the program being run.
         self.facts = facts
@@ -213,13 +219,21 @@ class ParkEngine:
             run_program = base_program
 
         tracer = self.tracer
-        if self.metrics is None and tracer is None:
+        if self.metrics is None and tracer is None and self.audit is None:
             return self._run_loop(run_program, original)
 
-        # Install the registry process-wide for the run so the matcher,
-        # planner, and storage layers record into it; restore the previous
-        # one (usually None) even if the run raises.
+        # Install the registries process-wide for the run so the matcher,
+        # planner, storage, and conflict-resolution layers record into
+        # them; restore the previous ones (usually None) even if the run
+        # raises.
         previous = _obs.set_active(self.metrics) if self.metrics is not None else None
+        if self.audit is not None:
+            trail = (
+                self.audit
+                if isinstance(self.audit, _audit.DecisionTrail)
+                else _audit.DecisionTrail()
+            )
+            previous_trail = _audit.set_active(trail)
         run_span = (
             tracer.begin(
                 "engine.run",
@@ -238,15 +252,18 @@ class ParkEngine:
                 # Also closes any round/match/policy spans a mid-run error
                 # left open, stamping them with the failure time.
                 tracer.end(run_span)
+            if self.audit is not None:
+                _audit.set_active(previous_trail)
             if self.metrics is not None:
                 _obs.set_active(previous)
 
     def _run_loop(self, run_program, original):
         have_listeners = bool(self.listeners)
         tracer = self.tracer
-        # Record into whatever registry is active — our own (installed by
-        # run()) or one the caller activated around the whole run.
+        # Record into whatever registries are active — our own (installed
+        # by run()) or ones the caller activated around the whole run.
         metrics = _obs.ACTIVE
+        trail = _audit.ACTIVE
         self._emit("on_start", run_program, original, self.policy.name)
 
         # Static fast paths: each one is individually gated and preserves
@@ -278,6 +295,9 @@ class ParkEngine:
                     "engine.facts_auto_seminaive",
                     int(evaluation_name != self.evaluation),
                 )
+
+        if trail is not None:
+            trail.start(run_program, original, self.policy.name, evaluation_name)
 
         stats = RunStats()
         blocked = set()
@@ -392,6 +412,12 @@ class ParkEngine:
             blocked |= new_instances
             stats.restarts += 1
             stats.conflicts_resolved += len(decisions)
+            if trail is not None:
+                # Archive the dying epoch's provenance *before* the restart
+                # clears it — the decision trail keeps what Θ discards.
+                trail.blocked(new_instances)
+                trail.archive_epoch(provenance)
+                trail.restart(len(blocked))
             if (
                 self.max_restarts is not None
                 and stats.restarts > self.max_restarts
@@ -412,6 +438,9 @@ class ParkEngine:
                 self._emit("on_restart", epoch, frozenset(blocked))
 
         stats.blocked_instances = len(blocked)
+        if trail is not None:
+            trail.archive_epoch(provenance)
+            trail.finish(stats)
         if metrics is not None:
             metrics.inc("engine.epochs", epoch)
             metrics.inc("engine.blocked_instances", len(blocked))
@@ -442,6 +471,7 @@ class ParkEngine:
             policy_name=self.policy.name,
             provenance=provenance,
             metrics=metrics,
+            trail=trail,
         )
         self._emit("on_finish", run_result)
         return run_result

@@ -60,6 +60,7 @@ from ..lang.atoms import Atom
 from ..lang.literals import Condition, Event
 from ..lang.rules import Rule
 from ..lang.updates import Update, UpdateOp
+from ..obs import audit as _audit
 from ..obs import metrics as _obs
 from .groundings import RuleGrounding
 from .validity import InterpretationView
@@ -141,6 +142,9 @@ class NaiveEvaluation:
             else:
                 frozen[head] = frozenset(instances)
         self._frozen = frozen
+        a = _audit.ACTIVE
+        if a is not None:
+            a.round(self.name, count)
         return dict(frozen)
 
 
@@ -382,14 +386,19 @@ class SemiNaiveEvaluation:
             frozen[head] = frozenset(accumulated[head])
 
         count = self._monotone_total
+        a = _audit.ACTIVE
         if not self.volatile_rules:
             self.last_firing_count = count
+            if a is not None:
+                a.round(self.name, count)
             return dict(frozen)
 
         firings = {head: set(instances) for head, instances in accumulated.items()}
         for rule in self.volatile_rules:
             count += _collect(rule, self.blocked, view, firings)
         self.last_firing_count = count
+        if a is not None:
+            a.round(self.name, count)
         return {head: frozenset(instances) for head, instances in firings.items()}
 
 
@@ -516,6 +525,9 @@ class IncrementalEvaluation:
                 # collide with monotone instances or other rules' caches.
                 count += len(instances)
         self.last_firing_count = count
+        a = _audit.ACTIVE
+        if a is not None:
+            a.round(self.name, count)
         return firings
 
 

@@ -58,6 +58,10 @@ class ParkResult:
         trace: the recorded trace, when a recorder was attached.
         metrics: the :class:`repro.obs.metrics.Metrics` registry that was
             active during the run, when telemetry was enabled.
+        trail: the :class:`repro.obs.audit.DecisionTrail` recorded during
+            the run, when auditing was enabled — every conflict, SELECT
+            verdict, restart, and the per-epoch provenance archives that
+            power why-not explanations.
     """
 
     database: object
@@ -69,6 +73,7 @@ class ParkResult:
     provenance: Optional[object] = None
     trace: Optional[object] = None
     metrics: Optional[object] = None
+    trail: Optional[object] = None
 
     @property
     def atoms(self):

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import NonTerminationError
+from ..obs import audit as _audit
 from ..policies.base import as_policy
 from .bistructure import BiStructure, initial_bistructure
 from .blocking import BlockingMode, resolve_conflicts
@@ -102,6 +103,15 @@ def theta(
             "cannot make progress on conflicts: %s"
             % "; ".join(str(c) for c in conflicts)
         )
+    trail = _audit.ACTIVE
+    if trail is not None:
+        # Mirror the engine's recording: the pure step function archives
+        # the dying epoch's provenance and logs the restart, so theory
+        # work gets the same decision trail as production runs.
+        trail.blocked(additions - blocked)
+        if provenance is not None:
+            trail.archive_epoch(provenance)
+        trail.restart(len(new_blocked))
     if provenance is not None:
         provenance.clear()
     after = BiStructure(new_blocked, interpretation.restarted())

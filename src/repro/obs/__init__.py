@@ -15,6 +15,12 @@ Three cooperating layers, all opt-in and all zero-cost when disabled:
 * :mod:`repro.obs.profile` — the ``repro profile`` hot-spot report:
   per-rule and per-phase wall time, firings, match attempts, and index
   efficiency, as a text table or JSON.
+* :mod:`repro.obs.audit` — the decision trail: every conflict triple,
+  SELECT verdict, blocked grounding, and Θ restart, with per-epoch
+  provenance archived instead of discarded, plus the :class:`AuditLog`
+  sidecar that persists one CRC-framed record per committed transaction.
+* :mod:`repro.obs.export` — exporters: Prometheus text-format metric
+  snapshots and chrome://tracing JSON for recorded span traces.
 
 This package's ``__init__`` must stay import-light: :mod:`repro.core.engine`
 imports :mod:`repro.obs.metrics`, while :mod:`repro.obs.tracing` imports
@@ -30,6 +36,11 @@ _LAZY = {
     "TracingListener": ("repro.obs.tracing", "TracingListener"),
     "hotspot_report": ("repro.obs.profile", "hotspot_report"),
     "render_profile": ("repro.obs.profile", "render_profile"),
+    "AuditLog": ("repro.obs.audit", "AuditLog"),
+    "AuditRecord": ("repro.obs.audit", "AuditRecord"),
+    "DecisionTrail": ("repro.obs.audit", "DecisionTrail"),
+    "chrome_trace": ("repro.obs.export", "chrome_trace"),
+    "prometheus_text": ("repro.obs.export", "prometheus_text"),
 }
 
 __all__ = [
@@ -41,6 +52,11 @@ __all__ = [
     "TracingListener",
     "hotspot_report",
     "render_profile",
+    "AuditLog",
+    "AuditRecord",
+    "DecisionTrail",
+    "chrome_trace",
+    "prometheus_text",
 ]
 
 

@@ -1,0 +1,145 @@
+"""Exporters: telemetry in formats external tools already understand.
+
+Two independent converters, both pure functions over the in-memory
+observability objects:
+
+* :func:`prometheus_text` — a :class:`~repro.obs.metrics.Metrics`
+  registry rendered in the Prometheus text exposition format (v0.0.4):
+  counters as ``counter``, gauges as ``gauge``, timer histograms as the
+  conventional ``_count`` / ``_sum`` summary pair, and per-rule timings
+  as one series with a ``rule`` label.  Metric names are prefixed
+  ``repro_`` and dots become underscores, so ``engine.rounds`` scrapes
+  as ``repro_engine_rounds``.
+* :func:`chrome_trace` — a :class:`~repro.obs.tracing.Tracer`'s records
+  in the Chrome Trace Event Format (the JSON array form), loadable in
+  ``chrome://tracing`` and Perfetto: spans become complete ``"X"``
+  events with microsecond timestamps, instantaneous listener events
+  become ``"i"`` instants, and still-open spans become begin ``"B"``
+  events so a mid-run flush remains inspectable.
+
+The CLI exposes both: ``repro run --prom-out`` / ``--chrome-out`` and
+the same flags on ``repro profile``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name):
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _escape_label(value):
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(metrics):
+    """Render *metrics* in the Prometheus text exposition format.
+
+    Returns a string ending in a newline (scrape-endpoint convention).
+    Rule timers (``rule.<description>`` entries recorded via
+    ``observe_rule``) are folded into labelled ``repro_rule_seconds`` /
+    ``repro_rule_firings`` series rather than one metric per rule.
+    """
+    lines = []
+    for name, value in sorted(metrics.counters.items()):
+        metric = _metric_name(name)
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _format_value(value)))
+    for name, value in sorted(metrics.gauges.items()):
+        metric = _metric_name(name)
+        lines.append("# TYPE %s gauge" % metric)
+        lines.append("%s %s" % (metric, _format_value(value)))
+    for name, entry in sorted(metrics.timers.items()):
+        count, total = entry[0], entry[1]
+        metric = _metric_name(name) + "_seconds"
+        lines.append("# TYPE %s summary" % metric)
+        lines.append("%s_count %d" % (metric, count))
+        lines.append("%s_sum %s" % (metric, _format_value(float(total))))
+    rules = getattr(metrics, "rules", None)
+    if rules:
+        lines.append("# TYPE repro_rule_seconds summary")
+        for rule, entry in sorted(rules.items()):
+            label = _escape_label(rule)
+            lines.append(
+                'repro_rule_seconds_count{rule="%s"} %d' % (label, entry[0])
+            )
+            lines.append(
+                'repro_rule_seconds_sum{rule="%s"} %s'
+                % (label, _format_value(float(entry[1])))
+            )
+        lines.append("# TYPE repro_rule_firings counter")
+        for rule, entry in sorted(rules.items()):
+            lines.append(
+                'repro_rule_firings{rule="%s"} %d'
+                % (_escape_label(rule), entry[2])
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _chrome_common(record, pid, tid):
+    event = {
+        "name": record["name"],
+        "pid": pid,
+        "tid": tid,
+        "ts": round(record["ts"] * 1e6, 3),  # chrome expects microseconds
+    }
+    attrs = record.get("attrs")
+    args = dict(attrs) if attrs else {}
+    args["span_id"] = record["id"]
+    if record.get("parent") is not None:
+        args["parent_id"] = record["parent"]
+    event["args"] = args
+    return event
+
+
+def chrome_trace(tracer, pid=1, tid=1):
+    """Convert *tracer*'s records to a Chrome Trace Event Format object.
+
+    Returns the ``{"traceEvents": [...]}`` dict; serialize with
+    :func:`chrome_trace_json` (or ``json.dumps``) and load the file in
+    ``chrome://tracing`` / Perfetto.
+    """
+    events = []
+    for record in tracer.records:
+        event = _chrome_common(record, pid, tid)
+        if record["type"] == "span":
+            if "dur" in record:
+                event["ph"] = "X"
+                event["dur"] = round(record["dur"] * 1e6, 3)
+            else:
+                # Open span (mid-run flush): a begin event keeps it
+                # visible in the viewer instead of dropping it.
+                event["ph"] = "B"
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # instant scoped to this thread
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer, pid=1, tid=1):
+    """:func:`chrome_trace` serialized as a JSON string."""
+    return json.dumps(chrome_trace(tracer, pid=pid, tid=tid))
+
+
+def write_prometheus(metrics, path):
+    """Write a Prometheus snapshot of *metrics* to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(metrics))
+
+
+def write_chrome_trace(tracer, path, pid=1, tid=1):
+    """Write *tracer* as a chrome://tracing JSON file at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(tracer, pid=pid, tid=tid))

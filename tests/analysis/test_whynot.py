@@ -1,0 +1,188 @@
+"""Tests for why-not explanations (the negative-space of provenance).
+
+Covers every kind in the taxonomy — blocked (with winning side named),
+lost in a restart, refuted by negation, never matched, underivable —
+on the paper's own examples E3–E5 plus the stale-conflict construction
+of ``tests/core/test_stale_conflicts.py`` run through the Explainer.
+"""
+
+import pytest
+
+from repro.analysis.explain import Explainer, why_not
+from repro.core.engine import park
+from repro.errors import EngineError
+from repro.workloads.paper import PAPER_EXAMPLES
+
+STALE = """
+@name(r0) seed -> +c.
+@name(r1) not b -> -a.
+@name(r2) c -> +b.
+@name(r3) b -> +a.
+"""
+
+LOST = """
+@name(r1) p -> +q.
+@name(r2) q -> +b.
+@name(r3) b -> -q.
+"""
+
+
+def paper(identifier, **options):
+    return PAPER_EXAMPLES[identifier].run(audit=True, **options)
+
+
+class TestBlocked:
+    def test_e3_losing_grounding_names_winning_side(self):
+        result = paper("E3")
+        verdict = Explainer(result).why_not("+q")
+        assert verdict.kind == "blocked"
+        assert [g.rule.name for g in verdict.blocked] == ["r1"]
+        assert str(verdict.winner) == "-q"
+        assert [g.rule.name for g in verdict.winners] == ["r2"]
+        assert verdict.policy == "inertia"
+        assert verdict.epoch == 1
+
+    def test_e4_custom_policy_blocked_sides(self):
+        # Section 4.2 graph: the custom SELECT deletes q(a, c) (the cut
+        # pair) and every reflexive q(X, X); the blocked +q instances
+        # must name the r2/r3 deletion instances as winners.
+        result = paper("E4")
+        explainer = Explainer(result)
+        for target, winner_rules in (
+            ("+q(a, c)", {"r3"}),
+            ("+q(a, a)", {"r2", "r3"}),
+        ):
+            verdict = explainer.why_not(target)
+            assert verdict.kind == "blocked", target
+            assert verdict.policy == "sec42-custom"
+            assert {g.rule.name for g in verdict.winners} == winner_rules
+            assert {g.rule.name for g in verdict.blocked} == {"r1"}
+
+    def test_blocked_without_trail_falls_back_to_provenance(self):
+        result = paper("E3")
+        result.trail = None  # ParkResult is not frozen
+        verdict = Explainer(result).why_not("+q")
+        assert verdict.kind == "blocked"
+        assert str(verdict.winner) == "-q"
+        assert [g.rule.name for g in verdict.winners] == ["r2"]
+        assert verdict.epoch is None  # unknown without the trail
+
+    def test_stale_conflict_through_explainer(self):
+        # The del side of the conflict on a is provenance-completed (r1's
+        # body is invalid by the time +a fires); inertia keeps a, so the
+        # stale deriver r1 is the blocked instance and r3 the winner.
+        result = park(STALE, "seed. a.", audit=True)
+        verdict = Explainer(result).why_not("-a")
+        assert verdict.kind == "blocked"
+        assert [g.rule.name for g in verdict.blocked] == ["r1"]
+        assert [g.rule.name for g in verdict.winners] == ["r3"]
+        conflicts = [
+            e for e in result.trail.to_events() if e["kind"] == "conflict"
+        ]
+        assert any(e.get("stale_side") == "dels" for e in conflicts)
+
+
+class TestLost:
+    def test_lost_in_restart(self):
+        result = park(LOST, "p.", audit=True)
+        verdict = Explainer(result).why_not("+b")
+        assert verdict.kind == "lost"
+        assert verdict.epoch == 1
+        assert [g.rule.name for g in verdict.lost_derivers] == ["r2"]
+        # ...and the follow-up explains why it never re-derived
+        assert any("q does not hold" in r.detail for r in verdict.reasons)
+
+    def test_lost_requires_trail(self):
+        result = park(LOST, "p.")
+        verdict = Explainer(result, program=_program(LOST)).why_not("+b")
+        # Without epoch archives the loss is invisible; the verdict
+        # degrades to the candidate-rule analysis.
+        assert verdict.kind == "never-matched"
+
+
+def _program(text):
+    from repro.lang.parser import parse_program
+
+    return parse_program(text)
+
+
+class TestRefutedAndNeverMatched:
+    def test_refuted_by_negation(self):
+        result = park("@name(r1) not b -> +c.", "b.", audit=True)
+        verdict = Explainer(result).why_not("+c")
+        assert verdict.kind == "refuted"
+        (reason,) = verdict.reasons
+        assert reason.rule == "r1"
+        assert "b holds" in reason.detail
+
+    def test_refuted_with_variables(self):
+        result = park(
+            "@name(r1) edge(X, Y), not bad(Y) -> +reach(Y).",
+            "edge(a, b). bad(b).",
+            audit=True,
+        )
+        verdict = Explainer(result).why_not("+reach(b)")
+        assert verdict.kind == "refuted"
+        assert "bad(b) holds" in verdict.reasons[0].detail
+
+    def test_never_matched_names_dead_literal(self):
+        result = paper("E3")
+        verdict = Explainer(result).why_not("-a")
+        assert verdict.kind == "never-matched"
+        (reason,) = verdict.reasons
+        assert reason.rule == "r4"
+        assert "q does not hold" in reason.detail
+
+    def test_e5_event_never_occurred(self):
+        # E5 (Section 4.3 ECA): r3 fires on +r(X); s(a) and s(b) are
+        # deleted, but -s(c) needs an event +r(c) that never happened.
+        result = paper("E5")
+        verdict = Explainer(result).why_not("-s(c)")
+        assert verdict.kind == "never-matched"
+        (reason,) = verdict.reasons
+        assert reason.rule == "r3"
+        assert "event" in reason.detail
+
+    def test_underivable(self):
+        result = paper("E3")
+        verdict = Explainer(result).why_not("+zzz")
+        assert verdict.kind == "underivable"
+        assert verdict.reasons == ()
+
+    def test_unknown_without_program_or_trail(self):
+        result = park("@name(r1) p -> +q.", "p.")
+        verdict = Explainer(result).why_not("+r")
+        assert verdict.kind == "unknown"
+
+
+class TestSurface:
+    def test_present_literal(self):
+        result = paper("E3")
+        verdict = Explainer(result).why_not("+a")
+        assert verdict.kind == "present"
+
+    def test_text_rendering_names_winner(self):
+        result = paper("E3")
+        text = Explainer(result).why_not_text("+q")
+        assert "why not +q?" in text
+        assert "SELECT chose delete" in text
+        assert "(r2)" in text  # the winning side, by name
+        assert "(r1)" in text  # the blocked instance
+
+    def test_shorthand(self):
+        result = paper("E3")
+        assert "blocked" in why_not(result, "+q")
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        result = paper("E3")
+        payload = Explainer(result).why_not("+q").to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["kind"] == "blocked"
+        assert payload["winners"] == ["(r2)"]
+
+    def test_bad_target_rejected(self):
+        result = paper("E3")
+        with pytest.raises(EngineError):
+            Explainer(result).why_not("q")  # no +/- marker

@@ -1,0 +1,377 @@
+"""Tests for the decision trail and its persistent audit log."""
+
+import os
+
+import pytest
+
+from repro.active.activedb import ActiveDatabase
+from repro.core.engine import park
+from repro.errors import StorageError
+from repro.lang.atoms import atom
+from repro.lang.updates import insert
+from repro.obs import audit
+from repro.obs.audit import (
+    SIDECAR_SUFFIX,
+    AuditLog,
+    DecisionTrail,
+    _parse_audit_record,
+    _render_audit_record,
+)
+from repro.obs.metrics import Metrics
+
+E3 = """
+@name(r1) p -> +q.
+@name(r2) p -> -q.
+@name(r3) q -> +a.
+@name(r4) q -> -a.
+@name(r5) p -> +a.
+"""
+
+MULTI = """
+@name(r1) u -> +a.
+@name(r2) u -> -a.
+@name(r3) u -> +b.
+@name(r4) u -> -b.
+"""
+
+LOST = """
+@name(r1) p -> +q.
+@name(r2) q -> +b.
+@name(r3) b -> -q.
+"""
+
+STALE = """
+@name(r0) seed -> +c.
+@name(r1) not b -> -a.
+@name(r2) c -> +b.
+@name(r3) b -> +a.
+"""
+
+
+def kinds(trail):
+    return [event["kind"] for event in trail.to_events()]
+
+
+class TestDecisionTrail:
+    def test_disabled_by_default(self):
+        result = park(E3, "p.")
+        assert result.trail is None
+        assert audit.ACTIVE is None
+
+    def test_active_restored_after_run(self):
+        park(E3, "p.", audit=True)
+        assert audit.ACTIVE is None
+
+    def test_event_stream_shape(self):
+        result = park(E3, "p.", audit=True)
+        trail = result.trail
+        assert trail is not None
+        stream = kinds(trail)
+        assert stream[0] == "start"
+        assert stream[-1] == "finish"
+        assert "conflict" in stream
+        assert "verdict" in stream
+        assert "blocked" in stream
+        assert "restart" in stream
+        assert stream.count("epoch_end") == len(trail.epochs) == 2
+
+    def test_conflict_records_both_sides(self):
+        result = park(E3, "p.", audit=True)
+        (conflict,) = [
+            e for e in result.trail.to_events() if e["kind"] == "conflict"
+        ]
+        assert conflict["atom"] == "q"
+        assert conflict["ins"] == ["(r1)"]
+        assert conflict["dels"] == ["(r2)"]
+        assert "stale_side" not in conflict
+
+    def test_verdict_names_policy_winner_and_losers(self):
+        result = park(E3, "p.", audit=True)
+        (verdict,) = [
+            e for e in result.trail.to_events() if e["kind"] == "verdict"
+        ]
+        assert verdict["policy"] == "inertia"
+        assert verdict["decision"] == "delete"
+        assert verdict["winners"] == ["(r2)"]
+        assert verdict["losers"] == ["(r1)"]
+
+    def test_blocked_groundings_named(self):
+        result = park(E3, "p.", audit=True)
+        (blocked,) = [
+            e for e in result.trail.to_events() if e["kind"] == "blocked"
+        ]
+        assert blocked["grounding"] == "(r1)"
+        assert blocked["rule"] == "r1"
+        assert blocked["head"] == "+q"
+
+    def test_epoch_provenance_archived_not_discarded(self):
+        result = park(LOST, "p.", audit=True)
+        assert result.stats.restarts == 1
+        first, final = result.trail.epochs
+        # The dying epoch's derivations survive the restart that cleared
+        # the engine's own provenance.
+        archived = {str(u) for u in first.derivations}
+        assert "+b" in archived and "+q" in archived
+        assert final.derivations == {}
+
+    def test_lost_derivers_lookup(self):
+        result = park(LOST, "p.", audit=True)
+        epoch, derivers = result.trail.lost_derivers(insert(atom("b")))
+        assert epoch == 1
+        assert {g.rule.name for g in derivers} == {"r2"}
+        assert result.trail.lost_derivers(insert(atom("zzz"))) is None
+
+    def test_verdict_for(self):
+        result = park(E3, "p.", audit=True)
+        conflict, decision, policy, epoch = result.trail.verdict_for(atom("q"))
+        assert decision.value == "delete"
+        assert policy == "inertia"
+        assert epoch == 1
+        assert result.trail.verdict_for(atom("nope")) is None
+
+    def test_stale_side_flagged(self):
+        result = park(STALE, "seed.", audit=True)
+        conflicts = [
+            e for e in result.trail.to_events() if e["kind"] == "conflict"
+        ]
+        assert any(e.get("stale_side") == "dels" for e in conflicts)
+
+    def test_round_events_from_every_strategy(self):
+        for evaluation in ("naive", "seminaive", "incremental"):
+            result = park(E3, "p.", audit=True, evaluation=evaluation)
+            rounds = [
+                e for e in result.trail.to_events() if e["kind"] == "round"
+            ]
+            assert rounds, evaluation
+            assert {e["strategy"] for e in rounds} == {evaluation}
+            assert len(rounds) == result.stats.rounds
+
+    def test_same_decisions_across_strategies(self):
+        streams = []
+        for evaluation in ("naive", "seminaive", "incremental"):
+            result = park(E3, "p.", audit=True, evaluation=evaluation)
+            streams.append(
+                [
+                    e
+                    for e in result.trail.to_events()
+                    if e["kind"] in ("conflict", "verdict", "blocked", "restart")
+                ]
+            )
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_events_for_filters_by_atom(self):
+        result = park(E3, "p.", audit=True)
+        mentioning = result.trail.events_for("q")
+        assert mentioning
+        assert all(
+            event["kind"]
+            in ("conflict", "verdict", "blocked", "epoch_end", "round")
+            for event in mentioning
+        )
+
+    def test_reusable_after_reset(self):
+        trail = DecisionTrail()
+        first = park(E3, "p.", audit=trail)
+        count = len(trail.events)
+        second = park(E3, "p.", audit=trail)
+        assert second.trail is trail
+        assert len(trail.events) == count  # start() reset the first run
+
+    def test_audit_counters_recorded(self):
+        metrics = Metrics()
+        park(E3, "p.", audit=True, metrics=metrics)
+        assert metrics.counter("audit.events") > 0
+        assert metrics.counter("audit.conflicts") == 1
+        assert metrics.counter("audit.verdicts") == 1
+        assert metrics.counter("audit.restarts") == 1
+        assert metrics.counter("audit.epochs_archived") == 2
+
+    def test_fingerprint_unchanged_by_audit(self):
+        plain = Metrics()
+        park(E3, "p.", metrics=plain)
+        audited = Metrics()
+        park(E3, "p.", metrics=audited, audit=True)
+        assert plain.fingerprint() == audited.fingerprint()
+
+
+class TestAuditRecordFraming:
+    def test_round_trip(self):
+        events = [{"kind": "start", "epoch": 1, "round": 0, "policy": "inertia"}]
+        record = _parse_audit_record(_render_audit_record(17, events))
+        assert record.transaction_id == 17
+        assert list(record.events) == events
+
+    def test_crc_detects_flips(self):
+        line = _render_audit_record(1, [{"kind": "finish"}])
+        flipped = line.replace("finish", "finisH")
+        with pytest.raises(StorageError):
+            _parse_audit_record(flipped)
+
+    def test_length_detects_truncation(self):
+        line = _render_audit_record(1, [{"kind": "finish", "rounds": 3}])
+        with pytest.raises(StorageError):
+            _parse_audit_record(line[:-4])
+
+    def test_rejects_foreign_frames(self):
+        with pytest.raises(StorageError):
+            _parse_audit_record("v2|tx=1|len=0|crc=00000000|")
+
+
+class TestAuditLog:
+    def test_append_and_read(self, tmp_path):
+        log = AuditLog(str(tmp_path / "trail.audit"))
+        log.append(1, [{"kind": "start"}])
+        log.append(2, [{"kind": "start"}, {"kind": "finish"}])
+        records = log.records()
+        assert [r.transaction_id for r in records] == [1, 2]
+        assert len(records[1].events) == 2
+
+    def test_record_for(self, tmp_path):
+        log = AuditLog(str(tmp_path / "trail.audit"))
+        log.append(1, [{"kind": "start"}])
+        assert log.record_for(1).transaction_id == 1
+        assert log.record_for(99) is None
+
+    def test_accepts_trail_objects(self, tmp_path):
+        result = park(E3, "p.", audit=True)
+        log = AuditLog(str(tmp_path / "trail.audit"))
+        record = log.append(5, result.trail)
+        assert record.verdicts()
+        assert log.record_for(5).verdicts() == record.verdicts()
+
+    def test_torn_tail_tolerated_and_repaired(self, tmp_path):
+        path = str(tmp_path / "trail.audit")
+        log = AuditLog(path)
+        log.append(1, [{"kind": "start"}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("a1|tx=2|len=999|crc=00000000|[{\"kind\"")
+        fresh = AuditLog(path)
+        records = fresh.records()
+        assert [r.transaction_id for r in records] == [1]
+        assert fresh.corrupt_tail is not None
+        assert fresh.repair_tail() is True
+        assert AuditLog(path).records()[0].transaction_id == 1
+
+    def test_append_after_torn_tail_truncates_first(self, tmp_path):
+        path = str(tmp_path / "trail.audit")
+        log = AuditLog(path)
+        log.append(1, [{"kind": "start"}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage")
+        fresh = AuditLog(path)
+        fresh.append(2, [{"kind": "start"}])
+        assert [r.transaction_id for r in fresh.records()] == [1, 2]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "trail.audit")
+        log = AuditLog(path)
+        log.append(1, [{"kind": "start"}])
+        log.append(2, [{"kind": "start"}])
+        with open(path, "r+", encoding="utf-8") as handle:
+            text = handle.read()
+            handle.seek(0)
+            # Corrupt the FIRST record; an intact record follows it, so
+            # this is damage, not a crash artifact, and must raise.
+            handle.write(text.replace("start", "staRt", 1))
+        with pytest.raises(StorageError):
+            AuditLog(path).records()
+
+
+class TestActiveDatabaseAudit:
+    def _fresh(self, tmp_path, **options):
+        journal_path = str(tmp_path / "commits.journal")
+        db = ActiveDatabase.from_text("u.", journal=journal_path, **options)
+        db.add_rules(MULTI)
+        return db, journal_path
+
+    def test_sidecar_created_next_to_journal(self, tmp_path):
+        db, journal_path = self._fresh(tmp_path, audit=True)
+        with db.transaction() as tx:
+            tx.insert("marker")
+        assert db.audit_log.path == journal_path + SIDECAR_SUFFIX
+        assert os.path.exists(db.audit_log.path)
+
+    def test_no_sidecar_when_disabled(self, tmp_path):
+        db, journal_path = self._fresh(tmp_path)
+        with db.transaction() as tx:
+            tx.insert("marker")
+        assert db.audit_log is None
+        assert not os.path.exists(journal_path + SIDECAR_SUFFIX)
+
+    def test_trail_rides_on_commit_result(self, tmp_path):
+        db, _ = self._fresh(tmp_path, audit=True)
+        with db.transaction() as tx:
+            tx.insert("marker")
+        assert tx.result.trail is not None
+        assert len(tx.result.trail.epochs) == 2
+
+    def test_multi_conflict_transaction_reconstructed_after_restart(
+        self, tmp_path
+    ):
+        db, journal_path = self._fresh(tmp_path, audit=True)
+        with db.transaction() as tx:
+            tx.insert("marker")
+        del db  # "process exit"
+
+        # A brand-new reader sees every SELECT verdict and restart of the
+        # multi-conflict transaction, from the file alone.
+        log = AuditLog(journal_path + SIDECAR_SUFFIX)
+        record = log.record_for(tx.transaction_id)
+        verdicts = record.verdicts()
+        assert {(v["atom"], v["decision"]) for v in verdicts} == {
+            ("a", "delete"),
+            ("b", "delete"),
+        }
+        assert {tuple(v["winners"]) for v in verdicts} == {("(r2)",), ("(r4)",)}
+        (restart,) = record.restarts()
+        assert restart["blocked_total"] == 2
+        assert len(record.conflicts()) == 2
+
+    def test_one_record_per_commit(self, tmp_path):
+        db, _ = self._fresh(tmp_path, audit=True)
+        for value in ("m1", "m2", "m3"):
+            with db.transaction() as tx:
+                tx.insert(value)
+        assert [r.transaction_id for r in db.audit_log.records()] == [1, 2, 3]
+
+    def test_recover_keeps_auditing_to_same_sidecar(self, tmp_path):
+        db, journal_path = self._fresh(tmp_path, audit=True)
+        with db.transaction() as tx:
+            tx.insert("m1")
+        snapshot = str(tmp_path / "snap.park")
+        from repro.storage.textio import dump_database
+
+        dump_database(db.database, snapshot)
+
+        recovered = ActiveDatabase.recover(
+            snapshot, journal_path, rules=db.program, audit=True
+        )
+        with recovered.transaction() as tx2:
+            tx2.insert("m2")
+        log = AuditLog(journal_path + SIDECAR_SUFFIX)
+        assert [r.transaction_id for r in log.records()] == [1, 2]
+
+    def test_checkpoint_keeps_audit_history(self, tmp_path):
+        db, journal_path = self._fresh(tmp_path, audit=True)
+        with db.transaction() as tx:
+            tx.insert("m1")
+        db.checkpoint(str(tmp_path / "snap.park"))
+        # journal truncated, audit history intact
+        assert db.journal.records() == []
+        assert [r.transaction_id for r in db.audit_log.records()] == [1]
+
+    def test_audit_true_without_journal_keeps_trail_in_memory(self):
+        db = ActiveDatabase.from_text("u.", audit=True)
+        db.add_rules(MULTI)
+        with db.transaction() as tx:
+            tx.insert("marker")
+        assert db.audit_log is None
+        assert tx.result.trail is not None
+
+    def test_explicit_sidecar_path(self, tmp_path):
+        explicit = str(tmp_path / "elsewhere.audit")
+        db = ActiveDatabase.from_text("u.", audit=explicit)
+        db.add_rules(MULTI)
+        with db.transaction() as tx:
+            tx.insert("marker")
+        assert AuditLog(explicit).record_for(1) is not None

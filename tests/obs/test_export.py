@@ -1,0 +1,129 @@
+"""Tests for the Prometheus and chrome://tracing exporters."""
+
+import json
+
+from repro.core.engine import park
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.metrics import Metrics
+from repro.obs.tracing import Tracer
+
+RULES = "@name(r1) p -> +q. @name(r2) q -> +r."
+
+
+class TestPrometheusText:
+    def test_empty_registry(self):
+        assert prometheus_text(Metrics()) == ""
+
+    def test_counter_and_gauge_lines(self):
+        metrics = Metrics()
+        metrics.inc("engine.rounds", 3)
+        metrics.gauge("engine.result_atoms", 7)
+        text = prometheus_text(metrics)
+        assert "# TYPE repro_engine_rounds counter" in text
+        assert "repro_engine_rounds 3" in text
+        assert "# TYPE repro_engine_result_atoms gauge" in text
+        assert "repro_engine_result_atoms 7" in text
+        assert text.endswith("\n")
+
+    def test_timers_become_summaries(self):
+        metrics = Metrics()
+        metrics.observe("phase.incorp", 0.25)
+        metrics.observe("phase.incorp", 0.25)
+        text = prometheus_text(metrics)
+        assert "# TYPE repro_phase_incorp_seconds summary" in text
+        assert "repro_phase_incorp_seconds_count 2" in text
+        assert "repro_phase_incorp_seconds_sum 0.5" in text
+
+    def test_rule_series_labelled(self):
+        metrics = Metrics()
+        metrics.observe_rule("r1", 0.5, 4)
+        text = prometheus_text(metrics)
+        assert 'repro_rule_seconds_count{rule="r1"} 1' in text
+        assert 'repro_rule_seconds_sum{rule="r1"} 0.5' in text
+        assert 'repro_rule_firings{rule="r1"} 4' in text
+
+    def test_label_escaping(self):
+        metrics = Metrics()
+        metrics.observe_rule('odd"rule', 0.1, 1)
+        text = prometheus_text(metrics)
+        assert 'rule="odd\\"rule"' in text
+
+    def test_real_run_snapshot(self):
+        metrics = Metrics()
+        park(RULES, "p.", metrics=metrics)
+        text = prometheus_text(metrics)
+        assert "repro_engine_rounds" in text
+        # one "# TYPE" per exported metric family
+        families = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        assert len(families) == len(set(families))
+
+    def test_write_prometheus(self, tmp_path):
+        metrics = Metrics()
+        metrics.inc("audit.events", 12)
+        path = tmp_path / "snapshot.prom"
+        write_prometheus(metrics, str(path))
+        assert "repro_audit_events 12" in path.read_text()
+
+
+class TestChromeTrace:
+    def _tracer(self):
+        tracer = Tracer()
+        with tracer.span("engine.run", policy="inertia"):
+            with tracer.span("engine.round", number=1):
+                tracer.event("on_conflicts", count=2)
+        return tracer
+
+    def test_spans_become_complete_events(self):
+        trace = chrome_trace(self._tracer())
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"engine.run", "engine.round"}
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_instants_and_hierarchy(self):
+        trace = chrome_trace(self._tracer())
+        (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "on_conflicts"
+        assert instant["s"] == "t"
+        assert instant["args"]["count"] == 2
+        assert "parent_id" in instant["args"]
+
+    def test_microsecond_timestamps(self):
+        tracer = Tracer(clock=iter([0.0, 0.0, 0.002]).__next__)
+        record = tracer.begin("span")
+        tracer.end(record)
+        (event,) = chrome_trace(tracer)["traceEvents"]
+        assert event["dur"] == 2000.0  # 2 ms in microseconds
+
+    def test_open_span_becomes_begin_event(self):
+        tracer = Tracer()
+        tracer.begin("engine.run")  # never ended: mid-run flush
+        (event,) = chrome_trace(tracer)["traceEvents"]
+        assert event["ph"] == "B"
+        assert "dur" not in event
+
+    def test_json_round_trip(self):
+        payload = json.loads(chrome_trace_json(self._tracer()))
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 3
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._tracer(), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+
+    def test_engine_run_exports(self, tmp_path):
+        tracer = Tracer()
+        park(RULES, "p.", tracer=tracer)
+        payload = chrome_trace(tracer)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "engine.run" in names

@@ -401,3 +401,181 @@ class TestJournalCommand:
         assert report["tail"] == "clean"
         assert [r["tx"] for r in report["records"]] == [1, 2]
         assert all(r["version"] == 2 for r in report["records"])
+
+
+E3_RULES = """
+@name(r1) p -> +q.
+@name(r2) p -> -q.
+@name(r3) q -> +a.
+@name(r4) q -> -a.
+@name(r5) p -> +a.
+"""
+
+
+class TestExplainWhyNot:
+    @pytest.fixture
+    def e3_file(self, tmp_path):
+        path = tmp_path / "e3.park"
+        path.write_text(E3_RULES)
+        return str(path)
+
+    def test_why_not_names_winning_side(self, e3_file, facts_file):
+        code, output = run_cli(
+            "explain", "--rules", e3_file, "--db", facts_file,
+            "--target", "+q", "--why-not",
+        )
+        assert code == 0
+        assert "why not +q?" in output
+        assert "SELECT chose delete" in output
+        assert "winning side: (r2)" in output
+        assert "blocked instances: (r1)" in output
+
+    def test_why_not_json(self, e3_file, facts_file):
+        import json
+
+        code, output = run_cli(
+            "explain", "--rules", e3_file, "--db", facts_file,
+            "--target", "+q", "--why-not", "--json",
+        )
+        assert code == 0
+        verdict = json.loads(output)
+        assert verdict["kind"] == "blocked"
+        assert verdict["winner"] == "-q"
+        assert verdict["winners"] == ["(r2)"]
+        assert verdict["policy"] == "inertia"
+
+    def test_explain_json_tree(self, rules_file, facts_file):
+        import json
+
+        code, output = run_cli(
+            "explain", "--rules", rules_file, "--db", facts_file,
+            "--target", "+q", "--json",
+        )
+        assert code == 0
+        tree = json.loads(output)
+        assert tree["update"] == "+q"
+        assert tree["steps"][0]["rule"] == "r1"
+
+    def test_why_not_never_matched(self, e3_file, facts_file):
+        code, output = run_cli(
+            "explain", "--rules", e3_file, "--db", facts_file,
+            "--target=-a", "--why-not",
+        )
+        assert code == 0
+        assert "never matched" in output
+
+
+class TestAuditCommand:
+    @pytest.fixture
+    def audit_file(self, tmp_path):
+        from repro.active import ActiveDatabase
+
+        path = tmp_path / "commits.journal"
+        db = ActiveDatabase.from_text(
+            "u.", journal=str(path), audit=True
+        )
+        db.add_rules(
+            "@name(r1) u -> +a. @name(r2) u -> -a. "
+            "@name(r3) u -> +b. @name(r4) u -> -b."
+        )
+        db.insert("marker")
+        db.insert("m2")
+        return str(path) + ".audit"
+
+    def test_inspect_lists_transactions(self, audit_file):
+        code, output = run_cli("audit", "inspect", audit_file)
+        assert code == 0
+        assert "2 records, tail: clean" in output
+
+    def test_show_reconstructs_verdicts_and_restarts(self, audit_file):
+        # A fresh process (this CLI invocation) reads the file cold: every
+        # SELECT verdict and the restart of the multi-conflict tx 1.
+        code, output = run_cli("audit", "show", audit_file, "--tx", "1")
+        assert code == 0
+        assert "tx 1:" in output
+        assert "tx 2:" not in output
+        assert output.count("verdict") == 2
+        assert "decision=delete" in output
+        assert "winners=['(r2)']" in output
+        assert "winners=['(r4)']" in output
+        assert "restart" in output
+
+    def test_atom_filter(self, audit_file):
+        code, output = run_cli(
+            "audit", "show", audit_file, "--tx", "1", "--atom", "a"
+        )
+        assert code == 0
+        assert "atom=a" in output
+        assert "atom=b" not in output
+
+    def test_verify_clean(self, audit_file):
+        code, output = run_cli("audit", "verify", audit_file)
+        assert code == 0
+        assert output.startswith("ok:")
+
+    def test_verify_torn_tail_warns_but_passes(self, audit_file):
+        with open(audit_file, "a") as handle:
+            handle.write("a1|tx=9|len=99|crc=00000000|truncated")
+        code, output = run_cli("audit", "verify", audit_file)
+        assert code == 0
+        assert "torn" in output
+        code, _ = run_cli("audit", "verify", "--strict", audit_file)
+        assert code == 1
+
+    def test_verify_fails_on_mid_file_corruption(self, audit_file):
+        with open(audit_file, "r") as handle:
+            lines = handle.readlines()
+        lines.insert(1, "garbage\n")
+        with open(audit_file, "w") as handle:
+            handle.writelines(lines)
+        code, _ = run_cli("audit", "verify", audit_file)
+        assert code == 1
+
+    def test_json_report(self, audit_file):
+        import json
+
+        code, output = run_cli("audit", "inspect", "--json", audit_file)
+        assert code == 0
+        report = json.loads(output)
+        assert report["tail"] == "clean"
+        assert [r["tx"] for r in report["records"]] == [1, 2]
+        assert all(r["restarts"] == 1 for r in report["records"])
+
+
+class TestExportFlags:
+    def test_run_prom_out(self, rules_file, facts_file, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, output = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file,
+            "--prom-out", str(path),
+        )
+        assert code == 0
+        assert "metrics:" not in output  # snapshot goes to the file only
+        text = path.read_text()
+        assert "# TYPE repro_engine_rounds counter" in text
+
+    def test_run_chrome_out(self, rules_file, facts_file, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code, _ = run_cli(
+            "run", "--rules", rules_file, "--db", facts_file,
+            "--chrome-out", str(path),
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "engine.run" in names
+
+    def test_profile_exports(self, rules_file, facts_file, tmp_path):
+        import json
+
+        prom = tmp_path / "metrics.prom"
+        chrome = tmp_path / "trace.json"
+        code, _ = run_cli(
+            "profile", rules_file, "--db", facts_file,
+            "--prom-out", str(prom), "--chrome-out", str(chrome),
+        )
+        assert code == 0
+        assert "repro_engine_rounds" in prom.read_text()
+        assert json.loads(chrome.read_text())["traceEvents"]
