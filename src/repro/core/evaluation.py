@@ -40,6 +40,16 @@ property-tested (``tests/property/test_evaluation_modes.py``) and the
 speedup is measured by the A4 ablation benchmarks and
 ``benchmarks/run_benchmarks.py``.
 
+All three strategies accept an optional certified **group schedule**
+(``groups=``, built by :func:`repro.engine.planner.group_schedule` from
+the commutativity analysis): rule batches whose members have pairwise
+disjoint effect sets.  Collection then proceeds batch by batch — the
+same firings in a rearranged order, so the fingerprint is untouched,
+but each batch is a unit a parallel executor could hand out wholesale,
+and the runtime independence sanitizer
+(:mod:`repro.testing.sanitize`) cross-checks the certificate against
+the atoms each batch actually touches.
+
 Blocked sets only grow at restarts, so an evaluator is valid for exactly
 one epoch; the engine constructs a fresh one after every restart.
 
@@ -74,6 +84,38 @@ def _is_monotone(rule):
         isinstance(literal, Condition) and literal.positive
         for literal in rule.body
     )
+
+
+def _group_batches(rules, groups):
+    """Partition *rules* into the certified batch order, or ``None``.
+
+    *groups* is the engine's group schedule (tuples of rules with
+    pairwise disjoint effects, see
+    :func:`repro.engine.planner.group_schedule`); the result restricts
+    each batch to the rules in *rules* (a strategy may batch only its
+    monotone or only its volatile fragment), dropping empty batches.
+    Rules absent from every group (possible only when dead-rule pruning
+    is off: dead rules are not scheduled) are appended as a final batch —
+    they never fire, so their position is unobservable.
+    """
+    if groups is None:
+        return None
+    batch_of = {}
+    for position, group in enumerate(groups):
+        for rule in group:
+            batch_of.setdefault(rule, position)
+    batches = [[] for _ in groups]
+    unscheduled = []
+    for rule in rules:
+        position = batch_of.get(rule)
+        if position is None:
+            unscheduled.append(rule)
+        else:
+            batches[position].append(rule)
+    result = [tuple(batch) for batch in batches if batch]
+    if unscheduled:
+        result.append(tuple(unscheduled))
+    return tuple(result)
 
 
 def _is_epoch_monotone(rule):
@@ -115,9 +157,10 @@ class NaiveEvaluation:
 
     name = "naive"
 
-    def __init__(self, program, blocked):
+    def __init__(self, program, blocked, groups=None):
         self.program = program
         self.blocked = frozenset(blocked)
+        self._batches = _group_batches(tuple(program), groups)
         self._frozen = {}  # previous round's Update -> frozenset, for reuse
         self.last_firing_count = 0
 
@@ -125,9 +168,9 @@ class NaiveEvaluation:
         """All valid unblocked firings: ``{head Update: frozenset[RuleGrounding]}``."""
         view = InterpretationView(interpretation)
         firings = {}
-        count = 0
-        for rule in self.program:
-            count += _collect(rule, self.blocked, view, firings)
+        count = _collect_all(
+            self.program, self._batches, self.blocked, view, firings
+        )
         self.last_firing_count = count
         # Reuse last round's frozenset when a head's instance set did not
         # change — the common case in a converging fixpoint.  Downstream
@@ -286,6 +329,30 @@ def _collect(rule, blocked, view, into):
     return added
 
 
+def _collect_all(rules, batches, blocked, view, into):
+    """Full-match *rules* into *into*, group-batched when *batches* is set.
+
+    *batches* is the strategy's :func:`_group_batches` restriction (or
+    ``None`` for plain rule order).  Within a batch the rules' effect
+    sets are certified disjoint, so the batch's internal order is
+    unobservable; collection lands in one shared dict either way, which
+    is what keeps the fast path fingerprint-identical.  Returns the
+    number of instances actually new in *into*.
+    """
+    added = 0
+    if batches is None:
+        for rule in rules:
+            added += _collect(rule, blocked, view, into)
+        return added
+    for batch in batches:
+        for rule in batch:
+            added += _collect(rule, blocked, view, into)
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("eval.group_batches", len(batches))
+    return added
+
+
 def _collect_variant_inner(original_rule, variant_rule, blocked, view, into, touched):
     return collect_rule_firings(
         variant_rule, original_rule, view, blocked, into, _instance_factory, touched
@@ -317,7 +384,7 @@ class SemiNaiveEvaluation:
 
     name = "seminaive"
 
-    def __init__(self, program, blocked):
+    def __init__(self, program, blocked, groups=None):
         self.blocked = frozenset(blocked)
         self.monotone_rules = []
         self.volatile_rules = []
@@ -325,6 +392,8 @@ class SemiNaiveEvaluation:
             (self.monotone_rules if _is_monotone(rule) else self.volatile_rules).append(
                 rule
             )
+        self._monotone_batches = _group_batches(self.monotone_rules, groups)
+        self._volatile_batches = _group_batches(self.volatile_rules, groups)
         # One delta variant per positive body literal of each monotone rule,
         # with that literal's predicate renamed into the shadow namespace.
         # The variant keeps the original rule for grounding identity.
@@ -356,10 +425,13 @@ class SemiNaiveEvaluation:
 
         if not self._first_round_done:
             # Epoch round 1: full match of the monotone fragment.
-            for rule in self.monotone_rules:
-                self._monotone_total += _collect(
-                    rule, self.blocked, view, self._accumulated
-                )
+            self._monotone_total += _collect_all(
+                self.monotone_rules,
+                self._monotone_batches,
+                self.blocked,
+                view,
+                self._accumulated,
+            )
             self._first_round_done = True
             touched.update(self._accumulated)
         elif delta_updates:
@@ -394,8 +466,13 @@ class SemiNaiveEvaluation:
             return dict(frozen)
 
         firings = {head: set(instances) for head, instances in accumulated.items()}
-        for rule in self.volatile_rules:
-            count += _collect(rule, self.blocked, view, firings)
+        count += _collect_all(
+            self.volatile_rules,
+            self._volatile_batches,
+            self.blocked,
+            view,
+            firings,
+        )
         self.last_firing_count = count
         if a is not None:
             a.round(self.name, count)
@@ -425,7 +502,7 @@ class IncrementalEvaluation:
 
     name = "incremental"
 
-    def __init__(self, program, blocked):
+    def __init__(self, program, blocked, groups=None):
         self.blocked = frozenset(blocked)
         self.monotone_rules = []
         self.volatile_rules = []
@@ -435,6 +512,8 @@ class IncrementalEvaluation:
                 if _is_epoch_monotone(rule)
                 else self.volatile_rules
             ).append(rule)
+        self._monotone_batches = _group_batches(self.monotone_rules, groups)
+        self._volatile_batches = _group_batches(self.volatile_rules, groups)
         self._variants = []  # (original_rule, variant_rule)
         for rule in self.monotone_rules:
             for index, literal in enumerate(rule.body):
@@ -472,10 +551,13 @@ class IncrementalEvaluation:
         dirty = None  # None means "everything": the epoch's first round.
 
         if not self._first_round_done:
-            for rule in self.monotone_rules:
-                self._monotone_total += _collect(
-                    rule, self.blocked, view, self._accumulated
-                )
+            self._monotone_total += _collect_all(
+                self.monotone_rules,
+                self._monotone_batches,
+                self.blocked,
+                view,
+                self._accumulated,
+            )
             self._frozen = {
                 head: frozenset(instances)
                 for head, instances in self._accumulated.items()
@@ -503,7 +585,18 @@ class IncrementalEvaluation:
         firings = dict(self._frozen)
         count = self._monotone_total
         m = _obs.ACTIVE
-        for rule in self.volatile_rules:
+        if self._volatile_batches is None:
+            volatile_order = self.volatile_rules
+        else:
+            # Group-batched order (certified-disjoint batches); the
+            # per-rule caching below is order-independent, so only the
+            # iteration order — and the batch counter — change.
+            volatile_order = [
+                rule for batch in self._volatile_batches for rule in batch
+            ]
+            if m is not None:
+                m.inc("eval.group_batches", len(self._volatile_batches))
+        for rule in volatile_order:
             cached = self._volatile_cache.get(rule)
             if (
                 cached is None
@@ -538,8 +631,15 @@ EVALUATION_STRATEGIES = {
 }
 
 
-def make_evaluation(name, program, blocked):
-    """Instantiate the strategy *name* for one epoch."""
+def make_evaluation(name, program, blocked, groups=None):
+    """Instantiate the strategy *name* for one epoch.
+
+    *groups* is an optional certified group schedule
+    (:func:`repro.engine.planner.group_schedule`): rule batches with
+    pairwise disjoint effects that the strategy collects batch by batch
+    — same firings, same fingerprint, but a schedule a parallel executor
+    could hand out wholesale.
+    """
     try:
         factory = EVALUATION_STRATEGIES[name]
     except KeyError:
@@ -547,4 +647,4 @@ def make_evaluation(name, program, blocked):
             "unknown evaluation strategy %r (known: %s)"
             % (name, ", ".join(sorted(EVALUATION_STRATEGIES)))
         )
-    return factory(program, blocked)
+    return factory(program, blocked, groups=groups)

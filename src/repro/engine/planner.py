@@ -113,6 +113,36 @@ def plan_body(rule, view=None):
     return tuple(steps)
 
 
+def group_schedule(program, facts):
+    """The certified group-batched rule schedule for *program*.
+
+    Maps the :class:`~repro.lint.facts.ProgramFacts` parallel groups
+    (live rule indices) onto *program*'s rule objects: a tuple of rule
+    batches, ordered by (stratum, color), covering exactly the live
+    rules.  Rules within a batch have pairwise disjoint effect sets
+    under unification (see :mod:`repro.lint.commutativity`), so the
+    evaluation strategies may collect their firings in any order — or in
+    parallel — without changing the round's result.
+
+    Raises :class:`ValueError` when *facts* do not describe *program*:
+    scheduling with a stale certificate would be unsound.
+    """
+    if not facts.matches(program):
+        raise ValueError(
+            "ProgramFacts were computed for a different program; "
+            "re-run ProgramFacts.analyze on the program being scheduled"
+        )
+    rules = tuple(program)
+    schedule = tuple(
+        tuple(rules[index] for index in group.rules)
+        for group in facts.parallel_groups
+    )
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("planner.group_schedules")
+    return schedule
+
+
 def explain_plan(rule):
     """Human-readable plan description, one line per step (for debugging)."""
     lines = []

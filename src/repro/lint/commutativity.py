@@ -1,0 +1,307 @@
+"""Commutativity analysis: interference matrix and certified parallel groups.
+
+``Γ`` fires every valid unblocked instance of every rule in a round, so
+two rules may be *collected* concurrently exactly when their effects
+cannot interfere (:mod:`repro.lint.effects`).  Interference between two
+live rules of the same stratum is decided by atom unification with
+variables renamed apart — the same machinery as the PARK020 conflict
+pass (:func:`repro.lint.facts.atoms_may_unify`) — and classified by
+increasing severity of what it breaks:
+
+* ``read-write`` (``PARK040``) — one rule's head may ground an instance
+  of the other's body literal: firing order inside a sequentialized
+  round would be observable through the read.
+* ``write-write`` (``PARK041``) — both heads can mark the same ground
+  atom with the same polarity: harmless for the final state (marks are
+  sets) but the rules share a write target, so they are not independent.
+* ``delete-insert`` (``PARK042``) — the heads can mark the same ground
+  atom with *opposite* polarities: the pair is non-commutative (applying
+  ``+a`` then ``-a`` differs from ``-a`` then ``+a`` on a database), and
+  at runtime it is exactly the PARK conflict the SELECT policy resolves.
+
+A pair exhibiting several kinds is reported once, under the strongest.
+Rules in *different* strata never need a diagnostic: strata are already
+ordered barriers for scheduling purposes.
+
+The per-stratum complement of the interference relation is then greedily
+colored; each color class is a **certified independent group** — rules
+whose effect sets are pairwise disjoint under unification, so collecting
+their firings (and applying their updates) in any order, or in parallel,
+is observationally identical.  ``PARK043`` (info) reports the
+certificate; the groups land in
+:class:`~repro.lint.facts.ProgramFacts` for the engine's group-batched
+scheduling (``core/evaluation.py``) and are cross-checked at runtime by
+the independence sanitizer (:mod:`repro.testing.sanitize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..engine.dependency import DependencyGraph
+from ..errors import EngineError
+from ..lang.updates import UpdateOp
+from ..obs import metrics as _obs
+from .diagnostics import Diagnostic
+from .facts import atoms_may_unify
+
+
+def _signed(op, atom):
+    return ("+" if op is UpdateOp.INSERT else "-") + str(atom)
+
+#: Interference kinds, weakest to strongest.
+READ_WRITE = "read-write"
+WRITE_WRITE = "write-write"
+DELETE_INSERT = "delete-insert"
+
+_KIND_CODES = {
+    READ_WRITE: "PARK040",
+    WRITE_WRITE: "PARK041",
+    DELETE_INSERT: "PARK042",
+}
+
+
+@dataclass(frozen=True)
+class InterferencePair:
+    """Two same-stratum live rules whose effects may overlap."""
+
+    left: int   # rule index, < right
+    right: int  # rule index
+    stratum: int
+    kind: str   # READ_WRITE | WRITE_WRITE | DELETE_INSERT
+    predicate: str
+    witness: str  # the overlapping atoms, human-readable
+
+    def to_json(self):
+        return {
+            "left": self.left,
+            "right": self.right,
+            "stratum": self.stratum,
+            "kind": self.kind,
+            "predicate": self.predicate,
+            "witness": self.witness,
+        }
+
+
+@dataclass(frozen=True)
+class ParallelGroup:
+    """A certified independent rule group: one color class of one stratum."""
+
+    stratum: int
+    rules: Tuple[int, ...]  # rule indices, ascending
+
+    def to_json(self):
+        return {"stratum": self.stratum, "rules": list(self.rules)}
+
+
+def rule_strata(rules, graph=None):
+    """The stratum of each rule (by head predicate), aligned with rule order.
+
+    Unstratifiable programs fall back to a single stratum — sound for the
+    race analysis, which only uses strata to *exclude* pairs from
+    consideration (cross-stratum rules are scheduling barriers anyway).
+    """
+    rules = tuple(rules)
+    if graph is None:
+        graph = DependencyGraph(rules)
+    try:
+        strata = graph.stratification()
+    except EngineError:
+        return tuple(0 for _ in rules)
+    stratum_of = {}
+    for level, predicates in enumerate(strata):
+        for predicate in predicates:
+            stratum_of[predicate] = level
+    return tuple(
+        stratum_of.get(rule.head.atom.predicate, 0) for rule in rules
+    )
+
+
+def _classify_pair(left, right):
+    """The strongest interference between two rules' effects, or ``None``.
+
+    *left* / *right* are :class:`~repro.lint.effects.RuleEffects`.
+    Returns ``(kind, predicate, witness)``.
+    """
+    # Write-write first: opposite polarity is the strongest finding.
+    found = None
+    for lw in left.writes:
+        for rw in right.writes:
+            if lw.predicate != rw.predicate:
+                continue
+            if not atoms_may_unify(lw.atom, rw.atom):
+                continue
+            witness = "%s vs %s" % (_signed(lw.op, lw.atom), _signed(rw.op, rw.atom))
+            if lw.op is not rw.op:
+                return DELETE_INSERT, lw.predicate, witness
+            found = (WRITE_WRITE, lw.predicate, witness)
+    if found is not None:
+        return found
+    # Read-write, both directions: a write that some body literal of the
+    # partner observes (events only observe their own polarity).
+    for writer, reader in ((left, right), (right, left)):
+        for write in writer.writes:
+            for read in reader.reads:
+                if write.predicate != read.predicate:
+                    continue
+                if not read.observes(write.op):
+                    continue
+                if atoms_may_unify(write.atom, read.atom):
+                    witness = "%s vs body %s" % (
+                        _signed(write.op, write.atom),
+                        read.atom,
+                    )
+                    return READ_WRITE, write.predicate, witness
+    return None
+
+
+def certify_groups(rules, effects, strata, live):
+    """Build the interference matrix and color it into independent groups.
+
+    Only *live* rules participate: dead rules never fire, so they neither
+    race nor need scheduling.  Returns ``(pairs, groups)`` —
+    :class:`InterferencePair` tuples (ordered by rule indices) and
+    :class:`ParallelGroup` tuples (ordered by stratum, then color)
+    covering exactly the live rules.
+    """
+    rules = tuple(rules)
+    by_stratum = {}
+    for index in sorted(live):
+        by_stratum.setdefault(strata[index], []).append(index)
+
+    pairs = []
+    edges = set()
+    groups = []
+    for stratum in sorted(by_stratum):
+        members = by_stratum[stratum]
+        for position, left in enumerate(members):
+            for right in members[position + 1 :]:
+                classified = _classify_pair(effects[left], effects[right])
+                if classified is None:
+                    continue
+                kind, predicate, witness = classified
+                pairs.append(
+                    InterferencePair(
+                        left=left,
+                        right=right,
+                        stratum=stratum,
+                        kind=kind,
+                        predicate=predicate,
+                        witness=witness,
+                    )
+                )
+                edges.add((left, right))
+        # Greedy coloring in rule order: each rule takes the smallest
+        # color not used by an interfering earlier rule.  Deterministic,
+        # and optimal on the interval-like graphs small programs produce.
+        colors = {}
+        for index in members:
+            used = {
+                colors[other]
+                for other in members
+                if other in colors
+                and ((other, index) in edges or (index, other) in edges)
+            }
+            color = 0
+            while color in used:
+                color += 1
+            colors[index] = color
+        for color in range(max(colors.values()) + 1 if colors else 0):
+            groups.append(
+                ParallelGroup(
+                    stratum=stratum,
+                    rules=tuple(
+                        index for index in members if colors[index] == color
+                    ),
+                )
+            )
+
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("lint.effects.pairs_checked", sum(
+            len(members) * (len(members) - 1) // 2
+            for members in by_stratum.values()
+        ))
+        m.inc("lint.effects.interference", len(pairs))
+        m.inc("lint.effects.groups", len(groups))
+    return tuple(pairs), tuple(groups)
+
+
+def check_commutativity(rules, facts, spans=None):
+    """Yield PARK040–043 diagnostics from *facts*' interference matrix.
+
+    All four codes are info severity: like PARK020, interference is a
+    property the author usually *intended* (resolving delete/insert
+    conflicts is what PARK is for), surfaced so they know which rules are
+    — and are not — certified to fire independently.
+    """
+
+    def span_of(rule_index):
+        if spans is not None and rule_index < len(spans):
+            return spans[rule_index].head
+        return None
+
+    for pair in facts.interference:
+        left, right = rules[pair.left], rules[pair.right]
+        if pair.kind == DELETE_INSERT:
+            detail = (
+                "the heads can mark the same ground atom with opposite "
+                "polarities (%s), so the pair is non-commutative: firing "
+                "order would be observable, and at runtime the overlap is "
+                "a PARK conflict for the SELECT policy" % pair.witness
+            )
+        elif pair.kind == WRITE_WRITE:
+            detail = (
+                "both heads can mark the same ground atom with the same "
+                "polarity (%s); the final state is unaffected but the "
+                "rules share a write target" % pair.witness
+            )
+        else:
+            detail = (
+                "one rule's head may ground an instance the other's body "
+                "reads (%s); a sequentialized round would observe the "
+                "firing order" % pair.witness
+            )
+        yield Diagnostic(
+            code=_KIND_CODES[pair.kind],
+            message=(
+                "%s interference between %s and %s in stratum %d on %r: %s; "
+                "the rules are scheduled in different parallel groups"
+                % (
+                    pair.kind,
+                    left.describe(),
+                    right.describe(),
+                    pair.stratum,
+                    pair.predicate,
+                    detail,
+                )
+            ),
+            span=span_of(pair.left),
+            rule=left.describe(),
+            rule_index=pair.left,
+        )
+
+    multi = [group for group in facts.parallel_groups if len(group.rules) > 1]
+    if multi:
+        by_stratum = {}
+        for group in facts.parallel_groups:
+            by_stratum.setdefault(group.stratum, []).append(len(group.rules))
+        sizes = "; ".join(
+            "stratum %d: %s"
+            % (stratum, "+".join(str(n) for n in by_stratum[stratum]))
+            for stratum in sorted(by_stratum)
+        )
+        yield Diagnostic(
+            code="PARK043",
+            message=(
+                "certified %d independent rule group(s) covering %d live "
+                "rule(s) (sizes %s); rules within a group have statically "
+                "disjoint effects and may fire in any order or in parallel"
+                % (
+                    len(facts.parallel_groups),
+                    sum(len(group.rules) for group in facts.parallel_groups),
+                    sizes,
+                )
+            ),
+        )

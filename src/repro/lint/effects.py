@@ -1,0 +1,186 @@
+"""Effect analysis: per-rule over-approximated read and write sets.
+
+The question "may rules ``r1`` and ``r2`` fire concurrently inside one
+``Γ`` round?" reduces to whether their *effects* can interfere — the same
+reduction the declarative-semantics line of work on active rules makes
+(Flesca & Greco; Active Integrity Constraints, see PAPERS.md).  This pass
+computes the raw material:
+
+* the **read set** of a rule is its body, literal by literal — positive
+  conditions (reading ``I∅ ∪ I+`` over the predicate), negated
+  conditions (reading both polarities: a ``+p`` mark can invalidate
+  ``not p``, a ``-p`` mark validates it), and event literals (reading
+  exactly the marks of their own polarity, Section 4.3);
+* the **write set** is the head update, split by polarity into an
+  insert or a delete effect on the head predicate;
+* the **SELECT-policy reads**: when the rule participates in a conflict,
+  the policy may inspect its ground positive body (the specificity
+  policy's strict-superset test does exactly that).  Those predicates
+  are already covered by the body read set — every policy shipped here
+  reads nothing a body literal does not — so they are recorded as a
+  named subset rather than extra edges.
+
+Everything is kept at the *atom* level (not just predicate level): the
+commutativity pass decides overlap by unification with variables renamed
+apart, so ``p(a, X)`` writes and ``p(b, Y)`` reads are provably disjoint.
+
+The sets are over-approximations of runtime behaviour — a rule that
+never fires still "reads" and "writes" statically — which is the sound
+direction for the race analysis built on top
+(:mod:`repro.lint.commutativity`): absence of static interference
+implies absence of runtime interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..lang.literals import Condition, Event
+from ..lang.updates import UpdateOp
+from ..obs import metrics as _obs
+
+#: Read-effect kinds (how the body literal observes the predicate).
+CONDITION = "condition"   # positive condition: reads I∅ ∪ I+
+NEGATION = "negation"     # negated condition: reads both polarities
+EVENT = "event"           # event literal: reads its own polarity's marks
+
+
+def _op_text(op):
+    return "+" if op is UpdateOp.INSERT else "-"
+
+
+@dataclass(frozen=True)
+class ReadEffect:
+    """One body literal's observation of a predicate.
+
+    ``op`` is the polarity an event literal reads (``None`` for
+    conditions: a positive condition is invalidated by nothing and
+    validated by ``+``; a negated condition reacts to both marks — both
+    conservatively interfere with writes of either polarity).
+    """
+
+    rule_index: int
+    literal_index: int
+    kind: str  # CONDITION | NEGATION | EVENT
+    op: Optional[UpdateOp]
+    atom: object  # the (possibly non-ground) body atom
+
+    @property
+    def predicate(self):
+        return self.atom.predicate
+
+    def observes(self, write_op):
+        """Whether a write of *write_op* can change this literal's validity.
+
+        Event literals read exactly their own polarity's marks; condition
+        literals (positive or negated) conservatively observe both.
+        """
+        if self.kind == EVENT:
+            return self.op is write_op
+        return True
+
+    def to_json(self):
+        record = {
+            "literal": self.literal_index,
+            "kind": self.kind,
+            "atom": str(self.atom),
+        }
+        if self.op is not None:
+            record["op"] = _op_text(self.op)
+        return record
+
+
+@dataclass(frozen=True)
+class WriteEffect:
+    """The head update's effect: one insert or delete on the head atom."""
+
+    rule_index: int
+    op: UpdateOp
+    atom: object  # the (possibly non-ground) head atom
+
+    @property
+    def predicate(self):
+        return self.atom.predicate
+
+    def to_json(self):
+        return {"op": _op_text(self.op), "atom": str(self.atom)}
+
+
+@dataclass(frozen=True)
+class RuleEffects:
+    """The full effect signature of one rule (see module docstring)."""
+
+    rule_index: int
+    reads: Tuple[ReadEffect, ...]
+    writes: Tuple[WriteEffect, ...]
+    #: Predicates the SELECT policy may inspect when this rule reaches a
+    #: conflict — a named subset of the body read predicates (see module
+    #: docstring), recorded for documentation and tooling.
+    policy_reads: Tuple[str, ...]
+
+    def read_predicates(self):
+        return frozenset(read.predicate for read in self.reads)
+
+    def write_predicates(self):
+        return frozenset(write.predicate for write in self.writes)
+
+    def to_json(self):
+        return {
+            "rule_index": self.rule_index,
+            "reads": [read.to_json() for read in self.reads],
+            "writes": [write.to_json() for write in self.writes],
+            "policy_reads": list(self.policy_reads),
+        }
+
+
+def rule_effects(rule, rule_index):
+    """The :class:`RuleEffects` of one rule."""
+    reads = []
+    for literal_index, literal in enumerate(rule.body):
+        if isinstance(literal, Event):
+            kind, op = EVENT, literal.op
+        elif literal.positive:
+            kind, op = CONDITION, None
+        else:
+            kind, op = NEGATION, None
+        reads.append(
+            ReadEffect(
+                rule_index=rule_index,
+                literal_index=literal_index,
+                kind=kind,
+                op=op,
+                atom=literal.atom,
+            )
+        )
+    head = rule.head
+    writes = (
+        WriteEffect(rule_index=rule_index, op=head.op, atom=head.atom),
+    )
+    policy_reads = tuple(
+        sorted(
+            {
+                literal.atom.predicate
+                for literal in rule.body
+                if isinstance(literal, Condition) and literal.positive
+            }
+        )
+    )
+    return RuleEffects(
+        rule_index=rule_index,
+        reads=tuple(reads),
+        writes=writes,
+        policy_reads=policy_reads,
+    )
+
+
+def compute_effects(rules):
+    """Per-rule effect signatures, aligned with the program's rule order."""
+    rules = tuple(rules)
+    effects = tuple(rule_effects(rule, index) for index, rule in enumerate(rules))
+    m = _obs.ACTIVE
+    if m is not None:
+        m.inc("lint.effects.rules", len(effects))
+        m.inc("lint.effects.reads", sum(len(e.reads) for e in effects))
+        m.inc("lint.effects.writes", sum(len(e.writes) for e in effects))
+    return effects

@@ -1,0 +1,182 @@
+"""The runtime independence sanitizer (``repro.testing.sanitize``).
+
+The core test falsifies a certificate on purpose: take the honest
+``ProgramFacts`` of a program whose rules are *not* independent, swap in
+a fabricated parallel group claiming they are, and check the sanitizer
+trips on the first round that proves the claim wrong.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import ParkEngine
+from repro.errors import EngineError
+from repro.lang import parse_database, parse_program
+from repro.lint import ProgramFacts
+from repro.lint.commutativity import ParallelGroup
+from repro.obs import Metrics
+from repro.storage.database import Database
+from repro.testing import sanitize
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CHAIN = parse_program(
+    "@name(r1) p(X) -> +q(X). @name(r2) q(X) -> +r(X)."
+)
+SAME_WRITE = parse_program(
+    "@name(w1) p(X) -> +q(X). @name(w2) s(X) -> +q(X)."
+)
+
+
+def falsified(program):
+    """Honest facts with a fabricated all-in-one-group certificate."""
+    facts = ProgramFacts.analyze(program)
+    assert all(len(group.rules) == 1 for group in facts.parallel_groups)
+    return dataclasses.replace(
+        facts,
+        parallel_groups=(ParallelGroup(stratum=0, rules=(0, 1)),),
+        interference=(),
+    )
+
+
+@pytest.fixture
+def active_sanitizer():
+    previous = sanitize.set_active(sanitize.IndependenceSanitizer())
+    try:
+        yield sanitize.ACTIVE
+    finally:
+        sanitize.set_active(previous)
+
+
+class TestFalsifiedCertificate:
+    def test_read_write_violation_trips(self, active_sanitizer):
+        engine = ParkEngine(facts=falsified(CHAIN))
+        with pytest.raises(sanitize.SanitizerError) as err:
+            engine.run(CHAIN, Database(parse_database("p(a).")))
+        message = str(err.value)
+        assert "certificate violated" in message
+        assert "r1" in message and "r2" in message
+        assert "q(a)" in message
+        assert "one wrote and the other read" in message
+
+    def test_write_write_violation_trips(self, active_sanitizer):
+        engine = ParkEngine(facts=falsified(SAME_WRITE))
+        with pytest.raises(sanitize.SanitizerError) as err:
+            engine.run(SAME_WRITE, Database(parse_database("p(a). s(a).")))
+        message = str(err.value)
+        assert "w1" in message and "w2" in message
+        assert "both wrote" in message
+
+    def test_violation_counter_increments(self, active_sanitizer):
+        metrics = Metrics()
+        engine = ParkEngine(facts=falsified(CHAIN), metrics=metrics)
+        with pytest.raises(sanitize.SanitizerError):
+            engine.run(CHAIN, Database(parse_database("p(a).")))
+        assert metrics.counters["sanitize.violations"] == 1
+
+
+class TestHonestCertificate:
+    def test_clean_run_passes(self, active_sanitizer):
+        # quickstart's analysis certifies two groups of two; the run must
+        # complete without the sanitizer firing.
+        program = parse_program(
+            "@name(init) -> +p. @name(r1) p -> +q. "
+            "@name(r2) p -> -a. @name(r3) q -> +a."
+        )
+        metrics = Metrics()
+        engine = ParkEngine(facts=True, metrics=metrics)
+        result = engine.run(program, Database())
+        assert result.blocked
+        assert metrics.counters["sanitize.rounds_checked"] > 0
+        assert "sanitize.violations" not in metrics.counters
+
+    def test_singleton_groups_short_circuit(self, active_sanitizer):
+        # Every group is a singleton: nothing to check, no counter.
+        program = parse_program("p(X) -> +q(X). q(X) -> +r(X).")
+        metrics = Metrics()
+        engine = ParkEngine(facts=True, metrics=metrics)
+        engine.run(program, Database(parse_database("p(a).")))
+        assert "sanitize.rounds_checked" not in metrics.counters
+
+
+class TestActivation:
+    def test_default_matches_environment(self):
+        # Disabled unless REPRO_SANITIZE opted this process in (the CI
+        # sanitizer leg runs the whole suite with it on).
+        spec = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+        if spec == "independence":
+            assert isinstance(sanitize.ACTIVE, sanitize.IndependenceSanitizer)
+        else:
+            assert sanitize.ACTIVE is None
+
+    def test_from_spec(self):
+        assert sanitize.from_spec(None) is None
+        assert sanitize.from_spec("") is None
+        built = sanitize.from_spec("independence")
+        assert isinstance(built, sanitize.IndependenceSanitizer)
+        with pytest.raises(ValueError):
+            sanitize.from_spec("bogus")
+
+    def test_set_active_returns_previous(self):
+        baseline = sanitize.set_active(None)
+        try:
+            first = sanitize.IndependenceSanitizer()
+            assert sanitize.set_active(first) is None
+            assert sanitize.set_active(None) is first
+        finally:
+            sanitize.set_active(baseline)
+
+    def test_error_maps_to_cli_exit_two(self):
+        # The CLI turns EngineError into exit code 2; SanitizerError rides
+        # that path.
+        assert issubclass(sanitize.SanitizerError, EngineError)
+
+    @pytest.mark.parametrize(
+        "value, expected", [("independence", "True"), ("unknown", "False")]
+    )
+    def test_environment_activation(self, value, expected):
+        env = dict(os.environ)
+        env["REPRO_SANITIZE"] = value
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.testing import sanitize; "
+                "print(sanitize.ACTIVE is not None)",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == expected
+
+
+class TestCliFlag:
+    def test_run_sanitize_flag(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        rules = tmp_path / "rules.park"
+        rules.write_text("p(X) -> +q(X). r(X) -> +s(X).")
+        db = tmp_path / "db.park"
+        db.write_text("p(a). r(a).")
+        before = sanitize.ACTIVE
+        out = io.StringIO()
+        code = main(
+            [
+                "run", "--rules", str(rules), "--db", str(db),
+                "--sanitize", "independence",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "q(a)" in out.getvalue()
+        assert sanitize.ACTIVE is before  # restored after the command

@@ -120,6 +120,45 @@ class TestInputs:
         assert "PARK030" in with_db
 
 
+class TestStdin:
+    """Regression: stdin input is reported as ``<stdin>``, read only once."""
+
+    def stdin(self, monkeypatch, text):
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_text_output_locates_diagnostics_in_stdin(self, monkeypatch):
+        self.stdin(monkeypatch, "p(X) -> +q(X, Y).")
+        code, output = run_cli("check", "-")
+        assert code == 1
+        assert "<stdin>:1:" in output
+        assert "error[PARK002]" in output
+
+    def test_json_output_names_stdin(self, monkeypatch):
+        self.stdin(monkeypatch, "p(X) -> +q(X).")
+        code, output = run_cli("check", "--json", "-")
+        assert code == 0
+        (entry,) = json.loads(output)["files"]
+        assert entry["path"] == "<stdin>"
+
+    def test_repeated_dash_reads_stdin_once(self, monkeypatch):
+        # stdin can only be consumed once; "check - -" must not try twice.
+        self.stdin(monkeypatch, "p(X) -> +q(X).")
+        code, output = run_cli("check", "--json", "-", "-")
+        assert code == 0
+        report = json.loads(output)
+        assert [entry["path"] for entry in report["files"]] == ["<stdin>"]
+        assert report["summary"]["files"] == 1
+
+    def test_stdin_mixes_with_file_paths(self, tmp_path, monkeypatch):
+        rules = tmp_path / "ok.park"
+        rules.write_text("a(X) -> +b(X).")
+        self.stdin(monkeypatch, "p(X) -> +q(X).")
+        code, output = run_cli("check", "--json", str(rules), "-")
+        assert code == 0
+        paths = [entry["path"] for entry in json.loads(output)["files"]]
+        assert paths == [str(rules), "<stdin>"]
+
+
 class TestRunSafetyWarning:
     """Satellite: run/profile warn on unsafe rules instead of failing."""
 

@@ -1,0 +1,204 @@
+"""Commutativity pass: PARK040-043, interference matrix, parallel groups.
+
+The four golden files pin the full ``repro check --json`` output of one
+minimal triggering program per code (fed through stdin so paths are
+stable); regenerate with e.g.::
+
+    printf '<program>' | PYTHONPATH=src python -m repro check --json - \
+        > tests/lint/golden/park040.json
+"""
+
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lang import parse_program
+from repro.lint import ProgramFacts, analyze_text
+from repro.lint.commutativity import (
+    DELETE_INSERT,
+    READ_WRITE,
+    WRITE_WRITE,
+    _classify_pair,
+    certify_groups,
+    rule_strata,
+)
+from repro.lint.effects import compute_effects
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: One minimal triggering program per diagnostic code (see docs/lint.md).
+MINIMAL = {
+    "PARK040": "q(Y) -> +p(Y). p(X) -> +r(X).",   # head p feeds a body read
+    "PARK041": "p(X) -> +q(X). r(X) -> +q(X).",   # both insert q
+    "PARK042": "p(X) -> +q(X). r(X) -> -q(X).",   # opposite polarities on q
+    "PARK043": "p(X) -> +a(X). q(X) -> +b(X).",   # disjoint: one group of 2
+}
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestGoldenJson:
+    @pytest.mark.parametrize("code", sorted(MINIMAL))
+    def test_minimal_program_matches_golden(self, code, monkeypatch):
+        monkeypatch.setattr(sys, "stdin", io.StringIO(MINIMAL[code]))
+        out = io.StringIO()
+        exit_code = main(["check", "--json", "-"], out=out)
+        assert exit_code == 0  # all four codes are info: never gate
+        golden = json.loads((GOLDEN_DIR / ("park%s.json" % code[4:])).read_text())
+        produced = json.loads(out.getvalue())
+        assert produced == golden
+        assert code in [
+            d["code"] for d in produced["files"][0]["diagnostics"]
+        ]
+
+
+class TestDiagnostics:
+    def test_park040_read_write(self):
+        report = analyze_text(MINIMAL["PARK040"])
+        (diag,) = report.diagnostics
+        assert diag.code == "PARK040"
+        assert diag.severity == "info"
+        assert "read-write" in diag.message
+        assert "stratum 0" in diag.message
+
+    def test_park041_write_write(self):
+        report = analyze_text(MINIMAL["PARK041"])
+        (diag,) = report.diagnostics
+        assert diag.code == "PARK041"
+        assert "+q(X) vs +q(X)" in diag.message
+
+    def test_park042_delete_insert(self):
+        report = analyze_text(MINIMAL["PARK042"])
+        assert codes(report) == ["PARK020", "PARK042"]
+        diag = report.diagnostics[1]
+        assert "non-commutative" in diag.message
+        assert "+q(X) vs -q(X)" in diag.message
+
+    def test_park043_certificate(self):
+        report = analyze_text(MINIMAL["PARK043"])
+        (diag,) = report.diagnostics
+        assert diag.code == "PARK043"
+        assert "stratum 0: 2" in diag.message
+
+    def test_strongest_kind_wins(self):
+        # r2 writes -q and also reads p which r1 writes: one pair, one
+        # diagnostic, under the strongest kind (delete-insert).
+        report = analyze_text("a(X) -> +q(X). q(X) -> -q(X).")
+        found = [c for c in codes(report) if c.startswith("PARK04")]
+        assert found == ["PARK042"]
+
+    def test_disjoint_constants_do_not_interfere(self):
+        # Atom-level precision: q(a) and q(b) cannot unify.
+        report = analyze_text("p(X) -> +q(a). r(X) -> -q(b).")
+        assert [c for c in codes(report) if c.startswith("PARK04")] == [
+            "PARK043"
+        ]
+
+    def test_pairs_span_points_at_left_rule(self):
+        report = analyze_text("p(X) -> +q(X).\nr(X) -> -q(X).")
+        diag = next(d for d in report.diagnostics if d.code == "PARK042")
+        assert diag.rule_index == 0
+        assert diag.span.line == 1
+
+
+class TestClassifyPair:
+    def pair(self, text):
+        effects = compute_effects(parse_program(text))
+        return _classify_pair(effects[0], effects[1])
+
+    def test_delete_insert_beats_write_write(self):
+        kind, predicate, witness = self.pair("a -> +q. b -> -q.")
+        assert kind == DELETE_INSERT
+        assert predicate == "q"
+
+    def test_write_write_beats_read_write(self):
+        # Same-polarity write overlap and a read overlap: write-write wins.
+        kind, _, _ = self.pair("q(X) -> +q(X). a(X) -> +q(X).")
+        assert kind == WRITE_WRITE
+
+    def test_read_write_both_directions(self):
+        assert self.pair("a(X) -> +p(X). p(X) -> +b(X).")[0] == READ_WRITE
+        assert self.pair("p(X) -> +b(X). a(X) -> +p(X).")[0] == READ_WRITE
+
+    def test_event_polarity_filters_read_write(self):
+        # -q event does not observe +q writes...
+        assert self.pair("a(X) -> +q(X). -q(X) -> +b(X).") is None
+        # ...but a +q event does.
+        assert self.pair("a(X) -> +q(X). +q(X) -> +b(X).")[0] == READ_WRITE
+
+    def test_independent_pair(self):
+        assert self.pair("a(X) -> +x(X). b(X) -> +y(X).") is None
+
+
+class TestRuleStrata:
+    def test_positive_program_single_stratum(self):
+        rules = parse_program("e(X, Y) -> +t(X, Y). t(X, Y), e(Y, Z) -> +t(X, Z).")
+        assert rule_strata(rules) == (0, 0)
+
+    def test_negation_raises_stratum(self):
+        rules = parse_program("a(X) -> +p(X). b(X), not p(X) -> +q(X).")
+        strata = rule_strata(rules)
+        assert strata[1] > strata[0]
+
+    def test_unstratifiable_falls_back_to_zero(self):
+        rules = parse_program(
+            "a(X), not q(X) -> +p(X). b(X), not p(X) -> +q(X)."
+        )
+        assert rule_strata(rules) == (0, 0)
+
+    def test_cross_stratum_pairs_not_reported(self):
+        # Rule 1 reads p, which rule 0 writes — but its head sits in a
+        # higher stratum, so the strata are already a scheduling barrier
+        # and no read-write pair is reported.
+        text = "a(X) -> +p(X). b(X), not p(X) -> +q(X)."
+        rules = parse_program(text)
+        assert rule_strata(rules)[0] != rule_strata(rules)[1]
+        report = analyze_text(text)
+        assert "PARK040" not in codes(report)
+
+
+class TestCertifiedGroups:
+    def facts(self, text):
+        return ProgramFacts.analyze(parse_program(text))
+
+    def test_groups_partition_live_rules(self):
+        facts = self.facts(
+            "p(X) -> +a(X). q(X) -> +b(X). a(X) -> -b(X). +never(X) -> +c(X)."
+        )
+        covered = sorted(
+            index for group in facts.parallel_groups for index in group.rules
+        )
+        assert covered == sorted(facts.live)
+        assert 3 not in covered  # the dead rule is not scheduled
+
+    def test_interfering_rules_in_distinct_groups(self):
+        facts = self.facts(MINIMAL["PARK042"])
+        group_of = {}
+        for gid, group in enumerate(facts.parallel_groups):
+            for index in group.rules:
+                group_of[index] = gid
+        for pair in facts.interference:
+            assert group_of[pair.left] != group_of[pair.right]
+
+    def test_greedy_coloring_is_deterministic(self):
+        text = "a -> +x. b -> +x. c -> +y. d -> +y."
+        left = self.facts(text).parallel_groups
+        right = self.facts(text).parallel_groups
+        assert left == right
+        # 0 interferes with 1, 2 with 3: two groups of two.
+        assert [group.rules for group in left] == [(0, 2), (1, 3)]
+
+    def test_certify_groups_direct(self):
+        rules = parse_program("p(X) -> +a(X). q(X) -> +b(X).")
+        effects = compute_effects(rules)
+        pairs, groups = certify_groups(
+            rules, effects, rule_strata(rules), live={0, 1}
+        )
+        assert pairs == ()
+        assert [group.rules for group in groups] == [(0, 1)]

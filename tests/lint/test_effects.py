@@ -1,0 +1,109 @@
+"""Effect analysis: per-rule read/write sets (``repro.lint.effects``)."""
+
+from repro.lang import parse_program
+from repro.lang.updates import UpdateOp
+from repro.lint.effects import (
+    CONDITION,
+    EVENT,
+    NEGATION,
+    compute_effects,
+    rule_effects,
+)
+from repro.obs import Metrics
+from repro.obs import metrics as _obs
+
+
+def effects_of(text):
+    rules = parse_program(text)
+    return compute_effects(rules)
+
+
+class TestReadSet:
+    def test_condition_negation_event_kinds(self):
+        (eff,) = effects_of("p(X), not q(X), +r(X) -> +s(X).")
+        assert [read.kind for read in eff.reads] == [CONDITION, NEGATION, EVENT]
+        assert [read.predicate for read in eff.reads] == ["p", "q", "r"]
+        assert [read.literal_index for read in eff.reads] == [0, 1, 2]
+
+    def test_event_reads_its_own_polarity_only(self):
+        (plus, minus) = effects_of("+p(X) -> +q(X). -p(X) -> +r(X).")
+        (plus_read,) = plus.reads
+        (minus_read,) = minus.reads
+        assert plus_read.op is UpdateOp.INSERT
+        assert plus_read.observes(UpdateOp.INSERT)
+        assert not plus_read.observes(UpdateOp.DELETE)
+        assert minus_read.op is UpdateOp.DELETE
+        assert minus_read.observes(UpdateOp.DELETE)
+        assert not minus_read.observes(UpdateOp.INSERT)
+
+    def test_conditions_observe_both_polarities(self):
+        (eff,) = effects_of("p(X), not q(X) -> +s(X).")
+        for read in eff.reads:
+            assert read.op is None
+            assert read.observes(UpdateOp.INSERT)
+            assert read.observes(UpdateOp.DELETE)
+
+    def test_bodyless_rule_reads_nothing(self):
+        (eff,) = effects_of("-> +seed(a).")
+        assert eff.reads == ()
+
+
+class TestWriteSet:
+    def test_insert_head(self):
+        (eff,) = effects_of("p(X) -> +q(X).")
+        (write,) = eff.writes
+        assert write.op is UpdateOp.INSERT
+        assert write.predicate == "q"
+
+    def test_delete_head(self):
+        (eff,) = effects_of("p(X) -> -q(X).")
+        (write,) = eff.writes
+        assert write.op is UpdateOp.DELETE
+        assert write.predicate == "q"
+
+
+class TestPolicyReads:
+    def test_subset_of_positive_conditions(self):
+        # Policy reads are the positive-condition predicates: the shipped
+        # SELECT policies inspect at most the ground positive body.
+        (eff,) = effects_of("b(X), a(X), not n(X), +e(X) -> +q(X).")
+        assert eff.policy_reads == ("a", "b")
+        assert set(eff.policy_reads) <= eff.read_predicates()
+
+
+class TestJsonShape:
+    def test_round_trippable_record(self):
+        (eff,) = effects_of("p(X), +r(X) -> -q(X).")
+        record = eff.to_json()
+        assert record["rule_index"] == 0
+        assert record["reads"][0] == {
+            "literal": 0, "kind": CONDITION, "atom": "p(X)",
+        }
+        assert record["reads"][1] == {
+            "literal": 1, "kind": EVENT, "op": "+", "atom": "r(X)",
+        }
+        assert record["writes"] == [{"op": "-", "atom": "q(X)"}]
+
+
+class TestAlignmentAndMetrics:
+    def test_indices_align_with_rule_order(self):
+        effects = effects_of("a -> +x. b -> +y. c -> +z.")
+        assert [eff.rule_index for eff in effects] == [0, 1, 2]
+
+    def test_counters(self):
+        metrics = Metrics()
+        previous = _obs.set_active(metrics)
+        try:
+            effects_of("p(X), not q(X) -> +s(X). +t(X) -> -u(X).")
+        finally:
+            _obs.set_active(previous)
+        assert metrics.counters["lint.effects.rules"] == 2
+        assert metrics.counters["lint.effects.reads"] == 3
+        assert metrics.counters["lint.effects.writes"] == 2
+
+    def test_rule_effects_single(self):
+        (rule,) = parse_program("p(X) -> +q(X).")
+        eff = rule_effects(rule, 7)
+        assert eff.rule_index == 7
+        assert all(read.rule_index == 7 for read in eff.reads)
+        assert all(write.rule_index == 7 for write in eff.writes)
