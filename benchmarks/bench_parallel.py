@@ -1,0 +1,212 @@
+"""Parallel Γ benchmark leg: sequential vs `--parallel N` on tc/reach.
+
+Times the naive strategy — the one whose collect phase dominates — on
+the transitive-closure and chain-reachability families at 10^5–10^6
+collected firings, sequentially and with the
+:class:`~repro.engine.parallel.ParallelExecutor` at 2 and 4 workers,
+under both matcher backends.  Every parallel run is asserted
+fingerprint-identical to its sequential twin (atoms, blocked set,
+rounds, restarts, firings) and — when ``--metrics`` — the semantic
+counter fingerprint is asserted identical too, so a speedup can never
+hide a semantic divergence.
+
+The leg is merged into the report under a top-level ``"parallel"`` key
+(default ``BENCH_park.json``, created if absent), which
+``check_fingerprints.py`` gates in CI: the leg must be present, every
+workload must record ``fingerprint_identical`` and per-worker timings,
+and the committed full-size baseline must show >1.5x at 4 workers on at
+least one tc/reach workload (``--gate``, on by default for full runs).
+
+Machine note: speedup at 4 workers comes from two places — genuine
+multi-core match parallelism, and the parallel path's per-epoch work
+model (workers ship each binding payload once as a delta and keep
+standing match state for monotone rules; the parent memoizes grounding
+reconstruction across rounds).  On few-core machines the second
+mechanism dominates; the recorded numbers are honest wall-clock either
+way.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--repeats N] [--quick] [--metrics] [--no-gate] [--out BENCH_park.json]
+
+``--quick`` runs reduced sizes with the gate off — the CI smoke
+configuration (fingerprint identity is still asserted).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.engine.match import clear_compile_cache, set_matcher_backend
+from repro.obs import Metrics
+from repro.workloads import relational_reachability, transitive_closure
+
+BACKENDS = ("interpreted", "compiled")
+WORKER_COUNTS = (2, 4)
+GATE_SPEEDUP = 1.5
+
+
+def _workloads(quick=False):
+    if quick:
+        return [
+            ("reach-200", relational_reachability(200, fanout=4)),
+            ("tc-40", transitive_closure(40, seed=11)),
+        ]
+    return [
+        ("reach-400", relational_reachability(400, fanout=4)),
+        ("reach-800", relational_reachability(800, fanout=4)),
+        ("tc-100", transitive_closure(100, seed=11)),
+    ]
+
+
+def _fingerprint(result):
+    return (
+        result.atoms,
+        result.blocked,
+        result.stats.rounds,
+        result.stats.restarts,
+        result.stats.firings_total,
+    )
+
+
+def _time(workload, backend, workers, repeats):
+    set_matcher_backend(backend)
+    clear_compile_cache()
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = workload.run(evaluation="naive", parallel=workers)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _metered_fingerprints(workload, workers):
+    """Semantic counter fingerprints of a sequential and a parallel run."""
+    set_matcher_backend("interpreted")
+    clear_compile_cache()
+    sequential = Metrics()
+    workload.run(evaluation="naive", metrics=sequential, parallel=0)
+    parallel = Metrics()
+    workload.run(evaluation="naive", metrics=parallel, parallel=workers)
+    return sequential.fingerprint(), parallel.fingerprint()
+
+
+def run(repeats=2, out="BENCH_park.json", quick=False, metrics=False,
+        gate=True, verbose=True):
+    leg = {
+        "strategy": "naive",
+        "workers": list(WORKER_COUNTS),
+        "quick": quick,
+        "gate_speedup": GATE_SPEEDUP,
+        "workloads": {},
+    }
+    best_gate = None
+    for name, workload in _workloads(quick=quick):
+        entry = {}
+        for backend in BACKENDS:
+            sequential_s, sequential_result = _time(
+                workload, backend, 0, repeats
+            )
+            baseline = _fingerprint(sequential_result)
+            cell = {
+                "sequential_s": round(sequential_s, 6),
+                "firings_total": sequential_result.stats.firings_total,
+                "rounds": sequential_result.stats.rounds,
+            }
+            for workers in WORKER_COUNTS:
+                parallel_s, parallel_result = _time(
+                    workload, backend, workers, repeats
+                )
+                if _fingerprint(parallel_result) != baseline:
+                    raise AssertionError(
+                        "parallel run (%s, %d workers) diverged from "
+                        "sequential on workload %s" % (backend, workers, name)
+                    )
+                cell["workers_%d_s" % workers] = round(parallel_s, 6)
+                cell["speedup_%dw" % workers] = round(
+                    sequential_s / parallel_s, 2
+                )
+            entry[backend] = cell
+            speedup = cell["speedup_4w"]
+            if best_gate is None or speedup > best_gate["speedup_4w"]:
+                best_gate = {
+                    "workload": name,
+                    "backend": backend,
+                    "speedup_4w": speedup,
+                }
+            if verbose:
+                print(
+                    "%-10s %-11s seq %7.3fs  2w %7.3fs (%.2fx)  4w %7.3fs "
+                    "(%.2fx)  firings=%d"
+                    % (
+                        name,
+                        backend,
+                        cell["sequential_s"],
+                        cell["workers_2_s"],
+                        cell["speedup_2w"],
+                        cell["workers_4_s"],
+                        cell["speedup_4w"],
+                        cell["firings_total"],
+                    )
+                )
+        entry["fingerprint_identical"] = True
+        if metrics:
+            sequential_fp, parallel_fp = _metered_fingerprints(workload, 4)
+            if sequential_fp != parallel_fp:
+                raise AssertionError(
+                    "semantic counter fingerprint diverged under --parallel "
+                    "on workload %s: sequential %r, parallel %r"
+                    % (name, sequential_fp, parallel_fp)
+                )
+            entry["fingerprint"] = [list(pair) for pair in sequential_fp]
+        leg["workloads"][name] = entry
+    leg["best"] = best_gate
+    if gate and not quick:
+        if best_gate is None or best_gate["speedup_4w"] < GATE_SPEEDUP:
+            raise AssertionError(
+                "no tc/reach workload reached %.1fx at 4 workers (best: %r)"
+                % (GATE_SPEEDUP, best_gate)
+            )
+        if verbose:
+            print(
+                "gate ok: %(workload)s/%(backend)s %(speedup_4w).2fx at 4 "
+                "workers" % best_gate
+            )
+    report = {}
+    if os.path.exists(out):
+        with open(out) as handle:
+            report = json.load(handle)
+    report["parallel"] = leg
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if verbose:
+        print("merged parallel leg into %s" % out)
+    return leg
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_park.json")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--metrics", action="store_true")
+    parser.add_argument("--no-gate", dest="gate", action="store_false")
+    args = parser.parse_args(argv)
+    run(
+        repeats=args.repeats,
+        out=args.out,
+        quick=args.quick,
+        metrics=args.metrics,
+        gate=args.gate,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,6 +188,12 @@ def _build_parser():
         "groups and fails (exit 2) on a certificate violation; also "
         "enabled by $REPRO_SANITIZE",
     )
+    run.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="collect Γ firings on N worker processes over hash-sharded "
+        "partitions (bit-identical results; defaults to $REPRO_PARALLEL; "
+        "below 2 stays sequential)",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -241,6 +247,10 @@ def _build_parser():
     profile.add_argument(
         "--sanitize", choices=["independence"], default=None,
         help="runtime sanitizer (implies --facts); see 'repro run'",
+    )
+    profile.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="collect Γ firings on N worker processes (see 'repro run')",
     )
 
     check = commands.add_parser(
@@ -439,6 +449,7 @@ def _command_run(args, out):
         if getattr(args, "facts", False) or sanitize_spec
         else None,
         plan_cache=DEFAULT_PLAN_CACHE,
+        parallel=getattr(args, "parallel", None),
     )
     try:
         result = engine.run(program, database, updates=updates)
@@ -513,6 +524,7 @@ def _command_profile(args, out):
         tracer=tracer,
         facts=True if args.facts or args.sanitize else None,
         plan_cache=DEFAULT_PLAN_CACHE,
+        parallel=args.parallel,
     )
     meta = {
         "rules": args.rules,
@@ -522,6 +534,8 @@ def _command_profile(args, out):
         "storage": args.storage or get_storage_backend(),
         "blocking": args.blocking,
     }
+    if engine.parallel > 1:
+        meta["parallel"] = engine.parallel
     if args.db:
         meta["db"] = args.db
     result = None

@@ -157,10 +157,11 @@ class NaiveEvaluation:
 
     name = "naive"
 
-    def __init__(self, program, blocked, groups=None):
+    def __init__(self, program, blocked, groups=None, executor=None):
         self.program = program
         self.blocked = frozenset(blocked)
         self._batches = _group_batches(tuple(program), groups)
+        self._executor = executor
         self._frozen = {}  # previous round's Update -> frozenset, for reuse
         self.last_firing_count = 0
 
@@ -169,7 +170,13 @@ class NaiveEvaluation:
         view = InterpretationView(interpretation)
         firings = {}
         count = _collect_all(
-            self.program, self._batches, self.blocked, view, firings
+            self.program,
+            self._batches,
+            self.blocked,
+            view,
+            firings,
+            self._executor,
+            interpretation,
         )
         self.last_firing_count = count
         # Reuse last round's frozenset when a head's instance set did not
@@ -329,7 +336,7 @@ def _collect(rule, blocked, view, into):
     return added
 
 
-def _collect_all(rules, batches, blocked, view, into):
+def _collect_all(rules, batches, blocked, view, into, executor=None, interpretation=None):
     """Full-match *rules* into *into*, group-batched when *batches* is set.
 
     *batches* is the strategy's :func:`_group_batches` restriction (or
@@ -338,7 +345,21 @@ def _collect_all(rules, batches, blocked, view, into):
     unobservable; collection lands in one shared dict either way, which
     is what keeps the fast path fingerprint-identical.  Returns the
     number of instances actually new in *into*.
+
+    With an *executor* (a :class:`repro.engine.parallel.ParallelExecutor`)
+    and the backing *interpretation*, the whole collect is offered to the
+    parallel workers first; the executor either returns the same
+    added-count with identical dedup semantics, or declines (``None``)
+    and the sequential oracle below runs instead.
     """
+    if executor is not None and interpretation is not None:
+        added = executor.collect_all(rules, blocked, interpretation, into)
+        if added is not None:
+            if batches is not None:
+                m = _obs.ACTIVE
+                if m is not None:
+                    m.inc("eval.group_batches", len(batches))
+            return added
     added = 0
     if batches is None:
         for rule in rules:
@@ -384,8 +405,9 @@ class SemiNaiveEvaluation:
 
     name = "seminaive"
 
-    def __init__(self, program, blocked, groups=None):
+    def __init__(self, program, blocked, groups=None, executor=None):
         self.blocked = frozenset(blocked)
+        self._executor = executor
         self.monotone_rules = []
         self.volatile_rules = []
         for rule in program:
@@ -431,6 +453,8 @@ class SemiNaiveEvaluation:
                 self.blocked,
                 view,
                 self._accumulated,
+                self._executor,
+                interpretation,
             )
             self._first_round_done = True
             touched.update(self._accumulated)
@@ -472,6 +496,8 @@ class SemiNaiveEvaluation:
             self.blocked,
             view,
             firings,
+            self._executor,
+            interpretation,
         )
         self.last_firing_count = count
         if a is not None:
@@ -502,8 +528,9 @@ class IncrementalEvaluation:
 
     name = "incremental"
 
-    def __init__(self, program, blocked, groups=None):
+    def __init__(self, program, blocked, groups=None, executor=None):
         self.blocked = frozenset(blocked)
+        self._executor = executor
         self.monotone_rules = []
         self.volatile_rules = []
         for rule in program:
@@ -557,6 +584,8 @@ class IncrementalEvaluation:
                 self.blocked,
                 view,
                 self._accumulated,
+                self._executor,
+                interpretation,
             )
             self._frozen = {
                 head: frozenset(instances)
@@ -631,14 +660,18 @@ EVALUATION_STRATEGIES = {
 }
 
 
-def make_evaluation(name, program, blocked, groups=None):
+def make_evaluation(name, program, blocked, groups=None, executor=None):
     """Instantiate the strategy *name* for one epoch.
 
     *groups* is an optional certified group schedule
     (:func:`repro.engine.planner.group_schedule`): rule batches with
     pairwise disjoint effects that the strategy collects batch by batch
     — same firings, same fingerprint, but a schedule a parallel executor
-    could hand out wholesale.
+    hands out wholesale.  *executor* is that executor (a
+    :class:`repro.engine.parallel.ParallelExecutor`, already started for
+    this run) or ``None`` for sequential collection; the full-match
+    collects route through it, with sequential fallback whenever it
+    declines.
     """
     try:
         factory = EVALUATION_STRATEGIES[name]
@@ -647,4 +680,4 @@ def make_evaluation(name, program, blocked, groups=None):
             "unknown evaluation strategy %r (known: %s)"
             % (name, ", ".join(sorted(EVALUATION_STRATEGIES)))
         )
-    return factory(program, blocked, groups=groups)
+    return factory(program, blocked, groups=groups, executor=executor)

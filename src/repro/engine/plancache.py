@@ -17,10 +17,13 @@ collide correctly), and each entry is validated against
 
 * a **stats signature** — per-predicate row counts bucketed by bit length
   (``count.bit_length()``), so plans survive small data drift but are
-  re-derived when a relation changes magnitude.  Bucket ``0`` is exactly
-  "empty", which preserves the only data property the analysis consumes
-  (``ProgramFacts`` liveness sharpening distinguishes empty from non-empty
-  predicates);
+  re-derived when a relation changes magnitude.  Empty predicates are
+  omitted entirely: ``Database.predicates()`` still lists a relation whose
+  rows were all deleted, and the analysis cannot distinguish that from a
+  predicate that never existed — the liveness sharpening only consumes
+  empty-vs-non-empty, which "absent from the signature" encodes exactly
+  as well as a ``(p, 0)`` pair, without spuriously invalidating on
+  insert-then-delete-all histories;
 * the :meth:`ProgramFacts.matches` staleness guard — the same check the
   engine applies to caller-supplied facts, so a cache entry can never be
   applied to a program it does not describe.
@@ -32,27 +35,43 @@ missing key is a **miss**; both are visible as ``plan_cache.*`` counters in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..obs import metrics as _obs
 
 
 class PlanCache:
-    """An LRU cache of validated :class:`ProgramFacts` per run program."""
+    """An LRU cache of validated :class:`ProgramFacts` per run program.
 
-    __slots__ = ("capacity", "_entries")
+    Thread-safe: lookups, LRU reordering, and evictions hold an internal
+    lock, so concurrent readers of a shared cache (the parallel executor,
+    the planned rule-server) cannot corrupt the ``OrderedDict``.  A miss
+    re-derives the analysis outside the lock — two racing threads may both
+    analyze, but the result is deterministic and last-write-wins is safe.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock")
 
     def __init__(self, capacity=128):
         self.capacity = capacity
         self._entries = OrderedDict()  # rule tuple -> (stats signature, facts)
+        self._lock = threading.Lock()
 
     @staticmethod
     def stats_signature(database):
-        """The database's shape, as ``(predicate, bit_length(count))`` pairs."""
+        """The database's shape, as ``(predicate, bit_length(count))`` pairs.
+
+        Empty predicates are dropped: a relation whose rows were all
+        deleted must sign identically to one that never existed, or
+        identical re-runs would spuriously invalidate the cache.
+        """
         return tuple(
             sorted(
-                (predicate, database.count(predicate).bit_length())
+                (predicate, count.bit_length())
                 for predicate in database.predicates()
+                for count in (database.count(predicate),)
+                if count
             )
         )
 
@@ -67,31 +86,34 @@ class PlanCache:
         key = tuple(run_program)
         signature = self.stats_signature(database)
         entries = self._entries
-        entry = entries.get(key)
         m = _obs.ACTIVE
-        if entry is not None:
-            cached_signature, facts = entry
-            if cached_signature == signature and facts.matches(run_program):
-                entries.move_to_end(key)
+        with self._lock:
+            entry = entries.get(key)
+            if entry is not None:
+                cached_signature, facts = entry
+                if cached_signature == signature and facts.matches(run_program):
+                    entries.move_to_end(key)
+                    if m is not None:
+                        m.inc("plan_cache.hits")
+                    return facts
                 if m is not None:
-                    m.inc("plan_cache.hits")
-                return facts
-            if m is not None:
-                m.inc("plan_cache.invalidations")
-        elif m is not None:
-            m.inc("plan_cache.misses")
+                    m.inc("plan_cache.invalidations")
+            elif m is not None:
+                m.inc("plan_cache.misses")
         facts = ProgramFacts.analyze(run_program, database=database)
-        entries[key] = (signature, facts)
-        entries.move_to_end(key)
-        while len(entries) > self.capacity:
-            entries.popitem(last=False)
+        with self._lock:
+            entries[key] = (signature, facts)
+            entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
         return facts
 
     def __len__(self):
         return len(self._entries)
 
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self):
         return "PlanCache(%d entries, capacity=%d)" % (len(self), self.capacity)

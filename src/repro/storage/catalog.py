@@ -21,6 +21,7 @@ tracks.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -36,23 +37,34 @@ class InternTable:
     also memoizes one :class:`~repro.lang.terms.Constant` box per id so the
     compiled matcher can decode a slot value into a shared term object
     (cached hash, identity-friendly) without allocating.
+
+    Thread-safe: the already-interned fast path is a lock-free dict read
+    (safe because ids are published *last*, after both side arrays hold the
+    value, so any id a reader can observe round-trips through
+    :meth:`value_of`); allocation takes a lock so two threads can never
+    tear the ``_ids``/``_values`` append pair or hand out one id twice.
     """
 
-    __slots__ = ("_ids", "_values", "_constants")
+    __slots__ = ("_ids", "_values", "_constants", "_lock")
 
     def __init__(self):
         self._ids = {}  # value -> id
         self._values = []  # id -> value
         self._constants = []  # id -> Constant (built lazily)
+        self._lock = threading.Lock()
 
     def intern(self, value):
         """The id for *value*, allocating the next one on first sight."""
         ident = self._ids.get(value)
         if ident is None:
-            ident = len(self._values)
-            self._ids[value] = ident
-            self._values.append(value)
-            self._constants.append(None)
+            with self._lock:
+                ident = self._ids.get(value)
+                if ident is None:
+                    ident = len(self._values)
+                    self._values.append(value)
+                    self._constants.append(None)
+                    # Publish the id last: readers that see it can decode it.
+                    self._ids[value] = ident
         return ident
 
     def id_of(self, value):
@@ -92,6 +104,33 @@ class InternTable:
         """A tuple of ids back to its raw values."""
         values = self._values
         return tuple(values[ident] for ident in row)
+
+    def snapshot_values(self):
+        """A consistent id→value prefix: ``result[i]`` is the value of id ``i``.
+
+        This is the shipping format for parallel workers: the process-global
+        table does not survive ``spawn``, so a worker seeds its own table
+        from the parent's prefix (:meth:`load_prefix`) and then interns any
+        later values in the same deterministic order as its peers.
+        """
+        with self._lock:
+            return tuple(self._values)
+
+    def load_prefix(self, values):
+        """Intern *values* in order, so ids ``0..len(values)-1`` match the source.
+
+        Safe to call on a table that already holds a (possibly longer)
+        compatible prefix — re-interning is idempotent.  Raises
+        :class:`SchemaError` when the existing contents disagree, which
+        means the caller mixed tables from different processes.
+        """
+        for expected, value in enumerate(values):
+            ident = self.intern(value)
+            if ident != expected:
+                raise SchemaError(
+                    "intern prefix mismatch: value %r has id %d here, %d in "
+                    "the shipped prefix" % (value, ident, expected)
+                )
 
     def __len__(self):
         return len(self._values)

@@ -341,3 +341,53 @@ class TestActiveDatabaseIntegration:
         with db.group_commit(4):
             db.insert("emp", "ann")
         assert db.contains("emp", "ann")
+
+
+def _record(journal, tx_id, name):
+    update = insert(atom("p", name))
+    journal.append(tx_id, (update,), Delta([update]))
+
+
+class TestGroupCommitEdges:
+    """Edge cases the fault-injection suite does not reach directly."""
+
+    @pytest.mark.parametrize("size", [0, -1, -100])
+    def test_nonpositive_size_clamps_to_one(self, tmp_path, size):
+        journal = Journal(str(tmp_path / "j.log"))
+        with journal.group_commit(size):
+            assert journal._group_size == 1
+            _record(journal, 1, "a")
+            # Size 1 means every append syncs immediately: nothing defers.
+            assert journal._pending_syncs == 0
+        assert journal._group_size == 1
+        assert len(journal.records()) == 1
+
+    def test_exception_restores_size_and_syncs_prefix(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        with pytest.raises(RuntimeError):
+            with journal.group_commit(10):
+                _record(journal, 1, "a")
+                _record(journal, 2, "b")
+                assert journal._pending_syncs == 2  # deferred inside the block
+                raise RuntimeError("crash mid-batch")
+        # The context manager restored the immediate-sync default and
+        # flushed the written prefix on the way out.
+        assert journal._group_size == 1
+        assert journal._pending_syncs == 0
+        assert [record.transaction_id for record in journal.records()] == [1, 2]
+
+    def test_nested_group_commit_restores_outer_size(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        with journal.group_commit(4):
+            assert journal._group_size == 4
+            with journal.group_commit(8):
+                assert journal._group_size == 8
+                _record(journal, 1, "a")
+            # Inner exit restores the *outer* batch size, not the default,
+            # and syncs what the inner block deferred.
+            assert journal._group_size == 4
+            assert journal._pending_syncs == 0
+            _record(journal, 2, "b")
+        assert journal._group_size == 1
+        assert journal._pending_syncs == 0
+        assert [record.transaction_id for record in journal.records()] == [1, 2]

@@ -92,6 +92,32 @@ class TestPlanCacheUnit:
         second = cache.facts_for(program, with_flag)
         assert second is not first
 
+    def test_emptied_predicate_signs_like_absent(self):
+        # Regression: ``Database.predicates()`` still lists a relation whose
+        # rows were all deleted.  The signature must drop zero-count
+        # predicates, or an insert-then-delete-all history would sign
+        # differently from a fresh database the analysis cannot
+        # distinguish it from — spuriously invalidating identical re-runs.
+        program = _program()
+        fresh = Database.from_text("emp(joe).")
+        emptied = Database.from_text("emp(joe).")
+        scratch = Database.from_text("scratch(tmp).")
+        for atom in list(scratch.atoms()):
+            emptied.add(atom)
+            emptied.remove(atom)
+        assert "scratch" in list(emptied.predicates())  # the trap exists
+        assert PlanCache.stats_signature(emptied) == PlanCache.stats_signature(
+            fresh
+        )
+        cache = PlanCache()
+        metrics = Metrics()
+        with metrics.activate():
+            first = cache.facts_for(program, fresh)
+            second = cache.facts_for(program, emptied)
+        assert second is first
+        assert metrics.counters["plan_cache.hits"] == 1
+        assert "plan_cache.invalidations" not in metrics.counters
+
     def test_lru_eviction(self):
         cache = PlanCache(capacity=2)
         database = Database.from_text("emp(joe).")
@@ -189,6 +215,27 @@ class TestActiveDatabaseIntegration:
             db.refresh()
         assert metrics.counters["plan_cache.invalidations"] == 1
         assert "plan_cache.misses" not in metrics.counters
+
+    def test_insert_then_delete_all_keeps_the_plan_hot(self):
+        # Regression for the emptied-predicate signature bug at the commit
+        # level: a transaction that populates a scratch predicate and a
+        # later one that empties it leave the relation registered with
+        # zero rows.  The next identical commit must be a pure hit — not
+        # an invalidation — because nothing the analysis consumes changed.
+        db = _payroll_db()
+        db.refresh()  # caches the analysis before 'scratch' ever exists
+        with db.transaction() as tx:
+            tx.insert("scratch", "a")
+            tx.insert("scratch", "b")
+        with db.transaction() as tx:
+            tx.delete("scratch", "a")
+            tx.delete("scratch", "b")
+        metrics = Metrics()
+        with metrics.activate():
+            db.refresh()  # identical commit against the emptied predicate
+        assert metrics.counters["plan_cache.hits"] == 1
+        assert "plan_cache.misses" not in metrics.counters
+        assert "plan_cache.invalidations" not in metrics.counters
 
     def test_caches_are_per_database_instance(self):
         db_a = _payroll_db()
